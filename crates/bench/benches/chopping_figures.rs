@@ -1,0 +1,66 @@
+//! Figures 4–6 and 11–12 reproduction: the chopping analyses on the
+//! paper's program sets, printed as a correctness matrix and benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use si_chopping::{analyse_chopping, Criterion as ChopCriterion, ProgramSet};
+use si_workloads::bank::{program_set_figure5, program_set_figure6};
+use si_workloads::fork::{program_set_figure11, program_set_figure12};
+
+const BUDGET: usize = 2_000_000;
+
+fn program_sets() -> Vec<(&'static str, ProgramSet, [bool; 3])> {
+    // Expected correctness [SER, SI, PSI] from the paper.
+    vec![
+        ("fig5_transfer_lookupAll", program_set_figure5(), [false, false, false]),
+        ("fig6_transfer_lookups", program_set_figure6(), [true, true, true]),
+        ("fig11_si_not_ser", program_set_figure11(), [false, true, true]),
+        ("fig12_psi_not_si", program_set_figure12(), [false, false, true]),
+    ]
+}
+
+fn print_matrix() {
+    println!("\n── chopping correctness (paper: Fig5 ✗✗✗, Fig6 ✓✓✓, Fig11 ✗✓✓, Fig12 ✗✗✓) ──");
+    println!("{:26} {:>6} {:>6} {:>6}", "program set", "SER", "SI", "PSI");
+    for (name, ps, expected) in program_sets() {
+        let verdicts = [ChopCriterion::Ser, ChopCriterion::Si, ChopCriterion::Psi]
+            .map(|c| analyse_chopping(&ps, c, BUDGET).unwrap().correct);
+        println!(
+            "{:26} {:>6} {:>6} {:>6}",
+            name, verdicts[0], verdicts[1], verdicts[2]
+        );
+        assert_eq!(verdicts, expected, "{name} deviates from the paper");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_matrix();
+
+    let mut group = c.benchmark_group("chopping_figures");
+    for (name, ps, _) in program_sets() {
+        for criterion in [ChopCriterion::Ser, ChopCriterion::Si, ChopCriterion::Psi] {
+            group.bench_function(format!("{name}/{criterion}"), |b| {
+                b.iter(|| analyse_chopping(std::hint::black_box(&ps), criterion, BUDGET).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! The §5 motivation, measured: chopped vs. unchopped transfers on the
+//! SI engine. The chopping follows Figure 6's pattern and is certified
+//! correct by the static analysis before anything is measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_chopping::{analyse_chopping, Criterion as ChopCriterion};
+use si_mvcc::{Scheduler, SchedulerConfig, SiEngine, Workload};
+use si_workloads::bank::program_set_figure6;
+use si_workloads::chopped::{chopped, unchopped, TransferLoad};
+
+fn params(contention: &str) -> TransferLoad {
+    match contention {
+        "low" => TransferLoad {
+            accounts: 16,
+            sessions: 4,
+            transfers_per_session: 20,
+            ballast_reads: 6,
+            ..Default::default()
+        },
+        _ => TransferLoad {
+            accounts: 4,
+            sessions: 8,
+            transfers_per_session: 20,
+            ballast_reads: 6,
+            ..Default::default()
+        },
+    }
+}
+
+fn stats_over_seeds(w: &Workload, accounts: usize) -> (u64, u64, u64) {
+    let (mut commits, mut aborts, mut ops) = (0, 0, 0);
+    for seed in 0..6 {
+        let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        let run = s.run(&mut SiEngine::new(accounts), w);
+        commits += run.stats.committed;
+        aborts += run.stats.aborted;
+        ops += run.stats.ops_executed;
+    }
+    (commits, aborts, ops)
+}
+
+fn print_comparison() {
+    // First certify the chopping (Corollary 18) — measuring an incorrect
+    // chopping would be meaningless.
+    let report = analyse_chopping(&program_set_figure6(), ChopCriterion::Si, 1_000_000).unwrap();
+    assert!(report.correct, "the measured chopping must be certified correct");
+    println!("\nchopping certified correct under SI (Corollary 18)\n");
+
+    println!(
+        "── chopped vs unchopped transfers on the SI engine (6 seeds) ──\n{:10} {:12} {:>9} {:>9} {:>12} {:>11}",
+        "contention", "form", "commits", "aborts", "ops executed", "ops/commit"
+    );
+    for contention in ["low", "high"] {
+        let p = params(contention);
+        for (form, w) in [("unchopped", unchopped(&p)), ("chopped", chopped(&p))] {
+            let (commits, aborts, ops) = stats_over_seeds(&w, p.accounts);
+            println!(
+                "{:10} {:12} {:>9} {:>9} {:>12} {:>11.2}",
+                contention,
+                form,
+                commits,
+                aborts,
+                ops,
+                ops as f64 / commits as f64
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+
+    let mut group = c.benchmark_group("chopping_speedup");
+    group.sample_size(10);
+    for contention in ["low", "high"] {
+        let p = params(contention);
+        let un = unchopped(&p);
+        let ch = chopped(&p);
+        group.bench_with_input(BenchmarkId::new("unchopped", contention), &un, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig { seed: 3, ..Default::default() });
+                s.run(&mut SiEngine::new(p.accounts), w).stats.committed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chopped", contention), &ch, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig { seed: 3, ..Default::default() });
+                s.run(&mut SiEngine::new(p.accounts), w).stats.committed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

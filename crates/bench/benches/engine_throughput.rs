@@ -1,0 +1,108 @@
+//! Engine throughput and abort behaviour: SI vs. the serializable OCC
+//! baseline vs. PSI, on a contended random mix — the operational backdrop
+//! of the paper's "SI trades anomalies for performance" premise.
+//!
+//! Before measuring, prints the commits/aborts table across engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use si_mvcc::{Engine, PsiEngine, Scheduler, SchedulerConfig, SerEngine, SiEngine, SsiEngine};
+use si_workloads::random::{random_mix, RandomMix};
+
+fn mix(objects: usize) -> RandomMix {
+    RandomMix {
+        sessions: 8,
+        txs_per_session: 25,
+        ops_per_tx: 4,
+        objects,
+        read_ratio: 0.6,
+        zipf_s: 0.9,
+        seed: 2024,
+    }
+}
+
+fn run_once(make: impl Fn() -> Box<dyn Engine>, objects: usize, bg: f64) -> si_mvcc::RunStats {
+    let w = random_mix(&mix(objects));
+    let mut s = Scheduler::new(SchedulerConfig {
+        seed: 7,
+        background_probability: bg,
+        ..Default::default()
+    });
+    let mut engine = make();
+    s.run(engine.as_mut(), &w).stats
+}
+
+fn print_abort_table() {
+    println!("\n── engine behaviour on a contended Zipf mix (8 sessions × 25 txs) ──");
+    println!("{:8} {:>9} {:>9} {:>12}", "engine", "commits", "aborts", "ops executed");
+    for (name, stats) in [
+        ("SI", run_once(|| Box::new(SiEngine::new(16)), 16, 0.0)),
+        ("SSI", run_once(|| Box::new(SsiEngine::new(16)), 16, 0.0)),
+        ("SER", run_once(|| Box::new(SerEngine::new(16)), 16, 0.0)),
+        ("PSI", run_once(|| Box::new(PsiEngine::new(16, 3)), 16, 0.3)),
+    ] {
+        println!(
+            "{:8} {:>9} {:>9} {:>12}",
+            name, stats.committed, stats.aborted, stats.ops_executed
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_abort_table();
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(15);
+    for &objects in &[8usize, 32] {
+        let w = random_mix(&mix(objects));
+        let total_txs = (mix(objects).sessions * mix(objects).txs_per_session) as u64;
+        group.throughput(Throughput::Elements(total_txs));
+        group.bench_with_input(BenchmarkId::new("si", objects), &w, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig { seed: 7, ..Default::default() });
+                s.run(&mut SiEngine::new(objects), w).stats.committed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ssi", objects), &w, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig { seed: 7, ..Default::default() });
+                s.run(&mut SsiEngine::new(objects), w).stats.committed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ser", objects), &w, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig { seed: 7, ..Default::default() });
+                s.run(&mut SerEngine::new(objects), w).stats.committed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("psi", objects), &w, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig {
+                    seed: 7,
+                    background_probability: 0.3,
+                    ..Default::default()
+                });
+                s.run(&mut PsiEngine::new(objects, 3), w).stats.committed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 2 reproduction: classify each anomaly history under all three
+//! models and benchmark the classification machinery.
+//!
+//! Before measuring, the harness prints the verdict table — the rows the
+//! paper's Figure 2 asserts — so the bench output doubles as the
+//! reproduction artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use si_bench::figure2_histories;
+use si_core::{classify_history, history_membership, SearchBudget};
+use si_execution::SpecModel;
+
+fn print_verdict_table() {
+    println!("\n── Figure 2 verdicts (paper: 2a SER✓, 2b none, 2c PSI-only, 2d SI+PSI) ──");
+    println!("{:22} {:>5} {:>5} {:>5}  label", "history", "SER", "SI", "PSI");
+    for (name, h) in figure2_histories() {
+        let v = classify_history(&h, &SearchBudget::default()).unwrap();
+        println!(
+            "{:22} {:>5} {:>5} {:>5}  {}",
+            name,
+            v.ser,
+            v.si,
+            v.psi,
+            v.anomaly_label()
+        );
+        assert!(v.respects_inclusions());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_verdict_table();
+
+    let histories = figure2_histories();
+    let budget = SearchBudget::default();
+
+    let mut group = c.benchmark_group("fig2_classify");
+    for (name, h) in &histories {
+        group.bench_function(*name, |b| {
+            b.iter(|| classify_history(std::hint::black_box(h), &budget).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2_si_membership");
+    for (name, h) in &histories {
+        group.bench_function(*name, |b| {
+            b.iter(|| history_membership(SpecModel::Si, std::hint::black_box(h), &budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Scaling of the Theorem 8/9/21 membership checks on random dependency
+//! graphs (the polynomial heart of the paper: one relation composition
+//! plus one cycle check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use si_bench::random_graph;
+use si_core::pc::check_pc_graph;
+use si_core::{check_psi, check_ser, check_si};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership_scaling");
+    group.sample_size(20);
+    for &n in &[16usize, 64, 256, 1024] {
+        let objects = (n / 4).max(2);
+        let sessions = (n / 8).max(1);
+        let g = random_graph(n, objects, sessions, 0xABCD ^ n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("check_si", n), &g, |b, g| {
+            b.iter(|| check_si(std::hint::black_box(g)).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("check_ser", n), &g, |b, g| {
+            b.iter(|| check_ser(std::hint::black_box(g)).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("check_psi", n), &g, |b, g| {
+            b.iter(|| check_psi(std::hint::black_box(g)).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("check_pc", n), &g, |b, g| {
+            b.iter(|| check_pc_graph(std::hint::black_box(g)).is_ok())
+        });
+    }
+    group.finish();
+
+    // Relation-building cost (extraction of the combined relations from
+    // the per-object maps) measured separately from the cycle check.
+    let mut group = c.benchmark_group("relation_building");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        let g = random_graph(n, (n / 4).max(2), (n / 8).max(1), 0x1234 ^ n as u64);
+        group.bench_with_input(BenchmarkId::new("dep_relation", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(g).dep_relation())
+        });
+        group.bench_with_input(BenchmarkId::new("rw_relation", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(g).rw_relation())
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation: the dense bitset relation representation vs. the textbook
+//! set-of-pairs reference, on the operations the paper's analyses hammer
+//! (composition, transitive closure, acyclicity). Justifies the DESIGN.md
+//! choice of dense rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_relations::naive::NaiveRelation;
+use si_relations::{Relation, TxId};
+
+fn pairs(n: usize, edges: usize, seed: u64) -> Vec<(TxId, TxId)> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as usize
+    };
+    (0..edges)
+        .map(|_| (TxId::from_index(next() % n), TxId::from_index(next() % n)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_ablation");
+    group.sample_size(15);
+    for &n in &[32usize, 128] {
+        let edges = n * 3;
+        let p = pairs(n, edges, 0xD15EA5E ^ n as u64);
+        let dense = Relation::from_pairs(n, p.clone());
+        let naive = NaiveRelation::from_pairs(n, p);
+
+        group.bench_with_input(BenchmarkId::new("dense_closure", n), &dense, |b, r| {
+            b.iter(|| std::hint::black_box(r).transitive_closure())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_closure", n), &naive, |b, r| {
+            b.iter(|| std::hint::black_box(r).transitive_closure())
+        });
+        group.bench_with_input(BenchmarkId::new("dense_compose", n), &dense, |b, r| {
+            b.iter(|| std::hint::black_box(r).compose(r))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_compose", n), &naive, |b, r| {
+            b.iter(|| std::hint::black_box(r).compose(r))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_acyclic", n), &dense, |b, r| {
+            b.iter(|| std::hint::black_box(r).is_acyclic())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_acyclic", n), &naive, |b, r| {
+            b.iter(|| std::hint::black_box(r).is_acyclic())
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

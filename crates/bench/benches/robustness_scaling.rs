@@ -1,0 +1,57 @@
+//! Scaling of the §6 robustness analyses on synthetic applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_bench::synthetic_programs;
+use si_robustness::{check_ser_robustness, check_ser_robustness_refined, check_si_robustness, StaticDepGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robustness_scaling");
+    group.sample_size(20);
+    for &programs in &[8usize, 16, 32, 64] {
+        let ps = synthetic_programs(programs, 2, programs + 2);
+        let graph = StaticDepGraph::from_programs(&ps);
+        group.bench_with_input(BenchmarkId::new("ser_plain", programs), &graph, |b, g| {
+            b.iter(|| check_ser_robustness(std::hint::black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("ser_refined", programs), &graph, |b, g| {
+            b.iter(|| check_ser_robustness_refined(std::hint::black_box(g)))
+        });
+        if programs <= 16 {
+            group.bench_with_input(BenchmarkId::new("psi_to_si", programs), &graph, |b, g| {
+                b.iter(|| check_si_robustness(std::hint::black_box(g), 50_000_000))
+            });
+        }
+    }
+    group.finish();
+
+    // Graph construction cost, including the instance-duplication mode.
+    let mut group = c.benchmark_group("static_graph_build");
+    for &programs in &[16usize, 64] {
+        let ps = synthetic_programs(programs, 2, programs + 2);
+        group.bench_with_input(BenchmarkId::new("plain", programs), &ps, |b, ps| {
+            b.iter(|| StaticDepGraph::from_programs(std::hint::black_box(ps)))
+        });
+        group.bench_with_input(BenchmarkId::new("two_instances", programs), &ps, |b, ps| {
+            b.iter(|| StaticDepGraph::from_programs_with_instances(std::hint::black_box(ps), 2))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Scaling of the Theorem 10(i) soundness construction: building a
+//! concrete SI execution from a dependency graph, one-shot (linearise
+//! once) vs. the paper-literal iterative process (enforce one unrelated
+//! pair at a time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_bench::random_graph_in_si;
+use si_core::{execution_from_graph, execution_from_graph_iterative, smallest_solution};
+use si_relations::Relation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soundness_construction");
+    group.sample_size(15);
+    for &n in &[8usize, 32, 128] {
+        let g = random_graph_in_si(n, (n / 4).max(2), (n / 8).max(1), 0x5EED ^ n as u64);
+        group.bench_with_input(BenchmarkId::new("one_shot", n), &g, |b, g| {
+            b.iter(|| execution_from_graph(std::hint::black_box(g)).unwrap())
+        });
+        // The iterative form is O(n) solver calls; keep it to small n.
+        if n <= 32 {
+            group.bench_with_input(BenchmarkId::new("iterative", n), &g, |b, g| {
+                b.iter(|| execution_from_graph_iterative(std::hint::black_box(g)).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    // Lemma 15 alone: the closed-form smallest solution.
+    let mut group = c.benchmark_group("lemma15_solver");
+    group.sample_size(20);
+    for &n in &[32usize, 128, 512] {
+        let g = random_graph_in_si(n, (n / 4).max(2), (n / 8).max(1), 0xFACE ^ n as u64);
+        let empty = Relation::new(g.tx_count());
+        group.bench_with_input(BenchmarkId::new("smallest_solution", n), &g, |b, g| {
+            b.iter(|| smallest_solution(std::hint::black_box(g), &empty))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

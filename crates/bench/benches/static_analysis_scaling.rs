@@ -1,0 +1,59 @@
+//! Scaling of the static chopping analysis (Corollary 18) on synthetic
+//! application suites: cost is dominated by simple-cycle enumeration of
+//! the static chopping graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_bench::synthetic_programs;
+use si_chopping::{analyse_chopping, static_chopping_graph, Criterion as ChopCriterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scg_construction");
+    for &(programs, pieces) in &[(4usize, 2usize), (8, 3), (16, 3), (24, 4)] {
+        let ps = synthetic_programs(programs, pieces, programs + pieces);
+        let id = format!("{programs}x{pieces}");
+        group.bench_with_input(BenchmarkId::new("build", &id), &ps, |b, ps| {
+            b.iter(|| static_chopping_graph(std::hint::black_box(ps)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("static_chopping_analysis");
+    group.sample_size(15);
+    for &(programs, pieces) in &[(4usize, 2usize), (8, 3), (12, 3)] {
+        let ps = synthetic_programs(programs, pieces, programs + pieces);
+        let id = format!("{programs}x{pieces}");
+        for criterion in [ChopCriterion::Ser, ChopCriterion::Si, ChopCriterion::Psi] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{criterion}"), &id),
+                &ps,
+                |b, ps| {
+                    b.iter(|| {
+                        // A found critical cycle short-circuits; both
+                        // outcomes are the analysis's real cost profile.
+                        analyse_chopping(std::hint::black_box(ps), criterion, 50_000_000)
+                            .map(|r| r.correct)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Shared fixtures for the benchmark harness: the Figure 2 histories,
+//! the chopping program sets, and deterministic random-graph generators
+//! (sized for scaling studies).
+//!
+//! Every benchmark in `benches/` regenerates one of the paper's figures
+//! or measures how one of its analyses scales; `EXPERIMENTS.md` maps
+//! benches to figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use si_depgraph::{DepGraphBuilder, DependencyGraph};
+use si_model::{History, HistoryBuilder, Obj, Op};
+use si_relations::TxId;
+
+/// The Figure 2 histories by name.
+pub fn figure2_histories() -> Vec<(&'static str, History)> {
+    vec![
+        ("fig2a_session", session_guarantees()),
+        ("fig2b_lost_update", lost_update()),
+        ("fig2c_long_fork", long_fork()),
+        ("fig2d_write_skew", write_skew()),
+    ]
+}
+
+/// Figure 2(a): session guarantees (the fresh-read variant, allowed
+/// everywhere).
+pub fn session_guarantees() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let s = b.session();
+    b.push_tx(s, [Op::write(x, 1)]);
+    b.push_tx(s, [Op::read(x, 1)]);
+    b.build()
+}
+
+/// Figure 2(b): lost update.
+pub fn lost_update() -> History {
+    let mut b = HistoryBuilder::new();
+    let acct = b.object("acct");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+    b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+    b.build()
+}
+
+/// Figure 2(c): long fork.
+pub fn long_fork() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+    b.push_tx(s1, [Op::write(x, 1)]);
+    b.push_tx(s2, [Op::write(y, 1)]);
+    b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+    b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+    b.build()
+}
+
+/// Figure 2(d): write skew.
+pub fn write_skew() -> History {
+    let mut b = HistoryBuilder::new();
+    let a1 = b.object("acct1");
+    let a2 = b.object("acct2");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(a1, 70), Op::read(a2, 80), Op::write(a1, 0)]);
+    b.push_tx(s2, [Op::read(a1, 70), Op::read(a2, 80), Op::write(a2, 0)]);
+    b.build_with_initial_values([(a1, 70), (a2, 80)])
+}
+
+/// A deterministic random dependency graph with `txs` transactions over
+/// `objects` objects, seeded. Reads always observe real writers, write
+/// values are unique, init is first in every version order — the graph is
+/// well-formed by construction; membership in `GraphSI` varies with the
+/// seed.
+pub fn random_graph(txs: usize, objects: usize, sessions: usize, seed: u64) -> DependencyGraph {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as usize
+    };
+
+    let mut b = HistoryBuilder::new();
+    let objs: Vec<Obj> = (0..objects).map(|i| b.object(&format!("x{i}"))).collect();
+    let session_ids: Vec<_> = (0..sessions).map(|_| b.session()).collect();
+
+    // Decide read/write sets first so readers can pick writers.
+    let mut write_sets: Vec<Vec<usize>> = Vec::with_capacity(txs);
+    let mut read_sets: Vec<Vec<usize>> = Vec::with_capacity(txs);
+    for _ in 0..txs {
+        let wn = next() % 3;
+        let rn = next() % 3;
+        let mut ws: Vec<usize> = (0..wn).map(|_| next() % objects).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        let mut rs: Vec<usize> = (0..rn).map(|_| next() % objects).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        if ws.is_empty() && rs.is_empty() {
+            ws.push(next() % objects);
+        }
+        write_sets.push(ws);
+        read_sets.push(rs);
+    }
+    let value_of = |tx: usize, obj: usize| 100 * (tx as u64 + 1) + obj as u64;
+
+    for i in 0..txs {
+        let mut ops = Vec::new();
+        for &r in &read_sets[i] {
+            let candidates: Vec<Option<usize>> = std::iter::once(None)
+                .chain((0..txs).filter(|&j| j != i && write_sets[j].contains(&r)).map(Some))
+                .collect();
+            let pick = candidates[next() % candidates.len()];
+            let value = pick.map_or(0, |j| value_of(j, r));
+            ops.push(Op::read(objs[r], value));
+        }
+        for &w in &write_sets[i] {
+            ops.push(Op::write(objs[w], value_of(i, w)));
+        }
+        b.push_tx(session_ids[i % sessions], ops);
+    }
+    let history = b.build();
+
+    let mut builder = DepGraphBuilder::new(history.clone());
+    for (oi, &x) in objs.iter().enumerate() {
+        let mut writers: Vec<TxId> = history
+            .tx_ids()
+            .skip(1)
+            .filter(|&t| history.transaction(t).writes_to(x))
+            .collect();
+        for i in (1..writers.len()).rev() {
+            let j = next() % (i + 1);
+            writers.swap(i, j);
+        }
+        let mut order = vec![TxId(0)];
+        order.extend(writers);
+        builder.ww_order(x, order);
+        let _ = oi;
+    }
+    builder.infer_wr();
+    builder.build().expect("generated graph is well-formed")
+}
+
+/// A random dependency graph guaranteed to lie in `GraphSI` (for
+/// benchmarking the soundness construction, which only accepts members):
+/// runs a seeded random workload on the actual SI engine and extracts the
+/// graph — Theorem 10(ii) guarantees membership. `txs` is a target; the
+/// returned graph has roughly that many transactions plus init.
+pub fn random_graph_in_si(txs: usize, objects: usize, sessions: usize, seed: u64) -> DependencyGraph {
+    use si_mvcc::{Scheduler, SchedulerConfig, SiEngine};
+    use si_workloads::random::{random_mix, RandomMix};
+
+    let sessions = sessions.max(1);
+    let mix = RandomMix {
+        sessions,
+        txs_per_session: txs.div_ceil(sessions),
+        ops_per_tx: 4,
+        objects: objects.max(1),
+        read_ratio: 0.6,
+        zipf_s: 0.6,
+        seed,
+    };
+    let workload = random_mix(&mix);
+    let mut scheduler = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+    let run = scheduler.run(&mut SiEngine::new(mix.objects), &workload);
+    let graph = si_depgraph::extract(&run.execution).expect("engine runs extract cleanly");
+    debug_assert!(si_core::check_si(&graph).is_ok());
+    graph
+}
+
+/// A synthetic chopped application: `programs` programs of `pieces`
+/// pieces each, touching overlapping object windows — sized input for the
+/// static-analysis scaling benches.
+pub fn synthetic_programs(programs: usize, pieces: usize, objects: usize) -> si_chopping::ProgramSet {
+    let mut ps = si_chopping::ProgramSet::new();
+    let objs: Vec<Obj> = (0..objects).map(|i| ps.object(&format!("o{i}"))).collect();
+    for p in 0..programs {
+        let prog = ps.add_program(&format!("p{p}"));
+        for k in 0..pieces {
+            // Each piece reads one object and writes the next, windows
+            // sliding with the program index so programs overlap pairwise.
+            let r = objs[(p + k) % objects];
+            let w = objs[(p + k + 1) % objects];
+            ps.add_piece(prog, &format!("p{p}k{k}"), [r], [w]);
+        }
+    }
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        assert_eq!(figure2_histories().len(), 4);
+        for (name, h) in figure2_histories() {
+            assert!(h.check_int().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_and_valid() {
+        let a = random_graph(20, 5, 4, 42);
+        let b = random_graph(20, 5, 4, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.tx_count(), 21);
+    }
+
+    #[test]
+    fn random_graph_in_si_is_in_si() {
+        let g = random_graph_in_si(12, 4, 3, 7);
+        assert!(si_core::check_si(&g).is_ok());
+    }
+
+    #[test]
+    fn synthetic_programs_shape() {
+        let ps = synthetic_programs(4, 3, 6);
+        assert_eq!(ps.program_count(), 4);
+        assert_eq!(ps.piece_count(), 12);
+    }
+}

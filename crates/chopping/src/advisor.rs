@@ -1,0 +1,203 @@
+//! The chopping advisor: find a correct chopping automatically.
+//!
+//! §5 tells you whether a *given* chopping is correct; in practice one
+//! wants the opposite direction — "how finely *can* I chop?". The advisor
+//! starts from the finest chopping the client proposes and greedily merges
+//! adjacent pieces of the programs involved in critical cycles until the
+//! static analysis accepts, yielding a correct chopping that is as fine as
+//! the greedy order allows. Merging pieces only removes predecessor edges
+//! and unions read/write sets, which can only remove critical cycles
+//! involving the merged program's predecessor edges, so the process
+//! terminates — in the worst case at the fully merged (unchopped)
+//! application, which is always correct.
+
+use crate::analysis::analyse_chopping;
+use crate::critical::{Criterion, SearchBudgetExceeded};
+use crate::dcg::ChopEdge;
+use crate::program::{PieceId, ProgramId, ProgramSet};
+
+/// The advisor's result.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// A correct chopping (piece read/write sets preserved, some pieces
+    /// merged).
+    pub programs: ProgramSet,
+    /// How many merge steps were taken (0 = the input was already
+    /// correct).
+    pub merges: usize,
+}
+
+impl Advice {
+    /// Total pieces in the advised chopping.
+    pub fn piece_count(&self) -> usize {
+        self.programs.piece_count()
+    }
+}
+
+/// Merges pieces `k` and `k+1` of `program`, unioning their sets.
+fn merge_adjacent(ps: &ProgramSet, program: ProgramId, k: usize) -> ProgramSet {
+    let mut out = ProgramSet::new();
+    // Re-intern object names in index order.
+    let mut i = 0;
+    while let Some(name) = ps.object_name(si_model::Obj::from_index(i)) {
+        out.object(name);
+        i += 1;
+    }
+    for p in ps.programs() {
+        let np = out.add_program(ps.program_name(p));
+        let count = ps.pieces_of(p);
+        let mut j = 0;
+        while j < count {
+            let piece = PieceId { program: p, piece: j };
+            if p == program && j == k && j + 1 < count {
+                let next = PieceId { program: p, piece: j + 1 };
+                let reads: Vec<_> = ps
+                    .reads(piece)
+                    .iter()
+                    .chain(ps.reads(next))
+                    .copied()
+                    .collect();
+                let writes: Vec<_> = ps
+                    .writes(piece)
+                    .iter()
+                    .chain(ps.writes(next))
+                    .copied()
+                    .collect();
+                let label = format!("{} + {}", ps.piece_label(piece), ps.piece_label(next));
+                out.add_piece(np, &label, reads, writes);
+                j += 2;
+            } else {
+                out.add_piece(np, ps.piece_label(piece), ps.reads(piece).iter().copied(),
+                    ps.writes(piece).iter().copied());
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Greedily coarsens `programs` until the chopping is correct under
+/// `criterion`.
+///
+/// The merge choice is driven by the witness: the first predecessor edge
+/// on the critical cycle identifies a program whose chopping participates
+/// in the danger; its pieces around that edge are merged. The result is
+/// correct by construction (the loop only exits on an accepting
+/// analysis).
+///
+/// # Errors
+///
+/// Returns [`SearchBudgetExceeded`] if any analysis round was cut short.
+///
+/// # Panics
+///
+/// Panics if a critical cycle contains no predecessor edge (impossible:
+/// criticality requires a conflict-predecessor-conflict fragment).
+pub fn advise_chopping(
+    programs: &ProgramSet,
+    criterion: Criterion,
+    step_budget: usize,
+) -> Result<Advice, SearchBudgetExceeded> {
+    let mut current = programs.clone();
+    let mut merges = 0;
+    loop {
+        let report = analyse_chopping(&current, criterion, step_budget)?;
+        let Some(cycle) = report.witness else {
+            return Ok(Advice { programs: current, merges });
+        };
+        // Find a predecessor edge on the cycle: it runs from piece j to
+        // piece j' < j of the same program; merge pieces (j', j'+1).
+        let pred_at = cycle
+            .labels
+            .iter()
+            .position(|&l| l == ChopEdge::Predecessor)
+            .expect("critical cycles contain a predecessor edge");
+        let from = report.nodes.piece(cycle.nodes[pred_at]);
+        let to = report.nodes.piece(cycle.nodes[(pred_at + 1) % cycle.nodes.len()]);
+        debug_assert_eq!(from.program, to.program);
+        let merge_at = to.piece.min(from.piece);
+        current = merge_adjacent(&current, from.program, merge_at);
+        merges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 5's programs: the advisor must coarsen lookupAll (or the
+    /// transfer) until correct.
+    fn figure5() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "acct1 -= 100", [a1], [a1]);
+        ps.add_piece(t, "acct2 += 100", [a2], [a2]);
+        let l = ps.add_program("lookupAll");
+        ps.add_piece(l, "var1 = acct1", [a1], []);
+        ps.add_piece(l, "var2 = acct2", [a2], []);
+        ps
+    }
+
+    #[test]
+    fn advisor_fixes_figure5() {
+        let advice = advise_chopping(&figure5(), Criterion::Si, 2_000_000).unwrap();
+        assert!(advice.merges > 0);
+        assert!(advice.piece_count() < figure5().piece_count());
+        // The advised chopping really is correct.
+        let report = analyse_chopping(&advice.programs, Criterion::Si, 2_000_000).unwrap();
+        assert!(report.correct);
+        // Object names survive the rebuilds.
+        assert_eq!(advice.programs.object_name(si_model::Obj(0)), Some("acct1"));
+    }
+
+    #[test]
+    fn advisor_keeps_correct_choppings_unchanged() {
+        // Figure 6 is already correct: zero merges.
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "a", [a1], [a1]);
+        ps.add_piece(t, "b", [a2], [a2]);
+        let l1 = ps.add_program("lookup1");
+        ps.add_piece(l1, "c", [a1], []);
+        let l2 = ps.add_program("lookup2");
+        ps.add_piece(l2, "d", [a2], []);
+        let advice = advise_chopping(&ps, Criterion::Si, 2_000_000).unwrap();
+        assert_eq!(advice.merges, 0);
+        assert_eq!(advice.piece_count(), 4);
+    }
+
+    #[test]
+    fn advisor_terminates_on_adversarial_input() {
+        // Many mutually conflicting chopped programs: worst case merges
+        // down towards whole transactions but must terminate correct.
+        let mut ps = ProgramSet::new();
+        let objs: Vec<_> = (0..3).map(|i| ps.object(&format!("o{i}"))).collect();
+        for p in 0..3 {
+            let prog = ps.add_program(&format!("p{p}"));
+            for k in 0..3 {
+                let o = objs[(p + k) % 3];
+                ps.add_piece(prog, &format!("p{p}k{k}"), [o], [o]);
+            }
+        }
+        let advice = advise_chopping(&ps, Criterion::Si, 5_000_000).unwrap();
+        let report = analyse_chopping(&advice.programs, Criterion::Si, 5_000_000).unwrap();
+        assert!(report.correct);
+        assert_eq!(advice.programs.program_count(), 3);
+    }
+
+    #[test]
+    fn merge_preserves_sets() {
+        let ps = figure5();
+        let merged = merge_adjacent(&ps, ProgramId(1), 0);
+        assert_eq!(merged.pieces_of(ProgramId(1)), 1);
+        let piece = PieceId { program: ProgramId(1), piece: 0 };
+        assert_eq!(merged.reads(piece).len(), 2); // acct1 and acct2
+        assert!(merged.writes(piece).is_empty());
+        // Other program untouched.
+        assert_eq!(merged.pieces_of(ProgramId(0)), 2);
+    }
+}

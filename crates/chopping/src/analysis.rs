@@ -1,0 +1,205 @@
+//! Top-level chopping analyses: Corollary 18 (static) and Theorem 16
+//! (dynamic).
+
+use core::fmt;
+
+use si_depgraph::DependencyGraph;
+use si_relations::LabelledCycle;
+
+use crate::critical::{find_critical_cycle, Criterion, SearchBudgetExceeded};
+use crate::dcg::{dynamic_chopping_graph, ChopEdge};
+use crate::program::ProgramSet;
+use crate::scg::{static_chopping_graph, PieceNode};
+
+/// Outcome of the static chopping analysis of a program set under one
+/// criterion.
+#[derive(Debug, Clone)]
+pub struct ChoppingReport {
+    /// The criterion applied.
+    pub criterion: Criterion,
+    /// `true` iff the static chopping graph has no critical cycle, i.e.
+    /// the chopping is correct under the criterion's model.
+    pub correct: bool,
+    /// A witness critical cycle when `correct` is false.
+    pub witness: Option<LabelledCycle<ChopEdge>>,
+    /// The vertex↔piece mapping for interpreting the witness.
+    pub nodes: PieceNode,
+}
+
+impl ChoppingReport {
+    /// Renders the witness cycle with piece labels from `programs`
+    /// (empty string when correct).
+    pub fn describe_witness(&self, programs: &ProgramSet) -> String {
+        let Some(cycle) = &self.witness else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (node, label) in cycle.nodes.iter().zip(&cycle.labels) {
+            let piece = self.nodes.piece(*node);
+            out.push_str(&format!("[{}] -{label}-> ", programs.piece_label(piece)));
+        }
+        if let Some(first) = cycle.nodes.first() {
+            let piece = self.nodes.piece(*first);
+            out.push_str(&format!("[{}]", programs.piece_label(piece)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ChoppingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.correct {
+            write!(f, "chopping is correct under {}", self.criterion)
+        } else {
+            write!(f, "chopping is INCORRECT under {} (critical cycle found)", self.criterion)
+        }
+    }
+}
+
+/// The static chopping analysis (Corollary 18 for SI; Theorems 29 and 31
+/// for SER and PSI): builds `SCG(P)` and searches it for a critical cycle.
+///
+/// # Errors
+///
+/// Returns [`SearchBudgetExceeded`] if cycle enumeration was cut short —
+/// the chopping must then be treated as possibly incorrect.
+pub fn analyse_chopping(
+    programs: &ProgramSet,
+    criterion: Criterion,
+    step_budget: usize,
+) -> Result<ChoppingReport, SearchBudgetExceeded> {
+    let (graph, nodes) = static_chopping_graph(programs);
+    let witness = find_critical_cycle(&graph, criterion, step_budget)?;
+    Ok(ChoppingReport {
+        criterion,
+        correct: witness.is_none(),
+        witness,
+        nodes,
+    })
+}
+
+/// The dynamic chopping criterion (Theorem 16): `true` iff `DCG(G)` has no
+/// SI-critical cycle, in which case `G` is spliceable (provided
+/// `G ∈ GraphSI`).
+///
+/// # Errors
+///
+/// Returns [`SearchBudgetExceeded`] if cycle enumeration was cut short.
+pub fn is_spliceable_by_criterion(
+    graph: &DependencyGraph,
+    step_budget: usize,
+) -> Result<bool, SearchBudgetExceeded> {
+    let dcg = dynamic_chopping_graph(graph);
+    Ok(find_critical_cycle(&dcg, Criterion::Si, step_budget)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 5: {transfer, lookupAll} with lookupAll chopped in two.
+    fn figure5() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "acct1 -= 100", [a1], [a1]);
+        ps.add_piece(t, "acct2 += 100", [a2], [a2]);
+        let l = ps.add_program("lookupAll");
+        ps.add_piece(l, "var1 = acct1", [a1], []);
+        ps.add_piece(l, "var2 = acct2", [a2], []);
+        ps
+    }
+
+    /// Figure 6: {transfer, lookup1, lookup2}.
+    fn figure6() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "acct1 -= 100", [a1], [a1]);
+        ps.add_piece(t, "acct2 += 100", [a2], [a2]);
+        let l1 = ps.add_program("lookup1");
+        ps.add_piece(l1, "return acct1", [a1], []);
+        let l2 = ps.add_program("lookup2");
+        ps.add_piece(l2, "return acct2", [a2], []);
+        ps
+    }
+
+    #[test]
+    fn figure5_is_incorrect_under_si() {
+        let report = analyse_chopping(&figure5(), Criterion::Si, 1_000_000).unwrap();
+        assert!(!report.correct);
+        let desc = report.describe_witness(&figure5());
+        assert!(desc.contains("->"), "witness should render: {desc}");
+        assert!(report.to_string().contains("INCORRECT"));
+    }
+
+    #[test]
+    fn figure6_is_correct_under_si_and_ser() {
+        for criterion in [Criterion::Si, Criterion::Ser, Criterion::Psi] {
+            let report = analyse_chopping(&figure6(), criterion, 1_000_000).unwrap();
+            assert!(report.correct, "figure 6 must be correct under {criterion}");
+            assert_eq!(report.describe_witness(&figure6()), "");
+        }
+    }
+
+    /// Figure 11: correct under SI, incorrect under SER.
+    fn figure11() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("write1");
+        ps.add_piece(w1, "var1 = x", [x], []);
+        ps.add_piece(w1, "y = var1", [], [y]);
+        let w2 = ps.add_program("write2");
+        ps.add_piece(w2, "var2 = y", [y], []);
+        ps.add_piece(w2, "x = var2", [], [x]);
+        ps
+    }
+
+    #[test]
+    fn figure11_si_yes_ser_no() {
+        let ps = figure11();
+        assert!(analyse_chopping(&ps, Criterion::Si, 1_000_000).unwrap().correct);
+        assert!(!analyse_chopping(&ps, Criterion::Ser, 1_000_000).unwrap().correct);
+        // PSI accepts whatever SI accepts.
+        assert!(analyse_chopping(&ps, Criterion::Psi, 1_000_000).unwrap().correct);
+    }
+
+    /// Figure 12: correct under PSI, incorrect under SI.
+    fn figure12() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("write1");
+        ps.add_piece(w1, "x = post1", [], [x]);
+        let w2 = ps.add_program("write2");
+        ps.add_piece(w2, "y = post2", [], [y]);
+        let r1 = ps.add_program("read1");
+        ps.add_piece(r1, "a = y", [y], []);
+        ps.add_piece(r1, "b = x", [x], []);
+        let r2 = ps.add_program("read2");
+        ps.add_piece(r2, "a = x", [x], []);
+        ps.add_piece(r2, "b = y", [y], []);
+        ps
+    }
+
+    #[test]
+    fn figure12_psi_yes_si_no() {
+        let ps = figure12();
+        assert!(analyse_chopping(&ps, Criterion::Psi, 1_000_000).unwrap().correct);
+        assert!(!analyse_chopping(&ps, Criterion::Si, 1_000_000).unwrap().correct);
+        assert!(!analyse_chopping(&ps, Criterion::Ser, 1_000_000).unwrap().correct);
+    }
+
+    #[test]
+    fn unchopped_programs_are_always_correct() {
+        // A one-piece program has no predecessor edges, hence no critical
+        // cycles under any criterion.
+        let ps = figure5().unchopped();
+        for criterion in [Criterion::Ser, Criterion::Si, Criterion::Psi] {
+            assert!(analyse_chopping(&ps, criterion, 1_000_000).unwrap().correct);
+        }
+    }
+}

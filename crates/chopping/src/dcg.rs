@@ -1,0 +1,161 @@
+//! Dynamic chopping graphs (§5).
+
+use core::fmt;
+
+use si_depgraph::DependencyGraph;
+use si_relations::MultiGraph;
+
+/// The kind of a conflict edge in a chopping graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// Read dependency (`WR`).
+    Wr,
+    /// Write dependency (`WW`).
+    Ww,
+    /// Anti-dependency (`RW`).
+    Rw,
+}
+
+/// An edge of a (static or dynamic) chopping graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChopEdge {
+    /// Session order (`SO`), or "later piece of the same program".
+    Successor,
+    /// Reverse session order (`SO⁻¹`), or "earlier piece of the same
+    /// program".
+    Predecessor,
+    /// A dependency between different sessions/programs.
+    Conflict(ConflictKind),
+}
+
+impl ChopEdge {
+    /// Whether the edge is a conflict edge (of any kind).
+    pub fn is_conflict(self) -> bool {
+        matches!(self, ChopEdge::Conflict(_))
+    }
+
+    /// Whether the edge is an anti-dependency conflict.
+    pub fn is_rw_conflict(self) -> bool {
+        matches!(self, ChopEdge::Conflict(ConflictKind::Rw))
+    }
+
+    /// Whether the edge is a read- or write-dependency conflict (the
+    /// "separator" kinds in the SI criticality condition).
+    pub fn is_dep_conflict(self) -> bool {
+        matches!(self, ChopEdge::Conflict(ConflictKind::Wr | ConflictKind::Ww))
+    }
+}
+
+impl fmt::Display for ChopEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChopEdge::Successor => write!(f, "S"),
+            ChopEdge::Predecessor => write!(f, "P"),
+            ChopEdge::Conflict(ConflictKind::Wr) => write!(f, "WR"),
+            ChopEdge::Conflict(ConflictKind::Ww) => write!(f, "WW"),
+            ChopEdge::Conflict(ConflictKind::Rw) => write!(f, "RW"),
+        }
+    }
+}
+
+/// Builds the dynamic chopping graph `DCG(G)` of a dependency graph (§5):
+///
+/// * vertices are `G`'s transactions;
+/// * `SO` edges become *successor* edges and their inverses *predecessor*
+///   edges;
+/// * `WR`/`WW`/`RW` edges **between different sessions** (i.e. not related
+///   by `≈_G`) become *conflict* edges; dependencies inside a session are
+///   dropped — splicing internalises them.
+///
+/// Theorem 16: if `G ∈ GraphSI` and `DCG(G)` has no SI-critical cycle,
+/// then `G` is spliceable.
+pub fn dynamic_chopping_graph(graph: &DependencyGraph) -> MultiGraph<ChopEdge> {
+    let n = graph.tx_count();
+    let mut g = MultiGraph::new(n);
+    let same_session = graph.history().same_session();
+
+    for (a, b) in graph.so_relation().iter_pairs() {
+        g.add_edge(a, b, ChopEdge::Successor);
+        g.add_edge(b, a, ChopEdge::Predecessor);
+    }
+    for (kind, rel) in [
+        (ConflictKind::Wr, graph.wr_relation()),
+        (ConflictKind::Ww, graph.ww_relation()),
+        (ConflictKind::Rw, graph.rw_relation()),
+    ] {
+        for (a, b) in rel.iter_pairs() {
+            if !same_session.contains(a, b) {
+                g.add_edge(a, b, ChopEdge::Conflict(kind));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_depgraph::DepGraphBuilder;
+    use si_model::{HistoryBuilder, Op};
+    use si_relations::TxId;
+
+    #[test]
+    fn edges_are_classified() {
+        // Session 1: T1 writes x, T2 reads y. Session 2: T3 reads x,
+        // writes y.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s1, [Op::read(y, 0)]);
+        b.push_tx(s2, [Op::read(x, 1), Op::write(y, 1)]);
+        let h = b.build();
+        let mut gb = DepGraphBuilder::new(h);
+        gb.infer_wr();
+        let g = gb.build().unwrap();
+
+        let dcg = dynamic_chopping_graph(&g);
+        let kinds: Vec<(TxId, TxId, ChopEdge)> =
+            dcg.edges().map(|e| (e.from, e.to, *e.label)).collect();
+
+        // SO between T1 and T2 (session 1) in both roles.
+        assert!(kinds.contains(&(TxId(1), TxId(2), ChopEdge::Successor)));
+        assert!(kinds.contains(&(TxId(2), TxId(1), ChopEdge::Predecessor)));
+        // Cross-session conflicts: T1 -WR-> T3 (x), T2 -RW-> T3 (y).
+        assert!(kinds.contains(&(TxId(1), TxId(3), ChopEdge::Conflict(ConflictKind::Wr))));
+        assert!(kinds.contains(&(TxId(2), TxId(3), ChopEdge::Conflict(ConflictKind::Rw))));
+    }
+
+    #[test]
+    fn same_session_conflicts_are_dropped() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]); // WR within the session
+        let h = b.build();
+        let mut gb = DepGraphBuilder::new(h);
+        gb.infer_wr();
+        let g = gb.build().unwrap();
+        let dcg = dynamic_chopping_graph(&g);
+        // The only conflict edges allowed are those involving the init
+        // transaction (it is in no session, so ≈ relates it to nothing).
+        for e in dcg.edges() {
+            if e.label.is_conflict() {
+                assert!(e.from == TxId(0) || e.to == TxId(0), "unexpected {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_kind_predicates() {
+        assert!(ChopEdge::Conflict(ConflictKind::Rw).is_conflict());
+        assert!(ChopEdge::Conflict(ConflictKind::Rw).is_rw_conflict());
+        assert!(!ChopEdge::Conflict(ConflictKind::Rw).is_dep_conflict());
+        assert!(ChopEdge::Conflict(ConflictKind::Ww).is_dep_conflict());
+        assert!(!ChopEdge::Successor.is_conflict());
+        assert_eq!(ChopEdge::Predecessor.to_string(), "P");
+    }
+}

@@ -1,0 +1,72 @@
+//! Transaction chopping under snapshot isolation — §5 and Appendix B of
+//! *Analysing Snapshot Isolation* (Cerone & Gotsman, PODC 2016).
+//!
+//! *Chopping* splits a transaction into a session of smaller transactions
+//! to improve performance. A chopping is **correct** when every chopped
+//! execution can be *spliced* — its sessions merged back into single
+//! transactions — without leaving the consistency model, i.e. without
+//! exhibiting behaviour the unchopped application could not.
+//!
+//! The crate implements both halves of the paper's analysis:
+//!
+//! * **Dynamic** (Theorem 16): a dependency graph `G ∈ GraphSI` is
+//!   spliceable if its *dynamic chopping graph* [`dynamic_chopping_graph`]
+//!   — conflict edges across sessions plus successor/predecessor edges —
+//!   has no **SI-critical cycle**: a simple cycle with a
+//!   conflict-predecessor-conflict fragment in which any two
+//!   anti-dependency edges are separated by a read/write dependency edge.
+//!   [`splice_history`] and [`splice_graph`] perform the actual splicing.
+//!
+//! * **Static** (Corollary 18): given only each program piece's read and
+//!   write sets, the *static chopping graph* [`static_chopping_graph`]
+//!   over-approximates every dynamic graph the programs can produce; if it
+//!   has no SI-critical cycle the chopping is correct for **every**
+//!   execution.
+//!
+//! The same machinery checks the serializability criterion of Shasha et
+//! al. (Theorem 29: SER-critical = simple + fragment) and the parallel-SI
+//! criterion (Theorem 31: PSI-critical = SER-critical + at most one
+//! anti-dependency), enabling the Appendix B comparisons: every
+//! PSI-critical cycle is SI-critical, and every SI-critical cycle is
+//! SER-critical, so correctness transfers downwards:
+//! `correct under SER ⇐ correct under SI ⇐ correct under PSI`.
+//!
+//! # Example: Figures 5 and 6
+//!
+//! ```
+//! use si_chopping::{static_chopping_graph, find_critical_cycle, Criterion, ProgramSet};
+//!
+//! let mut ps = ProgramSet::new();
+//! let a1 = ps.object("acct1");
+//! let a2 = ps.object("acct2");
+//! let transfer = ps.add_program("transfer");
+//! ps.add_piece(transfer, "acct1 -= 100", [a1], [a1]);
+//! ps.add_piece(transfer, "acct2 += 100", [a2], [a2]);
+//! let lookup_all = ps.add_program("lookupAll");
+//! ps.add_piece(lookup_all, "read both", [a1, a2], []);
+//!
+//! // Figure 5: chopping {transfer, lookupAll} is incorrect under SI.
+//! let (scg, _nodes) = static_chopping_graph(&ps);
+//! let witness = find_critical_cycle(&scg, Criterion::Si, 1_000_000).unwrap();
+//! assert!(witness.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod advisor;
+mod analysis;
+mod critical;
+mod dcg;
+mod program;
+mod scg;
+mod splice;
+
+pub use advisor::{advise_chopping, Advice};
+pub use analysis::{analyse_chopping, is_spliceable_by_criterion, ChoppingReport};
+pub use critical::{find_critical_cycle, is_critical, Criterion, SearchBudgetExceeded};
+pub use dcg::{dynamic_chopping_graph, ChopEdge, ConflictKind};
+pub use program::{PieceId, ProgramId, ProgramSet};
+pub use scg::{static_chopping_graph, PieceNode};
+pub use splice::{splice_graph, splice_history, SpliceError};

@@ -1,0 +1,267 @@
+//! Chopped applications: programs made of pieces with read/write sets.
+//!
+//! Following §5, an application is a set of *programs* `P = {P₁, P₂, …}`,
+//! each the code of the session obtained by chopping one transaction into
+//! `k_i` *pieces*. The static analysis sees only each piece's read set
+//! `Rᵢʲ` and write set `Wᵢʲ` (over-approximations of the objects it can
+//! touch at run time).
+
+use core::fmt;
+
+use si_model::Obj;
+
+/// Identifies a program within a [`ProgramSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct ProgramId(pub usize);
+
+/// Identifies a piece: `(program, index within the program)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PieceId {
+    /// The owning program.
+    pub program: ProgramId,
+    /// Zero-based position of the piece in its program (session order).
+    pub piece: usize,
+}
+
+impl fmt::Display for PieceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.program.0, self.piece)
+    }
+}
+
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Piece {
+    label: String,
+    reads: Vec<Obj>,
+    writes: Vec<Obj>,
+}
+
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Program {
+    name: String,
+    pieces: Vec<Piece>,
+}
+
+/// A set of chopped programs with interned object names — the input of the
+/// static chopping analysis (Corollary 18) and of the robustness analyses
+/// of §6.
+///
+/// # Example
+///
+/// ```
+/// use si_chopping::ProgramSet;
+///
+/// let mut ps = ProgramSet::new();
+/// let x = ps.object("x");
+/// let w = ps.add_program("writer");
+/// ps.add_piece(w, "x := 1", [], [x]);
+/// assert_eq!(ps.piece_count(), 1);
+/// assert_eq!(ps.piece_label(si_chopping::PieceId { program: w, piece: 0 }), "x := 1");
+/// ```
+#[derive(Debug, Clone, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ProgramSet {
+    programs: Vec<Program>,
+    object_names: Vec<String>,
+}
+
+impl ProgramSet {
+    /// Creates an empty program set.
+    pub fn new() -> Self {
+        ProgramSet::default()
+    }
+
+    /// Interns an object name (idempotent).
+    pub fn object(&mut self, name: &str) -> Obj {
+        if let Some(i) = self.object_names.iter().position(|n| n == name) {
+            return Obj::from_index(i);
+        }
+        self.object_names.push(name.to_owned());
+        Obj::from_index(self.object_names.len() - 1)
+    }
+
+    /// The name of an interned object.
+    pub fn object_name(&self, x: Obj) -> Option<&str> {
+        self.object_names.get(x.index()).map(String::as_str)
+    }
+
+    /// Adds an empty program; populate it with
+    /// [`add_piece`](ProgramSet::add_piece).
+    pub fn add_program(&mut self, name: &str) -> ProgramId {
+        self.programs.push(Program { name: name.to_owned(), pieces: Vec::new() });
+        ProgramId(self.programs.len() - 1)
+    }
+
+    /// Appends a piece to `program` with the given read and write sets,
+    /// returning its id. The piece's position is its session order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this set.
+    pub fn add_piece<R, W>(&mut self, program: ProgramId, label: &str, reads: R, writes: W) -> PieceId
+    where
+        R: IntoIterator<Item = Obj>,
+        W: IntoIterator<Item = Obj>,
+    {
+        let prog = &mut self.programs[program.0];
+        let mut reads: Vec<Obj> = reads.into_iter().collect();
+        let mut writes: Vec<Obj> = writes.into_iter().collect();
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        prog.pieces.push(Piece { label: label.to_owned(), reads, writes });
+        PieceId { program, piece: prog.pieces.len() - 1 }
+    }
+
+    /// Number of programs.
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Total number of pieces across all programs.
+    pub fn piece_count(&self) -> usize {
+        self.programs.iter().map(|p| p.pieces.len()).sum()
+    }
+
+    /// Number of pieces of one program (`k_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this set.
+    pub fn pieces_of(&self, program: ProgramId) -> usize {
+        self.programs[program.0].pieces.len()
+    }
+
+    /// All program ids.
+    pub fn programs(&self) -> impl Iterator<Item = ProgramId> + '_ {
+        (0..self.programs.len()).map(ProgramId)
+    }
+
+    /// All piece ids, grouped by program, in session order.
+    pub fn pieces(&self) -> impl Iterator<Item = PieceId> + '_ {
+        self.programs.iter().enumerate().flat_map(|(pi, prog)| {
+            (0..prog.pieces.len()).map(move |j| PieceId { program: ProgramId(pi), piece: j })
+        })
+    }
+
+    /// A program's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this set.
+    pub fn program_name(&self, program: ProgramId) -> &str {
+        &self.programs[program.0].name
+    }
+
+    /// A piece's human-readable label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece` is not from this set.
+    pub fn piece_label(&self, piece: PieceId) -> &str {
+        &self.programs[piece.program.0].pieces[piece.piece].label
+    }
+
+    /// The piece's read set `Rᵢʲ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece` is not from this set.
+    pub fn reads(&self, piece: PieceId) -> &[Obj] {
+        &self.programs[piece.program.0].pieces[piece.piece].reads
+    }
+
+    /// The piece's write set `Wᵢʲ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `piece` is not from this set.
+    pub fn writes(&self, piece: PieceId) -> &[Obj] {
+        &self.programs[piece.program.0].pieces[piece.piece].writes
+    }
+
+    /// Merges every program into a single-piece program (the unchopped
+    /// application): the piece's read/write sets are the unions over the
+    /// program's pieces. Used by the robustness analyses of §6, which work
+    /// on whole transactions.
+    pub fn unchopped(&self) -> ProgramSet {
+        let mut out = ProgramSet {
+            programs: Vec::new(),
+            object_names: self.object_names.clone(),
+        };
+        for prog in &self.programs {
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            for piece in &prog.pieces {
+                reads.extend(piece.reads.iter().copied());
+                writes.extend(piece.writes.iter().copied());
+            }
+            reads.sort_unstable();
+            reads.dedup();
+            writes.sort_unstable();
+            writes.dedup();
+            out.programs.push(Program {
+                name: prog.name.clone(),
+                pieces: vec![Piece { label: format!("{} (whole)", prog.name), reads, writes }],
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        assert_eq!(ps.object("x"), x);
+        let p = ps.add_program("transfer");
+        let p1 = ps.add_piece(p, "first", [x], [x]);
+        let p2 = ps.add_piece(p, "second", [y], [y]);
+        assert_eq!(ps.program_count(), 1);
+        assert_eq!(ps.piece_count(), 2);
+        assert_eq!(ps.pieces_of(p), 2);
+        assert_eq!(ps.reads(p1), &[x]);
+        assert_eq!(ps.writes(p2), &[y]);
+        assert_eq!(ps.piece_label(p1), "first");
+        assert_eq!(ps.program_name(p), "transfer");
+        assert_eq!(ps.pieces().collect::<Vec<_>>(), vec![p1, p2]);
+        assert_eq!(ps.object_name(x), Some("x"));
+    }
+
+    #[test]
+    fn read_write_sets_are_dedup_sorted() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let p = ps.add_program("p");
+        let piece = ps.add_piece(p, "piece", [y, x, y], [x, x]);
+        assert_eq!(ps.reads(piece), &[x, y]);
+        assert_eq!(ps.writes(piece), &[x]);
+    }
+
+    #[test]
+    fn unchopped_unions_pieces() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let p = ps.add_program("transfer");
+        ps.add_piece(p, "a", [x], [x]);
+        ps.add_piece(p, "b", [y], [y]);
+        let whole = ps.unchopped();
+        assert_eq!(whole.piece_count(), 1);
+        let piece = whole.pieces().next().unwrap();
+        assert_eq!(whole.reads(piece), &[x, y]);
+        assert_eq!(whole.writes(piece), &[x, y]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Static chopping graphs (§5, Corollary 18).
+
+use si_relations::{MultiGraph, TxId};
+
+use crate::dcg::{ChopEdge, ConflictKind};
+use crate::program::{PieceId, ProgramSet};
+
+/// Maps between [`PieceId`]s and the dense vertex indices of a static
+/// chopping graph.
+#[derive(Debug, Clone)]
+pub struct PieceNode {
+    nodes: Vec<PieceId>,
+}
+
+impl PieceNode {
+    /// The piece at a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn piece(&self, v: TxId) -> PieceId {
+        self.nodes[v.index()]
+    }
+
+    /// The vertex of a piece.
+    pub fn vertex(&self, piece: PieceId) -> Option<TxId> {
+        self.nodes
+            .iter()
+            .position(|&p| p == piece)
+            .map(TxId::from_index)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether there are no pieces.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Builds the static chopping graph `SCG(P)` of a program set (§5): one
+/// vertex per piece `(i, j)` and an edge `(i₁,j₁) → (i₂,j₂)` iff
+///
+/// * `i₁ = i₂ ∧ j₁ < j₂` — a *successor* edge;
+/// * `i₁ = i₂ ∧ j₁ > j₂` — a *predecessor* edge;
+/// * `i₁ ≠ i₂ ∧ W₁ ∩ R₂ ≠ ∅` — a read-dependency conflict;
+/// * `i₁ ≠ i₂ ∧ W₁ ∩ W₂ ≠ ∅` — a write-dependency conflict;
+/// * `i₁ ≠ i₂ ∧ R₁ ∩ W₂ ≠ ∅` — an anti-dependency conflict.
+///
+/// The edge set over-approximates `DCG(G)` for every dependency graph `G`
+/// producible by `P` (one session per program instance), which is what
+/// makes Corollary 18 sound. Note the approximation treats each program as
+/// instantiable many times: conflicts between two instances of the *same*
+/// program are modelled by the self-conflicts the definition induces when
+/// a program conflicts with itself — the analysis follows the paper in
+/// requiring `i₁ ≠ i₂` only for conflict edges between *pieces*, while
+/// multiple instances of one program are handled by duplicating the
+/// program in the set if needed.
+///
+/// Returns the labelled multigraph and the vertex↔piece mapping.
+pub fn static_chopping_graph(programs: &ProgramSet) -> (MultiGraph<ChopEdge>, PieceNode) {
+    let nodes: Vec<PieceId> = programs.pieces().collect();
+    let mut g = MultiGraph::new(nodes.len());
+    let vertex =
+        |p: PieceId| TxId::from_index(nodes.iter().position(|&q| q == p).expect("piece in set"));
+
+    for &a in &nodes {
+        for &b in &nodes {
+            if a == b {
+                continue;
+            }
+            let (va, vb) = (vertex(a), vertex(b));
+            if a.program == b.program {
+                if a.piece < b.piece {
+                    g.add_edge(va, vb, ChopEdge::Successor);
+                } else {
+                    g.add_edge(va, vb, ChopEdge::Predecessor);
+                }
+                continue;
+            }
+            let intersects = |xs: &[si_model::Obj], ys: &[si_model::Obj]| {
+                xs.iter().any(|x| ys.contains(x))
+            };
+            if intersects(programs.writes(a), programs.reads(b)) {
+                g.add_edge(va, vb, ChopEdge::Conflict(ConflictKind::Wr));
+            }
+            if intersects(programs.writes(a), programs.writes(b)) {
+                g.add_edge(va, vb, ChopEdge::Conflict(ConflictKind::Ww));
+            }
+            if intersects(programs.reads(a), programs.writes(b)) {
+                g.add_edge(va, vb, ChopEdge::Conflict(ConflictKind::Rw));
+            }
+        }
+    }
+    (g, PieceNode { nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 6 programs: transfer chopped in two, plus two
+    /// single-piece lookups.
+    fn figure6() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "acct1 -= 100", [a1], [a1]);
+        ps.add_piece(t, "acct2 += 100", [a2], [a2]);
+        let l1 = ps.add_program("lookup1");
+        ps.add_piece(l1, "return acct1", [a1], []);
+        let l2 = ps.add_program("lookup2");
+        ps.add_piece(l2, "return acct2", [a2], []);
+        ps
+    }
+
+    #[test]
+    fn figure6_edges() {
+        let ps = figure6();
+        let (g, nodes) = static_chopping_graph(&ps);
+        assert_eq!(nodes.len(), 4);
+        assert!(!nodes.is_empty());
+
+        let count = |kind: ChopEdge| g.edges().filter(|e| *e.label == kind).count();
+        // transfer's two pieces: one successor + one predecessor edge.
+        assert_eq!(count(ChopEdge::Successor), 1);
+        assert_eq!(count(ChopEdge::Predecessor), 1);
+        // transfer piece 1 <-> lookup1 on acct1: WR one way, RW the other;
+        // likewise piece 2 <-> lookup2 on acct2.
+        assert_eq!(count(ChopEdge::Conflict(ConflictKind::Wr)), 2);
+        assert_eq!(count(ChopEdge::Conflict(ConflictKind::Rw)), 2);
+        // Both pieces write disjoint objects; lookups write nothing.
+        assert_eq!(count(ChopEdge::Conflict(ConflictKind::Ww)), 0);
+    }
+
+    #[test]
+    fn node_mapping_roundtrip() {
+        let ps = figure6();
+        let (_, nodes) = static_chopping_graph(&ps);
+        for piece in ps.pieces() {
+            let v = nodes.vertex(piece).unwrap();
+            assert_eq!(nodes.piece(v), piece);
+        }
+        assert_eq!(
+            nodes.vertex(PieceId { program: crate::ProgramId(9), piece: 0 }),
+            None
+        );
+    }
+
+    #[test]
+    fn same_program_pieces_never_conflict() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let p = ps.add_program("p");
+        ps.add_piece(p, "a", [x], [x]);
+        ps.add_piece(p, "b", [x], [x]);
+        let (g, _) = static_chopping_graph(&ps);
+        assert!(g.edges().all(|e| !e.label.is_conflict()));
+    }
+
+    #[test]
+    fn rw_and_wr_are_directional() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let w = ps.add_program("writer");
+        let wp = ps.add_piece(w, "w", [], [x]);
+        let r = ps.add_program("reader");
+        let rp = ps.add_piece(r, "r", [x], []);
+        let (g, nodes) = static_chopping_graph(&ps);
+        let (vw, vr) = (nodes.vertex(wp).unwrap(), nodes.vertex(rp).unwrap());
+        let edges: Vec<_> = g.edges().map(|e| (e.from, e.to, *e.label)).collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&(vw, vr, ChopEdge::Conflict(ConflictKind::Wr))));
+        assert!(edges.contains(&(vr, vw, ChopEdge::Conflict(ConflictKind::Rw))));
+    }
+}

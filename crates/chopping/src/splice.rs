@@ -1,0 +1,274 @@
+//! Splicing histories and dependency graphs (§5).
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use si_depgraph::{DepGraphError, DependencyGraph, WrMap, WwMap};
+use si_model::{History, Op, Transaction, TxId};
+use si_relations::Relation;
+
+/// Result of splicing a history: the spliced history plus the mapping from
+/// old transactions to their spliced counterparts.
+#[derive(Debug, Clone)]
+pub struct SplicedHistory {
+    /// The spliced history: one transaction per original session, each in
+    /// its own singleton session (`SO = ∅`), plus the untouched init
+    /// transaction.
+    pub history: History,
+    /// `map[old.index()]` is the spliced transaction standing for `old`.
+    pub map: Vec<TxId>,
+}
+
+/// Splices every session of `history` into a single transaction — the
+/// paper's `splice(H)`: the spliced transaction concatenates the session's
+/// operations in session order; the resulting history has empty session
+/// order.
+///
+/// The init transaction (if any) is preserved as-is; sessions with no
+/// transactions are dropped (they contribute no operations).
+pub fn splice_history(history: &History) -> SplicedHistory {
+    let mut transactions = Vec::new();
+    let mut sessions = Vec::new();
+    let mut map = vec![TxId(0); history.tx_count()];
+    let mut init = None;
+
+    if let Some(old_init) = history.init_tx() {
+        transactions.push(history.transaction(old_init).clone());
+        map[old_init.index()] = TxId(0);
+        init = Some(TxId(0));
+    }
+    for (_, txs) in history.sessions() {
+        if txs.is_empty() {
+            continue;
+        }
+        let mut ops: Vec<Op> = Vec::new();
+        for &t in txs {
+            ops.extend_from_slice(history.transaction(t).ops());
+        }
+        let new_id = TxId::from_index(transactions.len());
+        transactions.push(Transaction::new(ops));
+        for &t in txs {
+            map[t.index()] = new_id;
+        }
+        sessions.push(vec![new_id]);
+    }
+    let history = History::from_parts(
+        transactions,
+        sessions,
+        init,
+        history.object_names().to_vec(),
+    )
+    .expect("splicing preserves the session-structure invariants");
+    SplicedHistory { history, map }
+}
+
+/// Why a dependency graph could not be spliced into a well-formed
+/// dependency graph. By Theorem 16 these failures cannot happen when
+/// `DCG(G)` has no SI-critical cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpliceError {
+    /// Lifting `WW(x)` across sessions produced a cyclic (hence non-total)
+    /// version order.
+    CyclicWw {
+        /// The object whose lifted version order is cyclic.
+        obj: si_model::Obj,
+    },
+    /// The lifted relations violate Definition 6 (e.g. a lifted read
+    /// dependency targets a read that became internal, with a conflicting
+    /// value).
+    Malformed(DepGraphError),
+}
+
+impl fmt::Display for SpliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpliceError::CyclicWw { obj } => {
+                write!(f, "lifted version order of {obj} is cyclic")
+            }
+            SpliceError::Malformed(e) => write!(f, "spliced graph is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpliceError {}
+
+impl From<DepGraphError> for SpliceError {
+    fn from(e: DepGraphError) -> Self {
+        SpliceError::Malformed(e)
+    }
+}
+
+/// Splices a dependency graph — the paper's `splice(G)`: the history is
+/// spliced with [`splice_history`], and the dependencies are lifted across
+/// sessions:
+///
+/// * `WR_splice(x)`: `~T~ -WR(x)→ ~S~` iff some `T' ≈ T`, `S' ≈ S` with
+///   `T ¬≈ S` have `T' -WR(x)→ S'`;
+/// * `WW_splice(x)`: likewise for `WW`, linearised into a version order;
+/// * `RW_splice(x)`: derived, as always (Definition 5) — Lemma 17
+///   guarantees this matches the lifted `RW` when `DCG(G)` has no critical
+///   cycle.
+///
+/// # Errors
+///
+/// Returns [`SpliceError`] when the lift does not produce a well-formed
+/// dependency graph. Theorem 16 (tested property): if `G ∈ GraphSI` and
+/// `DCG(G)` has no SI-critical cycle, splicing succeeds *and* the result
+/// is in `GraphSI`.
+pub fn splice_graph(graph: &DependencyGraph) -> Result<DependencyGraph, SpliceError> {
+    let spliced = splice_history(graph.history());
+    let n = spliced.history.tx_count();
+    let same_session = graph.history().same_session();
+
+    let mut wr: WrMap = BTreeMap::new();
+    let mut ww: WwMap = BTreeMap::new();
+
+    for x in graph.objects() {
+        // Lift WR.
+        for (writer, reader) in graph.wr_pairs(x) {
+            if same_session.contains(writer, reader) {
+                continue;
+            }
+            let (w, r) = (spliced.map[writer.index()], spliced.map[reader.index()]);
+            debug_assert_ne!(w, r, "cross-session pairs map to distinct spliced txs");
+            wr.entry(x).or_default().insert(r, w);
+        }
+        // Lift WW into a relation on spliced transactions, then linearise.
+        let mut lifted = Relation::new(n);
+        let mut writers: Vec<TxId> = Vec::new();
+        for (a, b) in graph.ww_pairs(x) {
+            let (sa, sb) = (spliced.map[a.index()], spliced.map[b.index()]);
+            if !writers.contains(&sa) {
+                writers.push(sa);
+            }
+            if !writers.contains(&sb) {
+                writers.push(sb);
+            }
+            if !same_session.contains(a, b) {
+                lifted.insert(sa, sb);
+            }
+        }
+        // Single-writer objects still need their writer listed.
+        for &w in graph.ww_order(x) {
+            let sw = spliced.map[w.index()];
+            if !writers.contains(&sw) {
+                writers.push(sw);
+            }
+        }
+        if writers.is_empty() {
+            continue;
+        }
+        // Linearise the lifted pairs. Definition 6 only requires *a* total
+        // order containing the lifted WW edges, so any linear extension
+        // works; a cycle in the lifted pairs means no total order exists.
+        let order: Vec<TxId> = match lifted.topo_sort() {
+            Ok(sorted) => sorted.into_iter().filter(|t| writers.contains(t)).collect(),
+            Err(_) => return Err(SpliceError::CyclicWw { obj: x }),
+        };
+        ww.insert(x, order);
+    }
+
+    Ok(DependencyGraph::new(spliced.history, wr, ww)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_depgraph::DepGraphBuilder;
+    use si_model::{HistoryBuilder, Op};
+
+    /// Chopped transfer alongside two lookups (the Figure 4 graph G2
+    /// situation): spliceable.
+    fn chopped_transfer_history() -> History {
+        let mut b = HistoryBuilder::new();
+        let a1 = b.object("acct1");
+        let a2 = b.object("acct2");
+        let st = b.session();
+        let sl1 = b.session();
+        let sl2 = b.session();
+        // transfer chopped: [read+write acct1], [read+write acct2]
+        b.push_tx(st, [Op::read(a1, 100), Op::write(a1, 0)]);
+        b.push_tx(st, [Op::read(a2, 0), Op::write(a2, 100)]);
+        // lookup1 sees the state before the transfer, lookup2 after — the
+        // spliceable graph G2 of Figure 4.
+        b.push_tx(sl1, [Op::read(a1, 100)]);
+        b.push_tx(sl2, [Op::read(a2, 100)]);
+        b.build_with_initial_values([(a1, 100), (a2, 0)])
+    }
+
+    #[test]
+    fn splice_history_merges_sessions() {
+        let h = chopped_transfer_history();
+        let spliced = splice_history(&h);
+        // init + 3 sessions.
+        assert_eq!(spliced.history.tx_count(), 4);
+        assert_eq!(spliced.history.init_tx(), Some(TxId(0)));
+        // The transfer session became one transaction with all 4 ops.
+        let merged = spliced.history.transaction(spliced.map[1]);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(spliced.map[1], spliced.map[2]);
+        // SO is empty after splicing.
+        assert!(spliced.history.session_order().is_empty());
+        assert!(spliced.history.check_int().is_ok());
+    }
+
+    #[test]
+    fn splice_graph_lifts_dependencies() {
+        let h = chopped_transfer_history();
+        let mut gb = DepGraphBuilder::new(h);
+        gb.infer_wr();
+        let g = gb.build().unwrap();
+        let spliced = splice_graph(&g).unwrap();
+        // lookup1 read acct1's initial version, which the spliced transfer
+        // overwrites (anti-dependency); lookup2 read the transferred
+        // acct2 (read dependency).
+        let transfer = TxId(1);
+        let lookup1 = TxId(2);
+        let lookup2 = TxId(3);
+        assert!(spliced.rw_relation().contains(lookup1, transfer));
+        assert!(spliced.wr_relation().contains(transfer, lookup2));
+        // lookup1's writer is the init transaction.
+        assert_eq!(spliced.writer_for(lookup1, si_model::Obj(0)), Some(TxId(0)));
+        // The spliced graph is exactly G2' of §5: only cross-session
+        // dependencies survive, and it is in GraphSI (acyclic here).
+        assert!(spliced.all_relation().is_acyclic());
+    }
+
+    #[test]
+    fn splice_failure_on_interleaved_writes() {
+        // Session A writes x twice; session B's write lands between them:
+        // the lifted WW is cyclic.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let sa = b.session();
+        let sb = b.session();
+        b.push_tx(sa, [Op::write(x, 1)]);
+        b.push_tx(sa, [Op::write(x, 3)]);
+        b.push_tx(sb, [Op::write(x, 2)]);
+        let h = b.build();
+        let mut gb = DepGraphBuilder::new(h);
+        // WW order: init, A1, B, A2 — B between A's writes.
+        gb.ww_order(x, [TxId(0), TxId(1), TxId(3), TxId(2)]);
+        let g = gb.build().unwrap();
+        assert_eq!(splice_graph(&g), Err(SpliceError::CyclicWw { obj: x }));
+    }
+
+    #[test]
+    fn internalised_reads_are_dropped_from_wr() {
+        // T1 writes x, T2 (same session) reads it: after splicing the read
+        // is internal, and the WR edge must not be lifted.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]);
+        let h = b.build();
+        let mut gb = DepGraphBuilder::new(h);
+        gb.infer_wr();
+        let g = gb.build().unwrap();
+        let spliced = splice_graph(&g).unwrap();
+        // Spliced transaction reads x only internally.
+        assert_eq!(spliced.history().transaction(TxId(1)).external_read(x), None);
+        assert_eq!(spliced.writer_for(TxId(1), x), None);
+    }
+}

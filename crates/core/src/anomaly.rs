@@ -1,0 +1,167 @@
+//! Classification of histories and dependency graphs across the three
+//! consistency models, in the style of Figure 2.
+
+use core::fmt;
+
+use si_depgraph::DependencyGraph;
+use si_execution::SpecModel;
+use si_model::History;
+
+use crate::history_check::{history_membership, SearchBudget, SearchExhausted};
+use crate::membership::{check_psi, check_ser, check_si};
+
+/// Which consistency models admit a history or dependency graph.
+///
+/// Because `GraphSER ⊆ GraphSI ⊆ GraphPSI` (and likewise for histories),
+/// only four combinations occur; [`Classification::anomaly_label`] names
+/// them after the canonical Figure 2 anomalies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Classification {
+    /// Admitted by serializability.
+    pub ser: bool,
+    /// Admitted by snapshot isolation.
+    pub si: bool,
+    /// Admitted by parallel snapshot isolation.
+    pub psi: bool,
+    /// Admitted by prefix consistency (the [`crate::pc`] extension; SI
+    /// without write-conflict detection). Satisfies `si ⇒ pc`.
+    pub pc: bool,
+}
+
+impl Classification {
+    /// A coarse label for the observable class, following Figure 2:
+    ///
+    /// * admitted everywhere → `"serializable"`;
+    /// * SI but not SER → `"SI-only (write-skew-like)"` — the only cyclic
+    ///   shape SI admits has two adjacent anti-dependencies (Theorem 19);
+    /// * PSI but not SI → `"PSI-only (long-fork-like)"` — some cycle has
+    ///   no two adjacent anti-dependencies (Theorem 22);
+    /// * admitted nowhere → `"aborted-by-all (lost-update-like)"`.
+    pub fn anomaly_label(&self) -> &'static str {
+        match (self.ser, self.si, self.psi) {
+            (true, _, _) => "serializable",
+            (false, true, _) => "SI-only (write-skew-like)",
+            (false, false, true) => "PSI-only (long-fork-like)",
+            (false, false, false) => "aborted-by-all (lost-update-like)",
+        }
+    }
+
+    /// Whether the inclusion chains SER ⊆ SI ⊆ PSI and SI ⊆ PC hold —
+    /// always true for classifications produced by this crate; useful as a
+    /// sanity assertion on hand-made values.
+    pub fn respects_inclusions(&self) -> bool {
+        (!self.ser || self.si) && (!self.si || self.psi) && (!self.si || self.pc)
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SER: {}, SI: {}, PSI: {}, PC: {} — {}",
+            self.ser,
+            self.si,
+            self.psi,
+            self.pc,
+            self.anomaly_label()
+        )
+    }
+}
+
+/// Classifies a dependency graph by the membership checks of Theorems 8, 9
+/// and 21 plus the PC extension (all polynomial).
+pub fn classify_graph(graph: &DependencyGraph) -> Classification {
+    Classification {
+        ser: check_ser(graph).is_ok(),
+        si: check_si(graph).is_ok(),
+        psi: check_psi(graph).is_ok(),
+        pc: crate::pc::check_pc_graph(graph).is_ok(),
+    }
+}
+
+/// Classifies a history by searching for admitting dependency graphs
+/// (exponential worst case; see [`history_membership`]).
+///
+/// # Errors
+///
+/// Returns [`SearchExhausted`] if any of the three searches ran out of
+/// budget.
+pub fn classify_history(
+    history: &History,
+    budget: &SearchBudget,
+) -> Result<Classification, SearchExhausted> {
+    Ok(Classification {
+        ser: history_membership(SpecModel::Ser, history, budget)?,
+        si: history_membership(SpecModel::Si, history, budget)?,
+        psi: history_membership(SpecModel::Psi, history, budget)?,
+        pc: crate::pc::history_membership_pc(history, budget)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    #[test]
+    fn figure2_labels() {
+        // Write skew.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        let ws = b.build();
+        let c = classify_history(&ws, &SearchBudget::default()).unwrap();
+        assert_eq!(c.anomaly_label(), "SI-only (write-skew-like)");
+        assert!(c.respects_inclusions());
+
+        // Long fork.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(y, 1)]);
+        b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+        b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+        let lf = b.build();
+        let c = classify_history(&lf, &SearchBudget::default()).unwrap();
+        assert_eq!(c.anomaly_label(), "PSI-only (long-fork-like)");
+
+        // Lost update.
+        let mut b = HistoryBuilder::new();
+        let acct = b.object("acct");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+        b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+        let lu = b.build();
+        let c = classify_history(&lu, &SearchBudget::default()).unwrap();
+        assert_eq!(c.anomaly_label(), "aborted-by-all (lost-update-like)");
+
+        // Serial.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]);
+        let serial = b.build();
+        let c = classify_history(&serial, &SearchBudget::default()).unwrap();
+        assert_eq!(c.anomaly_label(), "serializable");
+    }
+
+    #[test]
+    fn inclusion_sanity() {
+        assert!(Classification { ser: true, si: true, psi: true, pc: true }.respects_inclusions());
+        assert!(!Classification { ser: true, si: false, psi: true, pc: true }.respects_inclusions());
+        assert!(!Classification { ser: false, si: true, psi: false, pc: true }.respects_inclusions());
+        assert!(!Classification { ser: false, si: true, psi: true, pc: false }.respects_inclusions());
+    }
+
+    #[test]
+    fn display_mentions_label() {
+        let c = Classification { ser: false, si: true, psi: true, pc: true };
+        assert!(c.to_string().contains("write-skew"));
+    }
+}

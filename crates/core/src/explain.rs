@@ -1,0 +1,227 @@
+//! Human-readable explanations of membership failures: decomposing a
+//! Theorem 9 witness cycle (which lives in the *composed* relation
+//! `(SO ∪ WR ∪ WW) ; RW?`) back into concrete dependency-graph edges.
+
+use core::fmt;
+
+use si_depgraph::DependencyGraph;
+use si_model::Obj;
+use si_relations::TxId;
+
+/// A single dependency edge of a graph, with its kind and (for
+/// object-indexed kinds) the object it arose from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainedEdge {
+    /// Session order.
+    So(TxId, TxId),
+    /// Read dependency on an object.
+    Wr(TxId, TxId, Obj),
+    /// Write dependency on an object.
+    Ww(TxId, TxId, Obj),
+    /// Anti-dependency on an object.
+    Rw(TxId, TxId, Obj),
+}
+
+impl ExplainedEdge {
+    /// Source transaction.
+    pub fn from(&self) -> TxId {
+        match *self {
+            ExplainedEdge::So(a, _)
+            | ExplainedEdge::Wr(a, _, _)
+            | ExplainedEdge::Ww(a, _, _)
+            | ExplainedEdge::Rw(a, _, _) => a,
+        }
+    }
+
+    /// Target transaction.
+    pub fn to(&self) -> TxId {
+        match *self {
+            ExplainedEdge::So(_, b)
+            | ExplainedEdge::Wr(_, b, _)
+            | ExplainedEdge::Ww(_, b, _)
+            | ExplainedEdge::Rw(_, b, _) => b,
+        }
+    }
+
+    /// Whether this is an anti-dependency edge.
+    pub fn is_rw(&self) -> bool {
+        matches!(self, ExplainedEdge::Rw(..))
+    }
+}
+
+impl fmt::Display for ExplainedEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainedEdge::So(a, b) => write!(f, "{a} -SO-> {b}"),
+            ExplainedEdge::Wr(a, b, x) => write!(f, "{a} -WR({x})-> {b}"),
+            ExplainedEdge::Ww(a, b, x) => write!(f, "{a} -WW({x})-> {b}"),
+            ExplainedEdge::Rw(a, b, x) => write!(f, "{a} -RW({x})-> {b}"),
+        }
+    }
+}
+
+/// A concrete edge-level cycle of the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainedCycle {
+    /// The edges in order; `edges[i].to() == edges[i+1].from()` and the
+    /// last edge closes back to the first vertex.
+    pub edges: Vec<ExplainedEdge>,
+}
+
+impl ExplainedCycle {
+    /// Whether the cycle contains two cyclically-adjacent RW edges — the
+    /// only cyclic shape SI admits (Theorem 9). Witness cycles returned by
+    /// [`explain_si_violation`] never do.
+    pub fn has_adjacent_rw(&self) -> bool {
+        let n = self.edges.len();
+        (0..n).any(|i| self.edges[i].is_rw() && self.edges[(i + 1) % n].is_rw())
+    }
+}
+
+impl fmt::Display for ExplainedCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for e in &self.edges {
+            if !first {
+                write!(f, " ; ")?;
+            }
+            first = false;
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Finds a concrete dependency edge `a → b` of any non-RW kind.
+fn find_dep_edge(graph: &DependencyGraph, a: TxId, b: TxId) -> Option<ExplainedEdge> {
+    if graph.so_relation().contains(a, b) {
+        return Some(ExplainedEdge::So(a, b));
+    }
+    for x in graph.objects() {
+        if graph.wr_pairs(x).contains(&(a, b)) {
+            return Some(ExplainedEdge::Wr(a, b, x));
+        }
+        if graph.ww_pairs(x).contains(&(a, b)) {
+            return Some(ExplainedEdge::Ww(a, b, x));
+        }
+    }
+    None
+}
+
+fn find_rw_edge(graph: &DependencyGraph, a: TxId, b: TxId) -> Option<ExplainedEdge> {
+    for x in graph.objects() {
+        if graph.rw_pairs(x).contains(&(a, b)) {
+            return Some(ExplainedEdge::Rw(a, b, x));
+        }
+    }
+    None
+}
+
+/// Explains why a graph is outside `GraphSI`: returns an edge-level cycle
+/// of the dependency graph with **no two adjacent anti-dependency edges**
+/// (the Theorem 9 forbidden shape), or `None` if the graph is in
+/// `GraphSI`.
+///
+/// Each step of the Theorem 9 witness cycle (one `(SO ∪ WR ∪ WW) ; RW?`
+/// hop) is decomposed into its dependency edge followed by its optional
+/// anti-dependency edge, yielding edges a human (or a test) can check
+/// against the history.
+pub fn explain_si_violation(graph: &DependencyGraph) -> Option<ExplainedCycle> {
+    let composed_cycle = match crate::check_si(graph) {
+        Ok(()) => return None,
+        Err(crate::MembershipError::Cycle { nodes, .. }) => nodes,
+        Err(crate::MembershipError::Int { .. }) => return None, // no cycle to explain
+    };
+    let dep = graph.dep_relation();
+    let rw = graph.rw_relation();
+
+    let mut edges = Vec::new();
+    let k = composed_cycle.len();
+    for i in 0..k {
+        let a = composed_cycle[i];
+        let b = composed_cycle[(i + 1) % k];
+        // One composed hop a -> b: either a single dep edge, or a dep edge
+        // to some midpoint m followed by an RW edge m -> b.
+        if dep.contains(a, b) {
+            edges.push(find_dep_edge(graph, a, b).expect("dep relation edge has a concrete kind"));
+            continue;
+        }
+        let mid = dep
+            .successors(a)
+            .iter()
+            .find(|&m| rw.contains(m, b))
+            .expect("composed hop must decompose as dep;rw");
+        edges.push(find_dep_edge(graph, a, mid).expect("dep edge exists"));
+        edges.push(find_rw_edge(graph, mid, b).expect("rw edge exists"));
+    }
+    Some(ExplainedCycle { edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_depgraph::DepGraphBuilder;
+    use si_model::{HistoryBuilder, Op};
+
+    fn lost_update() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let acct = b.object("acct");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+        b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    fn write_skew() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn lost_update_explained() {
+        let g = lost_update();
+        let cycle = explain_si_violation(&g).expect("lost update violates SI");
+        // Edges form a genuine cycle…
+        for w in cycle.edges.windows(2) {
+            assert_eq!(w[0].to(), w[1].from());
+        }
+        assert_eq!(
+            cycle.edges.last().unwrap().to(),
+            cycle.edges.first().unwrap().from()
+        );
+        // …with the forbidden shape: no two adjacent RWs.
+        assert!(!cycle.has_adjacent_rw(), "witness must be the forbidden shape: {cycle}");
+        // Rendered form mentions the object (dense id form).
+        assert!(cycle.to_string().contains("(x0)"), "got: {cycle}");
+    }
+
+    #[test]
+    fn members_are_not_explained() {
+        assert_eq!(explain_si_violation(&write_skew()), None);
+    }
+
+    #[test]
+    fn edges_exist_in_the_graph() {
+        let g = lost_update();
+        let cycle = explain_si_violation(&g).unwrap();
+        for e in &cycle.edges {
+            match *e {
+                ExplainedEdge::So(a, b) => assert!(g.so_relation().contains(a, b)),
+                ExplainedEdge::Wr(a, b, x) => assert!(g.wr_pairs(x).contains(&(a, b))),
+                ExplainedEdge::Ww(a, b, x) => assert!(g.ww_pairs(x).contains(&(a, b))),
+                ExplainedEdge::Rw(a, b, x) => assert!(g.rw_pairs(x).contains(&(a, b))),
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Graph-class membership: Theorems 8, 9 and 21.
+
+use core::fmt;
+
+use si_depgraph::DependencyGraph;
+use si_model::IntViolation;
+use si_relations::TxId;
+
+/// The dependency-graph classes characterising the three consistency
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphClass {
+    /// `GraphSER` (Theorem 8): acyclic `SO ∪ WR ∪ WW ∪ RW`.
+    Ser,
+    /// `GraphSI` (Theorem 9): acyclic `(SO ∪ WR ∪ WW) ; RW?`.
+    Si,
+    /// `GraphPSI` (Theorem 21): irreflexive `(SO ∪ WR ∪ WW)⁺ ; RW?`.
+    Psi,
+    /// `GraphPC` (this repository's §7 extension): acyclic
+    /// `((SO ∪ WR) ; RW?) ∪ WW` — prefix consistency, SI without
+    /// NOCONFLICT. See [`crate::pc`].
+    Pc,
+}
+
+impl GraphClass {
+    /// Checks membership of `graph` in this class.
+    ///
+    /// # Errors
+    ///
+    /// See [`check_ser`], [`check_si`], [`check_psi`],
+    /// [`crate::pc::check_pc_graph`].
+    pub fn check(self, graph: &DependencyGraph) -> Result<(), MembershipError> {
+        match self {
+            GraphClass::Ser => check_ser(graph),
+            GraphClass::Si => check_si(graph),
+            GraphClass::Psi => check_psi(graph),
+            GraphClass::Pc => crate::pc::check_pc_graph(graph),
+        }
+    }
+}
+
+impl fmt::Display for GraphClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphClass::Ser => write!(f, "GraphSER"),
+            GraphClass::Si => write!(f, "GraphSI"),
+            GraphClass::Psi => write!(f, "GraphPSI"),
+            GraphClass::Pc => write!(f, "GraphPC"),
+        }
+    }
+}
+
+/// Why a dependency graph is not in the queried class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipError {
+    /// A transaction violates internal consistency.
+    Int {
+        /// The offending transaction.
+        tx: TxId,
+        /// The violation.
+        violation: IntViolation,
+    },
+    /// The class's characteristic relation has a cycle. The vertices are a
+    /// cycle of the *composed* relation named by the class (for `GraphSI`,
+    /// each step is one `SO/WR/WW` edge optionally followed by one `RW`
+    /// edge; for `GraphPSI` a `D⁺`-path optionally followed by one `RW`
+    /// edge; for `GraphSER` a single edge).
+    Cycle {
+        /// The class whose condition failed.
+        class: GraphClass,
+        /// A witness cycle in the composed relation (first vertex not
+        /// repeated).
+        nodes: Vec<TxId>,
+    },
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembershipError::Int { tx, violation } => {
+                write!(f, "INT fails in {tx}: {violation}")
+            }
+            MembershipError::Cycle { class, nodes } => {
+                write!(f, "not in {class}: witness cycle ")?;
+                for n in nodes {
+                    write!(f, "{n} -> ")?;
+                }
+                match nodes.first() {
+                    Some(first) => write!(f, "{first}"),
+                    None => write!(f, "<empty>"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+fn check_int(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    graph
+        .history()
+        .check_int()
+        .map_err(|(tx, violation)| MembershipError::Int { tx, violation })
+}
+
+/// Theorem 8 (after Adya): `G ∈ GraphSER` iff `T_G ⊨ INT` and
+/// `SO ∪ WR ∪ WW ∪ RW` is acyclic.
+///
+/// # Errors
+///
+/// Returns the INT violation or a witness cycle.
+pub fn check_ser(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    check_int(graph)?;
+    match graph.all_relation().find_cycle() {
+        None => Ok(()),
+        Some(nodes) => Err(MembershipError::Cycle { class: GraphClass::Ser, nodes }),
+    }
+}
+
+/// Theorem 9 — the paper's central result: `G ∈ GraphSI` iff `T_G ⊨ INT`
+/// and `(SO ∪ WR ∪ WW) ; RW?` is acyclic. Equivalently, every cycle of `G`
+/// has at least two *adjacent* anti-dependency edges (the SI write-skew
+/// shape is the only cyclic shape SI admits).
+///
+/// # Errors
+///
+/// Returns the INT violation or a witness cycle of the composed relation.
+pub fn check_si(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    check_int(graph)?;
+    let composed = graph.dep_relation().compose_opt(&graph.rw_relation());
+    match composed.find_cycle() {
+        None => Ok(()),
+        Some(nodes) => Err(MembershipError::Cycle { class: GraphClass::Si, nodes }),
+    }
+}
+
+/// Theorem 21 (after \[11\]): `G ∈ GraphPSI` iff `T_G ⊨ INT` and
+/// `(SO ∪ WR ∪ WW)⁺ ; RW?` is irreflexive. Equivalently, every cycle of
+/// `G` has at least two anti-dependency edges (not necessarily adjacent).
+///
+/// # Errors
+///
+/// Returns the INT violation or a witness: the transaction `T` with
+/// `(T, T)` in the composed relation.
+pub fn check_psi(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    check_int(graph)?;
+    let dep_plus = graph.dep_relation().transitive_closure();
+    let composed = dep_plus.compose_opt(&graph.rw_relation());
+    for t in graph.history().tx_ids() {
+        if composed.contains(t, t) {
+            return Err(MembershipError::Cycle { class: GraphClass::Psi, nodes: vec![t] });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_depgraph::DepGraphBuilder;
+    use si_model::{HistoryBuilder, Op};
+
+    /// Figure 2(d): write skew — SI and PSI, not SER.
+    fn write_skew() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("acct1");
+        let y = b.object("acct2");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    /// Figure 2(b): lost update — none of the three.
+    fn lost_update() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let acct = b.object("acct");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+        b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    /// Figure 2(c): long fork — PSI only.
+    fn long_fork() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(y, 1)]);
+        b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+        b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    /// A serializable chain: in all three classes.
+    fn serial_chain() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1), Op::write(x, 2)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn write_skew_class_memberships() {
+        let g = write_skew();
+        assert!(check_si(&g).is_ok());
+        assert!(check_psi(&g).is_ok());
+        let err = check_ser(&g).unwrap_err();
+        assert!(matches!(err, MembershipError::Cycle { class: GraphClass::Ser, .. }));
+    }
+
+    #[test]
+    fn lost_update_class_memberships() {
+        let g = lost_update();
+        assert!(check_si(&g).is_err());
+        assert!(check_psi(&g).is_err());
+        assert!(check_ser(&g).is_err());
+    }
+
+    #[test]
+    fn long_fork_class_memberships() {
+        let g = long_fork();
+        assert!(check_psi(&g).is_ok());
+        assert!(check_si(&g).is_err());
+        assert!(check_ser(&g).is_err());
+    }
+
+    #[test]
+    fn serial_chain_in_all_classes() {
+        let g = serial_chain();
+        for class in [GraphClass::Ser, GraphClass::Si, GraphClass::Psi] {
+            assert!(class.check(&g).is_ok(), "{class} rejected a serial chain");
+        }
+    }
+
+    #[test]
+    fn si_witness_cycle_is_reported() {
+        let g = lost_update();
+        let MembershipError::Cycle { class, nodes } = check_si(&g).unwrap_err() else {
+            panic!("expected a cycle");
+        };
+        assert_eq!(class, GraphClass::Si);
+        assert!(!nodes.is_empty());
+        let composed = g.dep_relation().compose_opt(&g.rw_relation());
+        for w in nodes.windows(2) {
+            assert!(composed.contains(w[0], w[1]));
+        }
+        assert!(composed.contains(*nodes.last().unwrap(), nodes[0]));
+    }
+
+    #[test]
+    fn int_violation_blocks_all_classes() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1), Op::read(x, 2)]);
+        let h = b.build();
+        let g = DepGraphBuilder::new(h).build().unwrap();
+        for class in [GraphClass::Ser, GraphClass::Si, GraphClass::Psi] {
+            assert!(matches!(class.check(&g), Err(MembershipError::Int { .. })));
+        }
+    }
+
+    #[test]
+    fn class_inclusions_on_examples() {
+        // GraphSER ⊆ GraphSI ⊆ GraphPSI on all four canonical graphs.
+        for g in [write_skew(), lost_update(), long_fork(), serial_chain()] {
+            if check_ser(&g).is_ok() {
+                assert!(check_si(&g).is_ok());
+            }
+            if check_si(&g).is_ok() {
+                assert!(check_psi(&g).is_ok());
+            }
+        }
+    }
+}

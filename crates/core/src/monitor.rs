@@ -1,0 +1,338 @@
+//! An incremental, online SI checker — the runtime-monitoring application
+//! the paper motivates in §1 ("this way of specifying consistency models
+//! has been shown to be particularly appropriate for … run-time
+//! monitoring [9, 36]").
+//!
+//! The monitor receives committed transactions one at a time, each with
+//! the dependencies the system observed (which writer each read saw, and
+//! the object version orders), and flags the *first* transaction whose
+//! arrival takes the accumulated dependency graph outside the chosen
+//! graph class. Because edges only ever get added, a violation is final —
+//! exactly the monotonicity that makes Theorem 9's acyclicity condition
+//! monitorable online.
+
+use si_execution::SpecModel;
+use si_model::Obj;
+use si_relations::{Relation, TxId};
+
+/// A transaction reported to the monitor: its dependencies as observed by
+/// the system.
+#[derive(Debug, Clone, Default)]
+pub struct ObservedTx {
+    /// Session predecessor, if any (the previous transaction of the same
+    /// session); induces an `SO` edge (transitively closed internally).
+    pub session_predecessor: Option<TxId>,
+    /// `(object, writer)` pairs: this transaction's external read of
+    /// `object` observed `writer`'s version.
+    pub reads_from: Vec<(Obj, TxId)>,
+    /// Objects this transaction wrote. The monitor appends it to each
+    /// object's version order (systems report commits in version order —
+    /// true of first-committer-wins implementations).
+    pub writes: Vec<Obj>,
+}
+
+/// The verdict for one appended transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// The accumulated graph is still in the monitored class.
+    Consistent,
+    /// This transaction's edges closed a forbidden cycle; the monitored
+    /// class is violated from this transaction on.
+    Violation {
+        /// A witness cycle of the class's composed relation.
+        cycle: Vec<TxId>,
+    },
+}
+
+/// Incremental SI/SER/PSI monitor over a stream of committed
+/// transactions.
+///
+/// # Example
+///
+/// ```
+/// use si_core::{ObservedTx, SiMonitor};
+/// use si_execution::SpecModel;
+/// use si_model::Obj;
+///
+/// let mut monitor = SiMonitor::new(SpecModel::Si);
+/// let x = Obj(0);
+/// let y = Obj(1);
+/// let init = monitor.append(ObservedTx { writes: vec![x, y], ..Default::default() });
+/// assert!(monitor.is_consistent());
+///
+/// // Write skew: both read the initial versions, write disjointly — SI
+/// // tolerates it…
+/// let _t1 = monitor.append(ObservedTx {
+///     reads_from: vec![(x, init), (y, init)],
+///     writes: vec![x],
+///     ..Default::default()
+/// });
+/// let _t2 = monitor.append(ObservedTx {
+///     reads_from: vec![(x, init), (y, init)],
+///     writes: vec![y],
+///     ..Default::default()
+/// });
+/// assert!(monitor.is_consistent());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SiMonitor {
+    model: SpecModel,
+    /// `SO ∪ WR ∪ WW` so far.
+    dep: Relation,
+    /// `RW` so far.
+    rw: Relation,
+    /// Last transaction of each session chain is tracked by the caller;
+    /// the monitor itself only stores per-object state:
+    /// version order per object.
+    version_order: Vec<Vec<TxId>>, // indexed by Obj
+    /// `(object, reader, writer)` triples seen, to derive RW when later
+    /// writers arrive.
+    reads: Vec<(Obj, TxId, TxId)>,
+    violated: Option<Vec<TxId>>,
+    next_tx: u32,
+    so_pred: Vec<Option<TxId>>,
+}
+
+impl SiMonitor {
+    /// Creates a monitor for the given model's graph class.
+    pub fn new(model: SpecModel) -> Self {
+        SiMonitor {
+            model,
+            dep: Relation::new(0),
+            rw: Relation::new(0),
+            version_order: Vec::new(),
+            reads: Vec::new(),
+            violated: None,
+            next_tx: 0,
+            so_pred: Vec::new(),
+        }
+    }
+
+    /// Number of transactions appended so far.
+    pub fn tx_count(&self) -> usize {
+        self.next_tx as usize
+    }
+
+    /// Whether no violation has been flagged yet.
+    pub fn is_consistent(&self) -> bool {
+        self.violated.is_none()
+    }
+
+    /// The first violation's witness cycle, if any.
+    pub fn violation(&self) -> Option<&[TxId]> {
+        self.violated.as_deref()
+    }
+
+    /// Appends a committed transaction and returns its [`TxId`]; query
+    /// the monitor state with
+    /// [`SiMonitor::is_consistent`] / [`SiMonitor::violation`].
+    ///
+    /// Once a violation is flagged the monitor stays violated (edges are
+    /// only added, so the forbidden cycle never disappears).
+    pub fn append(&mut self, tx: ObservedTx) -> TxId {
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.grow(self.next_tx as usize);
+
+        // SO edge, transitively extended along the session chain.
+        if let Some(pred) = tx.session_predecessor {
+            let mut cur = Some(pred);
+            while let Some(p) = cur {
+                self.dep.insert(p, id);
+                cur = self.so_pred[p.index()];
+            }
+            self.so_pred[id.index()] = Some(pred);
+        }
+
+        // WR edges + remember reads for future RW derivation.
+        for &(x, writer) in &tx.reads_from {
+            self.ensure_obj(x);
+            self.dep.insert(writer, id);
+            self.reads.push((x, id, writer));
+            // RW edges towards writers that already overwrote `writer`.
+            let order = &self.version_order[x.index()];
+            if let Some(pos) = order.iter().position(|&w| w == writer) {
+                let later: Vec<TxId> =
+                    order[pos + 1..].iter().copied().filter(|&s| s != id).collect();
+                for s in later {
+                    self.rw.insert(id, s);
+                }
+            }
+        }
+
+        // WW edges: this transaction becomes the newest version of each
+        // written object; readers of older versions now anti-depend on it.
+        for &x in &tx.writes {
+            self.ensure_obj(x);
+            let order = self.version_order[x.index()].clone();
+            for &prev in &order {
+                self.dep.insert(prev, id);
+            }
+            for &(ox, reader, writer) in &self.reads {
+                if ox == x && reader != id && order.contains(&writer) {
+                    self.rw.insert(reader, id);
+                }
+            }
+            self.version_order[x.index()].push(id);
+        }
+
+        if self.violated.is_none() {
+            let composed = match self.model {
+                SpecModel::Si => self.dep.compose_opt(&self.rw),
+                SpecModel::Ser => self.dep.union(&self.rw),
+                SpecModel::Psi => self.dep.transitive_closure().compose_opt(&self.rw),
+            };
+            let cycle = match self.model {
+                SpecModel::Psi => (0..self.next_tx)
+                    .map(TxId)
+                    .find(|&t| composed.contains(t, t))
+                    .map(|t| vec![t]),
+                _ => composed.find_cycle(),
+            };
+            self.violated = cycle;
+        }
+        id
+    }
+
+    fn grow(&mut self, n: usize) {
+        self.dep = self.dep.grown(n);
+        self.rw = self.rw.grown(n);
+        self.so_pred.resize(n, None);
+    }
+
+    fn ensure_obj(&mut self, x: Obj) {
+        if x.index() >= self.version_order.len() {
+            self.version_order.resize(x.index() + 1, Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Obj {
+        Obj(0)
+    }
+    fn y() -> Obj {
+        Obj(1)
+    }
+
+    fn init(monitor: &mut SiMonitor) -> TxId {
+        monitor.append(ObservedTx { writes: vec![x(), y()], ..Default::default() })
+    }
+
+    #[test]
+    fn write_skew_tolerated_by_si_flagged_by_ser() {
+        for (model, expect_ok) in [(SpecModel::Si, true), (SpecModel::Ser, false)] {
+            let mut m = SiMonitor::new(model);
+            let i = init(&mut m);
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i), (y(), i)],
+                writes: vec![x()],
+                ..Default::default()
+            });
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i), (y(), i)],
+                writes: vec![y()],
+                ..Default::default()
+            });
+            assert_eq!(m.is_consistent(), expect_ok, "{model}");
+        }
+    }
+
+    #[test]
+    fn lost_update_flagged_by_all() {
+        for model in SpecModel::ALL {
+            let mut m = SiMonitor::new(model);
+            let i = init(&mut m);
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i)],
+                writes: vec![x()],
+                ..Default::default()
+            });
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i)],
+                writes: vec![x()],
+                ..Default::default()
+            });
+            assert!(!m.is_consistent(), "{model} missed the lost update");
+        }
+    }
+
+    #[test]
+    fn long_fork_tolerated_only_by_psi() {
+        for (model, expect_ok) in
+            [(SpecModel::Psi, true), (SpecModel::Si, false), (SpecModel::Ser, false)]
+        {
+            let mut m = SiMonitor::new(model);
+            let i = init(&mut m);
+            let w1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
+            let w2 = m.append(ObservedTx { writes: vec![y()], ..Default::default() });
+            m.append(ObservedTx {
+                reads_from: vec![(x(), w1), (y(), i)],
+                ..Default::default()
+            });
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i), (y(), w2)],
+                ..Default::default()
+            });
+            assert_eq!(m.is_consistent(), expect_ok, "{model}");
+        }
+    }
+
+    #[test]
+    fn violation_is_sticky_and_witnessed() {
+        let mut m = SiMonitor::new(SpecModel::Si);
+        let i = init(&mut m);
+        m.append(ObservedTx {
+            reads_from: vec![(x(), i)],
+            writes: vec![x()],
+            ..Default::default()
+        });
+        m.append(ObservedTx {
+            reads_from: vec![(x(), i)],
+            writes: vec![x()],
+            ..Default::default()
+        });
+        assert!(!m.is_consistent());
+        let witness = m.violation().unwrap().to_vec();
+        assert!(!witness.is_empty());
+        // Appending a harmless transaction does not clear the flag.
+        m.append(ObservedTx { writes: vec![y()], ..Default::default() });
+        assert!(!m.is_consistent());
+        assert_eq!(m.violation().unwrap(), witness.as_slice());
+    }
+
+    #[test]
+    fn session_chains_count() {
+        // T1 writes x; same session's T2 "reads stale x" (observes init
+        // although T1 precedes it in the session) — SESSION makes this a
+        // violation in every model.
+        let mut m = SiMonitor::new(SpecModel::Si);
+        let i = init(&mut m);
+        let t1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
+        m.append(ObservedTx {
+            session_predecessor: Some(t1),
+            reads_from: vec![(x(), i)],
+            ..Default::default()
+        });
+        assert!(!m.is_consistent());
+    }
+
+    #[test]
+    fn serial_stream_stays_consistent() {
+        let mut m = SiMonitor::new(SpecModel::Ser);
+        let mut last = init(&mut m);
+        for _ in 0..10 {
+            last = m.append(ObservedTx {
+                session_predecessor: Some(last),
+                reads_from: vec![(x(), last)],
+                writes: vec![x()],
+                ..Default::default()
+            });
+            assert!(m.is_consistent());
+        }
+        assert_eq!(m.tx_count(), 11); // init + 10 increments
+    }
+}

@@ -1,0 +1,184 @@
+//! Incremental construction of dependency graphs.
+
+use std::collections::BTreeMap;
+
+use si_model::{History, Obj};
+use si_relations::TxId;
+
+use crate::graph::{WrMap, WwMap};
+use crate::{DepGraphError, DependencyGraph};
+
+/// Builds a [`DependencyGraph`] edge by edge; `build` validates the result
+/// against Definition 6.
+///
+/// For objects whose version order is not given explicitly with
+/// [`ww_order`](DepGraphBuilder::ww_order), `build` falls back to ordering
+/// the writers by transaction id (init transaction first) — convenient for
+/// histories where each object is written at most once outside the init
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct DepGraphBuilder {
+    history: History,
+    wr: WrMap,
+    ww: WwMap,
+}
+
+impl DepGraphBuilder {
+    /// Starts building a graph over `history`.
+    pub fn new(history: History) -> Self {
+        DepGraphBuilder {
+            history,
+            wr: BTreeMap::new(),
+            ww: BTreeMap::new(),
+        }
+    }
+
+    /// The history the graph is being built over.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Whether a `WR(x)` writer has already been recorded for `reader`.
+    pub fn has_wr(&self, x: Obj, reader: TxId) -> bool {
+        self.wr.get(&x).is_some_and(|m| m.contains_key(&reader))
+    }
+
+    /// Records `writer -WR(x)→ reader`. A previous writer for the same
+    /// `(x, reader)` pair is replaced (Definition 6 allows only one).
+    pub fn wr(&mut self, x: Obj, writer: TxId, reader: TxId) -> &mut Self {
+        self.wr.entry(x).or_default().insert(reader, writer);
+        self
+    }
+
+    /// Sets the full version order of `x` (earliest version first).
+    pub fn ww_order<I: IntoIterator<Item = TxId>>(&mut self, x: Obj, order: I) -> &mut Self {
+        self.ww.insert(x, order.into_iter().collect());
+        self
+    }
+
+    /// Infers every missing `WR` edge whose writer is unambiguous: if
+    /// exactly one transaction's final write to `x` matches the value a
+    /// reader externally read, that transaction is recorded as the writer.
+    ///
+    /// Useful for histories with distinct written values (the common case
+    /// in tests and workload generators).
+    pub fn infer_wr(&mut self) -> &mut Self {
+        let h = self.history.clone();
+        for (reader, t) in h.transactions() {
+            for x in t.external_read_set() {
+                if self.wr.get(&x).is_some_and(|m| m.contains_key(&reader)) {
+                    continue;
+                }
+                let read = t.external_read(x).expect("x is externally read");
+                let candidates: Vec<TxId> = h
+                    .transactions()
+                    .filter(|&(w, wt)| w != reader && wt.final_write(x) == Some(read))
+                    .map(|(w, _)| w)
+                    .collect();
+                if let [unique] = candidates[..] {
+                    self.wr(x, unique, reader);
+                }
+            }
+        }
+        self
+    }
+
+    /// Validates and builds the graph, defaulting missing version orders to
+    /// ascending transaction id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated Definition 6 condition.
+    pub fn build(mut self) -> Result<DependencyGraph, DepGraphError> {
+        for x in self.history.objects() {
+            self.ww.entry(x).or_insert_with(|| {
+                // Ascending id puts the init transaction (TxId 0) first.
+                self.history.write_txs(x).iter().collect()
+            });
+        }
+        DependencyGraph::new(self.history, self.wr, self.ww)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    #[test]
+    fn infer_wr_resolves_unique_values() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 7)]);
+        b.push_tx(s, [Op::read(x, 7)]);
+        b.push_tx(s, [Op::read(x, 7)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        let g = g.build().unwrap();
+        assert_eq!(g.writer_for(TxId(2), Obj(0)), Some(TxId(1)));
+        assert_eq!(g.writer_for(TxId(3), Obj(0)), Some(TxId(1)));
+    }
+
+    #[test]
+    fn infer_wr_leaves_ambiguous_reads_alone() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 7)]);
+        b.push_tx(s, [Op::write(x, 7)]); // same value: ambiguous
+        b.push_tx(s, [Op::read(x, 7)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        // Ambiguity leaves the read unresolved, which fails validation.
+        assert!(matches!(
+            g.build(),
+            Err(DepGraphError::MissingWr { reader: TxId(3), .. })
+        ));
+    }
+
+    #[test]
+    fn default_ww_order_is_ascending_id() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::write(x, 2)]);
+        let h = b.build();
+        let g = DepGraphBuilder::new(h).build().unwrap();
+        assert_eq!(g.ww_order(Obj(0)), &[TxId(0), TxId(1), TxId(2)]);
+    }
+
+    #[test]
+    fn explicit_ww_order_wins() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(x, 2)]);
+        let h = b.build();
+        let mut builder = DepGraphBuilder::new(h);
+        builder.ww_order(Obj(0), [TxId(0), TxId(2), TxId(1)]);
+        let g = builder.build().unwrap();
+        assert_eq!(g.ww_order(Obj(0)), &[TxId(0), TxId(2), TxId(1)]);
+    }
+
+    #[test]
+    fn replacing_wr_keeps_single_writer() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::write(x, 0)]); // writes the same value as init
+        b.push_tx(s2, [Op::read(x, 0)]);
+        let h = b.build();
+        let mut builder = DepGraphBuilder::new(h);
+        builder.wr(x, TxId(0), TxId(2));
+        builder.wr(x, TxId(1), TxId(2)); // replace: last call wins
+        let g = builder.build().unwrap();
+        assert_eq!(g.writer_for(TxId(2), x), Some(TxId(1)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Human-readable rendering of dependency graphs.
+
+use core::fmt;
+
+use crate::DependencyGraph;
+
+impl fmt::Display for DependencyGraph {
+    /// Renders the graph's edges grouped by kind, resolving object names:
+    ///
+    /// ```text
+    /// WR(x): T0 -> T1
+    /// WW(x): T0 -> T2
+    /// RW: T1 -> T2
+    /// SO: T1 -> T3
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |x: si_model::Obj| {
+            self.history()
+                .object_name(x)
+                .map(str::to_owned)
+                .unwrap_or_else(|| x.to_string())
+        };
+        for x in self.objects() {
+            for (w, r) in self.wr_pairs(x) {
+                writeln!(f, "WR({}): {w} -> {r}", name(x))?;
+            }
+        }
+        for x in self.objects() {
+            let order = self.ww_order(x);
+            for pair in order.windows(2) {
+                writeln!(f, "WW({}): {} -> {}", name(x), pair[0], pair[1])?;
+            }
+        }
+        for x in self.objects() {
+            for (a, b) in self.rw_pairs(x) {
+                writeln!(f, "RW({}): {a} -> {b}", name(x))?;
+            }
+        }
+        for (a, b) in self.so_relation().iter_pairs() {
+            writeln!(f, "SO: {a} -> {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DepGraphBuilder;
+    use si_model::{HistoryBuilder, Op};
+    use si_relations::TxId;
+
+    #[test]
+    fn display_groups_by_kind() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("balance");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.wr(x, TxId(1), TxId(2));
+        let rendered = g.build().unwrap().to_string();
+        assert!(rendered.contains("WR(balance): T1 -> T2"));
+        assert!(rendered.contains("WW(balance): T0 -> T1"));
+        assert!(rendered.contains("SO: T1 -> T2"));
+    }
+}

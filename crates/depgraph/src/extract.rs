@@ -1,0 +1,243 @@
+//! Extraction of dependency graphs from abstract executions
+//! (Definition 5 / Proposition 7: `graph(X)`).
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use si_execution::AbstractExecution;
+use si_model::Obj;
+use si_relations::TxId;
+
+use crate::graph::{WrMap, WwMap};
+use crate::{DepGraphError, DependencyGraph};
+
+/// Why `graph(X)` could not be formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// A transaction reads an object no visible transaction wrote — the
+    /// execution violates EXT (the paper assumes an initialisation
+    /// transaction rules this out).
+    NoVisibleWriter {
+        /// The reader.
+        reader: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// `CO` does not totally order the writers of this object, so `WW(x)`
+    /// (defined as `CO` restricted to `WriteTx_x`) is not a total order.
+    /// Cannot happen for full executions; pre-executions must at least
+    /// order conflicting writers (the paper's inequality (S1): `WW ⊆ VIS`).
+    WritersUnordered {
+        /// First unordered writer.
+        first: TxId,
+        /// Second unordered writer.
+        second: TxId,
+        /// The object both write.
+        obj: Obj,
+    },
+    /// The extracted relations failed Definition 6 — the execution violates
+    /// EXT (Proposition 7 guarantees well-formedness under EXT).
+    Malformed(DepGraphError),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::NoVisibleWriter { reader, obj } => {
+                write!(f, "{reader} reads {obj} but no visible transaction writes it")
+            }
+            ExtractError::WritersUnordered { first, second, obj } => {
+                write!(f, "writers {first} and {second} of {obj} are unordered by CO")
+            }
+            ExtractError::Malformed(e) => write!(f, "extracted graph is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<DepGraphError> for ExtractError {
+    fn from(e: DepGraphError) -> Self {
+        ExtractError::Malformed(e)
+    }
+}
+
+/// Computes `graph(X) = (T, SO, WR_X, WW_X, RW_X)` per Definition 5:
+///
+/// * `T -WR_X(x)→ S` iff `S ⊢ read(x, _)` and
+///   `T = max_CO(VIS⁻¹(S) ∩ WriteTx_x)`;
+/// * `T -WW_X(x)→ S` iff `T -CO→ S` and both write `x`;
+/// * `RW_X` derived as in Definition 5 (the [`DependencyGraph`] type always
+///   derives it).
+///
+/// By Proposition 7 (generalised as Proposition 23 to any execution
+/// satisfying EXT), the result is a well-formed dependency graph whenever
+/// `X ⊨ EXT`; otherwise an error pinpoints the failure.
+///
+/// # Errors
+///
+/// See [`ExtractError`].
+pub fn extract(exec: &AbstractExecution) -> Result<DependencyGraph, ExtractError> {
+    let h = exec.history();
+    let mut wr: WrMap = BTreeMap::new();
+    let mut ww: WwMap = BTreeMap::new();
+
+    for x in h.objects() {
+        // WW(x): CO restricted to WriteTx_x, as a version order.
+        let writers = h.write_txs(x);
+        let mut order: Vec<TxId> = writers.iter().collect();
+        // Sort by CO; report unordered pairs.
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                let (a, b) = (order[i], order[j]);
+                if !exec.co().contains(a, b) && !exec.co().contains(b, a) {
+                    return Err(ExtractError::WritersUnordered { first: a, second: b, obj: x });
+                }
+            }
+        }
+        order.sort_by(|&a, &b| {
+            if exec.co().contains(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        if !order.is_empty() {
+            ww.insert(x, order);
+        }
+
+        // WR(x): the CO-maximal visible writer for every external reader.
+        for (reader, t) in h.transactions() {
+            if !t.reads_externally(x) {
+                continue;
+            }
+            let mut visible_writers = exec.snapshot_of(reader);
+            visible_writers.intersect_with(&writers);
+            let Some(writer) = exec.co().max_element(&visible_writers) else {
+                return Err(ExtractError::NoVisibleWriter { reader, obj: x });
+            };
+            wr.entry(x).or_default().insert(reader, writer);
+        }
+    }
+
+    Ok(DependencyGraph::new(h.clone(), wr, ww)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_execution::SpecModel;
+    use si_model::{HistoryBuilder, Op};
+    use si_relations::Relation;
+
+    /// A serial chain: init -> T1 (x:=1) -> T2 (reads x, y:=x+1).
+    fn serial_exec() -> AbstractExecution {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1), Op::write(y, 2)]);
+        let h = b.build();
+        let co = Relation::from_pairs(
+            3,
+            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
+        );
+        AbstractExecution::new(h, co.clone(), co).unwrap()
+    }
+
+    #[test]
+    fn serial_extraction() {
+        let exec = serial_exec();
+        assert!(SpecModel::Ser.check(&exec).is_ok());
+        let g = extract(&exec).unwrap();
+        assert_eq!(g.writer_for(TxId(2), Obj(0)), Some(TxId(1)));
+        assert_eq!(g.ww_order(Obj(0)), &[TxId(0), TxId(1)]);
+        assert_eq!(g.ww_order(Obj(1)), &[TxId(0), TxId(2)]);
+        // No anti-dependencies in a serial chain where every read sees the
+        // latest version.
+        assert!(g.rw_relation().is_empty());
+    }
+
+    #[test]
+    fn write_skew_extraction_has_rw_cycle() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        let h = b.build();
+        let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+        let mut co = vis.clone();
+        co.insert(TxId(1), TxId(2));
+        let exec = AbstractExecution::new(h, vis, co).unwrap();
+        assert!(SpecModel::Si.check(&exec).is_ok());
+        let g = extract(&exec).unwrap();
+        let rw = g.rw_relation();
+        assert!(rw.contains(TxId(1), TxId(2)));
+        assert!(rw.contains(TxId(2), TxId(1)));
+    }
+
+    #[test]
+    fn missing_visible_writer_reported() {
+        let mut b = HistoryBuilder::new().without_init();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::read(x, 0)]);
+        let h = b.build();
+        let exec = AbstractExecution::new(h, Relation::new(1), Relation::new(1)).unwrap();
+        assert_eq!(
+            extract(&exec),
+            Err(ExtractError::NoVisibleWriter { reader: TxId(0), obj: Obj(0) })
+        );
+    }
+
+    #[test]
+    fn unordered_writers_reported() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(x, 2)]);
+        let h = b.build();
+        // CO orders init before both writers but not the writers.
+        let co = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+        let exec = AbstractExecution::new(h, Relation::new(3), co).unwrap();
+        assert_eq!(
+            extract(&exec),
+            Err(ExtractError::WritersUnordered {
+                first: TxId(1),
+                second: TxId(2),
+                obj: Obj(0),
+            })
+        );
+    }
+
+    #[test]
+    fn extraction_requires_ext_for_wellformedness() {
+        // T1 writes x:=1; T2 reads x=0 but *sees* T1: EXT is violated and
+        // extraction reports a malformed WR (value mismatch).
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0)]);
+        let h = b.build();
+        let vis = Relation::from_pairs(
+            3,
+            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
+        );
+        let mut co = vis.clone();
+        co.insert(TxId(1), TxId(2));
+        let exec = AbstractExecution::new(h, vis, co).unwrap();
+        assert!(SpecModel::Si.check(&exec).is_err());
+        assert!(matches!(
+            extract(&exec),
+            Err(ExtractError::Malformed(DepGraphError::WrValueMismatch { .. }))
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Adya-style transactional dependency graphs (§3 of *Analysing Snapshot
+//! Isolation*, Cerone & Gotsman, PODC 2016).
+//!
+//! A [`DependencyGraph`] `G = (T, SO, WR, WW, RW)` extends a history with
+//! three families of per-object relations (Definition 6):
+//!
+//! * **read dependencies** `WR(x)`: `T -WR(x)→ S` — `S` reads `T`'s write
+//!   to `x`; every external read has exactly one writer;
+//! * **write dependencies** `WW(x)`: a strict total order on the
+//!   transactions writing `x` — `T -WW(x)→ S` means `S` overwrites `T`;
+//! * **anti-dependencies** `RW(x)`, *derived* from the other two
+//!   (Definition 5): `T -RW(x)→ S` iff `T ≠ S` and some `T'` with
+//!   `T' -WR(x)→ T` is overwritten by `S` (`T' -WW(x)→ S`) — `S`
+//!   overwrites the value `T` read.
+//!
+//! Graphs are validated at construction against Definition 6, and can be
+//! *extracted* from abstract executions with [`extract`] (Definition 5;
+//! Proposition 7 guarantees the result is well-formed whenever the
+//! execution satisfies EXT).
+//!
+//! # Example: the lost-update graph of Figure 2(b)
+//!
+//! ```
+//! use si_model::{HistoryBuilder, Op};
+//! use si_depgraph::DepGraphBuilder;
+//! use si_relations::TxId;
+//!
+//! let mut b = HistoryBuilder::new();
+//! let acct = b.object("acct");
+//! let s1 = b.session();
+//! let s2 = b.session();
+//! b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+//! b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+//! let h = b.build();
+//!
+//! let mut g = DepGraphBuilder::new(h);
+//! g.wr(acct, TxId(0), TxId(1)); // both read the initial version
+//! g.wr(acct, TxId(0), TxId(2));
+//! g.ww_order(acct, [TxId(0), TxId(1), TxId(2)]);
+//! let graph = g.build().unwrap();
+//!
+//! // T2 overwrites the version T1 read, and vice versa — the RW edges of
+//! // the figure (plus edges involving the init transaction).
+//! assert!(graph.rw_relation().contains(TxId(1), TxId(2)));
+//! assert!(graph.rw_relation().contains(TxId(2), TxId(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod display;
+mod dot;
+mod extract;
+mod graph;
+mod validate;
+
+pub use builder::DepGraphBuilder;
+pub use dot::to_dot;
+pub use extract::{extract, ExtractError};
+pub use graph::{DependencyGraph, WrMap, WwMap};
+pub use validate::DepGraphError;

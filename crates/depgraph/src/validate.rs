@@ -1,0 +1,297 @@
+//! Well-formedness of dependency graphs (Definition 6).
+
+use core::fmt;
+
+use si_model::{History, Obj, Value};
+use si_relations::TxId;
+
+use crate::graph::{WrMap, WwMap};
+
+/// Why a `(history, WR, WW)` triple is not a dependency graph
+/// (Definition 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepGraphError {
+    /// A WR edge references a transaction id outside the history.
+    DanglingTx(TxId),
+    /// `T -WR(x)→ T` (reader and writer must differ).
+    WrReflexive {
+        /// The transaction reading from itself.
+        tx: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// The WR writer does not write the object.
+    WrWriterDoesNotWrite {
+        /// The alleged writer.
+        writer: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// The WR reader does not externally read the object.
+    WrReaderDoesNotRead {
+        /// The alleged reader.
+        reader: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// The value read differs from the value the writer last wrote.
+    WrValueMismatch {
+        /// The writer.
+        writer: TxId,
+        /// The reader.
+        reader: TxId,
+        /// The object.
+        obj: Obj,
+        /// The writer's final value.
+        written: Value,
+        /// The reader's external read value.
+        read: Value,
+    },
+    /// An external read has no WR writer (second condition of
+    /// Definition 6).
+    MissingWr {
+        /// The reader with no writer.
+        reader: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// The version order for `x` is not a permutation of `WriteTx_x`: this
+    /// transaction is missing.
+    WwMissingWriter {
+        /// The writer missing from the order.
+        writer: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// The version order contains a transaction that does not write `x`
+    /// (or contains a duplicate).
+    WwSpuriousEntry {
+        /// The offending entry.
+        tx: TxId,
+        /// The object.
+        obj: Obj,
+    },
+    /// The history's initialisation transaction is not the first version
+    /// of an object it writes. The init transaction writes the *initial*
+    /// version of every object (§2), so it must come first in every
+    /// `WW(x)` — equivalently, it precedes all other transactions in the
+    /// commit order.
+    InitNotFirst {
+        /// The object whose version order demotes the init transaction.
+        obj: Obj,
+    },
+}
+
+impl fmt::Display for DepGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepGraphError::DanglingTx(t) => write!(f, "{t} is not a transaction of the history"),
+            DepGraphError::WrReflexive { tx, obj } => {
+                write!(f, "WR({obj}) relates {tx} to itself")
+            }
+            DepGraphError::WrWriterDoesNotWrite { writer, obj } => {
+                write!(f, "WR({obj}) writer {writer} does not write {obj}")
+            }
+            DepGraphError::WrReaderDoesNotRead { reader, obj } => {
+                write!(f, "WR({obj}) reader {reader} has no external read of {obj}")
+            }
+            DepGraphError::WrValueMismatch { writer, reader, obj, written, read } => write!(
+                f,
+                "WR({obj}): {writer} finally wrote {written} but {reader} read {read}"
+            ),
+            DepGraphError::MissingWr { reader, obj } => {
+                write!(f, "{reader} reads {obj} externally but has no WR({obj}) writer")
+            }
+            DepGraphError::WwMissingWriter { writer, obj } => {
+                write!(f, "WW({obj}) omits writer {writer}")
+            }
+            DepGraphError::WwSpuriousEntry { tx, obj } => {
+                write!(f, "WW({obj}) lists {tx}, which does not write {obj} (or twice)")
+            }
+            DepGraphError::InitNotFirst { obj } => {
+                write!(f, "WW({obj}) does not start with the initialisation transaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DepGraphError {}
+
+/// Checks all conditions of Definition 6.
+pub(crate) fn validate(history: &History, wr: &WrMap, ww: &WwMap) -> Result<(), DepGraphError> {
+    let n = history.tx_count();
+    let in_range = |t: TxId| t.index() < n;
+
+    // WR conditions.
+    for (&x, readers) in wr {
+        for (&reader, &writer) in readers {
+            if !in_range(reader) {
+                return Err(DepGraphError::DanglingTx(reader));
+            }
+            if !in_range(writer) {
+                return Err(DepGraphError::DanglingTx(writer));
+            }
+            if reader == writer {
+                return Err(DepGraphError::WrReflexive { tx: reader, obj: x });
+            }
+            let Some(written) = history.transaction(writer).final_write(x) else {
+                return Err(DepGraphError::WrWriterDoesNotWrite { writer, obj: x });
+            };
+            let Some(read) = history.transaction(reader).external_read(x) else {
+                return Err(DepGraphError::WrReaderDoesNotRead { reader, obj: x });
+            };
+            if written != read {
+                return Err(DepGraphError::WrValueMismatch {
+                    writer,
+                    reader,
+                    obj: x,
+                    written,
+                    read,
+                });
+            }
+        }
+    }
+    // Every external read has a writer.
+    for (id, t) in history.transactions() {
+        for x in t.external_read_set() {
+            let has_writer = wr.get(&x).is_some_and(|m| m.contains_key(&id));
+            if !has_writer {
+                return Err(DepGraphError::MissingWr { reader: id, obj: x });
+            }
+        }
+    }
+    // WW(x) is a permutation of WriteTx_x.
+    for x in history.objects() {
+        let writers = history.write_txs(x);
+        let order = ww.get(&x).map(Vec::as_slice).unwrap_or(&[]);
+        let mut seen = Vec::new();
+        for &t in order {
+            if !in_range(t) {
+                return Err(DepGraphError::DanglingTx(t));
+            }
+            if !history.transaction(t).writes_to(x) || seen.contains(&t) {
+                return Err(DepGraphError::WwSpuriousEntry { tx: t, obj: x });
+            }
+            seen.push(t);
+        }
+        for w in writers.iter() {
+            if !seen.contains(&w) {
+                return Err(DepGraphError::WwMissingWriter { writer: w, obj: x });
+            }
+        }
+        if let Some(init) = history.init_tx() {
+            if writers.contains(init) && order.first() != Some(&init) {
+                return Err(DepGraphError::InitNotFirst { obj: x });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    use si_model::{HistoryBuilder, Op};
+
+    fn history() -> (History, Obj) {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]);
+        (b.build(), x)
+    }
+
+    fn wr_map(x: Obj, pairs: &[(TxId, TxId)]) -> WrMap {
+        let mut m: WrMap = BTreeMap::new();
+        let inner = m.entry(x).or_default();
+        for &(writer, reader) in pairs {
+            inner.insert(reader, writer);
+        }
+        m
+    }
+
+    fn ww_map(x: Obj, order: &[TxId]) -> WwMap {
+        let mut m: WwMap = BTreeMap::new();
+        m.insert(x, order.to_vec());
+        m
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        let (h, x) = history();
+        let wr = wr_map(x, &[(TxId(1), TxId(2))]);
+        let ww = ww_map(x, &[TxId(0), TxId(1)]);
+        assert!(validate(&h, &wr, &ww).is_ok());
+    }
+
+    #[test]
+    fn missing_wr_detected() {
+        let (h, x) = history();
+        let ww = ww_map(x, &[TxId(0), TxId(1)]);
+        assert_eq!(
+            validate(&h, &BTreeMap::new(), &ww),
+            Err(DepGraphError::MissingWr { reader: TxId(2), obj: x })
+        );
+    }
+
+    #[test]
+    fn value_mismatch_detected() {
+        let (h, x) = history();
+        // Init wrote 0, but T2 read 1 — blaming init is a mismatch.
+        let wr = wr_map(x, &[(TxId(0), TxId(2))]);
+        let ww = ww_map(x, &[TxId(0), TxId(1)]);
+        assert!(matches!(
+            validate(&h, &wr, &ww),
+            Err(DepGraphError::WrValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_writer_in_wr_detected() {
+        let (h, x) = history();
+        let wr = wr_map(x, &[(TxId(2), TxId(2))]);
+        assert!(matches!(
+            validate(&h, &wr, &ww_map(x, &[TxId(0), TxId(1)])),
+            Err(DepGraphError::WrReflexive { .. })
+        ));
+        let wr = wr_map(x, &[(TxId(2), TxId(1))]);
+        assert!(matches!(
+            validate(&h, &wr, &ww_map(x, &[TxId(0), TxId(1)])),
+            Err(DepGraphError::WrWriterDoesNotWrite { writer: TxId(2), .. })
+        ));
+    }
+
+    #[test]
+    fn ww_must_be_permutation_of_writers() {
+        let (h, x) = history();
+        let wr = wr_map(x, &[(TxId(1), TxId(2))]);
+        // Missing init.
+        assert_eq!(
+            validate(&h, &wr, &ww_map(x, &[TxId(1)])),
+            Err(DepGraphError::WwMissingWriter { writer: TxId(0), obj: x })
+        );
+        // Non-writer listed.
+        assert!(matches!(
+            validate(&h, &wr, &ww_map(x, &[TxId(0), TxId(1), TxId(2)])),
+            Err(DepGraphError::WwSpuriousEntry { tx: TxId(2), .. })
+        ));
+        // Duplicate entry.
+        assert!(matches!(
+            validate(&h, &wr, &ww_map(x, &[TxId(0), TxId(1), TxId(1)])),
+            Err(DepGraphError::WwSpuriousEntry { tx: TxId(1), .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_ids_detected() {
+        let (h, x) = history();
+        let wr = wr_map(x, &[(TxId(9), TxId(2))]);
+        assert_eq!(
+            validate(&h, &wr, &ww_map(x, &[TxId(0), TxId(1)])),
+            Err(DepGraphError::DanglingTx(TxId(9)))
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! The consistency axioms of Figure 1, each with counterexample witnesses.
+
+use core::fmt;
+
+use si_model::{IntViolation, Obj, Value};
+use si_relations::TxId;
+
+use crate::AbstractExecution;
+
+/// A counterexample to one of the Figure 1 axioms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiomViolation {
+    /// INT failed inside a transaction.
+    Int {
+        /// The offending transaction.
+        tx: TxId,
+        /// The in-transaction violation.
+        violation: IntViolation,
+    },
+    /// EXT: an external read has no visible writer at all. (The paper
+    /// avoids this case by the initialisation transaction.)
+    ExtNoVisibleWriter {
+        /// The reading transaction.
+        reader: TxId,
+        /// The object read.
+        obj: Obj,
+    },
+    /// EXT: the CO-maximal visible writer wrote a different value.
+    ExtWrongValue {
+        /// The reading transaction.
+        reader: TxId,
+        /// The object read.
+        obj: Obj,
+        /// The value the reader returned.
+        read: Value,
+        /// The CO-maximal visible writer of `obj`.
+        writer: TxId,
+        /// The value that writer last wrote to `obj`.
+        written: Value,
+    },
+    /// SESSION: a session-order edge is missing from `VIS`.
+    Session(TxId, TxId),
+    /// PREFIX: `S' -CO→ S -VIS→ T` but not `S' -VIS→ T`.
+    Prefix {
+        /// The earlier-committed transaction that should be visible.
+        committed: TxId,
+        /// The visible transaction.
+        seen: TxId,
+        /// The observer.
+        observer: TxId,
+    },
+    /// NOCONFLICT: two distinct writers of the same object are unrelated by
+    /// `VIS`.
+    Conflict {
+        /// First writer.
+        first: TxId,
+        /// Second writer.
+        second: TxId,
+        /// The object both wrote.
+        obj: Obj,
+    },
+    /// TOTALVIS: `CO` and `VIS` differ at this edge (present in `CO`,
+    /// absent from `VIS`).
+    TotalVis(TxId, TxId),
+    /// TRANSVIS: `VIS` is not transitive at this triple.
+    TransVis(TxId, TxId, TxId),
+    /// The axiom set requires a full execution but `CO` is not total; the
+    /// pair is unrelated.
+    CoNotTotal(TxId, TxId),
+}
+
+impl fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomViolation::Int { tx, violation } => write!(f, "INT violated in {tx}: {violation}"),
+            AxiomViolation::ExtNoVisibleWriter { reader, obj } => {
+                write!(f, "EXT violated: {reader} reads {obj} but sees no writer of it")
+            }
+            AxiomViolation::ExtWrongValue { reader, obj, read, writer, written } => write!(
+                f,
+                "EXT violated: {reader} read {read} from {obj} but the latest visible \
+                 writer {writer} wrote {written}"
+            ),
+            AxiomViolation::Session(a, b) => {
+                write!(f, "SESSION violated: {a} -SO-> {b} not in VIS")
+            }
+            AxiomViolation::Prefix { committed, seen, observer } => write!(
+                f,
+                "PREFIX violated: {committed} -CO-> {seen} -VIS-> {observer} but \
+                 {committed} is not visible to {observer}"
+            ),
+            AxiomViolation::Conflict { first, second, obj } => write!(
+                f,
+                "NOCONFLICT violated: {first} and {second} both write {obj} but are \
+                 unrelated by VIS"
+            ),
+            AxiomViolation::TotalVis(a, b) => {
+                write!(f, "TOTALVIS violated: {a} -CO-> {b} but not {a} -VIS-> {b}")
+            }
+            AxiomViolation::TransVis(a, b, c) => {
+                write!(f, "TRANSVIS violated: {a} -VIS-> {b} -VIS-> {c} but not {a} -VIS-> {c}")
+            }
+            AxiomViolation::CoNotTotal(a, b) => {
+                write!(f, "CO is not total: {a} and {b} are unrelated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AxiomViolation {}
+
+/// INT (internal consistency): every read preceded by an operation on the
+/// same object in the same transaction returns that operation's value.
+///
+/// # Errors
+///
+/// Returns the first violating transaction.
+pub fn check_int(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    exec.history()
+        .check_int()
+        .map_err(|(tx, violation)| AxiomViolation::Int { tx, violation })
+}
+
+/// EXT (external consistency): if `T ⊢ read(x, n)` then
+/// `max_CO(VIS⁻¹(T) ∩ WriteTx_x) ⊢ write(x, n)`.
+///
+/// # Errors
+///
+/// Returns a witness if some external read sees no writer or the wrong
+/// value.
+pub fn check_ext(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    let h = exec.history();
+    for (reader, t) in h.transactions() {
+        for x in t.external_read_set() {
+            let read = t.external_read(x).expect("x is in the external read set");
+            let mut visible_writers = exec.snapshot_of(reader);
+            visible_writers.intersect_with(&h.write_txs(x));
+            let Some(writer) = exec.co().max_element(&visible_writers) else {
+                return Err(AxiomViolation::ExtNoVisibleWriter { reader, obj: x });
+            };
+            let written = h
+                .transaction(writer)
+                .final_write(x)
+                .expect("writer is in WriteTx_x");
+            if written != read {
+                return Err(AxiomViolation::ExtWrongValue {
+                    reader,
+                    obj: x,
+                    read,
+                    writer,
+                    written,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// SESSION: `SO ⊆ VIS`.
+///
+/// # Errors
+///
+/// Returns the first session-order edge missing from `VIS`.
+pub fn check_session(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    let so = exec.history().session_order();
+    match so.difference(exec.vis()).iter_pairs().next() {
+        Some((a, b)) => Err(AxiomViolation::Session(a, b)),
+        None => Ok(()),
+    }
+}
+
+/// PREFIX: `CO ; VIS ⊆ VIS` — a snapshot that includes `S` includes
+/// everything that committed before `S`.
+///
+/// # Errors
+///
+/// Returns a witness triple.
+pub fn check_prefix(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    let comp = exec.co().compose(exec.vis());
+    match comp.difference(exec.vis()).iter_pairs().next() {
+        Some((committed, observer)) => {
+            let seen = exec
+                .co()
+                .successors(committed)
+                .iter()
+                .find(|&m| exec.vis().contains(m, observer))
+                .expect("composition produced the pair");
+            Err(AxiomViolation::Prefix { committed, seen, observer })
+        }
+        None => Ok(()),
+    }
+}
+
+/// NOCONFLICT: distinct transactions writing the same object are related by
+/// `VIS` one way or the other (the write-conflict detection of the SI
+/// concurrency control).
+///
+/// # Errors
+///
+/// Returns the first unrelated writer pair.
+pub fn check_no_conflict(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    let h = exec.history();
+    for x in h.objects() {
+        let writers: Vec<TxId> = h.write_txs(x).iter().collect();
+        for (i, &a) in writers.iter().enumerate() {
+            for &b in &writers[i + 1..] {
+                if !exec.vis().contains(a, b) && !exec.vis().contains(b, a) {
+                    return Err(AxiomViolation::Conflict { first: a, second: b, obj: x });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// TOTALVIS: `CO = VIS` (serializability's requirement that visibility
+/// totally orders the transactions; `VIS ⊆ CO` holds structurally, so only
+/// the reverse inclusion is checked).
+///
+/// # Errors
+///
+/// Returns the first `CO` edge missing from `VIS`.
+pub fn check_total_vis(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    match exec.co().difference(exec.vis()).iter_pairs().next() {
+        Some((a, b)) => Err(AxiomViolation::TotalVis(a, b)),
+        None => Ok(()),
+    }
+}
+
+/// TRANSVIS: `VIS` is transitive (parallel SI's weakening of PREFIX,
+/// Definition 20).
+///
+/// # Errors
+///
+/// Returns a witness triple.
+pub fn check_trans_vis(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    let comp = exec.vis().compose(exec.vis());
+    match comp.difference(exec.vis()).iter_pairs().next() {
+        Some((a, c)) => {
+            let b = exec
+                .vis()
+                .successors(a)
+                .iter()
+                .find(|&m| exec.vis().contains(m, c))
+                .expect("composition produced the pair");
+            Err(AxiomViolation::TransVis(a, b, c))
+        }
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+    use si_relations::Relation;
+
+    /// Lost-update history (Figure 2(b)): both T1 and T2 read acct=0 and
+    /// write deposits.
+    fn lost_update_exec(vis_pairs: &[(u32, u32)], co_pairs: &[(u32, u32)]) -> AbstractExecution {
+        let mut b = HistoryBuilder::new();
+        let acct = b.object("acct");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+        b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+        let h = b.build();
+        let vis = Relation::from_pairs(3, vis_pairs.iter().map(|&(a, b)| (TxId(a), TxId(b))));
+        let co = Relation::from_pairs(3, co_pairs.iter().map(|&(a, b)| (TxId(a), TxId(b))));
+        AbstractExecution::new(h, vis, co).unwrap()
+    }
+
+    #[test]
+    fn lost_update_violates_no_conflict() {
+        // T1 and T2 both see only the init transaction.
+        let exec = lost_update_exec(
+            &[(0, 1), (0, 2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
+        assert!(check_int(&exec).is_ok());
+        assert!(check_ext(&exec).is_ok());
+        assert!(check_session(&exec).is_ok());
+        let err = check_no_conflict(&exec).unwrap_err();
+        assert!(matches!(err, AxiomViolation::Conflict { .. }));
+    }
+
+    #[test]
+    fn lost_update_with_vis_violates_ext() {
+        // Making T1 visible to T2 fixes NOCONFLICT but breaks EXT: T2 read
+        // 0 yet its latest visible writer T1 wrote 50.
+        let exec = lost_update_exec(
+            &[(0, 1), (0, 2), (1, 2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
+        assert!(check_no_conflict(&exec).is_ok());
+        let err = check_ext(&exec).unwrap_err();
+        assert_eq!(
+            err,
+            AxiomViolation::ExtWrongValue {
+                reader: TxId(2),
+                obj: si_model::Obj(0),
+                read: Value(0),
+                writer: TxId(1),
+                written: Value(50),
+            }
+        );
+    }
+
+    #[test]
+    fn session_axiom_detects_missing_edge() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 0)]); // reads the *initial* value
+        let h = b.build();
+        // VIS omits the SO edge T1 -> T2.
+        let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+        let co = Relation::from_pairs(
+            3,
+            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
+        );
+        let exec = AbstractExecution::new(h, vis, co).unwrap();
+        assert_eq!(
+            check_session(&exec),
+            Err(AxiomViolation::Session(TxId(1), TxId(2)))
+        );
+        // Figure 2(a): once SESSION forces the edge, EXT forbids reading 0.
+    }
+
+    #[test]
+    fn prefix_axiom_witness() {
+        // T1 -CO-> T2 -VIS-> T3 but T1 not visible to T3.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        for _ in 0..3 {
+            let s = b.session();
+            b.push_tx(s, [Op::write(x, 1)]);
+        }
+        let h = b.build();
+        let vis = Relation::from_pairs(
+            4,
+            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(0), TxId(3)), (TxId(2), TxId(3))],
+        );
+        let mut co = vis.clone();
+        co.insert(TxId(1), TxId(2));
+        co.insert(TxId(1), TxId(3));
+        co.insert(TxId(2), TxId(3));
+        let exec = AbstractExecution::new(h, vis, co).unwrap();
+        assert_eq!(
+            check_prefix(&exec),
+            Err(AxiomViolation::Prefix {
+                committed: TxId(1),
+                seen: TxId(2),
+                observer: TxId(3),
+            })
+        );
+    }
+
+    #[test]
+    fn total_vis_distinguishes_si_from_ser() {
+        // Write skew: VIS misses both directions between T1, T2 while CO
+        // orders them.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        let h = b.build();
+        let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+        let mut co = vis.clone();
+        co.insert(TxId(1), TxId(2));
+        let exec = AbstractExecution::new(h, vis, co).unwrap();
+        assert!(check_int(&exec).is_ok());
+        assert!(check_ext(&exec).is_ok());
+        assert!(check_no_conflict(&exec).is_ok());
+        assert!(check_prefix(&exec).is_ok());
+        assert_eq!(
+            check_total_vis(&exec),
+            Err(AxiomViolation::TotalVis(TxId(1), TxId(2)))
+        );
+    }
+
+    #[test]
+    fn trans_vis_witness() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        for _ in 0..3 {
+            let s = b.session();
+            b.push_tx(s, [Op::write(x, 1)]);
+        }
+        let h = b.build();
+        let vis = Relation::from_pairs(
+            4,
+            [
+                (TxId(0), TxId(1)),
+                (TxId(0), TxId(2)),
+                (TxId(0), TxId(3)),
+                (TxId(1), TxId(2)),
+                (TxId(2), TxId(3)),
+            ],
+        );
+        let co = vis.transitive_closure();
+        let co = {
+            let mut co = co;
+            co.union_with(&Relation::from_pairs(4, [(TxId(1), TxId(3))]));
+            co
+        };
+        let exec = AbstractExecution::new(h, vis, co).unwrap();
+        assert_eq!(
+            check_trans_vis(&exec),
+            Err(AxiomViolation::TransVis(TxId(1), TxId(2), TxId(3)))
+        );
+    }
+
+    #[test]
+    fn ext_requires_a_visible_writer() {
+        let mut b = HistoryBuilder::new().without_init();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::read(x, 0)]);
+        let h = b.build();
+        let exec = AbstractExecution::new(h, Relation::new(1), Relation::new(1)).unwrap();
+        assert!(matches!(
+            check_ext(&exec),
+            Err(AxiomViolation::ExtNoVisibleWriter { .. })
+        ));
+    }
+}

@@ -1,0 +1,433 @@
+//! Brute-force decision of `HistSI` / `HistSER` / `HistPSI` for tiny
+//! histories, directly from Definitions 4 and 20.
+//!
+//! These searches are exponential and exist to *cross-validate* the
+//! polynomial dependency-graph characterisations of `si-core` (Theorems 8,
+//! 9 and 21) on small inputs: for every tiny history, the brute-force
+//! verdict from the axiomatic definition must coincide with the verdict
+//! computed through dependency graphs.
+//!
+//! The search space is pruned with two structure theorems from the paper:
+//!
+//! * under PREFIX and a total `CO`, each snapshot `VIS⁻¹(T)` is a
+//!   *prefix* of the `CO` order no longer than `T`'s own position, so SI
+//!   executions are enumerated as (permutation, prefix-length vector)
+//!   pairs;
+//! * under TOTALVIS, `VIS = CO`, so SER executions are just permutations;
+//! * for PSI, `CO` is determined up to linearisation by `VIS`
+//!   (NOCONFLICT orders conflicting writers inside `VIS`), so we enumerate
+//!   (permutation, subset-of-forward-pairs) candidates for `VIS`.
+
+use core::fmt;
+
+use si_model::History;
+use si_relations::{Relation, TxId};
+
+use crate::{AbstractExecution, SpecModel};
+
+/// Budget limits for the exhaustive search.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteConfig {
+    /// Maximum number of candidate executions to examine before giving up.
+    pub step_budget: u64,
+}
+
+impl Default for BruteConfig {
+    fn default() -> Self {
+        BruteConfig { step_budget: 50_000_000 }
+    }
+}
+
+/// The search budget ran out before the space was exhausted; the history's
+/// membership is undecided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruteExhausted;
+
+impl fmt::Display for BruteExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "brute-force search budget exhausted before a verdict was reached")
+    }
+}
+
+impl std::error::Error for BruteExhausted {}
+
+/// Searches for an execution of `history` satisfying `model`'s axioms,
+/// i.e. decides `history ∈ HistSI/HistSER/HistPSI` (Definition 4/20) by
+/// exhausting the `(VIS, CO)` space.
+///
+/// Returns `Ok(Some(execution))` with a witness if the history is allowed,
+/// `Ok(None)` if the full space was exhausted without a witness.
+///
+/// # Errors
+///
+/// Returns [`BruteExhausted`] if the step budget ran out first.
+pub fn find_execution(
+    model: SpecModel,
+    history: &History,
+    config: &BruteConfig,
+) -> Result<Option<AbstractExecution>, BruteExhausted> {
+    // Fix the init transaction (if any) at position 0; permute the rest.
+    let mut rest: Vec<TxId> = history
+        .tx_ids()
+        .filter(|&t| Some(t) != history.init_tx())
+        .collect();
+    let prefix: Vec<TxId> = history.init_tx().into_iter().collect();
+
+    let mut budget = config.step_budget;
+    let mut found: Option<AbstractExecution> = None;
+    permute(&mut rest, 0, &mut |perm| {
+        if found.is_some() {
+            return false;
+        }
+        let mut order = prefix.clone();
+        order.extend_from_slice(perm);
+        match try_order(model, history, &order, &mut budget) {
+            Ok(Some(exec)) => {
+                found = Some(exec);
+                false
+            }
+            Ok(None) => true,
+            Err(BruteExhausted) => false,
+        }
+    });
+    if found.is_none() && budget == 0 {
+        // Distinguish "exhausted space" from "ran out of budget": if the
+        // budget hit zero mid-way we cannot claim a negative verdict.
+        return Err(BruteExhausted);
+    }
+    Ok(found)
+}
+
+/// Brute-force decision of prefix-consistency membership (`HistPC`): like
+/// the SI search — under PREFIX and a total `CO`, snapshots are
+/// `CO`-prefixes — but checking the PC axiom set (no NOCONFLICT).
+///
+/// # Errors
+///
+/// Returns [`BruteExhausted`] if the step budget ran out first.
+pub fn is_allowed_pc(history: &History, config: &BruteConfig) -> Result<bool, BruteExhausted> {
+    let mut rest: Vec<TxId> = history
+        .tx_ids()
+        .filter(|&t| Some(t) != history.init_tx())
+        .collect();
+    let prefix: Vec<TxId> = history.init_tx().into_iter().collect();
+    let mut budget = config.step_budget;
+    let mut found = false;
+    permute(&mut rest, 0, &mut |perm| {
+        if found {
+            return false;
+        }
+        let mut order = prefix.clone();
+        order.extend_from_slice(perm);
+        let n = history.tx_count();
+        let mut co = Relation::new(n);
+        for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                co.insert(a, b);
+            }
+        }
+        let mut lengths = vec![0usize; order.len()];
+        match enumerate_pc_prefix_vectors(history, &order, &mut lengths, 0, &mut budget, &co) {
+            Ok(Some(())) => {
+                found = true;
+                false
+            }
+            Ok(None) => true,
+            Err(BruteExhausted) => false,
+        }
+    });
+    if !found && budget == 0 {
+        return Err(BruteExhausted);
+    }
+    Ok(found)
+}
+
+fn enumerate_pc_prefix_vectors(
+    history: &History,
+    order: &[TxId],
+    lengths: &mut [usize],
+    at: usize,
+    budget: &mut u64,
+    co: &Relation,
+) -> Result<Option<()>, BruteExhausted> {
+    if at == order.len() {
+        if *budget == 0 {
+            return Err(BruteExhausted);
+        }
+        *budget -= 1;
+        let n = history.tx_count();
+        let mut vis = Relation::new(n);
+        for (i, &t) in order.iter().enumerate() {
+            for &s in &order[..lengths[i]] {
+                vis.insert(s, t);
+            }
+        }
+        let exec = AbstractExecution::new(history.clone(), vis, co.clone())
+            .expect("prefix-shaped VIS is contained in the total CO");
+        if crate::check_pc(&exec).is_ok() {
+            return Ok(Some(()));
+        }
+        return Ok(None);
+    }
+    for k in 0..=at {
+        lengths[at] = k;
+        if enumerate_pc_prefix_vectors(history, order, lengths, at + 1, budget, co)?.is_some() {
+            return Ok(Some(()));
+        }
+    }
+    Ok(None)
+}
+
+/// Convenience wrapper: `true` iff the history is allowed by the model.
+///
+/// # Errors
+///
+/// Returns [`BruteExhausted`] if the step budget ran out first.
+pub fn is_allowed(
+    model: SpecModel,
+    history: &History,
+    config: &BruteConfig,
+) -> Result<bool, BruteExhausted> {
+    find_execution(model, history, config).map(|w| w.is_some())
+}
+
+/// Enumerates permutations of `items[at..]`, calling `f` on each complete
+/// permutation; `f` returns `false` to stop.
+fn permute(items: &mut [TxId], at: usize, f: &mut impl FnMut(&[TxId]) -> bool) -> bool {
+    if at == items.len() {
+        return f(items);
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        let keep_going = permute(items, at + 1, f);
+        items.swap(at, i);
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tries every `VIS` compatible with the total commit order given by
+/// `order` under `model`.
+fn try_order(
+    model: SpecModel,
+    history: &History,
+    order: &[TxId],
+    budget: &mut u64,
+) -> Result<Option<AbstractExecution>, BruteExhausted> {
+    let n = history.tx_count();
+    let mut co = Relation::new(n);
+    for (i, &a) in order.iter().enumerate() {
+        for &b in &order[i + 1..] {
+            co.insert(a, b);
+        }
+    }
+
+    match model {
+        SpecModel::Ser => {
+            if *budget == 0 {
+                return Err(BruteExhausted);
+            }
+            *budget -= 1;
+            let exec = AbstractExecution::new(history.clone(), co.clone(), co)
+                .expect("total order CO with VIS = CO is structurally valid");
+            if SpecModel::Ser.check(&exec).is_ok() {
+                return Ok(Some(exec));
+            }
+            Ok(None)
+        }
+        SpecModel::Si => {
+            // VIS⁻¹(order[i]) is a CO-prefix of length k_i ≤ i.
+            let mut lengths = vec![0usize; order.len()];
+            enumerate_prefix_vectors(history, order, &mut lengths, 0, budget, &mut co.clone())
+        }
+        SpecModel::Psi => {
+            // VIS is any subset of the forward pairs of `order`; check the
+            // PSI axioms on each candidate.
+            let forward: Vec<(TxId, TxId)> = {
+                let mut pairs = Vec::new();
+                for (i, &a) in order.iter().enumerate() {
+                    for &b in &order[i + 1..] {
+                        pairs.push((a, b));
+                    }
+                }
+                pairs
+            };
+            let m = forward.len();
+            assert!(m < 63, "PSI brute force is limited to tiny histories");
+            for mask in 0u64..(1u64 << m) {
+                if *budget == 0 {
+                    return Err(BruteExhausted);
+                }
+                *budget -= 1;
+                let mut vis = Relation::new(n);
+                for (bit, &(a, b)) in forward.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        vis.insert(a, b);
+                    }
+                }
+                let exec = AbstractExecution::new(history.clone(), vis, co.clone())
+                    .expect("VIS ⊆ CO by construction of forward pairs");
+                if SpecModel::Psi.check(&exec).is_ok() {
+                    return Ok(Some(exec));
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Recursively chooses a snapshot-prefix length for each position and
+/// checks the SI axioms on each complete assignment.
+fn enumerate_prefix_vectors(
+    history: &History,
+    order: &[TxId],
+    lengths: &mut [usize],
+    at: usize,
+    budget: &mut u64,
+    co: &mut Relation,
+) -> Result<Option<AbstractExecution>, BruteExhausted> {
+    if at == order.len() {
+        if *budget == 0 {
+            return Err(BruteExhausted);
+        }
+        *budget -= 1;
+        let n = history.tx_count();
+        let mut vis = Relation::new(n);
+        for (i, &t) in order.iter().enumerate() {
+            for &s in &order[..lengths[i]] {
+                vis.insert(s, t);
+            }
+        }
+        let exec = AbstractExecution::new(history.clone(), vis, co.clone())
+            .expect("prefix-shaped VIS is contained in the total CO");
+        if SpecModel::Si.check(&exec).is_ok() {
+            return Ok(Some(exec));
+        }
+        return Ok(None);
+    }
+    for k in 0..=at {
+        lengths[at] = k;
+        if let Some(exec) = enumerate_prefix_vectors(history, order, lengths, at + 1, budget, co)? {
+            return Ok(Some(exec));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    fn cfg() -> BruteConfig {
+        BruteConfig::default()
+    }
+
+    /// Figure 2(d): write skew. In HistSI and HistPSI, not HistSER.
+    fn write_skew() -> History {
+        let mut b = HistoryBuilder::new();
+        let a1 = b.object("acct1");
+        let a2 = b.object("acct2");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(a1, 70), Op::read(a2, 80), Op::write(a1, 0)]);
+        b.push_tx(s2, [Op::read(a1, 70), Op::read(a2, 80), Op::write(a2, 0)]);
+        b.build_with_initial_values([(a1, 70), (a2, 80)])
+    }
+
+    /// Figure 2(b): lost update. In none of the three sets.
+    fn lost_update() -> History {
+        let mut b = HistoryBuilder::new();
+        let acct = b.object("acct");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+        b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+        b.build()
+    }
+
+    /// Figure 2(c): long fork. In HistPSI only.
+    fn long_fork() -> History {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(y, 1)]);
+        b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+        b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+        b.build()
+    }
+
+    #[test]
+    fn write_skew_memberships() {
+        let h = write_skew();
+        assert!(is_allowed(SpecModel::Si, &h, &cfg()).unwrap());
+        assert!(is_allowed(SpecModel::Psi, &h, &cfg()).unwrap());
+        assert!(!is_allowed(SpecModel::Ser, &h, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn lost_update_memberships() {
+        let h = lost_update();
+        assert!(!is_allowed(SpecModel::Si, &h, &cfg()).unwrap());
+        assert!(!is_allowed(SpecModel::Psi, &h, &cfg()).unwrap());
+        assert!(!is_allowed(SpecModel::Ser, &h, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn long_fork_memberships() {
+        let h = long_fork();
+        assert!(!is_allowed(SpecModel::Si, &h, &cfg()).unwrap());
+        assert!(is_allowed(SpecModel::Psi, &h, &cfg()).unwrap());
+        assert!(!is_allowed(SpecModel::Ser, &h, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn witness_execution_actually_satisfies_model() {
+        let h = write_skew();
+        let exec = find_execution(SpecModel::Si, &h, &cfg()).unwrap().unwrap();
+        assert!(SpecModel::Si.check(&exec).is_ok());
+        assert!(exec.is_co_total());
+    }
+
+    #[test]
+    fn serializable_history_found_quickly() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1), Op::write(x, 2)]);
+        let h = b.build();
+        for model in SpecModel::ALL {
+            assert!(is_allowed(model, &h, &cfg()).unwrap(), "{model} rejected serial history");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error() {
+        let h = long_fork();
+        let tiny = BruteConfig { step_budget: 3 };
+        assert_eq!(is_allowed(SpecModel::Si, &h, &tiny), Err(BruteExhausted));
+    }
+
+    #[test]
+    fn session_guarantees_figure_2a() {
+        // Figure 2(a): T1 writes x:=1, then T2 in the same session reads x.
+        // Under all three models T2 must read 1, never 0.
+        let mk = |read_val: u64| {
+            let mut b = HistoryBuilder::new();
+            let x = b.object("x");
+            let s = b.session();
+            b.push_tx(s, [Op::write(x, 1)]);
+            b.push_tx(s, [Op::read(x, read_val)]);
+            b.build()
+        };
+        for model in SpecModel::ALL {
+            assert!(is_allowed(model, &mk(1), &cfg()).unwrap());
+            assert!(!is_allowed(model, &mk(0), &cfg()).unwrap(), "{model} allowed a stale session read");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The [`AbstractExecution`] type (Definitions 3 and 11 of the paper).
+
+use core::fmt;
+
+use si_model::History;
+use si_relations::{Relation, TxId, TxSet};
+
+/// An abstract execution `X = (T, SO, VIS, CO)` — a history extended with
+/// visibility and commit-order relations (Definition 3) — or a
+/// *pre-execution* when `CO` is not total (Definition 11).
+///
+/// Invariants enforced at construction:
+///
+/// * `VIS` and `CO` range over exactly the history's transactions;
+/// * `VIS ⊆ CO` (a snapshot only includes previously committed
+///   transactions);
+/// * `CO` is a strict partial order (irreflexive and transitive), hence so
+///   is `VIS` up to transitivity (which SI's PREFIX later implies).
+///
+/// Whether the execution is *full* (total `CO`) is queried with
+/// [`AbstractExecution::is_co_total`]; the axiom sets in
+/// [`SpecModel`](crate::SpecModel) insist on totality, while the
+/// pre-execution variants do not.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AbstractExecution {
+    history: History,
+    vis: Relation,
+    co: Relation,
+}
+
+/// Why a `(history, VIS, CO)` triple is not a well-formed (pre-)execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// `VIS` or `CO` ranges over a different number of transactions than
+    /// the history.
+    UniverseMismatch {
+        /// Transactions in the history.
+        history: usize,
+        /// Universe of the offending relation.
+        relation: usize,
+    },
+    /// Some `VIS` edge is missing from `CO`.
+    VisNotInCo(TxId, TxId),
+    /// `CO` relates a transaction to itself.
+    CoReflexive(TxId),
+    /// `CO` is not transitive: `(a,b)` and `(b,c)` present, `(a,c)` absent.
+    CoNotTransitive(TxId, TxId, TxId),
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::UniverseMismatch { history, relation } => write!(
+                f,
+                "relation ranges over {relation} transactions but the history has {history}"
+            ),
+            StructureError::VisNotInCo(a, b) => {
+                write!(f, "VIS edge {a} -> {b} is not in CO (VIS ⊆ CO required)")
+            }
+            StructureError::CoReflexive(t) => write!(f, "CO relates {t} to itself"),
+            StructureError::CoNotTransitive(a, b, c) => {
+                write!(f, "CO is not transitive: {a} -> {b} -> {c} but not {a} -> {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+impl AbstractExecution {
+    /// Builds an execution, validating the structural invariants of
+    /// Definitions 3/11 (everything except CO-totality, which
+    /// distinguishes executions from pre-executions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StructureError`] naming the violated invariant.
+    pub fn new(history: History, vis: Relation, co: Relation) -> Result<Self, StructureError> {
+        let n = history.tx_count();
+        for rel in [&vis, &co] {
+            if rel.universe() != n {
+                return Err(StructureError::UniverseMismatch {
+                    history: n,
+                    relation: rel.universe(),
+                });
+            }
+        }
+        if let Some((a, b)) = vis.difference(&co).iter_pairs().next() {
+            return Err(StructureError::VisNotInCo(a, b));
+        }
+        for t in history.tx_ids() {
+            if co.contains(t, t) {
+                return Err(StructureError::CoReflexive(t));
+            }
+        }
+        // Transitivity with witness extraction.
+        let comp = co.compose(&co);
+        if let Some((a, c)) = comp.difference(&co).iter_pairs().next() {
+            // Recover the midpoint for the witness.
+            let b = co
+                .successors(a)
+                .iter()
+                .find(|&m| co.contains(m, c))
+                .expect("composition produced the pair, a midpoint exists");
+            return Err(StructureError::CoNotTransitive(a, b, c));
+        }
+        Ok(AbstractExecution { history, vis, co })
+    }
+
+    /// The underlying history.
+    #[inline]
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The visibility relation.
+    #[inline]
+    pub fn vis(&self) -> &Relation {
+        &self.vis
+    }
+
+    /// The commit order.
+    #[inline]
+    pub fn co(&self) -> &Relation {
+        &self.co
+    }
+
+    /// Number of transactions.
+    #[inline]
+    pub fn tx_count(&self) -> usize {
+        self.history.tx_count()
+    }
+
+    /// Whether `CO` is a strict *total* order, i.e. whether this is a full
+    /// execution rather than a pre-execution.
+    pub fn is_co_total(&self) -> bool {
+        self.co.first_unrelated_pair().is_none()
+    }
+
+    /// The snapshot of `T`: `VIS⁻¹(T)`, the set of transactions visible to
+    /// it.
+    pub fn snapshot_of(&self, t: TxId) -> TxSet {
+        self.vis.predecessors(t)
+    }
+
+    /// Decomposes into parts (history, VIS, CO).
+    pub fn into_parts(self) -> (History, Relation, Relation) {
+        (self.history, self.vis, self.co)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    fn tiny_history() -> History {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]);
+        b.build()
+    }
+
+    fn chain_rel(n: usize) -> Relation {
+        let mut r = Relation::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                r.insert(TxId::from_index(i), TxId::from_index(j));
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn well_formed_execution() {
+        let h = tiny_history();
+        let co = chain_rel(3);
+        let exec = AbstractExecution::new(h, co.clone(), co).unwrap();
+        assert!(exec.is_co_total());
+        assert_eq!(exec.tx_count(), 3);
+        let snap = exec.snapshot_of(TxId(2));
+        assert!(snap.contains(TxId(0)) && snap.contains(TxId(1)));
+    }
+
+    #[test]
+    fn vis_must_be_in_co() {
+        let h = tiny_history();
+        let mut vis = Relation::new(3);
+        vis.insert(TxId(0), TxId(1));
+        let co = Relation::new(3);
+        assert_eq!(
+            AbstractExecution::new(h, vis, co),
+            Err(StructureError::VisNotInCo(TxId(0), TxId(1)))
+        );
+    }
+
+    #[test]
+    fn co_must_be_irreflexive_and_transitive() {
+        let h = tiny_history();
+        let mut co = Relation::new(3);
+        co.insert(TxId(1), TxId(1));
+        assert_eq!(
+            AbstractExecution::new(h.clone(), Relation::new(3), co),
+            Err(StructureError::CoReflexive(TxId(1)))
+        );
+
+        let mut co = Relation::new(3);
+        co.insert(TxId(0), TxId(1));
+        co.insert(TxId(1), TxId(2));
+        assert_eq!(
+            AbstractExecution::new(h, Relation::new(3), co),
+            Err(StructureError::CoNotTransitive(TxId(0), TxId(1), TxId(2)))
+        );
+    }
+
+    #[test]
+    fn universe_mismatch_detected() {
+        let h = tiny_history();
+        assert!(matches!(
+            AbstractExecution::new(h, Relation::new(2), Relation::new(2)),
+            Err(StructureError::UniverseMismatch { history: 3, relation: 2 })
+        ));
+    }
+
+    #[test]
+    fn partial_co_is_a_pre_execution() {
+        let h = tiny_history();
+        let mut co = Relation::new(3);
+        co.insert(TxId(0), TxId(1));
+        let exec = AbstractExecution::new(h, Relation::new(3), co).unwrap();
+        assert!(!exec.is_co_total());
+    }
+}

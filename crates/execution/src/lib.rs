@@ -1,0 +1,76 @@
+//! Abstract executions and the consistency axioms of *Analysing Snapshot
+//! Isolation* (Cerone & Gotsman, PODC 2016), §2.
+//!
+//! An [`AbstractExecution`] extends a history with two relations that
+//! declaratively describe how the transactional system processed its
+//! transactions (Definition 3):
+//!
+//! * **visibility** `VIS`: `T -VIS→ S` means the writes of `T` are included
+//!   in the snapshot taken by `S`;
+//! * **commit order** `CO ⊇ VIS`: `T -CO→ S` means `T` committed before
+//!   `S`. In a full execution `CO` is a strict *total* order; in a
+//!   *pre-execution* (Definition 11) it may be partial — the intermediate
+//!   objects of the paper's soundness construction.
+//!
+//! Consistency models are specified by the axioms of Figure 1, each
+//! implemented as a checker with a counterexample witness:
+//!
+//! | axiom | meaning | function |
+//! |-------|---------|----------|
+//! | INT | reads agree with preceding ops in the same transaction | [`check_int`] |
+//! | EXT | external reads see the last visible write (by `CO`) | [`check_ext`] |
+//! | SESSION | `SO ⊆ VIS` | [`check_session`] |
+//! | PREFIX | `CO ; VIS ⊆ VIS` | [`check_prefix`] |
+//! | NOCONFLICT | concurrent writers of an object are `VIS`-related | [`check_no_conflict`] |
+//! | TOTALVIS | `CO = VIS` | [`check_total_vis`] |
+//! | TRANSVIS | `VIS` is transitive | [`check_trans_vis`] |
+//!
+//! [`SpecModel`] bundles the axiom sets of Definitions 4 and 20:
+//! `ExecSI = INT ∧ EXT ∧ SESSION ∧ PREFIX ∧ NOCONFLICT`,
+//! `ExecSER = INT ∧ EXT ∧ SESSION ∧ TOTALVIS`, and
+//! `ExecPSI = INT ∧ EXT ∧ SESSION ∧ TRANSVIS ∧ NOCONFLICT`.
+//!
+//! The [`brute`] module decides `HistSI` / `HistSER` / `HistPSI` for *tiny*
+//! histories by exhaustive search over `(VIS, CO)` pairs, directly from the
+//! definitions; the `si-core` crate uses it to cross-validate the
+//! dependency-graph characterisations.
+//!
+//! # Example
+//!
+//! ```
+//! use si_model::{HistoryBuilder, Op};
+//! use si_execution::{AbstractExecution, SpecModel};
+//! use si_relations::{Relation, TxId};
+//!
+//! let mut b = HistoryBuilder::new();
+//! let x = b.object("x");
+//! let s = b.session();
+//! b.push_tx(s, [Op::write(x, 1)]);
+//! b.push_tx(s, [Op::read(x, 1)]);
+//! let h = b.build();
+//!
+//! // init -> T1 -> T2 in both VIS and CO.
+//! let vis = Relation::from_pairs(3, [
+//!     (TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2)),
+//! ]);
+//! let co = vis.clone();
+//! let exec = AbstractExecution::new(h, vis, co).unwrap();
+//! assert!(SpecModel::Si.check(&exec).is_ok());
+//! assert!(SpecModel::Ser.check(&exec).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod axioms;
+pub mod brute;
+mod execution;
+mod models;
+
+pub use axioms::{
+    check_ext, check_int, check_no_conflict, check_prefix, check_session, check_total_vis,
+    check_trans_vis, AxiomViolation,
+};
+pub use execution::{AbstractExecution, StructureError};
+pub use models::{check_pc, check_pc_pre, SpecModel};

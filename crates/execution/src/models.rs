@@ -1,0 +1,191 @@
+//! Consistency-model specifications: the axiom sets of Definitions 4 and 20.
+
+use core::fmt;
+
+use crate::axioms::{
+    check_ext, check_int, check_no_conflict, check_prefix, check_session, check_total_vis,
+    check_trans_vis, AxiomViolation,
+};
+use crate::AbstractExecution;
+
+/// A consistency model specified by a set of Figure 1 axioms.
+///
+/// | model | axiom set | definition |
+/// |-------|-----------|------------|
+/// | [`Si`](SpecModel::Si)   | INT ∧ EXT ∧ SESSION ∧ PREFIX ∧ NOCONFLICT | Definition 4 (`ExecSI`) |
+/// | [`Ser`](SpecModel::Ser) | INT ∧ EXT ∧ SESSION ∧ TOTALVIS            | Definition 4 (`ExecSER`) |
+/// | [`Psi`](SpecModel::Psi) | INT ∧ EXT ∧ SESSION ∧ TRANSVIS ∧ NOCONFLICT | Definition 20 (`ExecPSI`) |
+///
+/// All three sets are over *strong session* variants: SESSION requires a
+/// transaction's snapshot to include its session predecessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecModel {
+    /// Strong session snapshot isolation.
+    Si,
+    /// Strong session serializability.
+    Ser,
+    /// Parallel snapshot isolation (PREFIX weakened to TRANSVIS).
+    Psi,
+}
+
+impl SpecModel {
+    /// All models, strongest first.
+    pub const ALL: [SpecModel; 3] = [SpecModel::Ser, SpecModel::Si, SpecModel::Psi];
+
+    /// Checks whether a *full* execution (total `CO`) satisfies the model's
+    /// axioms — membership in `ExecSI` / `ExecSER` / `ExecPSI`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom with a witness;
+    /// [`AxiomViolation::CoNotTotal`] if `CO` is not total.
+    pub fn check(self, exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+        if let Some((a, b)) = exec.co().first_unrelated_pair() {
+            return Err(AxiomViolation::CoNotTotal(a, b));
+        }
+        self.check_pre(exec)
+    }
+
+    /// Checks the model's axioms without requiring `CO` to be total —
+    /// membership in `PreExecSI` (Definition 11) and its SER/PSI analogues.
+    /// This is what the intermediate stages of the Theorem 10(i)
+    /// construction satisfy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom with a witness.
+    pub fn check_pre(self, exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+        check_int(exec)?;
+        check_ext(exec)?;
+        check_session(exec)?;
+        match self {
+            SpecModel::Si => {
+                check_prefix(exec)?;
+                check_no_conflict(exec)
+            }
+            SpecModel::Ser => check_total_vis(exec),
+            SpecModel::Psi => {
+                check_trans_vis(exec)?;
+                check_no_conflict(exec)
+            }
+        }
+    }
+}
+
+/// Prefix consistency (the paper's §7 pointer, after Burckhardt et al.):
+/// SI *without* write-conflict detection — the axiom set
+/// `INT ∧ EXT ∧ SESSION ∧ PREFIX` over full executions. Every SI
+/// execution is a PC execution; PC additionally admits lost updates.
+///
+/// Kept as a free function (not a [`SpecModel`] variant) because it is an
+/// extension beyond the paper's three models.
+///
+/// # Errors
+///
+/// Returns the first violated axiom, or
+/// [`AxiomViolation::CoNotTotal`] for pre-executions.
+pub fn check_pc(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    if let Some((a, b)) = exec.co().first_unrelated_pair() {
+        return Err(AxiomViolation::CoNotTotal(a, b));
+    }
+    check_pc_pre(exec)
+}
+
+/// The PC axioms without requiring `CO` to be total (the pre-execution
+/// variant, mirroring [`SpecModel::check_pre`]).
+///
+/// # Errors
+///
+/// Returns the first violated axiom.
+pub fn check_pc_pre(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
+    check_int(exec)?;
+    check_ext(exec)?;
+    check_session(exec)?;
+    check_prefix(exec)
+}
+
+impl fmt::Display for SpecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecModel::Si => write!(f, "SI"),
+            SpecModel::Ser => write!(f, "SER"),
+            SpecModel::Psi => write!(f, "PSI"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+    use si_relations::{Relation, TxId};
+
+    /// The write-skew execution of Figure 2(d): allowed by SI (and PSI),
+    /// rejected by SER.
+    fn write_skew() -> AbstractExecution {
+        let mut b = HistoryBuilder::new();
+        let a1 = b.object("acct1");
+        let a2 = b.object("acct2");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(a1, 70), Op::read(a2, 80), Op::write(a1, 0)]);
+        b.push_tx(s2, [Op::read(a1, 70), Op::read(a2, 80), Op::write(a2, 0)]);
+        let h = b.build_with_initial_values([(a1, 70), (a2, 80)]);
+        let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+        let mut co = vis.clone();
+        co.insert(TxId(1), TxId(2));
+        AbstractExecution::new(h, vis, co).unwrap()
+    }
+
+    #[test]
+    fn write_skew_in_si_and_psi_not_ser() {
+        let exec = write_skew();
+        assert!(SpecModel::Si.check(&exec).is_ok());
+        assert!(SpecModel::Psi.check(&exec).is_ok());
+        assert!(SpecModel::Ser.check(&exec).is_err());
+    }
+
+    #[test]
+    fn check_requires_total_co() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s1 = b.session();
+        let s2 = b.session();
+        b.push_tx(s1, [Op::read(x, 0)]);
+        b.push_tx(s2, [Op::read(x, 0)]);
+        let h = b.build();
+        let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+        let exec = AbstractExecution::new(h, vis.clone(), vis).unwrap();
+        assert!(matches!(
+            SpecModel::Si.check(&exec),
+            Err(AxiomViolation::CoNotTotal(TxId(1), TxId(2)))
+        ));
+        // As a pre-execution it is fine.
+        assert!(SpecModel::Si.check_pre(&exec).is_ok());
+    }
+
+    #[test]
+    fn serializable_chain_satisfies_all_models() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1), Op::write(x, 2)]);
+        let h = b.build();
+        let co = Relation::from_pairs(
+            3,
+            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
+        );
+        let exec = AbstractExecution::new(h, co.clone(), co).unwrap();
+        for model in SpecModel::ALL {
+            assert!(model.check(&exec).is_ok(), "{model} rejected a serial chain");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SpecModel::Si.to_string(), "SI");
+        assert_eq!(SpecModel::Ser.to_string(), "SER");
+        assert_eq!(SpecModel::Psi.to_string(), "PSI");
+    }
+}

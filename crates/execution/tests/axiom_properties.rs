@@ -1,0 +1,154 @@
+//! Property tests for the consistency axioms: serial executions satisfy
+//! every model; targeted perturbations break exactly the right axioms.
+
+use proptest::prelude::*;
+use si_execution::{
+    check_ext, check_no_conflict, check_prefix, check_session, check_total_vis, check_trans_vis,
+    AbstractExecution, SpecModel,
+};
+use si_model::{History, HistoryBuilder, Obj, Op};
+use si_relations::{Relation, TxId};
+
+const OBJECTS: usize = 3;
+
+/// A serial schedule: a sequence of transactions, each a list of
+/// `(object, is_rmw)` accesses, executed one after another against an
+/// in-memory store. Produces a history whose reads are exactly what
+/// sequential execution yields, plus the serial VIS = CO.
+fn serial_execution(accesses: Vec<Vec<(usize, bool)>>, sessions: usize) -> AbstractExecution {
+    let mut b = HistoryBuilder::new();
+    let objs: Vec<Obj> = (0..OBJECTS).map(|i| b.object(&format!("x{i}"))).collect();
+    let session_ids: Vec<_> = (0..sessions.max(1)).map(|_| b.session()).collect();
+    let mut store = vec![0u64; OBJECTS];
+    let mut counter = 0u64;
+    for (i, tx) in accesses.iter().enumerate() {
+        let mut ops = Vec::new();
+        for &(x, is_rmw) in tx {
+            let x = x % OBJECTS;
+            ops.push(Op::read(objs[x], store[x]));
+            if is_rmw {
+                counter += 1;
+                store[x] = 1000 + counter;
+                ops.push(Op::write(objs[x], store[x]));
+            }
+        }
+        if ops.is_empty() {
+            ops.push(Op::read(objs[0], store[0]));
+        }
+        b.push_tx(session_ids[i % session_ids.len()], ops);
+    }
+    let h = b.build();
+    let n = h.tx_count();
+    let mut total = Relation::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total.insert(TxId::from_index(i), TxId::from_index(j));
+        }
+    }
+    AbstractExecution::new(h, total.clone(), total).unwrap()
+}
+
+fn arb_accesses() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..OBJECTS, any::<bool>()), 0..4),
+        1..6,
+    )
+}
+
+proptest! {
+    /// Sequential execution satisfies every model's axioms: the semantics
+    /// of Definition 4's remark that INT+EXT+TOTALVIS gives the usual
+    /// sequential semantics.
+    #[test]
+    fn serial_executions_satisfy_all_models(
+        accesses in arb_accesses(),
+        sessions in 1..4usize,
+    ) {
+        let exec = serial_execution(accesses, sessions);
+        for model in SpecModel::ALL {
+            prop_assert!(
+                model.check(&exec).is_ok(),
+                "serial execution rejected by {}: {:?}",
+                model,
+                model.check(&exec)
+            );
+        }
+    }
+
+    /// Removing a non-redundant VIS edge from a serial execution breaks
+    /// one of TOTALVIS / EXT / SESSION — never nothing, because every
+    /// edge of a serial chain is load-bearing for TOTALVIS.
+    #[test]
+    fn dropping_vis_edges_breaks_totalvis(
+        accesses in arb_accesses(),
+        edge_seed in any::<u64>(),
+    ) {
+        let exec = serial_execution(accesses, 1);
+        let pairs: Vec<_> = exec.vis().iter_pairs().collect();
+        prop_assume!(!pairs.is_empty());
+        let (a, b) = pairs[(edge_seed % pairs.len() as u64) as usize];
+        let mut vis = exec.vis().clone();
+        vis.remove(a, b);
+        let mutated = AbstractExecution::new(
+            exec.history().clone(),
+            vis,
+            exec.co().clone(),
+        ).unwrap();
+        prop_assert!(check_total_vis(&mutated).is_err());
+    }
+
+    /// The empty-VIS execution over a serial history violates SESSION
+    /// (when sessions chain) or EXT (reads see nobody) unless every read
+    /// reads initial values and sessions are singletons.
+    #[test]
+    fn axioms_catch_empty_vis(accesses in arb_accesses()) {
+        let exec = serial_execution(accesses, 1);
+        let h: History = exec.history().clone();
+        let n = h.tx_count();
+        let empty = Relation::new(n);
+        let mutated = AbstractExecution::new(h.clone(), empty, exec.co().clone()).unwrap();
+        let session_broken = check_session(&mutated).is_err();
+        let ext_broken = check_ext(&mutated).is_err();
+        let any_so = !h.session_order().is_empty();
+        if any_so {
+            prop_assert!(session_broken);
+        }
+        // Reads of non-initial values must break EXT.
+        let reads_fresh = h.transactions().any(|(_, t)| {
+            t.external_read_set().iter().any(|&x| {
+                t.external_read(x).map(u64::from).unwrap_or(0) != 0
+            })
+        });
+        if reads_fresh {
+            prop_assert!(ext_broken);
+        }
+    }
+
+    /// PREFIX and TRANSVIS hold vacuously on serial executions; removing
+    /// interior edges can break them but never "fixes" anything.
+    #[test]
+    fn prefix_and_transvis_on_serial(accesses in arb_accesses()) {
+        let exec = serial_execution(accesses, 2);
+        prop_assert!(check_prefix(&exec).is_ok());
+        prop_assert!(check_trans_vis(&exec).is_ok());
+        prop_assert!(check_no_conflict(&exec).is_ok());
+    }
+}
+
+#[test]
+fn axiom_violation_displays_are_informative() {
+    // One concrete exercise of each Display arm used in diagnostics.
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(x, 0), Op::write(x, 1)]);
+    b.push_tx(s2, [Op::read(x, 0), Op::write(x, 2)]);
+    let h = b.build();
+    let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+    let mut co = vis.clone();
+    co.insert(TxId(1), TxId(2));
+    let exec = AbstractExecution::new(h, vis, co).unwrap();
+    let err = check_no_conflict(&exec).unwrap_err();
+    let rendered = err.to_string();
+    assert!(rendered.contains("NOCONFLICT"), "got: {rendered}");
+}

@@ -1,0 +1,294 @@
+//! Ergonomic construction of histories.
+
+use si_relations::TxId;
+
+use crate::{History, Obj, Op, SessionId, Transaction, Value};
+
+/// Builds a [`History`] incrementally: intern objects, open sessions, push
+/// transactions.
+///
+/// Unless disabled with [`HistoryBuilder::without_init`], `build` prepends
+/// the paper's initialisation transaction, writing the initial value of
+/// every interned object (0 by default; see
+/// [`HistoryBuilder::build_with_initial_values`]).
+///
+/// # Example
+///
+/// ```
+/// use si_model::{HistoryBuilder, Op};
+///
+/// let mut b = HistoryBuilder::new();
+/// let x = b.object("x");
+/// let s = b.session();
+/// let t1 = b.push_tx(s, [Op::write(x, 1)]);
+/// let t2 = b.push_tx(s, [Op::read(x, 1)]);
+/// let h = b.build();
+/// assert_eq!(h.tx_count(), 3); // init + 2
+/// assert!(h.session_order().contains(t1, t2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HistoryBuilder {
+    object_names: Vec<String>,
+    sessions: Vec<Vec<usize>>, // indices into `transactions`
+    transactions: Vec<Transaction>,
+    with_init: bool,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder (with an init transaction enabled).
+    pub fn new() -> Self {
+        HistoryBuilder {
+            object_names: Vec::new(),
+            sessions: Vec::new(),
+            transactions: Vec::new(),
+            with_init: true,
+        }
+    }
+
+    /// Disables the automatic initialisation transaction. Reads of objects
+    /// never written then have no writer, which most downstream analyses
+    /// reject — use only when modelling graph fragments.
+    pub fn without_init(mut self) -> Self {
+        self.with_init = false;
+        self
+    }
+
+    /// Interns an object name, returning its [`Obj`] handle. Interning the
+    /// same name twice returns the same handle.
+    pub fn object(&mut self, name: &str) -> Obj {
+        if let Some(i) = self.object_names.iter().position(|n| n == name) {
+            return Obj::from_index(i);
+        }
+        self.object_names.push(name.to_owned());
+        Obj::from_index(self.object_names.len() - 1)
+    }
+
+    /// Interns `count` objects named `prefix0, prefix1, …`.
+    pub fn objects(&mut self, prefix: &str, count: usize) -> Vec<Obj> {
+        (0..count).map(|i| self.object(&format!("{prefix}{i}"))).collect()
+    }
+
+    /// Opens a new session.
+    pub fn session(&mut self) -> SessionId {
+        self.sessions.push(Vec::new());
+        SessionId((self.sessions.len() - 1) as u32)
+    }
+
+    /// Appends a transaction with the given operations to `session`,
+    /// returning the [`TxId`] it will have in the built history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or `session` was not opened by this
+    /// builder.
+    pub fn push_tx<I: IntoIterator<Item = Op>>(&mut self, session: SessionId, ops: I) -> TxId {
+        let tx = Transaction::new(ops.into_iter().collect());
+        self.transactions.push(tx);
+        let internal = self.transactions.len() - 1;
+        self.sessions[session.index()].push(internal);
+        // Final ids shift by one if an init transaction is prepended.
+        let offset = usize::from(self.with_init);
+        TxId::from_index(internal + offset)
+    }
+
+    /// Starts a fluent transaction sketch on `session`; finish with
+    /// [`TxSketch::commit`].
+    ///
+    /// ```
+    /// # use si_model::HistoryBuilder;
+    /// let mut b = HistoryBuilder::new();
+    /// let x = b.object("x");
+    /// let s = b.session();
+    /// let t = b.tx(s).read(x, 0).write(x, 1).commit();
+    /// let h = b.build();
+    /// assert_eq!(h.transaction(t).len(), 2);
+    /// ```
+    pub fn tx(&mut self, session: SessionId) -> TxSketch<'_> {
+        TxSketch {
+            builder: self,
+            session,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Builds the history, prepending an init transaction that writes 0 to
+    /// every interned object (unless disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the init transaction is enabled but no objects were
+    /// interned (the init transaction would be empty).
+    pub fn build(self) -> History {
+        let objs: Vec<(Obj, Value)> = (0..self.object_names.len())
+            .map(|i| (Obj::from_index(i), Value::INITIAL))
+            .collect();
+        self.build_inner(objs)
+    }
+
+    /// Builds the history with explicit initial values; objects not listed
+    /// get 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the init transaction is enabled but no objects were
+    /// interned.
+    pub fn build_with_initial_values<I: IntoIterator<Item = (Obj, u64)>>(self, values: I) -> History {
+        let mut init: Vec<(Obj, Value)> = (0..self.object_names.len())
+            .map(|i| (Obj::from_index(i), Value::INITIAL))
+            .collect();
+        for (x, v) in values {
+            init[x.index()].1 = Value(v);
+        }
+        self.build_inner(init)
+    }
+
+    fn build_inner(self, initial: Vec<(Obj, Value)>) -> History {
+        let offset = usize::from(self.with_init);
+        let mut transactions = Vec::with_capacity(self.transactions.len() + offset);
+        let mut init_tx = None;
+        if self.with_init {
+            assert!(
+                !initial.is_empty(),
+                "cannot build an init transaction for a history with no objects; \
+                 use without_init()"
+            );
+            transactions.push(Transaction::new(
+                initial.iter().map(|&(x, v)| Op::Write(x, v)).collect(),
+            ));
+            init_tx = Some(TxId(0));
+        }
+        transactions.extend(self.transactions);
+        let sessions: Vec<Vec<TxId>> = self
+            .sessions
+            .iter()
+            .map(|txs| txs.iter().map(|&i| TxId::from_index(i + offset)).collect())
+            .collect();
+        History::from_parts(transactions, sessions, init_tx, self.object_names)
+            .expect("builder maintains the session-structure invariants")
+    }
+}
+
+/// A fluent, in-progress transaction; created by
+/// [`HistoryBuilder::tx`].
+#[derive(Debug)]
+pub struct TxSketch<'a> {
+    builder: &'a mut HistoryBuilder,
+    session: SessionId,
+    ops: Vec<Op>,
+}
+
+impl TxSketch<'_> {
+    /// Appends a read of `x` returning `value`.
+    #[must_use]
+    pub fn read(mut self, x: Obj, value: impl Into<Value>) -> Self {
+        self.ops.push(Op::Read(x, value.into()));
+        self
+    }
+
+    /// Appends a write of `value` to `x`.
+    #[must_use]
+    pub fn write(mut self, x: Obj, value: impl Into<Value>) -> Self {
+        self.ops.push(Op::Write(x, value.into()));
+        self
+    }
+
+    /// Finishes the transaction and appends it to the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operations were added.
+    pub fn commit(self) -> TxId {
+        let TxSketch { builder, session, ops } = self;
+        builder.push_tx(session, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_transaction_is_prepended() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let s = b.session();
+        let t = b.push_tx(s, [Op::read(x, 0)]);
+        let h = b.build();
+        assert_eq!(t, TxId(1));
+        assert_eq!(h.init_tx(), Some(TxId(0)));
+        let init = h.transaction(TxId(0));
+        assert_eq!(init.final_write(x), Some(Value(0)));
+        assert_eq!(init.final_write(y), Some(Value(0)));
+    }
+
+    #[test]
+    fn custom_initial_values() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let s = b.session();
+        b.push_tx(s, [Op::read(x, 30)]);
+        let h = b.build_with_initial_values([(x, 30)]);
+        let init = h.transaction(TxId(0));
+        assert_eq!(init.final_write(x), Some(Value(30)));
+        assert_eq!(init.final_write(y), Some(Value(0)));
+    }
+
+    #[test]
+    fn without_init_keeps_raw_ids() {
+        let mut b = HistoryBuilder::new().without_init();
+        let x = b.object("x");
+        let s = b.session();
+        let t = b.push_tx(s, [Op::write(x, 1)]);
+        let h = b.build();
+        assert_eq!(t, TxId(0));
+        assert_eq!(h.init_tx(), None);
+        assert_eq!(h.tx_count(), 1);
+    }
+
+    #[test]
+    fn object_interning_dedups() {
+        let mut b = HistoryBuilder::new();
+        let x1 = b.object("acct");
+        let x2 = b.object("acct");
+        assert_eq!(x1, x2);
+        let ys = b.objects("y", 3);
+        assert_eq!(ys.len(), 3);
+        assert_ne!(ys[0], ys[1]);
+    }
+
+    #[test]
+    fn fluent_sketch() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        let t = b.tx(s).read(x, 0).write(x, 5).commit();
+        let h = b.build();
+        assert_eq!(h.transaction(t).external_read(x), Some(Value(0)));
+        assert_eq!(h.transaction(t).final_write(x), Some(Value(5)));
+    }
+
+    #[test]
+    fn multiple_sessions_ordering() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s1 = b.session();
+        let s2 = b.session();
+        let a = b.push_tx(s1, [Op::write(x, 1)]);
+        let c = b.push_tx(s2, [Op::write(x, 3)]);
+        let bb = b.push_tx(s1, [Op::write(x, 2)]);
+        let h = b.build();
+        let so = h.session_order();
+        assert!(so.contains(a, bb));
+        assert!(!so.contains(a, c));
+        assert!(!so.contains(c, bb));
+    }
+
+    #[test]
+    #[should_panic(expected = "no objects")]
+    fn init_with_no_objects_panics() {
+        let b = HistoryBuilder::new();
+        let _ = b.build();
+    }
+}

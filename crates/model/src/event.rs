@@ -1,0 +1,106 @@
+//! Read and write operations.
+
+use core::fmt;
+
+use crate::{Obj, Value};
+
+/// A single operation of a transaction: `read(x, n)` or `write(x, n)`
+/// (the paper's event payloads, §2).
+///
+/// Program order within a transaction is the order of the containing
+/// `Vec<Op>`; the paper's event identifiers `e ∈ E` correspond to vector
+/// positions.
+///
+/// ```
+/// use si_model::{Obj, Op, Value};
+///
+/// let op = Op::read(Obj(0), 5);
+/// assert!(op.is_read());
+/// assert_eq!(op.obj(), Obj(0));
+/// assert_eq!(op.value(), Value(5));
+/// assert_eq!(op.to_string(), "read(x0, 5)");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// `read(x, n)`: the transaction read value `n` from object `x`.
+    Read(Obj, Value),
+    /// `write(x, n)`: the transaction wrote value `n` to object `x`.
+    Write(Obj, Value),
+}
+
+impl Op {
+    /// Convenience constructor for a read; accepts anything convertible to
+    /// [`Value`].
+    pub fn read(obj: Obj, value: impl Into<Value>) -> Op {
+        Op::Read(obj, value.into())
+    }
+
+    /// Convenience constructor for a write; accepts anything convertible to
+    /// [`Value`].
+    pub fn write(obj: Obj, value: impl Into<Value>) -> Op {
+        Op::Write(obj, value.into())
+    }
+
+    /// The object the operation touches.
+    #[inline]
+    pub fn obj(&self) -> Obj {
+        match *self {
+            Op::Read(x, _) | Op::Write(x, _) => x,
+        }
+    }
+
+    /// The value read or written.
+    #[inline]
+    pub fn value(&self) -> Value {
+        match *self {
+            Op::Read(_, n) | Op::Write(_, n) => n,
+        }
+    }
+
+    /// Whether this is a read.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read(..))
+    }
+
+    /// Whether this is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write(..))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(x, n) => write!(f, "read({x}, {n})"),
+            Op::Write(x, n) => write!(f, "write({x}, {n})"),
+        }
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let w = Op::write(Obj(3), 9);
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(w.obj(), Obj(3));
+        assert_eq!(w.value(), Value(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Op::write(Obj(1), 2).to_string(), "write(x1, 2)");
+        assert_eq!(Op::read(Obj(0), 0).to_string(), "read(x0, 0)");
+    }
+}

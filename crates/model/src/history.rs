@@ -1,0 +1,419 @@
+//! Histories: sessions of transactions with the session order `SO`.
+
+use core::fmt;
+
+use si_relations::{Relation, TxId, TxSet};
+
+use crate::{IntViolation, Obj, Transaction};
+
+/// A session identifier (dense index into a history's session list).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A history `H = (T, SO)` (§2, Definition 2): a finite set of transactions
+/// partitioned into sessions, with `SO` the union of the per-session total
+/// orders.
+///
+/// Transactions are indexed by dense [`TxId`]s. A history may carry an
+/// *initialisation transaction* (the paper's elided transaction writing the
+/// initial version of every object); when present it is [`TxId`] 0, belongs
+/// to no session, and is reported by [`History::init_tx`].
+///
+/// Use [`HistoryBuilder`](crate::HistoryBuilder) to construct histories;
+/// [`History::from_parts`] is the low-level escape hatch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct History {
+    transactions: Vec<Transaction>,
+    sessions: Vec<Vec<TxId>>,
+    session_of: Vec<Option<SessionId>>,
+    init: Option<TxId>,
+    object_names: Vec<String>,
+}
+
+/// Structural problems detected by [`History::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// A session references a transaction id out of range.
+    DanglingTxId(SessionId, TxId),
+    /// A transaction belongs to two sessions (or appears twice).
+    DuplicateMembership(TxId),
+    /// A non-init transaction belongs to no session.
+    Orphan(TxId),
+    /// The init transaction is listed inside a session.
+    InitInSession(TxId),
+    /// The `session_of` table disagrees with the session lists.
+    InconsistentIndex(TxId),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::DanglingTxId(s, t) => write!(f, "session {s} references unknown {t}"),
+            HistoryError::DuplicateMembership(t) => write!(f, "{t} appears in two sessions"),
+            HistoryError::Orphan(t) => write!(f, "{t} belongs to no session and is not the init transaction"),
+            HistoryError::InitInSession(t) => write!(f, "init transaction {t} is listed inside a session"),
+            HistoryError::InconsistentIndex(t) => write!(f, "session index for {t} is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl History {
+    /// Low-level constructor from parts. Prefer
+    /// [`HistoryBuilder`](crate::HistoryBuilder).
+    ///
+    /// `sessions[i]` lists the transactions of session `i` in session
+    /// order. `init`, when set, must not appear in any session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HistoryError`] if the session structure is malformed.
+    pub fn from_parts(
+        transactions: Vec<Transaction>,
+        sessions: Vec<Vec<TxId>>,
+        init: Option<TxId>,
+        object_names: Vec<String>,
+    ) -> Result<Self, HistoryError> {
+        let n = transactions.len();
+        let mut session_of: Vec<Option<SessionId>> = vec![None; n];
+        for (si, txs) in sessions.iter().enumerate() {
+            let sid = SessionId(si as u32);
+            for &t in txs {
+                if t.index() >= n {
+                    return Err(HistoryError::DanglingTxId(sid, t));
+                }
+                if Some(t) == init {
+                    return Err(HistoryError::InitInSession(t));
+                }
+                if session_of[t.index()].is_some() {
+                    return Err(HistoryError::DuplicateMembership(t));
+                }
+                session_of[t.index()] = Some(sid);
+            }
+        }
+        for i in 0..n {
+            let t = TxId::from_index(i);
+            if session_of[i].is_none() && Some(t) != init {
+                return Err(HistoryError::Orphan(t));
+            }
+        }
+        if let Some(t) = init {
+            if t.index() >= n {
+                return Err(HistoryError::DanglingTxId(SessionId(u32::MAX), t));
+            }
+        }
+        Ok(History {
+            transactions,
+            sessions,
+            session_of,
+            init,
+            object_names,
+        })
+    }
+
+    /// Number of transactions, including the init transaction if present.
+    #[inline]
+    pub fn tx_count(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// The transaction with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn transaction(&self, id: TxId) -> &Transaction {
+        &self.transactions[id.index()]
+    }
+
+    /// Iterates over `(TxId, &Transaction)` pairs.
+    pub fn transactions(&self) -> impl Iterator<Item = (TxId, &Transaction)> + '_ {
+        self.transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TxId::from_index(i), t))
+    }
+
+    /// All transaction ids, including the init transaction.
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        (0..self.tx_count()).map(TxId::from_index)
+    }
+
+    /// The initialisation transaction, if the history carries one.
+    #[inline]
+    pub fn init_tx(&self) -> Option<TxId> {
+        self.init
+    }
+
+    /// Number of sessions.
+    #[inline]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The transactions of a session, in session order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn session(&self, id: SessionId) -> &[TxId] {
+        &self.sessions[id.index()]
+    }
+
+    /// Iterates over `(SessionId, &[TxId])`.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &[TxId])> + '_ {
+        self.sessions
+            .iter()
+            .enumerate()
+            .map(|(i, txs)| (SessionId(i as u32), txs.as_slice()))
+    }
+
+    /// The session a transaction belongs to (`None` for the init
+    /// transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn session_of(&self, id: TxId) -> Option<SessionId> {
+        self.session_of[id.index()]
+    }
+
+    /// The session order `SO`: the union of the per-session total orders,
+    /// as a transitive relation. The init transaction participates in no
+    /// `SO` edge.
+    pub fn session_order(&self) -> Relation {
+        let mut so = Relation::new(self.tx_count());
+        for txs in &self.sessions {
+            for (i, &a) in txs.iter().enumerate() {
+                for &b in &txs[i + 1..] {
+                    so.insert(a, b);
+                }
+            }
+        }
+        so
+    }
+
+    /// The same-session equivalence `≈_H = SO ∪ SO⁻¹ ∪ id` (§5), as a
+    /// relation. The init transaction is equivalent only to itself.
+    pub fn same_session(&self) -> Relation {
+        let mut rel = Relation::identity(self.tx_count());
+        for txs in &self.sessions {
+            for &a in txs {
+                for &b in txs {
+                    rel.insert(a, b);
+                }
+            }
+        }
+        rel
+    }
+
+    /// `WriteTx_x`: the set of transactions writing to `x`, including the
+    /// init transaction when it writes `x`.
+    pub fn write_txs(&self, x: Obj) -> TxSet {
+        let mut set = TxSet::new(self.tx_count());
+        for (id, t) in self.transactions() {
+            if t.writes_to(x) {
+                set.insert(id);
+            }
+        }
+        set
+    }
+
+    /// All distinct objects touched by any transaction, in ascending order.
+    pub fn objects(&self) -> Vec<Obj> {
+        let mut objs: Vec<Obj> = Vec::new();
+        for t in &self.transactions {
+            for x in t.objects() {
+                if !objs.contains(&x) {
+                    objs.push(x);
+                }
+            }
+        }
+        objs.sort_unstable();
+        objs
+    }
+
+    /// The human-readable name of an object, if the builder interned one.
+    pub fn object_name(&self, x: Obj) -> Option<&str> {
+        self.object_names.get(x.index()).map(String::as_str)
+    }
+
+    /// The interned object-name table.
+    pub fn object_names(&self) -> &[String] {
+        &self.object_names
+    }
+
+    /// Checks the INT axiom for every transaction (`T ⊨ INT` in the
+    /// paper's notation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending transaction and its violation.
+    pub fn check_int(&self) -> Result<(), (TxId, IntViolation)> {
+        for (id, t) in self.transactions() {
+            t.check_int().map_err(|v| (id, v))?;
+        }
+        Ok(())
+    }
+
+    /// Re-validates the session structure (useful after deserialisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HistoryError`] if the structure is malformed.
+    pub fn validate(&self) -> Result<(), HistoryError> {
+        History::from_parts(
+            self.transactions.clone(),
+            self.sessions.clone(),
+            self.init,
+            self.object_names.clone(),
+        )
+        .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    fn two_session_history() -> History {
+        let x = Obj(0);
+        History::from_parts(
+            vec![
+                Transaction::new(vec![Op::write(x, 0)]), // init
+                Transaction::new(vec![Op::write(x, 1)]),
+                Transaction::new(vec![Op::read(x, 1)]),
+                Transaction::new(vec![Op::read(x, 0)]),
+            ],
+            vec![vec![TxId(1), TxId(2)], vec![TxId(3)]],
+            Some(TxId(0)),
+            vec!["x".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn session_order_is_transitive_union() {
+        let h = History::from_parts(
+            vec![
+                Transaction::new(vec![Op::write(Obj(0), 1)]),
+                Transaction::new(vec![Op::write(Obj(0), 2)]),
+                Transaction::new(vec![Op::write(Obj(0), 3)]),
+                Transaction::new(vec![Op::write(Obj(0), 4)]),
+            ],
+            vec![vec![TxId(0), TxId(1), TxId(2)], vec![TxId(3)]],
+            None,
+            vec![],
+        )
+        .unwrap();
+        let so = h.session_order();
+        assert!(so.contains(TxId(0), TxId(1)));
+        assert!(so.contains(TxId(0), TxId(2)));
+        assert!(so.contains(TxId(1), TxId(2)));
+        assert!(!so.contains(TxId(2), TxId(3)));
+        assert!(so.is_transitive());
+        assert!(so.is_acyclic());
+    }
+
+    #[test]
+    fn same_session_groups_and_init_is_alone() {
+        let h = two_session_history();
+        let eq = h.same_session();
+        assert!(eq.contains(TxId(1), TxId(2)));
+        assert!(eq.contains(TxId(2), TxId(1)));
+        assert!(eq.contains(TxId(1), TxId(1)));
+        assert!(!eq.contains(TxId(1), TxId(3)));
+        assert!(eq.contains(TxId(0), TxId(0)));
+        assert!(!eq.contains(TxId(0), TxId(1)));
+    }
+
+    #[test]
+    fn write_txs_includes_init() {
+        let h = two_session_history();
+        let writers = h.write_txs(Obj(0));
+        assert!(writers.contains(TxId(0)));
+        assert!(writers.contains(TxId(1)));
+        assert!(!writers.contains(TxId(2)));
+    }
+
+    #[test]
+    fn session_lookup() {
+        let h = two_session_history();
+        assert_eq!(h.session_of(TxId(0)), None);
+        assert_eq!(h.session_of(TxId(2)), Some(SessionId(0)));
+        assert_eq!(h.session(SessionId(1)), &[TxId(3)]);
+        assert_eq!(h.session_count(), 2);
+        assert_eq!(h.init_tx(), Some(TxId(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed() {
+        let t = || Transaction::new(vec![Op::write(Obj(0), 1)]);
+        // Dangling id.
+        assert!(matches!(
+            History::from_parts(vec![t()], vec![vec![TxId(5)]], None, vec![]),
+            Err(HistoryError::DanglingTxId(_, _))
+        ));
+        // Duplicate membership.
+        assert!(matches!(
+            History::from_parts(vec![t(), t()], vec![vec![TxId(0)], vec![TxId(0)]], None, vec![]),
+            Err(HistoryError::DuplicateMembership(_))
+        ));
+        // Orphan.
+        assert!(matches!(
+            History::from_parts(vec![t(), t()], vec![vec![TxId(0)]], None, vec![]),
+            Err(HistoryError::Orphan(_))
+        ));
+        // Init inside a session.
+        assert!(matches!(
+            History::from_parts(vec![t()], vec![vec![TxId(0)]], Some(TxId(0)), vec![]),
+            Err(HistoryError::InitInSession(_))
+        ));
+    }
+
+    #[test]
+    fn objects_and_names() {
+        let h = two_session_history();
+        assert_eq!(h.objects(), vec![Obj(0)]);
+        assert_eq!(h.object_name(Obj(0)), Some("x"));
+        assert_eq!(h.object_name(Obj(7)), None);
+    }
+
+    #[test]
+    fn check_int_scans_all_transactions() {
+        let x = Obj(0);
+        let h = History::from_parts(
+            vec![
+                Transaction::new(vec![Op::write(x, 1)]),
+                Transaction::new(vec![Op::write(x, 2), Op::read(x, 3)]),
+            ],
+            vec![vec![TxId(0), TxId(1)]],
+            None,
+            vec![],
+        )
+        .unwrap();
+        let (tid, violation) = h.check_int().unwrap_err();
+        assert_eq!(tid, TxId(1));
+        assert_eq!(violation.read_index, 1);
+    }
+}

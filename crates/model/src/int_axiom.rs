@@ -1,0 +1,104 @@
+//! The internal consistency axiom INT (Figure 1 of the paper).
+
+use core::fmt;
+
+use crate::{Obj, Op, Value};
+
+/// A violation of the INT axiom: a read returned a value different from the
+/// last preceding operation on the same object within the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntViolation {
+    /// Index (program-order position) of the offending read.
+    pub read_index: usize,
+    /// Index of the preceding operation on the same object that fixes the
+    /// expected value.
+    pub prev_index: usize,
+    /// The object involved.
+    pub obj: Obj,
+    /// The value the read should have returned.
+    pub expected: Value,
+    /// The value the read actually returned.
+    pub actual: Value,
+}
+
+impl fmt::Display for IntViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "INT violated: read at position {} of {} returned {} but the \
+             preceding operation at position {} fixes it to {}",
+            self.read_index, self.obj, self.actual, self.prev_index, self.expected
+        )
+    }
+}
+
+impl std::error::Error for IntViolation {}
+
+/// Checks INT over a program-ordered operation slice: every read event `e`
+/// on an object `x` that has a preceding operation on `x` must return the
+/// value of the last such operation (its written value for a write, its
+/// returned value for a read).
+///
+/// # Errors
+///
+/// Returns the first violation in program order.
+pub(crate) fn check_ops_int(ops: &[Op]) -> Result<(), IntViolation> {
+    // last_op[x] = (index, value) of the last operation on x seen so far.
+    let mut last_op: Vec<(Obj, usize, Value)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let x = op.obj();
+        let prev = last_op.iter().find(|(o, _, _)| *o == x).copied();
+        if let (Op::Read(_, actual), Some((_, prev_index, expected))) = (op, prev) {
+            if *actual != expected {
+                return Err(IntViolation {
+                    read_index: i,
+                    prev_index,
+                    obj: x,
+                    expected,
+                    actual: *actual,
+                });
+            }
+        }
+        match last_op.iter_mut().find(|(o, _, _)| *o == x) {
+            Some(slot) => *slot = (x, i, op.value()),
+            None => last_op.push((x, i, op.value())),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_carries_witness() {
+        let ops = [Op::write(Obj(0), 3), Op::read(Obj(1), 0), Op::read(Obj(0), 4)];
+        let err = check_ops_int(&ops).unwrap_err();
+        assert_eq!(err.read_index, 2);
+        assert_eq!(err.prev_index, 0);
+        assert_eq!(err.obj, Obj(0));
+        assert_eq!(err.expected, Value(3));
+        assert_eq!(err.actual, Value(4));
+        assert!(err.to_string().contains("INT violated"));
+    }
+
+    #[test]
+    fn chain_of_reads_fixed_by_first() {
+        // read(x,5); read(x,5); read(x,6) — the third read violates INT
+        // against the *second* read (last preceding op).
+        let ops = [Op::read(Obj(0), 5), Op::read(Obj(0), 5), Op::read(Obj(0), 6)];
+        let err = check_ops_int(&ops).unwrap_err();
+        assert_eq!(err.prev_index, 1);
+    }
+
+    #[test]
+    fn later_write_resets_expectation() {
+        let ops = [
+            Op::read(Obj(0), 5),
+            Op::write(Obj(0), 9),
+            Op::read(Obj(0), 9),
+        ];
+        assert!(check_ops_int(&ops).is_ok());
+    }
+}

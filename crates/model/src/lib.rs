@@ -1,0 +1,68 @@
+//! Events, transactions, sessions and histories — the base objects of
+//! *Analysing Snapshot Isolation* (Cerone & Gotsman, PODC 2016), §2.
+//!
+//! A [`History`] records the client-visible result of executing a set of
+//! sessions: a set of [`Transaction`]s (each a program-ordered sequence of
+//! reads and writes over shared [`Obj`]ects) partitioned into sessions,
+//! together with the session order `SO`. Histories say nothing about *how*
+//! the system processed the transactions; that is the job of abstract
+//! executions (`si-execution`), which extend a history with visibility and
+//! commit orders.
+//!
+//! The crate implements the paper's per-transaction notation:
+//!
+//! * `T ⊢ write(x, n)` — `T` writes to `x` and the *last* value written is
+//!   `n` ([`Transaction::final_write`]);
+//! * `T ⊢ read(x, n)` — `T` reads from `x` *before* writing to it and the
+//!   first such read returns `n` ([`Transaction::external_read`]);
+//! * the internal consistency axiom INT ([`Transaction::check_int`],
+//!   [`History::check_int`]), which fixes the values of all other reads
+//!   from within the transaction itself.
+//!
+//! Following the paper (§2 and Figure 2's caption), a history may carry a
+//! distinguished *initialisation transaction* that writes the initial
+//! version of every object and precedes all other transactions in the
+//! visibility and commit orders; [`HistoryBuilder`] adds one by default.
+//!
+//! # Example: the write-skew history of Figure 2(d)
+//!
+//! ```
+//! use si_model::{HistoryBuilder, Op};
+//!
+//! let mut b = HistoryBuilder::new();
+//! let acct1 = b.object("acct1");
+//! let acct2 = b.object("acct2");
+//! let s1 = b.session();
+//! let s2 = b.session();
+//! // T1: checks both balances, withdraws from acct1.
+//! b.push_tx(s1, [Op::read(acct1, 60), Op::read(acct2, 60), Op::write(acct1, 0)]);
+//! // T2: checks both balances, withdraws from acct2.
+//! b.push_tx(s2, [Op::read(acct1, 60), Op::read(acct2, 60), Op::write(acct2, 0)]);
+//! let history = b.build_with_initial_values([(acct1, 60), (acct2, 60)]);
+//! assert!(history.check_int().is_ok());
+//! assert_eq!(history.tx_count(), 3); // init + T1 + T2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod event;
+mod history;
+mod int_axiom;
+mod object;
+mod pretty;
+mod transaction;
+mod value;
+
+pub use builder::{HistoryBuilder, TxSketch};
+pub use event::Op;
+pub use history::{History, HistoryError, SessionId};
+pub use int_axiom::IntViolation;
+pub use object::Obj;
+pub use transaction::Transaction;
+pub use value::Value;
+
+// Re-export the identifier types histories are indexed by.
+pub use si_relations::{Relation, TxId, TxSet};

@@ -1,0 +1,66 @@
+//! Object (key) identifiers.
+
+use core::fmt;
+
+/// A shared object (the paper's `x ∈ Obj`).
+///
+/// Objects are dense indices; [`HistoryBuilder`](crate::HistoryBuilder)
+/// interns human-readable names and [`History`](crate::History) can map an
+/// `Obj` back to its name for diagnostics.
+///
+/// ```
+/// use si_model::Obj;
+///
+/// let x = Obj(0);
+/// assert_eq!(x.index(), 0);
+/// assert_eq!(x.to_string(), "x0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Obj(pub u32);
+
+impl Obj {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `Obj` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Obj(u32::try_from(index).expect("object index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for Obj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for Obj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(Obj::from_index(Obj(5).index()), Obj(5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Obj(0) < Obj(1));
+    }
+}

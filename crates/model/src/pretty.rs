@@ -1,0 +1,66 @@
+//! Human-readable rendering of histories.
+
+use core::fmt;
+
+use crate::History;
+
+impl fmt::Display for History {
+    /// Renders the history one transaction per line, grouped by session,
+    /// resolving object names where available:
+    ///
+    /// ```text
+    /// init T0: write(x, 0) write(y, 0)
+    /// session s0:
+    ///   T1: write(x, 1)
+    ///   T2: read(x, 1)
+    /// session s1:
+    ///   T3: read(x, 0)
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let render_tx = |f: &mut fmt::Formatter<'_>, id: si_relations::TxId| -> fmt::Result {
+            write!(f, "{id}:")?;
+            for op in self.transaction(id).ops() {
+                let x = op.obj();
+                match self.object_name(x) {
+                    Some(name) => {
+                        let kind = if op.is_read() { "read" } else { "write" };
+                        write!(f, " {kind}({name}, {})", op.value())?;
+                    }
+                    None => write!(f, " {op}")?,
+                }
+            }
+            Ok(())
+        };
+        if let Some(init) = self.init_tx() {
+            write!(f, "init ")?;
+            render_tx(f, init)?;
+            writeln!(f)?;
+        }
+        for (sid, txs) in self.sessions() {
+            writeln!(f, "session {sid}:")?;
+            for &t in txs {
+                write!(f, "  ")?;
+                render_tx(f, t)?;
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistoryBuilder, Op};
+
+    #[test]
+    fn display_uses_names_and_sessions() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("acct");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        let rendered = b.build().to_string();
+        assert!(rendered.contains("init T0: write(acct, 0)"));
+        assert!(rendered.contains("session s0:"));
+        assert!(rendered.contains("T1: write(acct, 1)"));
+    }
+}

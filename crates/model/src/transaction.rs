@@ -1,0 +1,232 @@
+//! Transactions: program-ordered sequences of operations.
+
+use crate::int_axiom::{check_ops_int, IntViolation};
+use crate::{Obj, Op, Value};
+
+/// A committed transaction `T = (E, po)` (§2): a finite, non-empty sequence
+/// of operations in program order.
+///
+/// The paper only considers committed transactions — aborted ones are
+/// assumed to be resubmitted (§5) — so a `Transaction` is immutable once
+/// built.
+///
+/// ```
+/// use si_model::{Obj, Op, Transaction, Value};
+///
+/// let x = Obj(0);
+/// let t = Transaction::new(vec![
+///     Op::read(x, 0),
+///     Op::write(x, 1),
+///     Op::write(x, 2),
+/// ]);
+/// assert_eq!(t.external_read(x), Some(Value(0))); // T ⊢ read(x, 0)
+/// assert_eq!(t.final_write(x), Some(Value(2)));   // T ⊢ write(x, 2)
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Transaction {
+    ops: Vec<Op>,
+}
+
+impl Transaction {
+    /// Builds a transaction from its operations in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty; the paper requires the event set of a
+    /// transaction to be non-empty.
+    pub fn new(ops: Vec<Op>) -> Self {
+        assert!(!ops.is_empty(), "a transaction must contain at least one operation");
+        Transaction { ops }
+    }
+
+    /// The operations in program order.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always `false` (transactions are non-empty by construction); present
+    /// for `len`/`is_empty` API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// `T ⊢ write(x, n)`: if the transaction writes to `x`, the value `n`
+    /// of its *last* write to `x` (the paper's
+    /// `op(max_po {e | op(e) = write(x, _)})`).
+    pub fn final_write(&self, x: Obj) -> Option<Value> {
+        self.ops
+            .iter()
+            .rev()
+            .find(|op| op.is_write() && op.obj() == x)
+            .map(Op::value)
+    }
+
+    /// `T ⊢ read(x, n)`: if the transaction's *first* operation on `x` is a
+    /// read, the value `n` that read returned (the paper's
+    /// `op(min_po {e | op(e) = _(x, _)})` when that event is a read).
+    ///
+    /// Reads of `x` that follow a write to `x` in the same transaction are
+    /// *internal* — their value is fixed by INT, not by other transactions —
+    /// and do not produce an external read.
+    pub fn external_read(&self, x: Obj) -> Option<Value> {
+        match self.ops.iter().find(|op| op.obj() == x) {
+            Some(Op::Read(_, n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether the transaction writes to `x` at all (`T ∈ WriteTx_x`).
+    pub fn writes_to(&self, x: Obj) -> bool {
+        self.ops.iter().any(|op| op.is_write() && op.obj() == x)
+    }
+
+    /// Whether the transaction performs an external read of `x`.
+    pub fn reads_externally(&self, x: Obj) -> bool {
+        self.external_read(x).is_some()
+    }
+
+    /// The objects the transaction writes, in first-write order, without
+    /// duplicates (its write set).
+    pub fn write_set(&self) -> Vec<Obj> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if op.is_write() && !seen.contains(&op.obj()) {
+                seen.push(op.obj());
+            }
+        }
+        seen
+    }
+
+    /// The objects the transaction reads externally, in program order,
+    /// without duplicates.
+    pub fn external_read_set(&self) -> Vec<Obj> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            let x = op.obj();
+            if !seen.contains(&x) && self.reads_externally(x) {
+                seen.push(x);
+            }
+        }
+        seen
+    }
+
+    /// The objects the transaction reads (any read, internal or external),
+    /// without duplicates (its read set, as used by static analyses).
+    pub fn read_set(&self) -> Vec<Obj> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if op.is_read() && !seen.contains(&op.obj()) {
+                seen.push(op.obj());
+            }
+        }
+        seen
+    }
+
+    /// All distinct objects the transaction touches.
+    pub fn objects(&self) -> Vec<Obj> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if !seen.contains(&op.obj()) {
+                seen.push(op.obj());
+            }
+        }
+        seen
+    }
+
+    /// Checks the internal consistency axiom INT (Figure 1): every read
+    /// that is preceded in the transaction by an operation on the same
+    /// object must return the value of the last such operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation in program order.
+    pub fn check_int(&self) -> Result<(), IntViolation> {
+        check_ops_int(&self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Obj {
+        Obj(0)
+    }
+    fn y() -> Obj {
+        Obj(1)
+    }
+
+    #[test]
+    fn final_write_takes_last() {
+        let t = Transaction::new(vec![Op::write(x(), 1), Op::write(x(), 2), Op::write(y(), 3)]);
+        assert_eq!(t.final_write(x()), Some(Value(2)));
+        assert_eq!(t.final_write(y()), Some(Value(3)));
+        assert_eq!(t.final_write(Obj(9)), None);
+    }
+
+    #[test]
+    fn external_read_requires_read_first() {
+        let t = Transaction::new(vec![Op::read(x(), 0), Op::write(x(), 1), Op::read(x(), 1)]);
+        assert_eq!(t.external_read(x()), Some(Value(0)));
+        // Write-then-read is internal, not external.
+        let t2 = Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 1)]);
+        assert_eq!(t2.external_read(x()), None);
+        assert!(!t2.reads_externally(x()));
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let t = Transaction::new(vec![
+            Op::read(x(), 0),
+            Op::write(y(), 1),
+            Op::read(y(), 1),
+            Op::write(x(), 5),
+        ]);
+        assert_eq!(t.write_set(), vec![y(), x()]);
+        assert_eq!(t.read_set(), vec![x(), y()]);
+        assert_eq!(t.external_read_set(), vec![x()]);
+        assert_eq!(t.objects(), vec![x(), y()]);
+        assert!(t.writes_to(x()) && t.writes_to(y()));
+    }
+
+    #[test]
+    fn int_axiom_examples() {
+        // read sees earlier write: OK.
+        assert!(Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 1)])
+            .check_int()
+            .is_ok());
+        // read disagrees with earlier write: violation.
+        assert!(Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 2)])
+            .check_int()
+            .is_err());
+        // read repeats earlier read: OK.
+        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(x(), 7)])
+            .check_int()
+            .is_ok());
+        // read disagrees with earlier read: violation.
+        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(x(), 8)])
+            .check_int()
+            .is_err());
+        // first read on each object unconstrained.
+        assert!(
+            Transaction::new(vec![Op::read(x(), 7), Op::read(y(), 9)])
+                .check_int()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_transaction_panics() {
+        let _ = Transaction::new(vec![]);
+    }
+}

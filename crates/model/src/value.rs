@@ -1,0 +1,69 @@
+//! Values stored in objects.
+
+use core::fmt;
+
+/// A value written to or read from an object.
+///
+/// The paper draws values from the naturals; we use `u64`. The
+/// initialisation transaction writes [`Value::INITIAL`] (zero) to every
+/// object unless the builder is told otherwise.
+///
+/// ```
+/// use si_model::Value;
+///
+/// let v = Value(42);
+/// assert_eq!(v.to_string(), "42");
+/// assert_eq!(Value::INITIAL, Value(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The default initial value of every object (what the paper's elided
+    /// initialisation transaction writes).
+    pub const INITIAL: Value = Value(0);
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(raw: u64) -> Self {
+        Value(raw)
+    }
+}
+
+impl From<Value> for u64 {
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let v: Value = 7u64.into();
+        assert_eq!(u64::from(v), 7);
+        assert_eq!(v.to_string(), "7");
+        assert_eq!(format!("{v:?}"), "7");
+    }
+
+    #[test]
+    fn initial_is_zero_default() {
+        assert_eq!(Value::default(), Value::INITIAL);
+    }
+}

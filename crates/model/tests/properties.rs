@@ -1,0 +1,171 @@
+//! Property tests for the history model: the `T ⊢ read/write` notation,
+//! the INT axiom, and the session-order laws.
+
+use proptest::prelude::*;
+use si_model::{HistoryBuilder, Obj, Op, Transaction, Value};
+
+const OBJECTS: u32 = 3;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0..OBJECTS, 0..5u64, any::<bool>()).prop_map(|(x, v, is_read)| {
+        if is_read {
+            Op::read(Obj(x), v)
+        } else {
+            Op::write(Obj(x), v)
+        }
+    })
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(arb_op(), 1..10)
+}
+
+/// Reference implementation of INT: scan for each read the last prior op
+/// on the same object.
+fn int_reference(ops: &[Op]) -> bool {
+    for (i, op) in ops.iter().enumerate() {
+        if let Op::Read(x, v) = op {
+            if let Some(prev) = ops[..i].iter().rev().find(|p| p.obj() == *x) {
+                if prev.value() != *v {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn check_int_matches_reference(ops in arb_ops()) {
+        let t = Transaction::new(ops.clone());
+        prop_assert_eq!(t.check_int().is_ok(), int_reference(&ops));
+    }
+
+    #[test]
+    fn final_write_is_last_write(ops in arb_ops()) {
+        let t = Transaction::new(ops.clone());
+        for x in 0..OBJECTS {
+            let x = Obj(x);
+            let expected = ops
+                .iter()
+                .rev()
+                .find(|op| op.is_write() && op.obj() == x)
+                .map(Op::value);
+            prop_assert_eq!(t.final_write(x), expected);
+            prop_assert_eq!(t.writes_to(x), expected.is_some());
+        }
+    }
+
+    #[test]
+    fn external_read_is_first_op_if_read(ops in arb_ops()) {
+        let t = Transaction::new(ops.clone());
+        for x in 0..OBJECTS {
+            let x = Obj(x);
+            let expected = match ops.iter().find(|op| op.obj() == x) {
+                Some(Op::Read(_, v)) => Some(*v),
+                _ => None,
+            };
+            prop_assert_eq!(t.external_read(x), expected);
+        }
+    }
+
+    #[test]
+    fn sets_are_consistent(ops in arb_ops()) {
+        let t = Transaction::new(ops);
+        for x in t.external_read_set() {
+            prop_assert!(t.reads_externally(x));
+            prop_assert!(t.read_set().contains(&x));
+        }
+        for x in t.write_set() {
+            prop_assert!(t.writes_to(x));
+            prop_assert!(t.objects().contains(&x));
+        }
+        // No duplicates in any set.
+        for set in [t.write_set(), t.read_set(), t.external_read_set(), t.objects()] {
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), set.len());
+        }
+    }
+
+    #[test]
+    fn session_order_laws(
+        tx_counts in proptest::collection::vec(1..4usize, 1..4),
+    ) {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        for &count in &tx_counts {
+            let s = b.session();
+            for _ in 0..count {
+                b.push_tx(s, [Op::write(x, 1)]);
+            }
+        }
+        let h = b.build();
+        let so = h.session_order();
+        // SO is a strict partial order (irreflexive + transitive) and
+        // acyclic.
+        prop_assert!(so.is_irreflexive());
+        prop_assert!(so.is_transitive());
+        prop_assert!(so.is_acyclic());
+        // SO is total within each session, empty across sessions.
+        for (sid, txs) in h.sessions() {
+            for (i, &a) in txs.iter().enumerate() {
+                for &b2 in &txs[i + 1..] {
+                    prop_assert!(so.contains(a, b2), "missing SO in {sid}");
+                }
+            }
+        }
+        // The same-session relation is an equivalence.
+        let eq = h.same_session();
+        for t in h.tx_ids() {
+            prop_assert!(eq.contains(t, t));
+        }
+        prop_assert_eq!(eq.inverse(), eq.clone());
+        prop_assert!(eq.compose(&eq).is_subset(&eq));
+        // The init transaction participates in no SO edge.
+        let init = h.init_tx().unwrap();
+        prop_assert!(so.successors(init).is_empty());
+        prop_assert!(so.predecessors(init).is_empty());
+    }
+
+    #[test]
+    fn write_txs_matches_definition(ops_per_tx in proptest::collection::vec(arb_ops(), 1..5)) {
+        let mut b = HistoryBuilder::new();
+        for i in 0..OBJECTS {
+            b.object(&format!("x{i}"));
+        }
+        let s = b.session();
+        for ops in &ops_per_tx {
+            b.push_tx(s, ops.clone());
+        }
+        let h = b.build();
+        for x in 0..OBJECTS {
+            let x = Obj(x);
+            let writers = h.write_txs(x);
+            for (id, t) in h.transactions() {
+                prop_assert_eq!(writers.contains(id), t.writes_to(x));
+            }
+        }
+    }
+
+    #[test]
+    fn initial_values_respected(values in proptest::collection::vec(0..100u64, 1..4)) {
+        let mut b = HistoryBuilder::new();
+        let objs: Vec<Obj> = (0..values.len())
+            .map(|i| b.object(&format!("x{i}")))
+            .collect();
+        let s = b.session();
+        b.push_tx(s, [Op::read(objs[0], values[0])]);
+        let h = b.build_with_initial_values(
+            objs.iter().zip(&values).map(|(&o, &v)| (o, v)),
+        );
+        let init = h.transaction(h.init_tx().unwrap());
+        for (o, &v) in objs.iter().zip(&values) {
+            prop_assert_eq!(init.final_write(*o), Some(Value(v)));
+        }
+        prop_assert!(h.check_int().is_ok());
+        prop_assert!(h.validate().is_ok());
+    }
+}

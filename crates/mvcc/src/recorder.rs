@@ -1,0 +1,201 @@
+//! Turning engine runs into histories and abstract executions.
+
+use si_execution::AbstractExecution;
+use si_model::{History, Obj, Op, Transaction, Value};
+use si_relations::{Relation, TxId};
+
+/// A committed transaction as observed by the scheduler: the operations
+/// it performed (with the values actually read) plus the engine's ground
+/// truth.
+#[derive(Debug, Clone)]
+pub struct CommittedTx {
+    /// The client session that ran it.
+    pub session: usize,
+    /// The operations in program order, with read results filled in.
+    pub ops: Vec<Op>,
+    /// Commit sequence number (1-based).
+    pub seq: u64,
+    /// Commit sequence numbers visible to its snapshot.
+    pub visible: Vec<u64>,
+}
+
+/// Aggregate counters of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Commit attempts refused by conflict detection (each followed by a
+    /// retry, up to the scheduler's limit).
+    pub aborted: u64,
+    /// Scripts abandoned after exhausting their retries.
+    pub gave_up: u64,
+    /// Total operations executed (including those of aborted attempts).
+    pub ops_executed: u64,
+    /// In-flight transactions lost to injected system failures (each
+    /// restarted, per §5's client assumptions).
+    pub crashes: u64,
+}
+
+/// The outcome of a scheduler run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The client-visible history (init transaction first).
+    pub history: History,
+    /// The same history extended with the engine's ground-truth VIS/CO.
+    pub execution: AbstractExecution,
+    /// Aggregate counters.
+    pub stats: RunStats,
+}
+
+/// Accumulates committed transactions and finishes into a
+/// [`RunResult`].
+#[derive(Debug, Default)]
+pub struct Recorder {
+    committed: Vec<CommittedTx>,
+    pub(crate) stats: RunStats,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Records a committed transaction.
+    pub fn record(&mut self, tx: CommittedTx) {
+        assert!(!tx.ops.is_empty(), "committed transactions must have operations");
+        self.committed.push(tx);
+    }
+
+    /// Number of recorded transactions.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Builds the history and ground-truth execution.
+    ///
+    /// `initial_values[i]` is the init transaction's write to `Obj(i)`;
+    /// `session_count` fixes the number of sessions (sessions that
+    /// committed nothing become empty… and are therefore dropped, since
+    /// histories have no use for them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if commit sequence numbers are not `1..=n` without gaps
+    /// (engines allocate them contiguously), or if a `visible` entry
+    /// references an unknown sequence number.
+    pub fn finish(mut self, initial_values: &[Value], session_count: usize) -> RunResult {
+        self.committed.sort_by_key(|t| t.seq);
+        for (i, t) in self.committed.iter().enumerate() {
+            assert_eq!(t.seq, (i + 1) as u64, "commit sequences must be contiguous");
+        }
+        let n = self.committed.len() + 1; // + init
+
+        // Transactions: init first, then commit order.
+        let mut transactions = Vec::with_capacity(n);
+        transactions.push(Transaction::new(
+            initial_values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Op::Write(Obj::from_index(i), v))
+                .collect(),
+        ));
+        for t in &self.committed {
+            transactions.push(Transaction::new(t.ops.clone()));
+        }
+
+        // Sessions: preserve client session identity, ordered by seq.
+        let mut sessions: Vec<Vec<TxId>> = vec![Vec::new(); session_count];
+        for (i, t) in self.committed.iter().enumerate() {
+            sessions[t.session].push(TxId::from_index(i + 1));
+        }
+        sessions.retain(|s| !s.is_empty());
+
+        let object_names = (0..initial_values.len()).map(|i| format!("x{i}")).collect();
+        let history = History::from_parts(transactions, sessions, Some(TxId(0)), object_names)
+            .expect("recorder output is structurally valid");
+
+        // Ground-truth VIS and CO.
+        let mut vis = Relation::new(n);
+        let mut co = Relation::new(n);
+        for i in 1..n {
+            vis.insert(TxId(0), TxId::from_index(i)); // init visible to all
+            co.insert(TxId(0), TxId::from_index(i));
+        }
+        for (i, t) in self.committed.iter().enumerate() {
+            let me = TxId::from_index(i + 1);
+            for &v in &t.visible {
+                assert!(v >= 1 && v <= self.committed.len() as u64, "dangling visible seq");
+                vis.insert(TxId::from_index(v as usize), me);
+            }
+            for j in (i + 1)..self.committed.len() {
+                co.insert(me, TxId::from_index(j + 1));
+            }
+        }
+        let execution = AbstractExecution::new(history.clone(), vis, co)
+            .expect("engine ground truth is structurally valid");
+
+        RunResult { history, execution, stats: self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_execution::SpecModel;
+
+    #[test]
+    fn finish_builds_valid_execution() {
+        let mut r = Recorder::new();
+        r.record(CommittedTx {
+            session: 0,
+            ops: vec![Op::write(Obj(0), 1)],
+            seq: 1,
+            visible: vec![],
+        });
+        r.record(CommittedTx {
+            session: 1,
+            ops: vec![Op::read(Obj(0), 1)],
+            seq: 2,
+            visible: vec![1],
+        });
+        r.stats.committed = 2;
+        let result = r.finish(&[Value(0)], 2);
+        assert_eq!(result.history.tx_count(), 3);
+        assert_eq!(result.history.session_count(), 2);
+        assert!(result.execution.is_co_total());
+        assert!(SpecModel::Si.check(&result.execution).is_ok());
+        assert_eq!(result.stats.committed, 2);
+    }
+
+    #[test]
+    fn empty_sessions_are_dropped() {
+        let mut r = Recorder::new();
+        r.record(CommittedTx {
+            session: 3,
+            ops: vec![Op::write(Obj(0), 1)],
+            seq: 1,
+            visible: vec![],
+        });
+        let result = r.finish(&[Value(0)], 5);
+        assert_eq!(result.history.session_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gap_in_sequences_panics() {
+        let mut r = Recorder::new();
+        r.record(CommittedTx {
+            session: 0,
+            ops: vec![Op::write(Obj(0), 1)],
+            seq: 2,
+            visible: vec![],
+        });
+        let _ = r.finish(&[Value(0)], 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! A small deterministic transaction-script language for workloads.
+
+use si_model::{Obj, Value};
+
+/// One step of a [`Script`].
+///
+/// Reads append their result to the script's *register file* in order;
+/// later steps refer to registers by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Read an object into the next register.
+    Read(Obj),
+    /// Write a constant.
+    WriteConst(Obj, u64),
+    /// Write `sum(registers) + delta` (saturating at zero).
+    WriteComputed {
+        /// The object to write.
+        obj: Obj,
+        /// Registers (read results) to sum.
+        regs: Vec<usize>,
+        /// Signed adjustment.
+        delta: i64,
+    },
+    /// Commit early (skipping the remaining steps) if the sum of the
+    /// registers is below the threshold — the guard of write-skew-style
+    /// "withdraw only if the combined balance suffices" transactions.
+    EndIfSumBelow {
+        /// Registers to sum.
+        regs: Vec<usize>,
+        /// The guard threshold.
+        threshold: u64,
+    },
+}
+
+/// A deterministic transaction script: the code a client session submits
+/// as one transaction. Aborted scripts are resubmitted from the start by
+/// the scheduler (the paper's §5 client assumption).
+///
+/// # Example: a guarded withdrawal (the Figure 2(d) program)
+///
+/// ```
+/// use si_mvcc::Script;
+/// use si_model::Obj;
+///
+/// let (acct1, acct2) = (Obj(0), Obj(1));
+/// let withdraw = Script::new()
+///     .read(acct1)
+///     .read(acct2)
+///     .end_if_sum_below([0, 1], 100) // both balances checked
+///     .write_computed(acct1, [0], -100); // acct1 -= 100
+/// assert_eq!(withdraw.ops().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Script {
+    ops: Vec<ScriptOp>,
+}
+
+impl Script {
+    /// An empty script; chain builder methods to populate it.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Appends a read.
+    #[must_use]
+    pub fn read(mut self, obj: Obj) -> Self {
+        self.ops.push(ScriptOp::Read(obj));
+        self
+    }
+
+    /// Appends a constant write.
+    #[must_use]
+    pub fn write_const(mut self, obj: Obj, value: u64) -> Self {
+        self.ops.push(ScriptOp::WriteConst(obj, value));
+        self
+    }
+
+    /// Appends a computed write: `sum(regs) + delta`, saturating at zero.
+    #[must_use]
+    pub fn write_computed<R: IntoIterator<Item = usize>>(
+        mut self,
+        obj: Obj,
+        regs: R,
+        delta: i64,
+    ) -> Self {
+        self.ops.push(ScriptOp::WriteComputed {
+            obj,
+            regs: regs.into_iter().collect(),
+            delta,
+        });
+        self
+    }
+
+    /// Appends an early-commit guard.
+    #[must_use]
+    pub fn end_if_sum_below<R: IntoIterator<Item = usize>>(
+        mut self,
+        regs: R,
+        threshold: u64,
+    ) -> Self {
+        self.ops.push(ScriptOp::EndIfSumBelow {
+            regs: regs.into_iter().collect(),
+            threshold,
+        });
+        self
+    }
+
+    /// The script's steps.
+    pub fn ops(&self) -> &[ScriptOp] {
+        &self.ops
+    }
+
+    /// Every object the script can read (guards count as reads of the
+    /// registers' source objects, which are already in the read set).
+    pub fn read_set(&self) -> Vec<Obj> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let ScriptOp::Read(x) = op {
+                if !out.contains(x) {
+                    out.push(*x);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every object the script can write.
+    pub fn write_set(&self) -> Vec<Obj> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            let x = match op {
+                ScriptOp::WriteConst(x, _) | ScriptOp::WriteComputed { obj: x, .. } => *x,
+                _ => continue,
+            };
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Whether the script has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Evaluates a computed value against a register file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register index is out of range.
+    pub(crate) fn compute(regs: &[usize], delta: i64, registers: &[Value]) -> Value {
+        let sum: u64 = regs.iter().map(|&r| registers[r].0).sum();
+        let adjusted = if delta >= 0 {
+            sum.saturating_add(delta as u64)
+        } else {
+            sum.saturating_sub(delta.unsigned_abs())
+        };
+        Value(adjusted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let x = Obj(0);
+        let s = Script::new().read(x).write_computed(x, [0], 5);
+        assert_eq!(s.ops().len(), 2);
+        assert!(!s.is_empty());
+        assert!(matches!(s.ops()[0], ScriptOp::Read(_)));
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let (x, y) = (Obj(0), Obj(1));
+        let s = Script::new()
+            .read(x)
+            .read(y)
+            .end_if_sum_below([0, 1], 10)
+            .write_computed(x, [0], -5)
+            .write_const(y, 0)
+            .write_const(y, 1);
+        assert_eq!(s.read_set(), vec![x, y]);
+        assert_eq!(s.write_set(), vec![x, y]);
+        let read_only = Script::new().read(x).read(x);
+        assert_eq!(read_only.read_set(), vec![x]);
+        assert!(read_only.write_set().is_empty());
+    }
+
+    #[test]
+    fn compute_saturates() {
+        let regs = [Value(10), Value(20)];
+        assert_eq!(Script::compute(&[0, 1], 5, &regs), Value(35));
+        assert_eq!(Script::compute(&[0], -50, &regs), Value(0));
+        assert_eq!(Script::compute(&[], 7, &regs), Value(7));
+    }
+}

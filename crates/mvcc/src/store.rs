@@ -1,0 +1,184 @@
+//! The multi-version object store shared by all engines.
+
+use si_model::{Obj, Value};
+
+/// A committed version of an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// The value written.
+    pub value: Value,
+    /// Commit sequence number of the writing transaction (0 is the
+    /// initial version).
+    pub commit_seq: u64,
+}
+
+/// A multi-version store: per object, the full committed version history
+/// in commit order. Sequence number 0 holds the initial values (the
+/// paper's initialisation transaction).
+#[derive(Debug, Clone)]
+pub struct MultiVersionStore {
+    versions: Vec<Vec<Version>>,
+}
+
+impl MultiVersionStore {
+    /// Creates a store over `object_count` objects, all initialised to 0
+    /// at sequence 0.
+    pub fn new(object_count: usize) -> Self {
+        MultiVersionStore {
+            versions: (0..object_count)
+                .map(|_| vec![Version { value: Value::INITIAL, commit_seq: 0 }])
+                .collect(),
+        }
+    }
+
+    /// Overrides an object's initial value (sequence 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if versions beyond the initial one already exist or `obj`
+    /// is out of range.
+    pub fn set_initial(&mut self, obj: Obj, value: Value) {
+        let versions = &mut self.versions[obj.index()];
+        assert_eq!(versions.len(), 1, "cannot reset initial value after commits");
+        versions[0].value = value;
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The initial value of an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    pub fn initial(&self, obj: Obj) -> Value {
+        self.versions[obj.index()][0].value
+    }
+
+    /// The latest version whose `commit_seq` is `≤ snapshot` — the
+    /// snapshot read of the SI algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range. (A version always exists: sequence
+    /// 0 holds the initial value.)
+    pub fn read_at(&self, obj: Obj, snapshot: u64) -> Version {
+        let versions = &self.versions[obj.index()];
+        // Versions are appended in increasing commit_seq, so scan from the
+        // end.
+        *versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_seq <= snapshot)
+            .expect("sequence 0 always satisfies the bound")
+    }
+
+    /// The latest version visible within an explicit set of commit
+    /// sequence numbers (used by the PSI engine, whose snapshots are not
+    /// prefixes). `visible(seq)` decides membership; sequence 0 is always
+    /// visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    pub fn read_visible(&self, obj: Obj, mut visible: impl FnMut(u64) -> bool) -> Version {
+        let versions = &self.versions[obj.index()];
+        *versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_seq == 0 || visible(v.commit_seq))
+            .expect("sequence 0 is always visible")
+    }
+
+    /// The commit sequence of the newest committed version of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    pub fn latest_seq(&self, obj: Obj) -> u64 {
+        self.versions[obj.index()]
+            .last()
+            .expect("version 0 always present")
+            .commit_seq
+    }
+
+    /// Installs a new committed version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `commit_seq` does not exceed the newest version's
+    /// sequence (engines commit in sequence order) or `obj` is out of
+    /// range.
+    pub fn install(&mut self, obj: Obj, value: Value, commit_seq: u64) {
+        let latest = self.latest_seq(obj);
+        assert!(commit_seq > latest, "versions must be installed in commit order");
+        self.versions[obj.index()].push(Version { value, commit_seq });
+    }
+
+    /// All committed versions of an object, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    pub fn versions(&self, obj: Obj) -> &[Version] {
+        &self.versions[obj.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads() {
+        let mut s = MultiVersionStore::new(1);
+        let x = Obj(0);
+        s.install(x, Value(10), 1);
+        s.install(x, Value(20), 3);
+        assert_eq!(s.read_at(x, 0).value, Value::INITIAL);
+        assert_eq!(s.read_at(x, 1).value, Value(10));
+        assert_eq!(s.read_at(x, 2).value, Value(10));
+        assert_eq!(s.read_at(x, 3).value, Value(20));
+        assert_eq!(s.read_at(x, 99).value, Value(20));
+        assert_eq!(s.latest_seq(x), 3);
+    }
+
+    #[test]
+    fn visible_set_reads() {
+        let mut s = MultiVersionStore::new(1);
+        let x = Obj(0);
+        s.install(x, Value(10), 1);
+        s.install(x, Value(20), 2);
+        // Sees seq 1 but not 2: reads 10.
+        assert_eq!(s.read_visible(x, |seq| seq == 1).value, Value(10));
+        // Sees nothing: falls back to the initial version.
+        assert_eq!(s.read_visible(x, |_| false).value, Value::INITIAL);
+    }
+
+    #[test]
+    fn initial_values() {
+        let mut s = MultiVersionStore::new(2);
+        s.set_initial(Obj(1), Value(77));
+        assert_eq!(s.initial(Obj(0)), Value(0));
+        assert_eq!(s.initial(Obj(1)), Value(77));
+        assert_eq!(s.read_at(Obj(1), 0).value, Value(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit order")]
+    fn out_of_order_install_panics() {
+        let mut s = MultiVersionStore::new(1);
+        s.install(Obj(0), Value(1), 5);
+        s.install(Obj(0), Value(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "after commits")]
+    fn set_initial_after_commit_panics() {
+        let mut s = MultiVersionStore::new(1);
+        s.install(Obj(0), Value(1), 1);
+        s.set_initial(Obj(0), Value(9));
+    }
+}

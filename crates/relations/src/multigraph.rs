@@ -1,0 +1,498 @@
+//! Labelled multigraphs and simple-cycle enumeration (Johnson's algorithm).
+//!
+//! The chopping analyses of §5 and Appendix B classify *critical cycles* of
+//! (static or dynamic) chopping graphs by the kinds of their edges:
+//! successor / predecessor (session order and its inverse) and conflict
+//! edges (WR, WW, RW). Two pieces can be connected by several edges of
+//! different kinds at once — e.g. both a WW and an RW conflict — and the
+//! kind matters for criticality, so cycles must be enumerated at the *edge*
+//! level over a multigraph, not merely at the vertex level.
+
+use core::fmt;
+
+use crate::TxId;
+
+/// A directed multigraph with labelled edges; parallel edges (same
+/// endpoints, different or equal labels) are allowed and enumerated as
+/// distinct.
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{MultiGraph, CycleVisit, TxId};
+///
+/// let mut g: MultiGraph<&'static str> = MultiGraph::new(2);
+/// g.add_edge(TxId(0), TxId(1), "WW");
+/// g.add_edge(TxId(1), TxId(0), "RW");
+/// g.add_edge(TxId(1), TxId(0), "WR"); // parallel edge, different label
+///
+/// let mut cycles = Vec::new();
+/// g.simple_cycles(usize::MAX, |c| {
+///     cycles.push(c.labels.clone());
+///     CycleVisit::Continue
+/// });
+/// // Two distinct cycles: 0-WW->1-RW->0 and 0-WW->1-WR->0.
+/// assert_eq!(cycles.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct MultiGraph<L> {
+    n: usize,
+    adjacency: Vec<Vec<(usize, L)>>,
+}
+
+/// A vertex-simple cycle of a [`MultiGraph`].
+///
+/// `labels[i]` labels the edge `nodes[i] → nodes[(i+1) % nodes.len()]`; the
+/// two vectors always have equal length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelledCycle<L> {
+    /// The vertices of the cycle in traversal order, without repeating the
+    /// first vertex at the end.
+    pub nodes: Vec<TxId>,
+    /// The edge labels, one per step (including the closing edge back to
+    /// `nodes[0]`).
+    pub labels: Vec<L>,
+}
+
+impl<L> LabelledCycle<L> {
+    /// Number of edges (equals the number of vertices).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cycle is empty (never true for emitted cycles).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for LabelledCycle<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (node, label) in self.nodes.iter().zip(&self.labels) {
+            write!(f, "{node} -{label}-> ")?;
+        }
+        if let Some(first) = self.nodes.first() {
+            write!(f, "{first}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Caller decision after visiting a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleVisit {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the enumeration early (e.g. a critical cycle was found).
+    Stop,
+}
+
+/// How a [`MultiGraph::simple_cycles`] enumeration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumerationEnd {
+    /// Every simple cycle was visited.
+    Complete,
+    /// The visitor requested a stop.
+    Stopped,
+    /// The step budget ran out before enumeration completed; analyses must
+    /// treat the result as inconclusive.
+    BudgetExhausted,
+}
+
+impl<L: Clone> MultiGraph<L> {
+    /// Creates a graph with vertices `{T0,…,T(n-1)}` and no edges.
+    pub fn new(n: usize) -> Self {
+        MultiGraph {
+            n,
+            adjacency: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (counting parallel edges separately).
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a directed edge `from → to` with the given label. Parallel
+    /// edges are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the vertex range.
+    pub fn add_edge(&mut self, from: TxId, to: TxId, label: L) {
+        assert!(to.index() < self.n, "{to} outside vertex range {}", self.n);
+        self.adjacency[from.index()].push((to.index(), label));
+    }
+
+    /// Iterates over all edges as `(from, to, label)`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, L>> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(from, outs)| {
+            outs.iter().map(move |(to, label)| EdgeRef {
+                from: TxId::from_index(from),
+                to: TxId::from_index(*to),
+                label,
+            })
+        })
+    }
+
+    /// Enumerates every vertex-simple cycle (Johnson's algorithm adapted to
+    /// labelled multigraphs), invoking `visit` once per cycle. Each
+    /// combination of parallel edges yields a distinct cycle. Cycles are
+    /// canonical: the smallest vertex of the cycle comes first.
+    ///
+    /// `step_budget` bounds the number of edge traversals across the whole
+    /// enumeration; the number of simple cycles can be exponential in the
+    /// graph size, and analyses that cannot afford that must be told when
+    /// the answer is incomplete.
+    pub fn simple_cycles<F>(&self, step_budget: usize, mut visit: F) -> EnumerationEnd
+    where
+        F: FnMut(&LabelledCycle<L>) -> CycleVisit,
+    {
+        let mut state = JohnsonState {
+            graph: self,
+            blocked: vec![false; self.n],
+            block_lists: (0..self.n).map(|_| Vec::new()).collect(),
+            node_stack: Vec::new(),
+            label_stack: Vec::new(),
+            steps_left: step_budget,
+            min_vertex: 0,
+            allowed: vec![false; self.n],
+            visit: &mut visit,
+        };
+
+        for start in 0..self.n {
+            // Restrict to the SCC of `start` within vertices >= start.
+            let scc = scc_containing(self, start);
+            let trivial = scc.iter().filter(|&&x| x).count() <= 1
+                && !self.adjacency[start].iter().any(|(to, _)| *to == start);
+            if trivial {
+                continue;
+            }
+            state.min_vertex = start;
+            state.allowed.copy_from_slice(&scc);
+            for v in 0..self.n {
+                state.blocked[v] = false;
+                state.block_lists[v].clear();
+            }
+            match state.circuit(start) {
+                CircuitEnd::Done(_) => {}
+                CircuitEnd::Stopped => return EnumerationEnd::Stopped,
+                CircuitEnd::Budget => return EnumerationEnd::BudgetExhausted,
+            }
+            debug_assert!(state.node_stack.is_empty());
+        }
+        EnumerationEnd::Complete
+    }
+
+    /// Collects every simple cycle into a vector (convenience for tests and
+    /// small graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration exceeds `step_budget` — callers of this
+    /// convenience API are asserting the graph is small.
+    pub fn all_simple_cycles(&self, step_budget: usize) -> Vec<LabelledCycle<L>> {
+        let mut out = Vec::new();
+        let end = self.simple_cycles(step_budget, |c| {
+            out.push(c.clone());
+            CycleVisit::Continue
+        });
+        assert!(
+            end == EnumerationEnd::Complete,
+            "cycle enumeration exceeded the step budget"
+        );
+        out
+    }
+}
+
+/// A borrowed edge of a [`MultiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'a, L> {
+    /// Source vertex.
+    pub from: TxId,
+    /// Target vertex.
+    pub to: TxId,
+    /// Edge label.
+    pub label: &'a L,
+}
+
+enum CircuitEnd {
+    /// Finished this start vertex; payload: whether any cycle was found.
+    Done(bool),
+    Stopped,
+    Budget,
+}
+
+struct JohnsonState<'a, 'f, L, F>
+where
+    F: FnMut(&LabelledCycle<L>) -> CycleVisit,
+{
+    graph: &'a MultiGraph<L>,
+    blocked: Vec<bool>,
+    block_lists: Vec<Vec<usize>>,
+    node_stack: Vec<usize>,
+    label_stack: Vec<L>,
+    steps_left: usize,
+    min_vertex: usize,
+    allowed: Vec<bool>,
+    // `visit` lives here so `circuit` can call it recursively.
+    visit: &'f mut F,
+}
+
+fn scc_containing<L>(graph: &MultiGraph<L>, start: usize) -> Vec<bool> {
+    // Forward reachability from `start` intersected with backward
+    // reachability, restricted to vertices >= start.
+    let n = graph.n;
+    let mut forward = vec![false; n];
+    let mut stack = vec![start];
+    forward[start] = true;
+    while let Some(v) = stack.pop() {
+        for (w, _) in &graph.adjacency[v] {
+            if *w >= start && !forward[*w] {
+                forward[*w] = true;
+                stack.push(*w);
+            }
+        }
+    }
+    // Backward: build reverse adjacency lazily.
+    let mut backward = vec![false; n];
+    backward[start] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in start..n {
+            if backward[v] {
+                continue;
+            }
+            if graph.adjacency[v]
+                .iter()
+                .any(|(w, _)| *w >= start && backward[*w])
+            {
+                backward[v] = true;
+                changed = true;
+            }
+        }
+    }
+    (0..n).map(|v| forward[v] && backward[v]).collect()
+}
+
+impl<L: Clone, F> JohnsonState<'_, '_, L, F>
+where
+    F: FnMut(&LabelledCycle<L>) -> CycleVisit,
+{
+    fn unblock(&mut self, v: usize) {
+        self.blocked[v] = false;
+        let pending = std::mem::take(&mut self.block_lists[v]);
+        for w in pending {
+            if self.blocked[w] {
+                self.unblock(w);
+            }
+        }
+    }
+
+    fn circuit(&mut self, v: usize) -> CircuitEnd {
+        let mut found = false;
+        self.node_stack.push(v);
+        self.blocked[v] = true;
+
+        let out_edges: Vec<(usize, L)> = self.graph.adjacency[v]
+            .iter()
+            .filter(|(w, _)| *w >= self.min_vertex && self.allowed[*w])
+            .cloned()
+            .collect();
+
+        for (w, label) in out_edges {
+            if self.steps_left == 0 {
+                self.node_stack.pop();
+                return CircuitEnd::Budget;
+            }
+            self.steps_left -= 1;
+
+            if w == self.min_vertex {
+                // Close the cycle.
+                let mut labels = self.label_stack.clone();
+                labels.push(label);
+                let cycle = LabelledCycle {
+                    nodes: self.node_stack.iter().map(|&i| TxId::from_index(i)).collect(),
+                    labels,
+                };
+                if (self.visit)(&cycle) == CycleVisit::Stop {
+                    self.node_stack.pop();
+                    return CircuitEnd::Stopped;
+                }
+                found = true;
+            } else if !self.blocked[w] {
+                self.label_stack.push(label);
+                let sub = self.circuit(w);
+                self.label_stack.pop();
+                match sub {
+                    CircuitEnd::Done(f) => found |= f,
+                    other => {
+                        self.node_stack.pop();
+                        return other;
+                    }
+                }
+            }
+        }
+
+        if found {
+            self.unblock(v);
+        } else {
+            for (w, _) in &self.graph.adjacency[v] {
+                if *w >= self.min_vertex && self.allowed[*w] && !self.block_lists[*w].contains(&v) {
+                    self.block_lists[*w].push(v);
+                }
+            }
+        }
+        self.node_stack.pop();
+        CircuitEnd::Done(found)
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for MultiGraph<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MultiGraph({} vertices) {{", self.n)?;
+        for (from, outs) in self.adjacency.iter().enumerate() {
+            for (to, label) in outs {
+                write!(f, " T{from} -{label:?}-> T{to};")?;
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32, &'static str)]) -> MultiGraph<&'static str> {
+        let mut g = MultiGraph::new(n);
+        for &(a, b, l) in edges {
+            g.add_edge(TxId(a), TxId(b), l);
+        }
+        g
+    }
+
+    fn cycle_signatures(g: &MultiGraph<&'static str>) -> Vec<String> {
+        let mut sigs: Vec<String> = g
+            .all_simple_cycles(1_000_000)
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        sigs.sort();
+        sigs
+    }
+
+    #[test]
+    fn no_cycles_in_dag() {
+        let g = graph(4, &[(0, 1, "a"), (1, 2, "b"), (0, 3, "c")]);
+        assert!(cycle_signatures(&g).is_empty());
+    }
+
+    #[test]
+    fn single_two_cycle() {
+        let g = graph(2, &[(0, 1, "x"), (1, 0, "y")]);
+        let sigs = cycle_signatures(&g);
+        assert_eq!(sigs, vec!["T0 -x-> T1 -y-> T0"]);
+    }
+
+    #[test]
+    fn parallel_edges_produce_distinct_cycles() {
+        let g = graph(2, &[(0, 1, "WW"), (1, 0, "RW"), (1, 0, "WR")]);
+        let sigs = cycle_signatures(&g);
+        assert_eq!(sigs.len(), 2);
+        assert!(sigs.contains(&"T0 -WW-> T1 -RW-> T0".to_string()));
+        assert!(sigs.contains(&"T0 -WW-> T1 -WR-> T0".to_string()));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(2, &[(1, 1, "l")]);
+        let sigs = cycle_signatures(&g);
+        assert_eq!(sigs, vec!["T1 -l-> T1"]);
+    }
+
+    #[test]
+    fn two_overlapping_triangles() {
+        // 0->1->2->0 and 0->1->3->0 share edge 0->1.
+        let g = graph(
+            4,
+            &[(0, 1, "a"), (1, 2, "b"), (2, 0, "c"), (1, 3, "d"), (3, 0, "e")],
+        );
+        let sigs = cycle_signatures(&g);
+        assert_eq!(sigs.len(), 2);
+    }
+
+    #[test]
+    fn complete_graph_cycle_count() {
+        // K4 (all ordered pairs, distinct vertices) has
+        // sum_{k=2..4} C(4,k) * (k-1)! = 6*1 + 4*2 + 1*6 = 20 simple cycles.
+        let mut g: MultiGraph<&'static str> = MultiGraph::new(4);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    g.add_edge(TxId(a), TxId(b), "e");
+                }
+            }
+        }
+        assert_eq!(g.all_simple_cycles(1_000_000).len(), 20);
+    }
+
+    #[test]
+    fn cycles_are_canonical_and_consistent() {
+        let g = graph(3, &[(0, 1, "a"), (1, 2, "b"), (2, 0, "c")]);
+        let cycles = g.all_simple_cycles(1_000_000);
+        assert_eq!(cycles.len(), 1);
+        let c = &cycles[0];
+        assert_eq!(c.nodes[0], TxId(0)); // smallest vertex first
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn early_stop() {
+        let g = graph(2, &[(0, 1, "x"), (1, 0, "y"), (1, 0, "z")]);
+        let mut count = 0;
+        let end = g.simple_cycles(usize::MAX, |_| {
+            count += 1;
+            CycleVisit::Stop
+        });
+        assert_eq!(end, EnumerationEnd::Stopped);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut g: MultiGraph<&'static str> = MultiGraph::new(8);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                if a != b {
+                    g.add_edge(TxId(a), TxId(b), "e");
+                }
+            }
+        }
+        let end = g.simple_cycles(10, |_| CycleVisit::Continue);
+        assert_eq!(end, EnumerationEnd::BudgetExhausted);
+    }
+
+    #[test]
+    fn figure8_shares_a_vertex() {
+        // Two cycles sharing vertex 1: 0->1->0 and 1->2->1.
+        let g = graph(3, &[(0, 1, "a"), (1, 0, "b"), (1, 2, "c"), (2, 1, "d")]);
+        let sigs = cycle_signatures(&g);
+        assert_eq!(sigs.len(), 2);
+        // But the figure-eight walk 0->1->2->1->0 repeats vertex 1 and must
+        // NOT be emitted — every emitted cycle is vertex-simple.
+        for c in g.all_simple_cycles(1_000_000) {
+            let mut nodes = c.nodes.clone();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), c.nodes.len());
+        }
+    }
+}

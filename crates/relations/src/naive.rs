@@ -1,0 +1,159 @@
+//! A deliberately simple reference implementation of the relation
+//! algebra, used for differential testing and as the baseline of the
+//! representation ablation bench.
+//!
+//! [`NaiveRelation`] stores pairs in a `BTreeSet` and implements every
+//! operation by the textbook definition (composition by double loop,
+//! closure by iteration to fixpoint). It is asymptotically worse than the
+//! bitset [`Relation`] — that is the point: the two are
+//! checked against each other property-by-property, so a bug would have
+//! to be made twice, in two very different shapes, to slip through.
+
+use std::collections::BTreeSet;
+
+use crate::{Relation, TxId};
+
+/// Set-of-pairs reference relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NaiveRelation {
+    n: usize,
+    pairs: BTreeSet<(TxId, TxId)>,
+}
+
+impl NaiveRelation {
+    /// Empty relation over `{T0,…,T(n-1)}`.
+    pub fn new(n: usize) -> Self {
+        NaiveRelation { n, pairs: BTreeSet::new() }
+    }
+
+    /// From pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside the universe.
+    pub fn from_pairs<I: IntoIterator<Item = (TxId, TxId)>>(n: usize, pairs: I) -> Self {
+        let mut rel = NaiveRelation::new(n);
+        for (a, b) in pairs {
+            rel.insert(a, b);
+        }
+        rel
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pairs.
+    pub fn edge_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Membership.
+    pub fn contains(&self, a: TxId, b: TxId) -> bool {
+        self.pairs.contains(&(a, b))
+    }
+
+    /// Insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside the universe.
+    pub fn insert(&mut self, a: TxId, b: TxId) -> bool {
+        assert!(a.index() < self.n && b.index() < self.n, "pair outside universe");
+        self.pairs.insert((a, b))
+    }
+
+    /// Union.
+    pub fn union(&self, other: &NaiveRelation) -> NaiveRelation {
+        assert_eq!(self.n, other.n);
+        NaiveRelation {
+            n: self.n,
+            pairs: self.pairs.union(&other.pairs).copied().collect(),
+        }
+    }
+
+    /// Textbook composition: `{(a,c) | ∃b. (a,b) ∈ R ∧ (b,c) ∈ S}`.
+    pub fn compose(&self, other: &NaiveRelation) -> NaiveRelation {
+        assert_eq!(self.n, other.n);
+        let mut out = NaiveRelation::new(self.n);
+        for &(a, b) in &self.pairs {
+            for &(b2, c) in &other.pairs {
+                if b == b2 {
+                    out.pairs.insert((a, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive closure by iterating composition to a fixpoint.
+    pub fn transitive_closure(&self) -> NaiveRelation {
+        let mut closure = self.clone();
+        loop {
+            let step = closure.compose(self);
+            let before = closure.pairs.len();
+            closure.pairs.extend(step.pairs);
+            if closure.pairs.len() == before {
+                return closure;
+            }
+        }
+    }
+
+    /// Acyclicity by checking the closure for reflexive pairs.
+    pub fn is_acyclic(&self) -> bool {
+        let closure = self.transitive_closure();
+        !(0..self.n).any(|i| closure.contains(TxId::from_index(i), TxId::from_index(i)))
+    }
+
+    /// Inverse.
+    pub fn inverse(&self) -> NaiveRelation {
+        NaiveRelation {
+            n: self.n,
+            pairs: self.pairs.iter().map(|&(a, b)| (b, a)).collect(),
+        }
+    }
+
+    /// Converts to the bitset representation.
+    pub fn to_dense(&self) -> Relation {
+        Relation::from_pairs(self.n, self.pairs.iter().copied())
+    }
+
+    /// Converts from the bitset representation.
+    pub fn from_dense(dense: &Relation) -> NaiveRelation {
+        NaiveRelation::from_pairs(dense.universe(), dense.iter_pairs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_dense() {
+        let naive = NaiveRelation::from_pairs(4, [(TxId(0), TxId(1)), (TxId(2), TxId(3))]);
+        let dense = naive.to_dense();
+        assert_eq!(NaiveRelation::from_dense(&dense), naive);
+        assert_eq!(dense.edge_count(), 2);
+    }
+
+    #[test]
+    fn textbook_compose() {
+        let r = NaiveRelation::from_pairs(3, [(TxId(0), TxId(1))]);
+        let s = NaiveRelation::from_pairs(3, [(TxId(1), TxId(2))]);
+        let c = r.compose(&s);
+        assert!(c.contains(TxId(0), TxId(2)));
+        assert_eq!(c.edge_count(), 1);
+    }
+
+    #[test]
+    fn fixpoint_closure() {
+        let r = NaiveRelation::from_pairs(4, [(TxId(0), TxId(1)), (TxId(1), TxId(2)), (TxId(2), TxId(3))]);
+        let c = r.transitive_closure();
+        assert!(c.contains(TxId(0), TxId(3)));
+        assert_eq!(c.edge_count(), 6);
+        assert!(r.is_acyclic());
+        let cyc = NaiveRelation::from_pairs(2, [(TxId(0), TxId(1)), (TxId(1), TxId(0))]);
+        assert!(!cyc.is_acyclic());
+    }
+}

@@ -1,0 +1,151 @@
+//! Reachability and path-witness queries.
+
+use crate::{Relation, TxId, TxSet};
+
+/// Computes the set of vertices reachable from `start` by one or more edges
+/// (i.e. `R⁺(start)`; `start` itself is included only if it lies on a
+/// cycle through itself).
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{Relation, TxId, reachable_from};
+///
+/// let r = Relation::from_pairs(4, [(TxId(0), TxId(1)), (TxId(1), TxId(2))]);
+/// let reach = reachable_from(&r, TxId(0));
+/// assert!(reach.contains(TxId(2)));
+/// assert!(!reach.contains(TxId(0)));
+/// ```
+pub fn reachable_from(relation: &Relation, start: TxId) -> TxSet {
+    let n = relation.universe();
+    let mut reached = TxSet::new(n);
+    let mut frontier = vec![start];
+    while let Some(v) = frontier.pop() {
+        for w in relation.successors(v).iter() {
+            if reached.insert(w) {
+                frontier.push(w);
+            }
+        }
+    }
+    reached
+}
+
+/// Finds a shortest path `from → … → to` (BFS) and returns its vertex
+/// sequence including both endpoints, or `None` if `to` is unreachable.
+/// A path from a vertex to itself requires at least one edge (length ≥ 1);
+/// the returned sequence then starts and ends with the vertex.
+///
+/// Used to produce human-readable witnesses: e.g. when the robustness
+/// analysis finds a dangerous structure `a -RW→ b -RW→ c` it reports the
+/// closing path `c → … → a`.
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{Relation, TxId, path_between};
+///
+/// let r = Relation::from_pairs(4, [
+///     (TxId(0), TxId(1)), (TxId(1), TxId(2)), (TxId(2), TxId(0)),
+/// ]);
+/// assert_eq!(
+///     path_between(&r, TxId(0), TxId(2)).unwrap(),
+///     vec![TxId(0), TxId(1), TxId(2)],
+/// );
+/// assert_eq!(
+///     path_between(&r, TxId(0), TxId(0)).unwrap(),
+///     vec![TxId(0), TxId(1), TxId(2), TxId(0)],
+/// );
+/// ```
+pub fn path_between(relation: &Relation, from: TxId, to: TxId) -> Option<Vec<TxId>> {
+    let n = relation.universe();
+    let mut parent: Vec<Option<TxId>> = vec![None; n];
+    let mut visited = TxSet::new(n);
+    let mut queue = std::collections::VecDeque::new();
+
+    // Mark `from` visited up-front: it must never acquire a parent pointer,
+    // or path reconstruction could chase a cyclic parent chain forever.
+    visited.insert(from);
+    // Seed with successors of `from` so that from == to requires a cycle.
+    for w in relation.successors(from).iter() {
+        if w == to {
+            return Some(vec![from, to]);
+        }
+        if visited.insert(w) {
+            parent[w.index()] = Some(from);
+            queue.push_back(w);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for w in relation.successors(v).iter() {
+            if w == to {
+                let mut path = vec![to, v];
+                let mut cur = v;
+                while let Some(p) = parent[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if visited.insert(w) {
+                parent[w.index()] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: usize, pairs: &[(u32, u32)]) -> Relation {
+        Relation::from_pairs(n, pairs.iter().map(|&(a, b)| (TxId(a), TxId(b))))
+    }
+
+    #[test]
+    fn reachability_excludes_start_without_cycle() {
+        let r = rel(4, &[(0, 1), (1, 2), (3, 0)]);
+        let reach = reachable_from(&r, TxId(0));
+        assert!(reach.contains(TxId(1)));
+        assert!(reach.contains(TxId(2)));
+        assert!(!reach.contains(TxId(0)));
+        assert!(!reach.contains(TxId(3)));
+    }
+
+    #[test]
+    fn reachability_includes_start_on_cycle() {
+        let r = rel(3, &[(0, 1), (1, 0)]);
+        assert!(reachable_from(&r, TxId(0)).contains(TxId(0)));
+    }
+
+    #[test]
+    fn path_is_shortest() {
+        let r = rel(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let p = path_between(&r, TxId(0), TxId(3)).unwrap();
+        assert_eq!(p.len(), 3); // 0 -> 4 -> 3 (or 0 -> 1 would be longer)
+        for w in p.windows(2) {
+            assert!(r.contains(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn no_path_returns_none() {
+        let r = rel(3, &[(0, 1)]);
+        assert!(path_between(&r, TxId(1), TxId(0)).is_none());
+        assert!(path_between(&r, TxId(2), TxId(2)).is_none());
+    }
+
+    #[test]
+    fn self_path_needs_cycle() {
+        let r = rel(2, &[(0, 1), (1, 0)]);
+        let p = path_between(&r, TxId(0), TxId(0)).unwrap();
+        assert_eq!(p, vec![TxId(0), TxId(1), TxId(0)]);
+        let loopy = rel(1, &[(0, 0)]);
+        assert_eq!(
+            path_between(&loopy, TxId(0), TxId(0)).unwrap(),
+            vec![TxId(0), TxId(0)]
+        );
+    }
+}

@@ -1,0 +1,910 @@
+//! Dense binary relations over transaction identifiers.
+
+use core::fmt;
+
+use crate::{TxId, TxSet};
+
+/// A binary relation `R ⊆ {T0,…,T(n-1)} × {T0,…,T(n-1)}`, stored as a dense
+/// bitset matrix (one [`TxSet`] row per source transaction).
+///
+/// `Relation` implements the relational algebra the paper computes with:
+/// union, intersection, composition `R ; S`, the optional composition
+/// `R ; S? = R ∪ (R ; S)` (the paper's `S? = S ∪ id` under composition),
+/// transitive closure `R⁺`, inverses and restrictions, plus order-theoretic
+/// queries (acyclicity with witness extraction, strict-total-order checks,
+/// topological sorting).
+///
+/// # Example: Lemma 15's closed form
+///
+/// The smallest solution of the inequalities in Figure 3 of the paper is
+/// `CO = ((D ; RW?) ∪ R)⁺` with `D = SO ∪ WR ∪ WW`:
+///
+/// ```
+/// use si_relations::{Relation, TxId};
+///
+/// let n = 3;
+/// let mut d = Relation::new(n);
+/// d.insert(TxId(0), TxId(1));
+/// let mut rw = Relation::new(n);
+/// rw.insert(TxId(1), TxId(2));
+/// let r = Relation::new(n); // enforced edges, empty at step 0
+///
+/// let co = d.compose_opt(&rw).union(&r).transitive_closure();
+/// assert!(co.contains(TxId(0), TxId(2)));
+/// assert!(co.is_acyclic());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Relation {
+    n: usize,
+    rows: Vec<TxSet>,
+}
+
+impl Relation {
+    /// Creates the empty relation over `{T0,…,T(n-1)}`.
+    pub fn new(n: usize) -> Self {
+        Relation {
+            n,
+            rows: (0..n).map(|_| TxSet::new(n)).collect(),
+        }
+    }
+
+    /// Builds a relation from `(source, target)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is outside the universe.
+    pub fn from_pairs<I: IntoIterator<Item = (TxId, TxId)>>(n: usize, pairs: I) -> Self {
+        let mut rel = Relation::new(n);
+        for (a, b) in pairs {
+            rel.insert(a, b);
+        }
+        rel
+    }
+
+    /// The identity relation `{(T,T) | T}` over `{T0,…,T(n-1)}`.
+    pub fn identity(n: usize) -> Self {
+        let mut rel = Relation::new(n);
+        for i in 0..n {
+            rel.insert(TxId::from_index(i), TxId::from_index(i));
+        }
+        rel
+    }
+
+    /// Size of the universe (number of transactions), not the edge count.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pairs in the relation.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(TxSet::len).sum()
+    }
+
+    /// Whether the relation contains no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(TxSet::is_empty)
+    }
+
+    /// Whether `(a, b) ∈ R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the universe.
+    #[inline]
+    pub fn contains(&self, a: TxId, b: TxId) -> bool {
+        self.rows[a.index()].contains(b)
+    }
+
+    /// Inserts `(a, b)`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, a: TxId, b: TxId) -> bool {
+        assert!(b.index() < self.n, "{b} outside universe of size {}", self.n);
+        self.rows[a.index()].insert(b)
+    }
+
+    /// Removes `(a, b)`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, a: TxId, b: TxId) -> bool {
+        self.rows[a.index()].remove(b)
+    }
+
+    /// The successor set `R(a) = {b | (a,b) ∈ R}` as a borrowed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is outside the universe.
+    #[inline]
+    pub fn successors(&self, a: TxId) -> &TxSet {
+        &self.rows[a.index()]
+    }
+
+    /// The predecessor set `R⁻¹(b) = {a | (a,b) ∈ R}`, computed by scanning
+    /// the column. The paper writes this `R⁻¹(T)` (e.g. `VIS⁻¹(T)`, the
+    /// snapshot of `T`).
+    pub fn predecessors(&self, b: TxId) -> TxSet {
+        let mut preds = TxSet::new(self.n);
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.contains(b) {
+                preds.insert(TxId::from_index(i));
+            }
+        }
+        preds
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &Relation) -> bool {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut changed = false;
+        for (row, orow) in self.rows.iter_mut().zip(&other.rows) {
+            changed |= row.union_with(orow);
+        }
+        changed
+    }
+
+    /// Returns `self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut out = self.clone();
+        for (row, orow) in out.rows.iter_mut().zip(&other.rows) {
+            row.intersect_with(orow);
+        }
+        out
+    }
+
+    /// Returns `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut out = self.clone();
+        for (row, orow) in out.rows.iter_mut().zip(&other.rows) {
+            row.difference_with(orow);
+        }
+        out
+    }
+
+    /// Whether every pair of `self` is in `other` (`self ⊆ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        self.rows.iter().zip(&other.rows).all(|(r, o)| r.is_subset(o))
+    }
+
+    /// Sequential composition `self ; other = {(a,c) | ∃b. (a,b) ∈ self ∧
+    /// (b,c) ∈ other}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "universe mismatch");
+        let mut out = Relation::new(self.n);
+        for (i, row) in self.rows.iter().enumerate() {
+            let out_row = &mut out.rows[i];
+            for b in row.iter() {
+                out_row.union_with(&other.rows[b.index()]);
+            }
+        }
+        out
+    }
+
+    /// Optional composition `self ; other? = self ∪ (self ; other)`, the
+    /// paper's `R ; S?` (where `S? = S ∪ {(T,T)}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn compose_opt(&self, other: &Relation) -> Relation {
+        let mut out = self.compose(other);
+        out.union_with(self);
+        out
+    }
+
+    /// The inverse relation `R⁻¹ = {(b,a) | (a,b) ∈ R}`.
+    pub fn inverse(&self) -> Relation {
+        let mut out = Relation::new(self.n);
+        for (a, b) in self.iter_pairs() {
+            out.insert(b, a);
+        }
+        out
+    }
+
+    /// Transitive closure `R⁺`, via word-parallel Warshall.
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        for k in 0..self.n {
+            let k_id = TxId::from_index(k);
+            // Split borrow: take row k out, OR it into every row that can
+            // reach k, put it back. For i == k the union would be a no-op
+            // (row_k ∪ row_k), so skipping it is sound.
+            let row_k = std::mem::take(&mut out.rows[k]);
+            for i in 0..self.n {
+                if i != k && out.rows[i].contains(k_id) {
+                    out.rows[i].union_with(&row_k);
+                }
+            }
+            out.rows[k] = row_k;
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure `R* = R⁺ ∪ id`.
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        let mut out = self.transitive_closure();
+        for i in 0..self.n {
+            out.insert(TxId::from_index(i), TxId::from_index(i));
+        }
+        out
+    }
+
+    /// Whether the relation is irreflexive (`(a,a) ∉ R` for all `a`).
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.contains(TxId::from_index(i), TxId::from_index(i)))
+    }
+
+    /// Whether the relation is transitive.
+    pub fn is_transitive(&self) -> bool {
+        self.compose(self).is_subset(self)
+    }
+
+    /// Whether the relation's digraph is acyclic. Equivalent to the
+    /// transitive closure being irreflexive, but computed in `O(V+E)` with a
+    /// DFS.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Finds a cycle if one exists, returned as a vertex sequence
+    /// `v0 → v1 → … → v0` with the closing edge implicit (the last vertex
+    /// has an edge back to the first; the first vertex is not repeated).
+    pub fn find_cycle(&self) -> Option<Vec<TxId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.n];
+        let mut parent: Vec<Option<usize>> = vec![None; self.n];
+        // Iterative DFS keeping an explicit stack of (node, successor iter pos).
+        for start in 0..self.n {
+            if marks[start] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, TxSetIterOwned)> = Vec::new();
+            marks[start] = Mark::Grey;
+            stack.push((start, TxSetIterOwned::new(&self.rows[start])));
+            while let Some((node, iter)) = stack.last_mut() {
+                let node = *node;
+                match iter.next() {
+                    Some(next) => {
+                        let ni = next.index();
+                        match marks[ni] {
+                            Mark::White => {
+                                parent[ni] = Some(node);
+                                marks[ni] = Mark::Grey;
+                                let it = TxSetIterOwned::new(&self.rows[ni]);
+                                stack.push((ni, it));
+                            }
+                            Mark::Grey => {
+                                // Found a back edge node -> ni; reconstruct.
+                                let mut cycle = vec![TxId::from_index(node)];
+                                let mut cur = node;
+                                while cur != ni {
+                                    cur = parent[cur].expect("grey node must have a parent on the stack");
+                                    cycle.push(TxId::from_index(cur));
+                                }
+                                cycle.reverse();
+                                return Some(cycle);
+                            }
+                            Mark::Black => {}
+                        }
+                    }
+                    None => {
+                        marks[node] = Mark::Black;
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Topologically sorts the universe consistently with the relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the witness cycle if the relation is cyclic.
+    pub fn topo_sort(&self) -> Result<Vec<TxId>, Vec<TxId>> {
+        if let Some(cycle) = self.find_cycle() {
+            return Err(cycle);
+        }
+        let mut indegree = vec![0_usize; self.n];
+        for (_, b) in self.iter_pairs() {
+            indegree[b.index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(i) = queue.pop() {
+            order.push(TxId::from_index(i));
+            for b in self.rows[i].iter() {
+                let d = &mut indegree[b.index()];
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(b.index());
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.n);
+        Ok(order)
+    }
+
+    /// Whether the relation is a strict total order on the whole universe:
+    /// irreflexive, transitive, and any two distinct elements are related
+    /// one way or the other.
+    pub fn is_strict_total_order(&self) -> bool {
+        self.is_strict_total_order_on(&TxSet::full(self.n))
+    }
+
+    /// Whether the relation restricted to `set` is a strict total order on
+    /// `set` (the paper requires `WW(x)` to be a total order on
+    /// `WriteTx_x`, and `CO` to be total on all transactions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` ranges over a different universe.
+    pub fn is_strict_total_order_on(&self, set: &TxSet) -> bool {
+        assert_eq!(set.universe(), self.n, "universe mismatch");
+        let members: Vec<TxId> = set.iter().collect();
+        for &a in &members {
+            if self.contains(a, a) {
+                return false;
+            }
+            for &b in &members {
+                if a == b {
+                    continue;
+                }
+                let ab = self.contains(a, b);
+                let ba = self.contains(b, a);
+                if ab == ba {
+                    // Either unrelated or related both ways.
+                    return false;
+                }
+            }
+        }
+        // Transitivity restricted to `set`.
+        for &a in &members {
+            for &b in &members {
+                if a != b && self.contains(a, b) {
+                    for &c in &members {
+                        if c != b && c != a && self.contains(b, c) && !self.contains(a, c) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks that the relation is a strict total order on `set` and
+    /// returns the witness failure otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TotalOrderError`] naming the offending pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` ranges over a different universe.
+    pub fn check_strict_total_order_on(&self, set: &TxSet) -> Result<(), TotalOrderError> {
+        assert_eq!(set.universe(), self.n, "universe mismatch");
+        let members: Vec<TxId> = set.iter().collect();
+        for &a in &members {
+            if self.contains(a, a) {
+                return Err(TotalOrderError::Reflexive(a));
+            }
+        }
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let ab = self.contains(a, b);
+                let ba = self.contains(b, a);
+                match (ab, ba) {
+                    (false, false) => return Err(TotalOrderError::Unrelated(a, b)),
+                    (true, true) => return Err(TotalOrderError::Symmetric(a, b)),
+                    _ => {}
+                }
+            }
+        }
+        for &a in &members {
+            for &b in &members {
+                if a != b && self.contains(a, b) {
+                    for &c in &members {
+                        if c != b && c != a && self.contains(b, c) && !self.contains(a, c) {
+                            return Err(TotalOrderError::NotTransitive(a, b, c));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The maximal element of `set` under this relation, assuming the
+    /// relation is a strict total order on `set` — the paper's
+    /// `max_R(A)` (§2). Returns `None` if `set` is empty.
+    ///
+    /// With a strict total order, the maximum is the unique member with no
+    /// successor inside `set`.
+    pub fn max_element(&self, set: &TxSet) -> Option<TxId> {
+        let mut best: Option<TxId> = None;
+        for t in set.iter() {
+            match best {
+                None => best = Some(t),
+                Some(b) => {
+                    if self.contains(b, t) {
+                        best = Some(t);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The minimal element of `set` under this relation — the paper's
+    /// `min_R(A)`. Returns `None` if `set` is empty.
+    pub fn min_element(&self, set: &TxSet) -> Option<TxId> {
+        let mut best: Option<TxId> = None;
+        for t in set.iter() {
+            match best {
+                None => best = Some(t),
+                Some(b) => {
+                    if self.contains(t, b) {
+                        best = Some(t);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Returns the lexicographically first pair of distinct transactions
+    /// unrelated by the relation in either direction, or `None` if every
+    /// pair is related (i.e. the relation is total). Used by the
+    /// Theorem 10(i) construction, which repeatedly "pick\[s\] an arbitrary
+    /// pair of transactions unrelated by CO" — we pick deterministically so
+    /// constructions are reproducible.
+    pub fn first_unrelated_pair(&self) -> Option<(TxId, TxId)> {
+        for i in 0..self.n {
+            let a = TxId::from_index(i);
+            for j in (i + 1)..self.n {
+                let b = TxId::from_index(j);
+                if !self.contains(a, b) && !self.contains(b, a) {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Restricts the relation to pairs with both endpoints in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` ranges over a different universe.
+    pub fn restrict(&self, set: &TxSet) -> Relation {
+        assert_eq!(set.universe(), self.n, "universe mismatch");
+        let mut out = Relation::new(self.n);
+        for (i, row) in self.rows.iter().enumerate() {
+            if set.contains(TxId::from_index(i)) {
+                let out_row = &mut out.rows[i];
+                out_row.union_with(row);
+                out_row.intersect_with(set);
+            }
+        }
+        out
+    }
+
+    /// Iterates over all pairs `(a, b) ∈ R` in row-major order.
+    pub fn iter_pairs(&self) -> PairIter<'_> {
+        PairIter {
+            relation: self,
+            row: 0,
+            inner: self.rows.first().map(|r| r.iter().collect::<Vec<_>>().into_iter()),
+        }
+    }
+
+    /// Iterates over non-empty rows as `(source, successor-set)`.
+    pub fn iter_rows(&self) -> RowIter<'_> {
+        RowIter { relation: self, row: 0 }
+    }
+
+    /// Grows the universe to `new_n`, keeping existing pairs. Useful when a
+    /// history is extended (e.g. splicing produces fewer transactions and a
+    /// fresh relation is remapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_n < self.universe()`.
+    pub fn grown(&self, new_n: usize) -> Relation {
+        assert!(new_n >= self.n, "cannot shrink a relation with grown()");
+        let mut out = Relation::new(new_n);
+        for (a, b) in self.iter_pairs() {
+            out.insert(a, b);
+        }
+        out
+    }
+}
+
+/// Owned row iterator used by the internal DFS (avoids borrowing `self`
+/// mutably and immutably at once).
+#[derive(Debug)]
+struct TxSetIterOwned {
+    words: Vec<u64>,
+    word_index: usize,
+    current: u64,
+}
+
+impl TxSetIterOwned {
+    fn new(set: &TxSet) -> Self {
+        let words: Vec<u64> = set.words().to_vec();
+        let current = words.first().copied().unwrap_or(0);
+        TxSetIterOwned {
+            words,
+            word_index: 0,
+            current,
+        }
+    }
+}
+
+impl Iterator for TxSetIterOwned {
+    type Item = TxId;
+
+    fn next(&mut self) -> Option<TxId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(TxId::from_index(self.word_index * 64 + bit));
+            }
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+    }
+}
+
+/// Why a relation failed a strict-total-order check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TotalOrderError {
+    /// `(T, T)` is in the relation.
+    Reflexive(TxId),
+    /// Two distinct members are unrelated in both directions.
+    Unrelated(TxId, TxId),
+    /// Two distinct members are related in both directions.
+    Symmetric(TxId, TxId),
+    /// `(a,b)` and `(b,c)` are present but `(a,c)` is not.
+    NotTransitive(TxId, TxId, TxId),
+}
+
+impl fmt::Display for TotalOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TotalOrderError::Reflexive(t) => write!(f, "relation is reflexive at {t}"),
+            TotalOrderError::Unrelated(a, b) => write!(f, "{a} and {b} are unrelated"),
+            TotalOrderError::Symmetric(a, b) => write!(f, "{a} and {b} are related both ways"),
+            TotalOrderError::NotTransitive(a, b, c) => {
+                write!(f, "missing transitive edge {a} -> {c} (via {b})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TotalOrderError {}
+
+/// Iterator over all pairs of a [`Relation`].
+#[derive(Debug)]
+pub struct PairIter<'a> {
+    relation: &'a Relation,
+    row: usize,
+    inner: Option<std::vec::IntoIter<TxId>>,
+}
+
+impl Iterator for PairIter<'_> {
+    type Item = (TxId, TxId);
+
+    fn next(&mut self) -> Option<(TxId, TxId)> {
+        loop {
+            if let Some(inner) = &mut self.inner {
+                if let Some(b) = inner.next() {
+                    return Some((TxId::from_index(self.row), b));
+                }
+            }
+            self.row += 1;
+            if self.row >= self.relation.n {
+                return None;
+            }
+            self.inner = Some(
+                self.relation.rows[self.row]
+                    .iter()
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            );
+        }
+    }
+}
+
+/// Iterator over the rows of a [`Relation`].
+#[derive(Debug)]
+pub struct RowIter<'a> {
+    relation: &'a Relation,
+    row: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = (TxId, &'a TxSet);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.row < self.relation.n {
+            let row = self.row;
+            self.row += 1;
+            if !self.relation.rows[row].is_empty() {
+                return Some((TxId::from_index(row), &self.relation.rows[row]));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({} nodes) {{", self.n)?;
+        let mut first = true;
+        for (a, b) in self.iter_pairs() {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            write!(f, " {a}->{b}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: usize, pairs: &[(u32, u32)]) -> Relation {
+        Relation::from_pairs(n, pairs.iter().map(|&(a, b)| (TxId(a), TxId(b))))
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = Relation::new(3);
+        assert!(r.insert(TxId(0), TxId(2)));
+        assert!(!r.insert(TxId(0), TxId(2)));
+        assert!(r.contains(TxId(0), TxId(2)));
+        assert!(!r.contains(TxId(2), TxId(0)));
+        assert_eq!(r.edge_count(), 1);
+        assert!(r.remove(TxId(0), TxId(2)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn compose_basic() {
+        let r = rel(4, &[(0, 1), (1, 2)]);
+        let s = rel(4, &[(1, 3), (2, 0)]);
+        let c = r.compose(&s);
+        assert!(c.contains(TxId(0), TxId(3)));
+        assert!(c.contains(TxId(1), TxId(0)));
+        assert_eq!(c.edge_count(), 2);
+    }
+
+    #[test]
+    fn compose_opt_includes_original() {
+        let r = rel(3, &[(0, 1)]);
+        let s = rel(3, &[(1, 2)]);
+        let c = r.compose_opt(&s);
+        assert!(c.contains(TxId(0), TxId(1)));
+        assert!(c.contains(TxId(0), TxId(2)));
+        assert_eq!(c.edge_count(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let r = rel(4, &[(0, 1), (1, 2), (2, 3)]);
+        let tc = r.transitive_closure();
+        assert!(tc.contains(TxId(0), TxId(3)));
+        assert!(tc.contains(TxId(1), TxId(3)));
+        assert!(!tc.contains(TxId(3), TxId(0)));
+        assert_eq!(tc.edge_count(), 6);
+        assert!(tc.is_transitive());
+    }
+
+    #[test]
+    fn transitive_closure_cycle_has_self_loops() {
+        let r = rel(3, &[(0, 1), (1, 0)]);
+        let tc = r.transitive_closure();
+        assert!(tc.contains(TxId(0), TxId(0)));
+        assert!(tc.contains(TxId(1), TxId(1)));
+        assert!(!tc.contains(TxId(2), TxId(2)));
+        assert!(!tc.is_irreflexive());
+    }
+
+    #[test]
+    fn reflexive_transitive_closure() {
+        let r = rel(3, &[(0, 1)]);
+        let rtc = r.reflexive_transitive_closure();
+        assert!(rtc.contains(TxId(2), TxId(2)));
+        assert!(rtc.contains(TxId(0), TxId(1)));
+    }
+
+    #[test]
+    fn acyclicity_and_cycle_witness() {
+        assert!(rel(3, &[(0, 1), (1, 2)]).is_acyclic());
+        let cyclic = rel(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        assert!(!cyclic.is_acyclic());
+        let cycle = cyclic.find_cycle().unwrap();
+        // The witness must be a genuine cycle: consecutive edges exist and
+        // the last node loops back to the first.
+        for w in cycle.windows(2) {
+            assert!(cyclic.contains(w[0], w[1]));
+        }
+        assert!(cyclic.contains(*cycle.last().unwrap(), cycle[0]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let r = rel(2, &[(1, 1)]);
+        assert!(!r.is_acyclic());
+        assert_eq!(r.find_cycle().unwrap(), vec![TxId(1)]);
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let r = rel(5, &[(0, 1), (0, 2), (2, 3), (1, 3), (3, 4)]);
+        let order = r.topo_sort().unwrap();
+        let pos: Vec<usize> = (0..5)
+            .map(|i| order.iter().position(|t| t.index() == i).unwrap())
+            .collect();
+        for (a, b) in r.iter_pairs() {
+            assert!(pos[a.index()] < pos[b.index()]);
+        }
+    }
+
+    #[test]
+    fn topo_sort_reports_cycle() {
+        let r = rel(2, &[(0, 1), (1, 0)]);
+        assert!(r.topo_sort().is_err());
+    }
+
+    #[test]
+    fn strict_total_order_checks() {
+        let chain = rel(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(chain.is_strict_total_order());
+        assert!(chain.check_strict_total_order_on(&TxSet::full(3)).is_ok());
+
+        let missing = rel(3, &[(0, 1), (1, 2)]); // not transitive
+        assert_eq!(
+            missing.check_strict_total_order_on(&TxSet::full(3)),
+            Err(TotalOrderError::Unrelated(TxId(0), TxId(2)))
+        );
+
+        let partial = rel(3, &[(0, 1)]);
+        assert!(!partial.is_strict_total_order());
+
+        // Total on a subset even though not total overall.
+        let sub = TxSet::from_iter_with_universe(3, [TxId(0), TxId(1)]);
+        assert!(partial.is_strict_total_order_on(&sub));
+    }
+
+    #[test]
+    fn max_min_elements() {
+        let order = rel(4, &[(0, 1), (1, 2), (0, 2)]);
+        let set = TxSet::from_iter_with_universe(4, [TxId(0), TxId(1), TxId(2)]);
+        assert_eq!(order.max_element(&set), Some(TxId(2)));
+        assert_eq!(order.min_element(&set), Some(TxId(0)));
+        assert_eq!(order.max_element(&TxSet::new(4)), None);
+    }
+
+    #[test]
+    fn first_unrelated_pair_finds_gap() {
+        let r = rel(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(r.first_unrelated_pair(), None);
+        let partial = rel(3, &[(0, 1)]);
+        assert_eq!(partial.first_unrelated_pair(), Some((TxId(0), TxId(2))));
+    }
+
+    #[test]
+    fn inverse_and_predecessors() {
+        let r = rel(3, &[(0, 2), (1, 2)]);
+        let inv = r.inverse();
+        assert!(inv.contains(TxId(2), TxId(0)));
+        assert!(inv.contains(TxId(2), TxId(1)));
+        let preds = r.predecessors(TxId(2));
+        assert_eq!(preds.iter().collect::<Vec<_>>(), vec![TxId(0), TxId(1)]);
+    }
+
+    #[test]
+    fn restrict_drops_outside_pairs() {
+        let r = rel(4, &[(0, 1), (1, 2), (2, 3)]);
+        let set = TxSet::from_iter_with_universe(4, [TxId(1), TxId(2)]);
+        let restricted = r.restrict(&set);
+        assert_eq!(restricted.edge_count(), 1);
+        assert!(restricted.contains(TxId(1), TxId(2)));
+    }
+
+    #[test]
+    fn set_algebra_on_relations() {
+        let a = rel(3, &[(0, 1), (1, 2)]);
+        let b = rel(3, &[(1, 2), (2, 0)]);
+        assert_eq!(a.union(&b).edge_count(), 3);
+        assert_eq!(a.intersection(&b).edge_count(), 1);
+        assert_eq!(a.difference(&b).edge_count(), 1);
+        assert!(a.intersection(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn identity_composition_neutral() {
+        let r = rel(3, &[(0, 1), (1, 2)]);
+        let id = Relation::identity(3);
+        assert_eq!(r.compose(&id), r);
+        assert_eq!(id.compose(&r), r);
+    }
+
+    #[test]
+    fn grown_preserves_pairs() {
+        let r = rel(2, &[(0, 1)]);
+        let g = r.grown(5);
+        assert_eq!(g.universe(), 5);
+        assert!(g.contains(TxId(0), TxId(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn iter_pairs_row_major() {
+        let r = rel(3, &[(2, 0), (0, 2), (0, 1)]);
+        let pairs: Vec<_> = r.iter_pairs().collect();
+        assert_eq!(
+            pairs,
+            vec![(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(2), TxId(0))]
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Strongly connected components (Tarjan) and condensations.
+
+use crate::{Relation, TxId};
+
+/// Computes the strongly connected components of the relation's digraph
+/// using Tarjan's algorithm (iterative, so deep graphs cannot overflow the
+/// stack).
+///
+/// Components are returned in reverse topological order (a component is
+/// emitted only after every component it reaches), which is Tarjan's natural
+/// emission order. Every vertex appears in exactly one component; vertices
+/// with no edges form singleton components.
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{Relation, TxId, strongly_connected_components};
+///
+/// let r = Relation::from_pairs(4, [
+///     (TxId(0), TxId(1)), (TxId(1), TxId(0)), // a 2-cycle
+///     (TxId(1), TxId(2)),                     // bridge to a chain
+///     (TxId(2), TxId(3)),
+/// ]);
+/// let sccs = strongly_connected_components(&r);
+/// assert_eq!(sccs.len(), 3);
+/// assert!(sccs.iter().any(|c| c.len() == 2));
+/// ```
+pub fn strongly_connected_components(relation: &Relation) -> Vec<Vec<TxId>> {
+    let n = relation.universe();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<TxId>> = Vec::new();
+
+    // Explicit DFS frames: (vertex, iterator position over successors).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, Vec<usize>, usize),
+    }
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    let succs: Vec<usize> = relation
+                        .successors(TxId::from_index(v))
+                        .iter()
+                        .map(TxId::index)
+                        .collect();
+                    frames.push(Frame::Resume(v, succs, 0));
+                }
+                Frame::Resume(v, succs, mut pos) => {
+                    let mut descended = false;
+                    while pos < succs.len() {
+                        let w = succs[pos];
+                        pos += 1;
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Resume(v, succs, pos));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors processed: close the vertex.
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(TxId::from_index(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(parent, _, _)) = frames.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Builds the condensation of the relation: a relation over component
+/// indices with an edge `(i, j)` iff some vertex of component `i` has an
+/// edge to some vertex of component `j` (self-edges dropped). Returns the
+/// components together with the condensed relation; the condensation is
+/// always acyclic.
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{Relation, TxId, condensation};
+///
+/// let r = Relation::from_pairs(3, [
+///     (TxId(0), TxId(1)), (TxId(1), TxId(0)), (TxId(1), TxId(2)),
+/// ]);
+/// let (components, dag) = condensation(&r);
+/// assert_eq!(components.len(), 2);
+/// assert!(dag.is_acyclic());
+/// ```
+pub fn condensation(relation: &Relation) -> (Vec<Vec<TxId>>, Relation) {
+    let components = strongly_connected_components(relation);
+    let mut component_of = vec![usize::MAX; relation.universe()];
+    for (ci, comp) in components.iter().enumerate() {
+        for &t in comp {
+            component_of[t.index()] = ci;
+        }
+    }
+    let mut dag = Relation::new(components.len());
+    for (a, b) in relation.iter_pairs() {
+        let ca = component_of[a.index()];
+        let cb = component_of[b.index()];
+        if ca != cb {
+            dag.insert(TxId::from_index(ca), TxId::from_index(cb));
+        }
+    }
+    (components, dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: usize, pairs: &[(u32, u32)]) -> Relation {
+        Relation::from_pairs(n, pairs.iter().map(|&(a, b)| (TxId(a), TxId(b))))
+    }
+
+    #[test]
+    fn acyclic_graph_gives_singletons() {
+        let r = rel(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sccs = strongly_connected_components(&r);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn single_big_cycle() {
+        let r = rel(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sccs = strongly_connected_components(&r);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 5);
+    }
+
+    #[test]
+    fn mixed_components_reverse_topological() {
+        // {0,1} -> {2} -> {3,4}
+        let r = rel(
+            5,
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)],
+        );
+        let sccs = strongly_connected_components(&r);
+        assert_eq!(sccs.len(), 3);
+        let pos = |t: u32| {
+            sccs.iter()
+                .position(|c| c.contains(&TxId(t)))
+                .unwrap()
+        };
+        // Reverse topological: sinks first.
+        assert!(pos(3) < pos(2));
+        assert!(pos(2) < pos(0));
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let r = rel(2, &[(0, 0)]);
+        let sccs = strongly_connected_components(&r);
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let r = rel(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)],
+        );
+        let (components, dag) = condensation(&r);
+        assert_eq!(components.len(), 3);
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.edge_count(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 20_000;
+        let pairs: Vec<(TxId, TxId)> = (0..n - 1)
+            .map(|i| (TxId::from_index(i), TxId::from_index(i + 1)))
+            .collect();
+        let r = Relation::from_pairs(n, pairs);
+        let sccs = strongly_connected_components(&r);
+        assert_eq!(sccs.len(), n);
+    }
+}

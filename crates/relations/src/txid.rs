@@ -1,0 +1,110 @@
+//! Transaction identifiers.
+
+use core::fmt;
+
+/// A dense transaction identifier.
+///
+/// Histories, executions and dependency graphs index their transactions with
+/// consecutive `TxId`s starting from `TxId(0)`. Using a dense index (rather
+/// than, say, an interned name) lets [`Relation`](crate::Relation) store
+/// edges as bitset matrices and keeps every fixed-point computation in the
+/// paper allocation-free on the hot path.
+///
+/// By convention established in `si-model`, when a history carries an
+/// initialisation transaction (the paper's elided transaction that writes
+/// the initial version of every object) it is `TxId(0)`.
+///
+/// # Example
+///
+/// ```
+/// use si_relations::TxId;
+///
+/// let t = TxId(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(format!("{t}"), "T3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct TxId(pub u32);
+
+impl TxId {
+    /// Returns the identifier as a `usize` index, suitable for indexing
+    /// relation rows and per-transaction tables.
+    ///
+    /// ```
+    /// # use si_relations::TxId;
+    /// assert_eq!(TxId(7).index(), 7_usize);
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TxId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`; histories in this crate family
+    /// are bounded far below that.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TxId(u32::try_from(index).expect("transaction index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for TxId {
+    fn from(raw: u32) -> Self {
+        TxId(raw)
+    }
+}
+
+impl From<TxId> for u32 {
+    fn from(id: TxId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for raw in [0_u32, 1, 17, 4096] {
+            let id = TxId(raw);
+            assert_eq!(TxId::from_index(id.index()), id);
+        }
+    }
+
+    #[test]
+    fn display_is_t_prefixed() {
+        assert_eq!(TxId(0).to_string(), "T0");
+        assert_eq!(TxId(42).to_string(), "T42");
+        assert_eq!(format!("{:?}", TxId(42)), "T42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TxId(1) < TxId(2));
+        assert_eq!(TxId::default(), TxId(0));
+    }
+
+    #[test]
+    fn conversions() {
+        let id: TxId = 9_u32.into();
+        assert_eq!(u32::from(id), 9);
+    }
+}

@@ -1,0 +1,356 @@
+//! Bitset-backed sets of transaction identifiers.
+
+use core::fmt;
+
+use crate::TxId;
+
+const WORD_BITS: usize = 64;
+
+/// A set of [`TxId`]s over a fixed universe `{T0, …, T(n-1)}`, stored as a
+/// bitset.
+///
+/// `TxSet` is the row type of [`Relation`](crate::Relation): the successors
+/// of a transaction form a `TxSet`, and set-algebraic operations on rows
+/// implement relational algebra word-by-word. It is also used directly by
+/// the paper's definitions — e.g. `WriteTx_x`, the set of transactions
+/// writing to an object `x` (§2), or `VIS⁻¹(T)`, the snapshot of a
+/// transaction.
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{TxSet, TxId};
+///
+/// let mut writers = TxSet::new(8);
+/// writers.insert(TxId(1));
+/// writers.insert(TxId(5));
+/// assert!(writers.contains(TxId(5)));
+/// assert_eq!(writers.iter().collect::<Vec<_>>(), vec![TxId(1), TxId(5)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TxSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl TxSet {
+    /// Creates an empty set over the universe `{T0, …, T(universe-1)}`.
+    pub fn new(universe: usize) -> Self {
+        TxSet {
+            universe,
+            words: vec![0; universe.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates the full set over the universe `{T0, …, T(universe-1)}`.
+    ///
+    /// ```
+    /// # use si_relations::{TxSet, TxId};
+    /// let all = TxSet::full(3);
+    /// assert_eq!(all.len(), 3);
+    /// ```
+    pub fn full(universe: usize) -> Self {
+        let mut set = TxSet::new(universe);
+        for word in &mut set.words {
+            *word = u64::MAX;
+        }
+        set.trim();
+        set
+    }
+
+    /// Builds a set from an iterator of members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is outside the universe.
+    pub fn from_iter_with_universe<I: IntoIterator<Item = TxId>>(universe: usize, iter: I) -> Self {
+        let mut set = TxSet::new(universe);
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// The size of the universe this set ranges over (not the cardinality).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `id` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn contains(&self, id: TxId) -> bool {
+        let i = id.index();
+        assert!(i < self.universe, "{id} outside universe of size {}", self.universe);
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Inserts `id`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, id: TxId) -> bool {
+        let i = id.index();
+        assert!(i < self.universe, "{id} outside universe of size {}", self.universe);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1 << (i % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `id`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, id: TxId) -> bool {
+        let i = id.index();
+        assert!(i < self.universe, "{id} outside universe of size {}", self.universe);
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1 << (i % WORD_BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &TxSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let merged = *w | o;
+            changed |= merged != *w;
+            *w = merged;
+        }
+        changed
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &TxSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &TxSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Whether `self` and `other` have no common member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_disjoint(&self, other: &TxSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(w, o)| w & o == 0)
+    }
+
+    /// Whether every member of `self` is a member of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &TxSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> TxSetIter<'_> {
+        TxSetIter {
+            set: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn min(&self) -> Option<TxId> {
+        self.iter().next()
+    }
+
+    /// Direct access to the backing words (used by `Relation` for
+    /// word-parallel row operations).
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn trim(&mut self) {
+        let rem = self.universe % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl Default for TxSet {
+    /// The empty set over the empty universe. Primarily useful as a
+    /// placeholder for `std::mem::take`.
+    fn default() -> Self {
+        TxSet::new(0)
+    }
+}
+
+impl fmt::Debug for TxSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a TxSet {
+    type Item = TxId;
+    type IntoIter = TxSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Extend<TxId> for TxSet {
+    fn extend<I: IntoIterator<Item = TxId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+/// Iterator over the members of a [`TxSet`] in increasing order.
+#[derive(Debug)]
+pub struct TxSetIter<'a> {
+    set: &'a TxSet,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for TxSetIter<'_> {
+    type Item = TxId;
+
+    fn next(&mut self) -> Option<TxId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(TxId::from_index(self.word_index * WORD_BITS + bit));
+            }
+            self.word_index += 1;
+            if self.word_index >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = TxSet::new(130);
+        assert!(s.insert(TxId(0)));
+        assert!(s.insert(TxId(64)));
+        assert!(s.insert(TxId(129)));
+        assert!(!s.insert(TxId(64)));
+        assert!(s.contains(TxId(129)));
+        assert!(!s.contains(TxId(128)));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(TxId(64)));
+        assert!(!s.remove(TxId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_universe_boundary() {
+        let s = TxSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(TxId(69)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = TxSet::from_iter_with_universe(10, [TxId(1), TxId(2), TxId(3)]);
+        let b = TxSet::from_iter_with_universe(10, [TxId(3), TxId(4)]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 4);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![TxId(1), TxId(2)]);
+        let mut c = TxSet::from_iter_with_universe(10, [TxId(1), TxId(9)]);
+        c.intersect_with(&a);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![TxId(1)]);
+        assert!(c.is_subset(&a));
+        assert!(!a.is_subset(&c));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let members = [TxId(0), TxId(63), TxId(64), TxId(127), TxId(128)];
+        let s = TxSet::from_iter_with_universe(200, members);
+        assert_eq!(s.iter().collect::<Vec<_>>(), members);
+        assert_eq!(s.min(), Some(TxId(0)));
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = TxSet::new(5);
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let s = TxSet::new(4);
+        s.contains(TxId(4));
+    }
+}

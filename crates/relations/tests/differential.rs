@@ -1,0 +1,81 @@
+//! Differential testing: the production bitset [`Relation`] against the
+//! textbook [`naive::NaiveRelation`] on every shared operation.
+
+use proptest::prelude::*;
+use si_relations::naive::NaiveRelation;
+use si_relations::{Relation, TxId};
+
+const N: usize = 10;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(TxId, TxId)>> {
+    proptest::collection::vec((0..N as u32, 0..N as u32), 0..30)
+        .prop_map(|v| v.into_iter().map(|(a, b)| (TxId(a), TxId(b))).collect())
+}
+
+proptest! {
+    #[test]
+    fn union_agrees(a in arb_pairs(), b in arb_pairs()) {
+        let (da, db) = (Relation::from_pairs(N, a.clone()), Relation::from_pairs(N, b.clone()));
+        let (na, nb) = (NaiveRelation::from_pairs(N, a), NaiveRelation::from_pairs(N, b));
+        prop_assert_eq!(NaiveRelation::from_dense(&da.union(&db)), na.union(&nb));
+    }
+
+    #[test]
+    fn compose_agrees(a in arb_pairs(), b in arb_pairs()) {
+        let (da, db) = (Relation::from_pairs(N, a.clone()), Relation::from_pairs(N, b.clone()));
+        let (na, nb) = (NaiveRelation::from_pairs(N, a), NaiveRelation::from_pairs(N, b));
+        prop_assert_eq!(NaiveRelation::from_dense(&da.compose(&db)), na.compose(&nb));
+    }
+
+    #[test]
+    fn closure_agrees(a in arb_pairs()) {
+        let dense = Relation::from_pairs(N, a.clone());
+        let naive = NaiveRelation::from_pairs(N, a);
+        prop_assert_eq!(
+            NaiveRelation::from_dense(&dense.transitive_closure()),
+            naive.transitive_closure()
+        );
+    }
+
+    #[test]
+    fn acyclicity_agrees(a in arb_pairs()) {
+        let dense = Relation::from_pairs(N, a.clone());
+        let naive = NaiveRelation::from_pairs(N, a);
+        prop_assert_eq!(dense.is_acyclic(), naive.is_acyclic());
+    }
+
+    #[test]
+    fn inverse_agrees(a in arb_pairs()) {
+        let dense = Relation::from_pairs(N, a.clone());
+        let naive = NaiveRelation::from_pairs(N, a);
+        prop_assert_eq!(NaiveRelation::from_dense(&dense.inverse()), naive.inverse());
+    }
+
+    #[test]
+    fn edge_count_and_membership_agree(a in arb_pairs()) {
+        let dense = Relation::from_pairs(N, a.clone());
+        let naive = NaiveRelation::from_pairs(N, a);
+        prop_assert_eq!(dense.edge_count(), naive.edge_count());
+        for i in 0..N as u32 {
+            for j in 0..N as u32 {
+                prop_assert_eq!(
+                    dense.contains(TxId(i), TxId(j)),
+                    naive.contains(TxId(i), TxId(j))
+                );
+            }
+        }
+    }
+
+    /// The Theorem 9 composed relation, computed both ways.
+    #[test]
+    fn theorem9_condition_agrees(dep in arb_pairs(), rw in arb_pairs()) {
+        let d_dense = Relation::from_pairs(N, dep.clone());
+        let r_dense = Relation::from_pairs(N, rw.clone());
+        let dense_ok = d_dense.compose_opt(&r_dense).is_acyclic();
+
+        let d_naive = NaiveRelation::from_pairs(N, dep);
+        let r_naive = NaiveRelation::from_pairs(N, rw);
+        let naive_ok = d_naive.union(&d_naive.compose(&r_naive)).is_acyclic();
+        prop_assert_eq!(dense_ok, naive_ok);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the relation algebra: the laws every
+//! fixed-point computation in the paper silently relies on.
+
+use proptest::prelude::*;
+use si_relations::{
+    path_between, reachable_from, strongly_connected_components, Relation, TxId, TxSet,
+};
+
+const N: usize = 12;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..N as u32, 0..N as u32), 0..40).prop_map(|pairs| {
+        Relation::from_pairs(N, pairs.into_iter().map(|(a, b)| (TxId(a), TxId(b))))
+    })
+}
+
+fn arb_acyclic_relation() -> impl Strategy<Value = Relation> {
+    // Only forward edges a < b: always acyclic.
+    proptest::collection::vec((0..N as u32, 0..N as u32), 0..40).prop_map(|pairs| {
+        Relation::from_pairs(
+            N,
+            pairs
+                .into_iter()
+                .filter(|(a, b)| a < b)
+                .map(|(a, b)| (TxId(a), TxId(b))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn closure_is_idempotent(r in arb_relation()) {
+        let tc = r.transitive_closure();
+        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        prop_assert!(tc.is_transitive());
+        prop_assert!(r.is_subset(&tc));
+    }
+
+    #[test]
+    fn closure_is_least_transitive_superset(r in arb_relation()) {
+        // R+ composed with itself stays within R+.
+        let tc = r.transitive_closure();
+        prop_assert!(r.compose(&tc).is_subset(&tc));
+        prop_assert!(tc.compose(&r).is_subset(&tc));
+    }
+
+    #[test]
+    fn composition_is_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn composition_distributes_over_union(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(
+            a.compose(&b.union(&c)),
+            a.compose(&b).union(&a.compose(&c))
+        );
+    }
+
+    #[test]
+    fn compose_opt_definition(a in arb_relation(), b in arb_relation()) {
+        // R ; S? = R ∪ (R ; S) = R ; (S ∪ id)
+        let lhs = a.compose_opt(&b);
+        prop_assert_eq!(lhs.clone(), a.union(&a.compose(&b)));
+        let id = Relation::identity(N);
+        prop_assert_eq!(lhs, a.compose(&b.union(&id)));
+    }
+
+    #[test]
+    fn inverse_is_involutive(r in arb_relation()) {
+        prop_assert_eq!(r.inverse().inverse(), r);
+    }
+
+    #[test]
+    fn inverse_antidistributes_over_composition(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.compose(&b).inverse(), b.inverse().compose(&a.inverse()));
+    }
+
+    #[test]
+    fn acyclic_iff_closure_irreflexive(r in arb_relation()) {
+        prop_assert_eq!(r.is_acyclic(), r.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn cycle_witness_is_genuine(r in arb_relation()) {
+        if let Some(cycle) = r.find_cycle() {
+            prop_assert!(!cycle.is_empty());
+            for w in cycle.windows(2) {
+                prop_assert!(r.contains(w[0], w[1]));
+            }
+            prop_assert!(r.contains(*cycle.last().unwrap(), cycle[0]));
+            // Witness is vertex-simple.
+            let mut sorted = cycle.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), cycle.len());
+        }
+    }
+
+    #[test]
+    fn forward_only_graphs_are_acyclic(r in arb_acyclic_relation()) {
+        prop_assert!(r.is_acyclic());
+        let order = r.topo_sort().unwrap();
+        let mut pos = vec![0usize; N];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for (a, b) in r.iter_pairs() {
+            prop_assert!(pos[a.index()] < pos[b.index()]);
+        }
+    }
+
+    #[test]
+    fn reachability_matches_closure(r in arb_relation(), start in 0..N as u32) {
+        let tc = r.transitive_closure();
+        let reach = reachable_from(&r, TxId(start));
+        for t in 0..N as u32 {
+            prop_assert_eq!(reach.contains(TxId(t)), tc.contains(TxId(start), TxId(t)));
+        }
+    }
+
+    #[test]
+    fn path_witnesses_match_closure(r in arb_relation(), from in 0..N as u32, to in 0..N as u32) {
+        let tc = r.transitive_closure();
+        match path_between(&r, TxId(from), TxId(to)) {
+            Some(path) => {
+                prop_assert!(tc.contains(TxId(from), TxId(to)));
+                prop_assert_eq!(*path.first().unwrap(), TxId(from));
+                prop_assert_eq!(*path.last().unwrap(), TxId(to));
+                for w in path.windows(2) {
+                    prop_assert!(r.contains(w[0], w[1]));
+                }
+            }
+            None => prop_assert!(!tc.contains(TxId(from), TxId(to))),
+        }
+    }
+
+    #[test]
+    fn sccs_partition_the_universe(r in arb_relation()) {
+        let sccs = strongly_connected_components(&r);
+        let mut seen = TxSet::new(N);
+        let mut total = 0;
+        for comp in &sccs {
+            for &t in comp {
+                prop_assert!(seen.insert(t), "vertex in two components");
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, N);
+    }
+
+    #[test]
+    fn scc_members_mutually_reachable(r in arb_relation()) {
+        let tc = r.transitive_closure();
+        for comp in strongly_connected_components(&r) {
+            for &a in &comp {
+                for &b in &comp {
+                    if a != b {
+                        prop_assert!(tc.contains(a, b) && tc.contains(b, a));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_then_grow_roundtrip(r in arb_relation()) {
+        let grown = r.grown(N + 5);
+        prop_assert_eq!(grown.universe(), N + 5);
+        for (a, b) in r.iter_pairs() {
+            prop_assert!(grown.contains(a, b));
+        }
+        prop_assert_eq!(grown.edge_count(), r.edge_count());
+    }
+
+    #[test]
+    fn union_intersection_lattice_laws(a in arb_relation(), b in arb_relation()) {
+        // Absorption: a ∪ (a ∩ b) = a and a ∩ (a ∪ b) = a.
+        prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+        prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
+        // Difference: (a \ b) ∪ (a ∩ b) = a.
+        prop_assert_eq!(a.difference(&b).union(&a.intersection(&b)), a);
+    }
+
+    #[test]
+    fn strict_total_order_from_topo_sort(r in arb_acyclic_relation()) {
+        // Linearising an acyclic relation yields a strict total order
+        // containing it — the skeleton of the Theorem 10(i) construction.
+        let order = r.topo_sort().unwrap();
+        let mut pos = vec![0usize; N];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        let mut total = Relation::new(N);
+        for i in 0..N {
+            for j in 0..N {
+                if pos[i] < pos[j] {
+                    total.insert(TxId::from_index(i), TxId::from_index(j));
+                }
+            }
+        }
+        prop_assert!(total.is_strict_total_order());
+        prop_assert!(r.is_subset(&total));
+    }
+}

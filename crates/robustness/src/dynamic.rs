@@ -1,0 +1,142 @@
+//! Dynamic robustness dichotomies (Theorems 19 and 22) on concrete
+//! dependency graphs.
+
+use si_core::{check_psi, check_ser, check_si};
+use si_depgraph::DependencyGraph;
+
+/// Theorem 19, membership form: whether `G ∈ GraphSI \ GraphSER` — the
+/// execution is admitted by SI but exhibits non-serializable behaviour.
+pub fn in_si_not_ser(graph: &DependencyGraph) -> bool {
+    check_si(graph).is_ok() && check_ser(graph).is_err()
+}
+
+/// Theorem 19, cycle-shape form: `T_G ⊨ INT`, `G` contains a cycle, and
+/// all its cycles have at least two adjacent anti-dependency edges.
+///
+/// By Theorems 8 and 9 this is *equivalent* to [`in_si_not_ser`]: "some
+/// cycle exists" is the failure of the Theorem 8 acyclicity, and "every
+/// cycle has two adjacent anti-dependencies" is the Theorem 9 acyclicity
+/// of `(SO ∪ WR ∪ WW) ; RW?`. Computed from those conditions directly;
+/// kept separate so the equivalence is stated (and property-tested) rather
+/// than assumed.
+pub fn shape_si_not_ser(graph: &DependencyGraph) -> bool {
+    if graph.history().check_int().is_err() {
+        return false;
+    }
+    let has_cycle = !graph.all_relation().is_acyclic();
+    let all_cycles_have_two_adjacent_rw = graph
+        .dep_relation()
+        .compose_opt(&graph.rw_relation())
+        .is_acyclic();
+    has_cycle && all_cycles_have_two_adjacent_rw
+}
+
+/// Theorem 22, membership form: whether `G ∈ GraphPSI \ GraphSI` — the
+/// execution is admitted by parallel SI but not by SI (a long-fork-like
+/// behaviour).
+pub fn in_psi_not_si(graph: &DependencyGraph) -> bool {
+    check_psi(graph).is_ok() && check_si(graph).is_err()
+}
+
+/// Theorem 22, cycle-shape form: `T_G ⊨ INT`, `G` contains at least one
+/// cycle with no two adjacent anti-dependency edges, and all its cycles
+/// have at least two anti-dependency edges.
+///
+/// The first condition is the failure of Theorem 9's acyclicity; the
+/// second is Theorem 21's irreflexivity. Equivalent to [`in_psi_not_si`].
+pub fn shape_psi_not_si(graph: &DependencyGraph) -> bool {
+    if graph.history().check_int().is_err() {
+        return false;
+    }
+    let some_cycle_without_adjacent_rw = !graph
+        .dep_relation()
+        .compose_opt(&graph.rw_relation())
+        .is_acyclic();
+    let dep_plus = graph.dep_relation().transitive_closure();
+    let composed = dep_plus.compose_opt(&graph.rw_relation());
+    let all_cycles_have_two_rw = graph.history().tx_ids().all(|t| !composed.contains(t, t));
+    some_cycle_without_adjacent_rw && all_cycles_have_two_rw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_depgraph::DepGraphBuilder;
+    use si_model::{HistoryBuilder, Op};
+
+    fn write_skew() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    fn long_fork() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(y, 1)]);
+        b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+        b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    fn lost_update() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let acct = b.object("acct");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+        b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    fn serial() -> DependencyGraph {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        b.push_tx(s, [Op::read(x, 1)]);
+        let h = b.build();
+        let mut g = DepGraphBuilder::new(h);
+        g.infer_wr();
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn theorem19_dichotomy_on_canonical_graphs() {
+        assert!(in_si_not_ser(&write_skew()));
+        assert!(!in_si_not_ser(&long_fork())); // not in GraphSI at all
+        assert!(!in_si_not_ser(&lost_update()));
+        assert!(!in_si_not_ser(&serial())); // in GraphSER
+    }
+
+    #[test]
+    fn theorem22_dichotomy_on_canonical_graphs() {
+        assert!(in_psi_not_si(&long_fork()));
+        assert!(!in_psi_not_si(&write_skew())); // in GraphSI
+        assert!(!in_psi_not_si(&lost_update())); // not even in GraphPSI
+        assert!(!in_psi_not_si(&serial()));
+    }
+
+    #[test]
+    fn shape_forms_agree_with_membership_forms() {
+        for g in [write_skew(), long_fork(), lost_update(), serial()] {
+            assert_eq!(shape_si_not_ser(&g), in_si_not_ser(&g));
+            assert_eq!(shape_psi_not_si(&g), in_psi_not_si(&g));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Robustness analyses — §6 of *Analysing Snapshot Isolation* (Cerone &
+//! Gotsman, PODC 2016).
+//!
+//! An application is *robust* against a weak consistency model towards a
+//! stronger one when running it under the weak model produces exactly the
+//! client-observable behaviours of the strong model. The paper derives two
+//! such analyses from its dependency-graph characterisations:
+//!
+//! * **Robustness against SI (towards serializability)**, §6.1. By
+//!   Theorem 19, `G ∈ GraphSI \ GraphSER` iff `T_G ⊨ INT`, `G` has a
+//!   cycle, and every cycle has at least two *adjacent* anti-dependency
+//!   edges. The static analysis ([`check_ser_robustness`]) therefore looks
+//!   for the dangerous structure `a -RW→ b -RW→ c` with a closing path
+//!   `c →* a` in the application's *static dependency graph*
+//!   ([`StaticDepGraph`]); absence proves every SI execution serializable
+//!   (the Fekete et al. criterion, here with the paper's completeness
+//!   strengthening available as the dynamic dichotomy
+//!   [`in_si_not_ser`]).
+//!
+//! * **Robustness against parallel SI (towards SI)**, §6.2. By
+//!   Theorem 22, `G ∈ GraphPSI \ GraphSI` iff `T_G ⊨ INT`, some cycle has
+//!   no two adjacent anti-dependencies, and every cycle has at least two
+//!   anti-dependencies. The static analysis ([`check_si_robustness`])
+//!   checks that `(WR ∪ WW)⁺ ; RW` is acyclic in the static graph: a cycle
+//!   of that relation is exactly a cyclic walk whose anti-dependencies are
+//!   all separated by read/write dependencies, i.e. a potential long fork.
+//!
+//! # Example: the write-skew application is not robust against SI
+//!
+//! ```
+//! use si_chopping::ProgramSet;
+//! use si_robustness::{check_ser_robustness, StaticDepGraph};
+//!
+//! let mut ps = ProgramSet::new();
+//! let x = ps.object("x");
+//! let y = ps.object("y");
+//! let w1 = ps.add_program("withdraw1");
+//! ps.add_piece(w1, "check both, debit x", [x, y], [x]);
+//! let w2 = ps.add_program("withdraw2");
+//! ps.add_piece(w2, "check both, debit y", [x, y], [y]);
+//!
+//! let graph = StaticDepGraph::from_programs(&ps);
+//! let report = check_ser_robustness(&graph);
+//! assert!(!report.robust); // write skew is reachable under SI
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dynamic;
+mod report;
+mod ser_robust;
+mod static_graph;
+
+pub use dynamic::{in_psi_not_si, in_si_not_ser, shape_psi_not_si, shape_si_not_ser};
+pub use report::{DangerousStructure, RobustnessReport};
+pub use ser_robust::{check_ser_robustness, check_ser_robustness_refined, check_si_robustness};
+pub use static_graph::StaticDepGraph;

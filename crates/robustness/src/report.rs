@@ -1,0 +1,100 @@
+//! Robustness verdicts with witnesses.
+
+use core::fmt;
+
+use si_relations::TxId;
+
+/// A dangerous structure found in a static dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DangerousStructure {
+    /// Two adjacent anti-dependencies `a -RW→ b -RW→ c` closed by a path
+    /// `c →* a` (§6.1; the SI-vs-SER dangerous structure of Fekete et
+    /// al.). `closing_path` runs from `c` back to `a` and is empty when
+    /// `c = a`.
+    AdjacentAntiDependencies {
+        /// Source of the first anti-dependency.
+        a: TxId,
+        /// The pivot.
+        b: TxId,
+        /// Target of the second anti-dependency.
+        c: TxId,
+        /// Vertices of a path from `c` to `a` (inclusive of both ends;
+        /// empty when `c = a`).
+        closing_path: Vec<TxId>,
+    },
+    /// A cycle of `(WR ∪ WW)⁺ ; RW` (§6.2): a cyclic walk in which every
+    /// anti-dependency is separated from the next by read/write
+    /// dependencies — the long-fork shape PSI admits but SI forbids. Each
+    /// consecutive pair of `nodes` is one dep-path-then-RW step.
+    SeparatedAntiDependencyCycle {
+        /// The vertices of the composed-relation cycle.
+        nodes: Vec<TxId>,
+    },
+}
+
+impl fmt::Display for DangerousStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DangerousStructure::AdjacentAntiDependencies { a, b, c, .. } => {
+                write!(f, "dangerous structure {a} -RW-> {b} -RW-> {c} with {c} reaching {a}")
+            }
+            DangerousStructure::SeparatedAntiDependencyCycle { nodes } => {
+                write!(f, "long-fork-shaped cycle through")?;
+                for n in nodes {
+                    write!(f, " {n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The verdict of a static robustness analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobustnessReport {
+    /// `true` iff no dangerous structure exists: every execution of the
+    /// application under the weak model is also an execution under the
+    /// strong one.
+    pub robust: bool,
+    /// The witness when not robust.
+    pub witness: Option<DangerousStructure>,
+}
+
+impl RobustnessReport {
+    /// A robust verdict.
+    pub fn robust() -> Self {
+        RobustnessReport { robust: true, witness: None }
+    }
+
+    /// A non-robust verdict with its witness.
+    pub fn not_robust(witness: DangerousStructure) -> Self {
+        RobustnessReport { robust: false, witness: Some(witness) }
+    }
+}
+
+impl fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.witness {
+            None => write!(f, "robust"),
+            Some(w) => write!(f, "NOT robust: {w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let w = DangerousStructure::AdjacentAntiDependencies {
+            a: TxId(0),
+            b: TxId(1),
+            c: TxId(0),
+            closing_path: vec![],
+        };
+        assert!(w.to_string().contains("T0 -RW-> T1 -RW-> T0"));
+        assert_eq!(RobustnessReport::robust().to_string(), "robust");
+        assert!(RobustnessReport::not_robust(w).to_string().contains("NOT robust"));
+    }
+}

@@ -1,0 +1,288 @@
+//! The two static robustness checks (§6.1 and §6.2).
+
+use si_chopping::{ConflictKind, SearchBudgetExceeded};
+use si_relations::{path_between, CycleVisit, EnumerationEnd, TxId};
+
+use crate::report::{DangerousStructure, RobustnessReport};
+use crate::static_graph::StaticDepGraph;
+
+/// §6.1 — robustness against SI towards serializability.
+///
+/// By Theorem 19, every SI-but-not-serializable dependency graph has a
+/// cycle with two adjacent anti-dependency edges. The static graph
+/// over-approximates every producible dynamic graph, so if it contains no
+/// `a -RW→ b -RW→ c` with `c →* a` (reflexively: `c = a` closes the cycle
+/// immediately), the application running under SI only ever produces
+/// serializable behaviour.
+///
+/// `a ≠ b` and `b ≠ c` are required (dependencies relate distinct
+/// transactions); `a = c` is allowed — that is exactly write skew between
+/// two transactions.
+pub fn check_ser_robustness(graph: &StaticDepGraph) -> RobustnessReport {
+    let rw = graph.rw();
+    let all = graph.all();
+    let closure = all.reflexive_transitive_closure();
+    let n = graph.program_count();
+    for ai in 0..n {
+        let a = TxId::from_index(ai);
+        for b in rw.successors(a).iter() {
+            for c in rw.successors(b).iter() {
+                if closure.contains(c, a) {
+                    let closing_path = if c == a {
+                        Vec::new()
+                    } else {
+                        path_between(&all, c, a).expect("closure said c reaches a")
+                    };
+                    return RobustnessReport::not_robust(
+                        DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path },
+                    );
+                }
+            }
+        }
+    }
+    RobustnessReport::robust()
+}
+
+/// §6.1 with the *vulnerability refinement* of Fekete et al. (the paper's
+/// reference \[18\]).
+///
+/// An anti-dependency edge `a -RW→ b` is **vulnerable** only if the write
+/// sets of `a` and `b` are disjoint: write-conflicting transactions cannot
+/// both commit while concurrent under first-committer-wins, and a
+/// non-concurrent anti-dependency cannot participate in the dangerous
+/// pivot. The refined analysis only looks for dangerous structures
+/// `a -RW→ b -RW→ c` whose *both* edges are vulnerable, accepting strictly
+/// more applications than [`check_ser_robustness`] — notably the standard
+/// "materialise the constraint" fix for write skew (give the conflicting
+/// programs a common written object), and TPC-C-style mixes even when
+/// analysed with duplicated program instances.
+pub fn check_ser_robustness_refined(graph: &StaticDepGraph) -> RobustnessReport {
+    let vulnerable = graph.rw().difference(graph.ww());
+    let all = graph.all();
+    let closure = all.reflexive_transitive_closure();
+    let n = graph.program_count();
+    for ai in 0..n {
+        let a = TxId::from_index(ai);
+        for b in vulnerable.successors(a).iter() {
+            for c in vulnerable.successors(b).iter() {
+                if closure.contains(c, a) {
+                    let closing_path = if c == a {
+                        Vec::new()
+                    } else {
+                        path_between(&all, c, a).expect("closure said c reaches a")
+                    };
+                    return RobustnessReport::not_robust(
+                        DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path },
+                    );
+                }
+            }
+        }
+    }
+    RobustnessReport::robust()
+}
+
+/// §6.2 — robustness against parallel SI towards SI.
+///
+/// By Theorem 22, every PSI-but-not-SI dependency graph has a cycle with
+/// at least two anti-dependency edges, no two of which are adjacent. The
+/// static analysis therefore searches the application's static dependency
+/// graph for a simple cycle with that shape (enumerating labelled simple
+/// cycles with Johnson's algorithm, bounded by `step_budget`); if none
+/// exists, the application behaves identically under PSI and SI.
+///
+/// # Errors
+///
+/// Returns [`SearchBudgetExceeded`] if cycle enumeration was cut short —
+/// the verdict must then be treated as "possibly not robust".
+pub fn check_si_robustness(
+    graph: &StaticDepGraph,
+    step_budget: usize,
+) -> Result<RobustnessReport, SearchBudgetExceeded> {
+    let mg = graph.labelled();
+    let mut witness = None;
+    let end = mg.simple_cycles(step_budget, |cycle| {
+        if is_long_fork_shape(&cycle.labels) {
+            witness = Some(cycle.nodes.clone());
+            CycleVisit::Stop
+        } else {
+            CycleVisit::Continue
+        }
+    });
+    if end == EnumerationEnd::BudgetExhausted {
+        return Err(SearchBudgetExceeded);
+    }
+    Ok(match witness {
+        None => RobustnessReport::robust(),
+        Some(nodes) => {
+            RobustnessReport::not_robust(DangerousStructure::SeparatedAntiDependencyCycle { nodes })
+        }
+    })
+}
+
+/// Whether a cyclic label sequence has at least two anti-dependency edges
+/// with no two (cyclically) adjacent.
+fn is_long_fork_shape(labels: &[ConflictKind]) -> bool {
+    let n = labels.len();
+    let rw_count = labels.iter().filter(|&&l| l == ConflictKind::Rw).count();
+    if rw_count < 2 {
+        return false;
+    }
+    (0..n).all(|i| {
+        !(labels[i] == ConflictKind::Rw && labels[(i + 1) % n] == ConflictKind::Rw)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_chopping::ProgramSet;
+
+    /// Write skew: two programs reading both objects, each writing one.
+    fn write_skew_app() -> StaticDepGraph {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("w1");
+        ps.add_piece(w1, "p", [x, y], [x]);
+        let w2 = ps.add_program("w2");
+        ps.add_piece(w2, "p", [x, y], [y]);
+        StaticDepGraph::from_programs(&ps)
+    }
+
+    /// The long-fork application of Figure 12 (unchopped): two blind
+    /// writers to different objects, two readers of both.
+    fn long_fork_app() -> StaticDepGraph {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("write1");
+        ps.add_piece(w1, "x = post1", [], [x]);
+        let w2 = ps.add_program("write2");
+        ps.add_piece(w2, "y = post2", [], [y]);
+        let r1 = ps.add_program("read1");
+        ps.add_piece(r1, "a=y; b=x", [x, y], []);
+        let r2 = ps.add_program("read2");
+        ps.add_piece(r2, "a=x; b=y", [x, y], []);
+        StaticDepGraph::from_programs(&ps)
+    }
+
+    /// Disjoint-object programs: robust against everything.
+    fn disjoint_app() -> StaticDepGraph {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let p1 = ps.add_program("p1");
+        ps.add_piece(p1, "p", [x], [x]);
+        let p2 = ps.add_program("p2");
+        ps.add_piece(p2, "p", [y], [y]);
+        StaticDepGraph::from_programs(&ps)
+    }
+
+    #[test]
+    fn write_skew_not_ser_robust() {
+        let report = check_ser_robustness(&write_skew_app());
+        assert!(!report.robust);
+        let Some(DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path }) =
+            report.witness
+        else {
+            panic!("expected adjacent anti-dependencies");
+        };
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, c); // the two-transaction write skew
+        assert!(closing_path.is_empty());
+    }
+
+    #[test]
+    fn write_skew_is_si_robust() {
+        // Write skew is PSI-robust towards SI: its only anomaly is the
+        // adjacent-RW kind, which SI itself admits.
+        let report = check_si_robustness(&write_skew_app(), 1_000_000).unwrap();
+        assert!(report.robust);
+    }
+
+    #[test]
+    fn long_fork_not_si_robust() {
+        let report = check_si_robustness(&long_fork_app(), 1_000_000).unwrap();
+        assert!(!report.robust);
+        assert!(matches!(
+            report.witness,
+            Some(DangerousStructure::SeparatedAntiDependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn long_fork_also_not_ser_robust() {
+        // read1 -RW-> write1 … the readers also produce adjacent-RW
+        // structures? a -RW-> b -RW-> c needs RW;RW: readers have RW to
+        // writers, writers have RW to nobody (empty read sets) — so no
+        // adjacent pair exists and the app IS ser-robust *per this check*…
+        // unless a cycle exists. Verify which way it goes:
+        let report = check_ser_robustness(&long_fork_app());
+        // Writers never anti-depend on anything (they read nothing), so
+        // RW;RW is empty: the Fekete-style check deems it robust towards
+        // SER *under SI*. (Under PSI it is not robust towards SI — the
+        // long fork — which is exactly what distinguishes §6.1 from §6.2.)
+        assert!(report.robust);
+    }
+
+    #[test]
+    fn disjoint_app_robust_everywhere() {
+        assert!(check_ser_robustness(&disjoint_app()).robust);
+        assert!(check_si_robustness(&disjoint_app(), 1_000_000).unwrap().robust);
+    }
+
+    #[test]
+    fn refined_check_clears_materialised_constraints() {
+        // Write skew with a shared written object ("promotion"): the
+        // plain analysis still flags it, the refined one certifies it.
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let total = ps.object("total");
+        let w1 = ps.add_program("w1");
+        ps.add_piece(w1, "p", [x, y, total], [x, total]);
+        let w2 = ps.add_program("w2");
+        ps.add_piece(w2, "p", [x, y, total], [y, total]);
+        let g = StaticDepGraph::from_programs(&ps);
+        assert!(!check_ser_robustness(&g).robust);
+        assert!(check_ser_robustness_refined(&g).robust);
+    }
+
+    #[test]
+    fn refined_check_still_catches_plain_write_skew() {
+        let g = write_skew_app();
+        assert!(!check_ser_robustness_refined(&g).robust);
+    }
+
+    #[test]
+    fn three_transaction_dangerous_structure() {
+        // a reads x (written by c), b writes what a reads… build the
+        // classic 3-tx SI anomaly: a -RW-> b -RW-> c -WR-> a.
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let z = ps.object("z");
+        let a = ps.add_program("a");
+        ps.add_piece(a, "p", [x], []); // reads x
+        let b = ps.add_program("b");
+        ps.add_piece(b, "p", [y], [x]); // writes x, reads y
+        let c = ps.add_program("c");
+        ps.add_piece(c, "p", [], [y, z]); // writes y and z
+        // close the cycle: c writes z which a reads? a -RW-> … simpler:
+        // make a also read z so c -WR-> a.
+        let a2 = ps.add_program("a2");
+        ps.add_piece(a2, "p", [x, z], []);
+        let report = check_ser_robustness(&StaticDepGraph::from_programs(&ps));
+        assert!(!report.robust);
+        if let Some(DangerousStructure::AdjacentAntiDependencies { a, c, closing_path, .. }) =
+            &report.witness
+        {
+            if a != c {
+                // The closing path must be a genuine path from c to a.
+                assert_eq!(closing_path.first(), Some(c));
+                assert_eq!(closing_path.last(), Some(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Static dependency graphs of applications (§6).
+
+use si_chopping::{ConflictKind, ProgramId, ProgramSet};
+use si_relations::{MultiGraph, Relation, TxId};
+
+/// The static dependency graph of an application: one vertex per program
+/// (whole transaction) and an edge wherever the read/write sets make a
+/// dependency *possible* at run time:
+///
+/// * `P -WR→ Q` if `writes(P) ∩ reads(Q) ≠ ∅`;
+/// * `P -WW→ Q` if `writes(P) ∩ writes(Q) ≠ ∅`;
+/// * `P -RW→ Q` if `reads(P) ∩ writes(Q) ≠ ∅`.
+///
+/// Multi-piece programs are first merged with
+/// [`ProgramSet::unchopped`] — robustness reasons about whole
+/// transactions. A program whose write set intersects its own read or
+/// write set still never gets a self-edge: dependencies relate *distinct*
+/// transactions, and two run-time instances of one program are accounted
+/// for by the analyses interpreting these edges over arbitrarily many
+/// instances (e.g. [`check_ser_robustness`](crate::check_ser_robustness)
+/// closes paths reflexively).
+#[derive(Debug, Clone)]
+pub struct StaticDepGraph {
+    wr: Relation,
+    ww: Relation,
+    rw: Relation,
+    names: Vec<String>,
+}
+
+impl StaticDepGraph {
+    /// Builds the static dependency graph of `programs` (merging chopped
+    /// programs into whole transactions first).
+    pub fn from_programs(programs: &ProgramSet) -> Self {
+        let whole = programs.unchopped();
+        let n = whole.program_count();
+        let mut wr = Relation::new(n);
+        let mut ww = Relation::new(n);
+        let mut rw = Relation::new(n);
+        let pieces: Vec<_> = whole.pieces().collect();
+        let intersects =
+            |xs: &[si_model::Obj], ys: &[si_model::Obj]| xs.iter().any(|x| ys.contains(x));
+        for (i, &a) in pieces.iter().enumerate() {
+            for (j, &b) in pieces.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (va, vb) = (TxId::from_index(i), TxId::from_index(j));
+                if intersects(whole.writes(a), whole.reads(b)) {
+                    wr.insert(va, vb);
+                }
+                if intersects(whole.writes(a), whole.writes(b)) {
+                    ww.insert(va, vb);
+                }
+                if intersects(whole.reads(a), whole.writes(b)) {
+                    rw.insert(va, vb);
+                }
+            }
+        }
+        let names = (0..n)
+            .map(|i| whole.program_name(ProgramId(i)).to_owned())
+            .collect();
+        StaticDepGraph { wr, ww, rw, names }
+    }
+
+    /// Like [`from_programs`](StaticDepGraph::from_programs), but models
+    /// `instances` concurrent run-time instances of every program by
+    /// duplicating it before building the graph.
+    ///
+    /// The paper's §6 presentation (like Fekete et al.'s) draws one vertex
+    /// per program, so a dangerous structure formed by two instances of the
+    /// *same* program (e.g. two concurrent `new_order`s anti-depending on
+    /// each other) is invisible in the plain graph. Duplication restores
+    /// soundness for structures involving up to `instances` copies, at the
+    /// cost of extra false positives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    pub fn from_programs_with_instances(programs: &ProgramSet, instances: usize) -> Self {
+        assert!(instances >= 1, "need at least one instance per program");
+        let whole = programs.unchopped();
+        let mut duplicated = ProgramSet::new();
+        // Re-intern the object names in index order so Obj values agree.
+        let mut i = 0;
+        while let Some(name) = whole.object_name(si_model::Obj::from_index(i)) {
+            duplicated.object(name);
+            i += 1;
+        }
+        for k in 0..instances {
+            for prog in whole.programs() {
+                let name = format!("{}#{k}", whole.program_name(prog));
+                let p = duplicated.add_program(&name);
+                for piece in (0..whole.pieces_of(prog)).map(|j| si_chopping::PieceId {
+                    program: prog,
+                    piece: j,
+                }) {
+                    duplicated.add_piece(
+                        p,
+                        whole.piece_label(piece),
+                        whole.reads(piece).iter().copied(),
+                        whole.writes(piece).iter().copied(),
+                    );
+                }
+            }
+        }
+        StaticDepGraph::from_programs(&duplicated)
+    }
+
+    /// Number of programs (vertices).
+    pub fn program_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The program name at a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn name(&self, v: TxId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Possible read dependencies.
+    pub fn wr(&self) -> &Relation {
+        &self.wr
+    }
+
+    /// Possible write dependencies.
+    pub fn ww(&self) -> &Relation {
+        &self.ww
+    }
+
+    /// Possible anti-dependencies.
+    pub fn rw(&self) -> &Relation {
+        &self.rw
+    }
+
+    /// `WR ∪ WW` — the dependency edges that *separate* anti-dependencies
+    /// in the Theorem 22 shape.
+    pub fn dep(&self) -> Relation {
+        self.wr.union(&self.ww)
+    }
+
+    /// All possible dependency edges `WR ∪ WW ∪ RW`.
+    pub fn all(&self) -> Relation {
+        self.dep().union(&self.rw)
+    }
+
+    /// The graph as a labelled multigraph (parallel edges per dependency
+    /// kind), for shape-sensitive cycle enumeration.
+    pub fn labelled(&self) -> MultiGraph<ConflictKind> {
+        let mut g = MultiGraph::new(self.program_count());
+        for (kind, rel) in [
+            (ConflictKind::Wr, &self.wr),
+            (ConflictKind::Ww, &self.ww),
+            (ConflictKind::Rw, &self.rw),
+        ] {
+            for (a, b) in rel.iter_pairs() {
+                g.add_edge(a, b, kind);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_chopping::ProgramSet;
+
+    fn write_skew_app() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("w1");
+        ps.add_piece(w1, "p", [x, y], [x]);
+        let w2 = ps.add_program("w2");
+        ps.add_piece(w2, "p", [x, y], [y]);
+        ps
+    }
+
+    #[test]
+    fn edges_from_set_intersections() {
+        let g = StaticDepGraph::from_programs(&write_skew_app());
+        assert_eq!(g.program_count(), 2);
+        let (a, b) = (TxId(0), TxId(1));
+        // w1 writes x, w2 reads x: WR a->b; symmetrically WR b->a (y).
+        assert!(g.wr().contains(a, b));
+        assert!(g.wr().contains(b, a));
+        // Disjoint write sets: no WW.
+        assert!(g.ww().is_empty());
+        // Both read what the other writes: RW both ways.
+        assert!(g.rw().contains(a, b));
+        assert!(g.rw().contains(b, a));
+        // No self edges.
+        assert!(!g.rw().contains(a, a));
+        assert_eq!(g.name(a), "w1");
+    }
+
+    #[test]
+    fn chopped_programs_are_merged() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "a", [x], [x]);
+        ps.add_piece(t, "b", [y], [y]);
+        let l = ps.add_program("lookup");
+        ps.add_piece(l, "c", [x, y], []);
+        let g = StaticDepGraph::from_programs(&ps);
+        assert_eq!(g.program_count(), 2);
+        // Whole transfer writes {x,y}; lookup reads both.
+        assert!(g.wr().contains(TxId(0), TxId(1)));
+        assert!(g.rw().contains(TxId(1), TxId(0)));
+    }
+
+    #[test]
+    fn instance_duplication() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let p = ps.add_program("rmw");
+        ps.add_piece(p, "x := x + 1", [x], [x]);
+        // One vertex: no edges at all (no self edges).
+        let plain = StaticDepGraph::from_programs(&ps);
+        assert_eq!(plain.program_count(), 1);
+        assert!(plain.all().is_empty());
+        // Two instances: the copies conflict in every way.
+        let dup = StaticDepGraph::from_programs_with_instances(&ps, 2);
+        assert_eq!(dup.program_count(), 2);
+        assert!(dup.wr().contains(TxId(0), TxId(1)));
+        assert!(dup.ww().contains(TxId(0), TxId(1)));
+        assert!(dup.rw().contains(TxId(1), TxId(0)));
+        assert_eq!(dup.name(TxId(0)), "rmw#0");
+        assert_eq!(dup.name(TxId(1)), "rmw#1");
+    }
+
+    #[test]
+    fn combined_relations() {
+        let g = StaticDepGraph::from_programs(&write_skew_app());
+        assert_eq!(g.dep().edge_count(), 2);
+        assert_eq!(g.all().edge_count(), 2); // RW coincides with WR pairs here
+    }
+}

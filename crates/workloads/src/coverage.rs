@@ -1,0 +1,203 @@
+//! Coverage checking: does a runnable [`Workload`] actually match the
+//! static program model fed to the chopping/robustness analyses?
+//!
+//! Corollary 18's premise is that every history "can be produced by" the
+//! analysed programs: each session is an instance of some chopped program
+//! whose pieces' read/write sets *cover* the session's transactions. The
+//! static verdict transfers to a workload only under that premise. This
+//! module makes the premise checkable: it segments each session's script
+//! sequence into consecutive program instances whose piece sets cover the
+//! scripts' read/write sets, with backtracking over program choices.
+
+use core::fmt;
+
+use si_chopping::{PieceId, ProgramId, ProgramSet};
+use si_mvcc::{Script, Workload};
+
+/// Why a workload is not covered by a program set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageError {
+    /// No segmentation of this session's scripts into program instances
+    /// exists; `at` is the furthest script index any attempt reached.
+    SessionNotCovered {
+        /// Session index in the workload.
+        session: usize,
+        /// Furthest script index covered by any partial segmentation.
+        at: usize,
+    },
+}
+
+impl fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageError::SessionNotCovered { session, at } => write!(
+                f,
+                "session {session} cannot be segmented into program instances \
+                 (first uncoverable script at index {at})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {}
+
+/// A session's segmentation into program instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCoverage {
+    /// The program instances, in order; each covers `pieces_of(program)`
+    /// consecutive scripts.
+    pub instances: Vec<ProgramId>,
+}
+
+/// Checks that a single piece covers a script: the script's read set is
+/// contained in the piece's declared read set, likewise for writes.
+fn piece_covers(programs: &ProgramSet, piece: PieceId, script: &Script) -> bool {
+    let reads = programs.reads(piece);
+    let writes = programs.writes(piece);
+    script.read_set().iter().all(|x| reads.contains(x))
+        && script.write_set().iter().all(|x| writes.contains(x))
+}
+
+/// Tries to segment `scripts[at..]` into program instances.
+fn segment(
+    programs: &ProgramSet,
+    scripts: &[Script],
+    at: usize,
+    acc: &mut Vec<ProgramId>,
+    deepest: &mut usize,
+) -> bool {
+    *deepest = (*deepest).max(at);
+    if at == scripts.len() {
+        return true;
+    }
+    for program in programs.programs() {
+        let k = programs.pieces_of(program);
+        if k == 0 || at + k > scripts.len() {
+            continue;
+        }
+        let covered = (0..k).all(|j| {
+            piece_covers(programs, PieceId { program, piece: j }, &scripts[at + j])
+        });
+        if covered {
+            acc.push(program);
+            if segment(programs, scripts, at + k, acc, deepest) {
+                return true;
+            }
+            acc.pop();
+        }
+    }
+    false
+}
+
+/// Checks that every session of `workload` is a concatenation of program
+/// instances of `programs`, returning the per-session segmentation.
+///
+/// When this holds, every history the workload can produce "can be
+/// produced by" the programs in the sense of §5, so a static chopping
+/// verdict on `programs` (Corollary 18) applies to the workload.
+///
+/// # Errors
+///
+/// Returns the first uncoverable session.
+pub fn check_coverage(
+    programs: &ProgramSet,
+    workload: &Workload,
+) -> Result<Vec<SessionCoverage>, CoverageError> {
+    let mut out = Vec::new();
+    for (session, scripts) in workload.session_scripts().enumerate() {
+        let mut acc = Vec::new();
+        let mut deepest = 0;
+        if segment(programs, scripts, 0, &mut acc, &mut deepest) {
+            out.push(SessionCoverage { instances: acc });
+        } else {
+            return Err(CoverageError::SessionNotCovered { session, at: deepest });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::program_set_figure6;
+    use crate::chopped::{chopped, TransferLoad};
+    use si_model::Obj;
+
+    /// A program set matching the `chopped` transfer workload's shape:
+    /// ballast (read-only over all accounts), debit, credit.
+    fn chopped_transfer_programs(accounts: usize) -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let objs: Vec<Obj> = (0..accounts).map(|i| ps.object(&format!("a{i}"))).collect();
+        let ballast = ps.add_program("ballast");
+        ps.add_piece(ballast, "reads", objs.clone(), []);
+        for (i, &o) in objs.iter().enumerate() {
+            let p = ps.add_program(&format!("touch{i}"));
+            ps.add_piece(p, "rmw", [o], [o]);
+        }
+        ps
+    }
+
+    #[test]
+    fn chopped_transfers_are_covered() {
+        let params = TransferLoad { accounts: 4, sessions: 2, transfers_per_session: 3, ..Default::default() };
+        let w = chopped(&params);
+        let ps = chopped_transfer_programs(params.accounts);
+        let coverage = check_coverage(&ps, &w).expect("chopped workload must be covered");
+        assert_eq!(coverage.len(), 2);
+        // Each transfer contributes ballast + 2 single-account programs.
+        assert_eq!(coverage[0].instances.len(), 3 * params.transfers_per_session);
+    }
+
+    #[test]
+    fn uncovered_session_is_reported() {
+        // Figure 6's programs only touch acct1/acct2; a workload touching
+        // a third object cannot be covered.
+        let ps = program_set_figure6();
+        let w = si_mvcc::Workload::new(3)
+            .session([si_mvcc::Script::new().read(Obj(2))]);
+        let err = check_coverage(&ps, &w).unwrap_err();
+        assert_eq!(err, CoverageError::SessionNotCovered { session: 0, at: 0 });
+        assert!(err.to_string().contains("session 0"));
+    }
+
+    #[test]
+    fn subset_access_is_covered() {
+        // A script that reads less than the piece declares still fits
+        // (read/write sets are over-approximations).
+        let ps = program_set_figure6();
+        let w = si_mvcc::Workload::new(2)
+            // transfer instance: touch acct1 then acct2 (writes within
+            // declared sets).
+            .session([
+                si_mvcc::Script::new().read(Obj(0)).write_computed(Obj(0), [0], -1),
+                si_mvcc::Script::new().write_const(Obj(1), 7),
+            ])
+            // lookup1 instance.
+            .session([si_mvcc::Script::new().read(Obj(0))]);
+        let coverage = check_coverage(&ps, &w).unwrap();
+        assert_eq!(coverage[0].instances.len(), 1); // one transfer instance
+        assert_eq!(coverage[1].instances.len(), 1); // one lookup instance
+    }
+
+    #[test]
+    fn backtracking_over_ambiguous_prefixes() {
+        // Program A = [read x]; program B = [read x, read y]. A session
+        // [read x, read y] must be matched as B (greedy A would strand
+        // the second script if no program covers [read y]… unless one
+        // does; make A the only single-read program and over x only).
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let a = ps.add_program("A");
+        ps.add_piece(a, "rx", [x], []);
+        let b = ps.add_program("B");
+        ps.add_piece(b, "rx", [x], []);
+        ps.add_piece(b, "ry", [y], []);
+        let w = si_mvcc::Workload::new(2).session([
+            si_mvcc::Script::new().read(x),
+            si_mvcc::Script::new().read(y),
+        ]);
+        let coverage = check_coverage(&ps, &w).unwrap();
+        assert_eq!(coverage[0].instances, vec![ProgramId(1)]);
+    }
+}

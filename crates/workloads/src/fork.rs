@@ -1,0 +1,120 @@
+//! Long-fork workloads: Figure 2(c) and the Figure 12 application.
+
+use si_chopping::ProgramSet;
+use si_model::Obj;
+use si_mvcc::{Script, Workload};
+
+/// The long-fork scenario of Figure 2(c), scaled to `groups` independent
+/// groups: in each, two writer sessions blindly post to `x` and `y`, and
+/// two reader sessions read both objects. Run against the PSI engine with
+/// low replication probability, the two readers can observe the writes in
+/// opposite orders; under SI they never can.
+pub fn long_fork(groups: usize) -> Workload {
+    let mut w = Workload::new(groups * 2);
+    for g in 0..groups {
+        let x = Obj::from_index(2 * g);
+        let y = Obj::from_index(2 * g + 1);
+        w = w
+            .session([Script::new().write_const(x, 1)])
+            .session([Script::new().write_const(y, 1)])
+            .session([Script::new().read(x).read(y)])
+            .session([Script::new().read(y).read(x)]);
+    }
+    w
+}
+
+/// Like [`long_fork`], but each reader session repeats its two-object
+/// read `repeats` times — any one repetition observing the writes in the
+/// "wrong" order witnesses the fork, making the anomaly much more likely
+/// per run.
+pub fn long_fork_repeated(groups: usize, repeats: usize) -> Workload {
+    let mut w = Workload::new(groups * 2);
+    for g in 0..groups {
+        let x = Obj::from_index(2 * g);
+        let y = Obj::from_index(2 * g + 1);
+        w = w
+            .session([Script::new().write_const(x, 1)])
+            .session([Script::new().write_const(y, 1)])
+            .session(vec![Script::new().read(x).read(y); repeats])
+            .session(vec![Script::new().read(y).read(x); repeats]);
+    }
+    w
+}
+
+/// The Figure 12 program set: two blind writers and two chopped
+/// two-object readers. A correct chopping under PSI but not under SI.
+pub fn program_set_figure12() -> ProgramSet {
+    let mut ps = ProgramSet::new();
+    let x = ps.object("x");
+    let y = ps.object("y");
+    let w1 = ps.add_program("write1");
+    ps.add_piece(w1, "x = post1", [], [x]);
+    let w2 = ps.add_program("write2");
+    ps.add_piece(w2, "y = post2", [], [y]);
+    let r1 = ps.add_program("read1");
+    ps.add_piece(r1, "a = y", [y], []);
+    ps.add_piece(r1, "b = x", [x], []);
+    let r2 = ps.add_program("read2");
+    ps.add_piece(r2, "a = x", [x], []);
+    ps.add_piece(r2, "b = y", [y], []);
+    ps
+}
+
+/// The Figure 11 program set: the chopping correct under SI but not under
+/// serializability.
+pub fn program_set_figure11() -> ProgramSet {
+    let mut ps = ProgramSet::new();
+    let x = ps.object("x");
+    let y = ps.object("y");
+    let w1 = ps.add_program("write1");
+    ps.add_piece(w1, "var1 = x", [x], []);
+    ps.add_piece(w1, "y = var1", [], [y]);
+    let w2 = ps.add_program("write2");
+    ps.add_piece(w2, "var2 = y", [y], []);
+    ps.add_piece(w2, "x = var2", [], [x]);
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_core::{classify_graph, history_membership, SearchBudget};
+    use si_depgraph::extract;
+    use si_execution::SpecModel;
+    use si_mvcc::{PsiEngine, Scheduler, SchedulerConfig, SiEngine};
+
+    #[test]
+    fn psi_engine_can_fork_si_engine_cannot() {
+        let w = long_fork(1);
+        let mut forked_under_psi = false;
+        for seed in 0..80 {
+            let cfg = SchedulerConfig { seed, background_probability: 0.05, ..Default::default() };
+            let mut s = Scheduler::new(cfg);
+            let run = s.run(&mut PsiEngine::new(2, 2), &w);
+            assert!(SpecModel::Psi.check(&run.execution).is_ok());
+            // Classify the produced graph: a long fork is PSI-only.
+            let g = extract(&run.execution).unwrap();
+            let c = classify_graph(&g);
+            if !c.si && c.psi {
+                forked_under_psi = true;
+            }
+        }
+        assert!(forked_under_psi, "PSI never produced a long fork in 80 seeds");
+
+        for seed in 0..80 {
+            let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+            let run = s.run(&mut SiEngine::new(2), &w);
+            // Every SI history must be in HistSI.
+            assert!(
+                history_membership(SpecModel::Si, &run.history, &SearchBudget::default()).unwrap(),
+                "SI engine produced a non-SI history (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn program_sets_have_expected_shapes() {
+        assert_eq!(program_set_figure12().piece_count(), 6);
+        assert_eq!(program_set_figure11().piece_count(), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generators for the *Analysing Snapshot Isolation*
+//! reproduction: the scenarios the paper's examples are built from, in
+//! runnable form.
+//!
+//! Each generator produces a [`Workload`] for the `si-mvcc` engines and,
+//! where a static analysis applies, the matching
+//! [`ProgramSet`](si_chopping::ProgramSet) (read/write sets) for the
+//! chopping and robustness analyses — so the same scenario can be run
+//! operationally *and* analysed statically.
+//!
+//! | module | scenario | paper artefact |
+//! |--------|----------|----------------|
+//! | [`bank`] | guarded withdrawals (write skew), transfers + balance checks | Figures 2(d), 4–6 |
+//! | [`coverage`] | workload ↔ program-set coverage (the Corollary 18 premise) | §5 |
+//! | [`counter`] | concurrent increments (lost update) | Figure 2(b) |
+//! | [`fork`] | independent writers + two-object readers (long fork) | Figures 2(c), 12 |
+//! | [`random`] | seeded random mixes with Zipf-skewed object choice | scaling benches |
+//! | [`smallbank`] | the canonical SI-robustness case study | §6 analyses |
+//! | [`chopped`] | transfer chopped vs. unchopped | §5 motivation (M1) |
+//! | [`tpcc_lite`] | order/payment kernels in the style of TPC-C | robustness audit example |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank;
+pub mod coverage;
+pub mod chopped;
+pub mod counter;
+pub mod fork;
+pub mod random;
+pub mod smallbank;
+pub mod tpcc_lite;
+
+pub use si_mvcc::{Script, Workload};

@@ -1,0 +1,251 @@
+//! SmallBank: the canonical snapshot-isolation robustness case study
+//! (Alomari et al. / Jorwekar et al.), here as both a static model for
+//! the §6 analyses and a runnable workload.
+//!
+//! Each customer has a `checking` and a `savings` account. The
+//! transaction mix:
+//!
+//! * `balance(c)` — read both accounts (read-only);
+//! * `deposit_checking(c, v)` — RMW `checking(c)`;
+//! * `transact_savings(c, v)` — RMW `savings(c)`;
+//! * `amalgamate(c1, c2)` — zero `c1`'s accounts, credit the sum to
+//!   `checking(c2)`;
+//! * `write_check(c, v)` — read **both** accounts, debit only
+//!   `checking(c)`.
+//!
+//! `write_check` reads `savings` without writing it while
+//! `transact_savings` writes it blindly with respect to `checking`: the
+//! two form the textbook write-skew pair, so SmallBank is **not robust
+//! against SI** — which the §6.1 analysis (plain and refined) must
+//! detect, and which the SI engine exhibits operationally.
+
+use si_chopping::ProgramSet;
+use si_model::Obj;
+use si_mvcc::{Script, Workload};
+
+/// Object layout: `checking[c]` and `savings[c]` per customer.
+#[derive(Debug, Clone)]
+pub struct Accounts {
+    /// Checking account objects by customer.
+    pub checking: Vec<Obj>,
+    /// Savings account objects by customer.
+    pub savings: Vec<Obj>,
+}
+
+impl Accounts {
+    /// Lays out accounts for `customers` customers.
+    pub fn new(customers: usize) -> Accounts {
+        Accounts {
+            checking: (0..customers).map(|c| Obj::from_index(2 * c)).collect(),
+            savings: (0..customers).map(|c| Obj::from_index(2 * c + 1)).collect(),
+        }
+    }
+
+    /// Number of customers.
+    pub fn customers(&self) -> usize {
+        self.checking.len()
+    }
+
+    /// Total number of objects.
+    pub fn object_count(&self) -> usize {
+        self.checking.len() + self.savings.len()
+    }
+}
+
+/// `balance(c)`: read-only sum of the two accounts.
+pub fn balance(a: &Accounts, c: usize) -> Script {
+    Script::new().read(a.savings[c]).read(a.checking[c])
+}
+
+/// `deposit_checking(c, v)`.
+pub fn deposit_checking(a: &Accounts, c: usize, v: i64) -> Script {
+    Script::new()
+        .read(a.checking[c])
+        .write_computed(a.checking[c], [0], v)
+}
+
+/// `transact_savings(c, v)`.
+pub fn transact_savings(a: &Accounts, c: usize, v: i64) -> Script {
+    Script::new()
+        .read(a.savings[c])
+        .write_computed(a.savings[c], [0], v)
+}
+
+/// `amalgamate(c1, c2)`: move everything from `c1` into `checking(c2)`.
+pub fn amalgamate(a: &Accounts, c1: usize, c2: usize) -> Script {
+    Script::new()
+        .read(a.savings[c1]) // reg 0
+        .read(a.checking[c1]) // reg 1
+        .read(a.checking[c2]) // reg 2
+        .write_const(a.savings[c1], 0)
+        .write_const(a.checking[c1], 0)
+        .write_computed(a.checking[c2], [0, 1, 2], 0)
+}
+
+/// `write_check(c, v)`: check the combined balance, debit checking only.
+pub fn write_check(a: &Accounts, c: usize, v: u64) -> Script {
+    Script::new()
+        .read(a.savings[c])
+        .read(a.checking[c])
+        .end_if_sum_below([0, 1], v)
+        .write_computed(a.checking[c], [1], -(v as i64))
+}
+
+/// The read/write sets of the five kernels as a [`ProgramSet`]
+/// (conservatively over all customers), for the robustness analyses.
+pub fn program_set(customers: usize) -> ProgramSet {
+    let mut ps = ProgramSet::new();
+    let checking: Vec<Obj> = (0..customers)
+        .map(|c| ps.object(&format!("checking{c}")))
+        .collect();
+    let savings: Vec<Obj> = (0..customers)
+        .map(|c| ps.object(&format!("savings{c}")))
+        .collect();
+    let both = || checking.iter().chain(&savings).copied();
+
+    let bal = ps.add_program("balance");
+    ps.add_piece(bal, "read both accounts", both(), []);
+
+    let dep = ps.add_program("deposit_checking");
+    ps.add_piece(dep, "rmw checking", checking.clone(), checking.clone());
+
+    let ts = ps.add_program("transact_savings");
+    ps.add_piece(ts, "rmw savings", savings.clone(), savings.clone());
+
+    let am = ps.add_program("amalgamate");
+    ps.add_piece(am, "move all funds", both(), both());
+
+    let wc = ps.add_program("write_check");
+    ps.add_piece(wc, "read both, debit checking", both(), checking.clone());
+
+    ps
+}
+
+/// A mixed workload: each session cycles through the five kernels over
+/// its "home" customer and a neighbour.
+pub fn mixed_workload(a: &Accounts, sessions: usize, rounds: usize, initial: u64) -> Workload {
+    let mut w = Workload::new(a.object_count());
+    for c in 0..a.customers() {
+        w = w.initial(a.checking[c], initial).initial(a.savings[c], initial);
+    }
+    for s in 0..sessions {
+        let home = s % a.customers();
+        let other = (s + 1) % a.customers();
+        let mut scripts = Vec::new();
+        for r in 0..rounds {
+            match r % 4 {
+                0 => scripts.push(balance(a, home)),
+                1 => scripts.push(deposit_checking(a, home, 10)),
+                2 => scripts.push(transact_savings(a, other, 5)),
+                _ => scripts.push(write_check(a, home, 20)),
+            }
+        }
+        w = w.session(scripts);
+    }
+    w
+}
+
+/// The adversarial scenario that exhibits the SmallBank anomaly — the
+/// three-transaction dangerous structure of Fekete et al.'s analysis:
+///
+/// * `write_check(c)` reads both accounts on a stale snapshot and debits
+///   `checking` (outbound anti-dependency to `transact_savings`, which
+///   concurrently drains `savings`);
+/// * `balance(c)` observes `transact_savings`' commit but not
+///   `write_check`'s, closing the cycle
+///   `balance -RW(chk)→ write_check -RW(sav)→ transact_savings -WR(sav)→ balance`
+///   with two adjacent anti-dependencies at the `write_check` pivot —
+///   admitted by SI, not serializable.
+///
+/// Two transactions alone cannot close a cycle here (`transact_savings`
+/// never reads `checking`), so the read-only `balance` is essential — the
+/// well-known "read-only transaction anomaly" flavour of SmallBank.
+pub fn skew_scenario(a: &Accounts, customer: usize) -> Workload {
+    let mut w = Workload::new(a.object_count());
+    w = w
+        .initial(a.savings[customer], 15)
+        .initial(a.checking[customer], 10)
+        // write_check(20): stale combined balance 25 ≥ 20 justifies a
+        // debit that the drained savings no longer covers.
+        .session([write_check(a, customer, 20)])
+        // transact_savings(-15): drains savings concurrently.
+        .session([transact_savings(a, customer, -15)])
+        // balance(): the reader that can observe the fork.
+        .session([balance(a, customer)]);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_execution::SpecModel;
+    use si_mvcc::{Scheduler, SchedulerConfig, SiEngine, SsiEngine};
+    use si_robustness::{check_ser_robustness, check_ser_robustness_refined, StaticDepGraph};
+
+    #[test]
+    fn smallbank_is_not_robust_against_si() {
+        let ps = program_set(2);
+        let g = StaticDepGraph::from_programs(&ps);
+        let plain = check_ser_robustness(&g);
+        assert!(!plain.robust, "SmallBank must be flagged: {plain}");
+        // The refinement does not save it: write_check / transact_savings
+        // have disjoint write sets, so their anti-dependencies are
+        // vulnerable.
+        let refined = check_ser_robustness_refined(&g);
+        assert!(!refined.robust, "refined analysis must still flag SmallBank");
+    }
+
+    #[test]
+    fn skew_is_reachable_on_si_engine() {
+        let a = Accounts::new(1);
+        let w = skew_scenario(&a, 0);
+        let mut anomalies = 0;
+        for seed in 0..60 {
+            let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+            let mut engine = SiEngine::new(a.object_count());
+            let run = s.run(&mut engine, &w);
+            assert!(SpecModel::Si.check(&run.execution).is_ok());
+            // The genuine anomaly criterion: the run's dependency graph is
+            // admitted by SI but not serializable (Theorem 8 vs 9).
+            let g = si_depgraph::extract(&run.execution).unwrap();
+            if si_core::check_ser(&g).is_err() {
+                assert!(si_core::check_si(&g).is_ok());
+                anomalies += 1;
+            }
+        }
+        assert!(anomalies > 0, "the SmallBank skew never materialised");
+    }
+
+    #[test]
+    fn ssi_engine_prevents_the_skew() {
+        let a = Accounts::new(1);
+        let w = skew_scenario(&a, 0);
+        for seed in 0..40 {
+            let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+            let run = s.run(&mut SsiEngine::new(a.object_count()), &w);
+            let g = si_depgraph::extract(&run.execution).unwrap();
+            assert!(
+                si_core::check_ser(&g).is_ok(),
+                "SSI permitted the SmallBank skew (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_workload_runs_cleanly() {
+        let a = Accounts::new(3);
+        let w = mixed_workload(&a, 4, 8, 100);
+        let mut s = Scheduler::new(SchedulerConfig { seed: 5, ..Default::default() });
+        let run = s.run(&mut SiEngine::new(a.object_count()), &w);
+        assert!(SpecModel::Si.check(&run.execution).is_ok());
+        assert_eq!(run.stats.gave_up, 0);
+    }
+
+    #[test]
+    fn layout_is_dense() {
+        let a = Accounts::new(3);
+        assert_eq!(a.object_count(), 6);
+        assert_eq!(a.customers(), 3);
+        assert_eq!(program_set(2).program_count(), 5);
+    }
+}

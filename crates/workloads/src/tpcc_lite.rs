@@ -1,0 +1,185 @@
+//! TPC-C-like kernels: a realistic application for the robustness audit.
+//!
+//! A heavily simplified cut of TPC-C's transaction mix over one
+//! warehouse: `new_order` (read stock, place order, decrement stock),
+//! `payment` (update warehouse/district year-to-date, update customer
+//! balance), `order_status` (read-only), `stock_level` (read-only). The
+//! interesting property — known from Fekete et al.'s analysis of TPC-C —
+//! is that the mix is *robust against SI*: every SI execution is
+//! serializable, which the `si-robustness` analysis confirms on this
+//! model.
+
+use si_chopping::ProgramSet;
+use si_model::Obj;
+use si_mvcc::{Script, Workload};
+
+/// Object layout for the lite schema.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Warehouse year-to-date total.
+    pub warehouse_ytd: Obj,
+    /// District year-to-date total.
+    pub district_ytd: Obj,
+    /// Next order id of the district.
+    pub district_next_oid: Obj,
+    /// Per-item stock counters.
+    pub stock: Vec<Obj>,
+    /// Per-customer balances.
+    pub customer_balance: Vec<Obj>,
+}
+
+impl Schema {
+    /// Builds the layout for `items` items and `customers` customers.
+    pub fn new(items: usize, customers: usize) -> Schema {
+        let mut next = 0usize;
+        let mut fresh = || {
+            let o = Obj::from_index(next);
+            next += 1;
+            o
+        };
+        Schema {
+            warehouse_ytd: fresh(),
+            district_ytd: fresh(),
+            district_next_oid: fresh(),
+            stock: (0..items).map(|_| fresh()).collect(),
+            customer_balance: (0..customers).map(|_| fresh()).collect(),
+        }
+    }
+
+    /// Total number of objects.
+    pub fn object_count(&self) -> usize {
+        3 + self.stock.len() + self.customer_balance.len()
+    }
+}
+
+/// The `new_order` script for a given item: read the district's next
+/// order id and the item's stock, bump both.
+pub fn new_order(schema: &Schema, item: usize) -> Script {
+    Script::new()
+        .read(schema.district_next_oid)
+        .read(schema.stock[item])
+        .write_computed(schema.district_next_oid, [0], 1)
+        .write_computed(schema.stock[item], [1], -1)
+}
+
+/// The `payment` script for a customer: add to both YTD counters and the
+/// customer balance.
+pub fn payment(schema: &Schema, customer: usize, amount: i64) -> Script {
+    Script::new()
+        .read(schema.warehouse_ytd)
+        .read(schema.district_ytd)
+        .read(schema.customer_balance[customer])
+        .write_computed(schema.warehouse_ytd, [0], amount)
+        .write_computed(schema.district_ytd, [1], amount)
+        .write_computed(schema.customer_balance[customer], [2], amount)
+}
+
+/// The read-only `order_status` script for a customer.
+pub fn order_status(schema: &Schema, customer: usize) -> Script {
+    Script::new()
+        .read(schema.customer_balance[customer])
+        .read(schema.district_next_oid)
+}
+
+/// The read-only `stock_level` script (scans all stock).
+pub fn stock_level(schema: &Schema) -> Script {
+    let mut s = Script::new().read(schema.district_next_oid);
+    for &item in &schema.stock {
+        s = s.read(item);
+    }
+    s
+}
+
+/// A mixed workload: each session runs `rounds` of
+/// new-order/payment/order-status in rotation.
+pub fn mixed_workload(schema: &Schema, sessions: usize, rounds: usize, stock0: u64) -> Workload {
+    let mut w = Workload::new(schema.object_count());
+    for &s in &schema.stock {
+        w = w.initial(s, stock0);
+    }
+    for s in 0..sessions {
+        let mut scripts = Vec::new();
+        for r in 0..rounds {
+            let item = (s + r) % schema.stock.len();
+            let customer = (s + r) % schema.customer_balance.len();
+            scripts.push(new_order(schema, item));
+            scripts.push(payment(schema, customer, 10));
+            scripts.push(order_status(schema, customer));
+        }
+        w = w.session(scripts);
+    }
+    w
+}
+
+/// The read/write sets of the four kernels as a [`ProgramSet`], for the
+/// robustness analyses. Conservatively, `new_order` may touch any item
+/// and `payment` any customer.
+pub fn program_set(items: usize, customers: usize) -> ProgramSet {
+    let mut ps = ProgramSet::new();
+    let w_ytd = ps.object("warehouse_ytd");
+    let d_ytd = ps.object("district_ytd");
+    let d_oid = ps.object("district_next_oid");
+    let stock: Vec<Obj> = (0..items).map(|i| ps.object(&format!("stock{i}"))).collect();
+    let bal: Vec<Obj> = (0..customers)
+        .map(|c| ps.object(&format!("customer{c}")))
+        .collect();
+
+    let no = ps.add_program("new_order");
+    let mut no_rw: Vec<Obj> = vec![d_oid];
+    no_rw.extend(&stock);
+    ps.add_piece(no, "place order", no_rw.clone(), no_rw);
+
+    let pay = ps.add_program("payment");
+    let mut pay_rw: Vec<Obj> = vec![w_ytd, d_ytd];
+    pay_rw.extend(&bal);
+    ps.add_piece(pay, "record payment", pay_rw.clone(), pay_rw);
+
+    let os = ps.add_program("order_status");
+    let mut os_r: Vec<Obj> = vec![d_oid];
+    os_r.extend(&bal);
+    ps.add_piece(os, "query status", os_r, []);
+
+    let sl = ps.add_program("stock_level");
+    let mut sl_r: Vec<Obj> = vec![d_oid];
+    sl_r.extend(&stock);
+    ps.add_piece(sl, "scan stock", sl_r, []);
+
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_execution::SpecModel;
+    use si_mvcc::{Scheduler, SchedulerConfig, SiEngine};
+    use si_robustness::{check_ser_robustness, StaticDepGraph};
+
+    #[test]
+    fn the_mix_is_robust_against_si() {
+        // The famous property: TPC-C (this cut of it) never exhibits SI
+        // anomalies, because every program writes something it reads —
+        // no RW;RW structure can close into a cycle.
+        let ps = program_set(3, 2);
+        let report = check_ser_robustness(&StaticDepGraph::from_programs(&ps));
+        assert!(report.robust, "tpcc-lite should be SI-robust: {report}");
+    }
+
+    #[test]
+    fn runs_cleanly_under_si() {
+        let schema = Schema::new(3, 2);
+        let w = mixed_workload(&schema, 3, 4, 100);
+        let mut s = Scheduler::new(SchedulerConfig { seed: 4, ..Default::default() });
+        let run = s.run(&mut SiEngine::new(schema.object_count()), &w);
+        assert!(SpecModel::Si.check(&run.execution).is_ok());
+        assert_eq!(run.stats.gave_up, 0);
+        assert_eq!(run.stats.committed, 3 * 4 * 3);
+    }
+
+    #[test]
+    fn schema_layout_is_dense() {
+        let schema = Schema::new(5, 7);
+        assert_eq!(schema.object_count(), 15);
+        assert_eq!(schema.stock.len(), 5);
+        assert_eq!(schema.customer_balance.len(), 7);
+    }
+}

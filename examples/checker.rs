@@ -1,0 +1,103 @@
+//! A history-checking CLI: read a history as JSON and report which
+//! consistency models admit it (the runtime-monitoring use case of §1).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example checker -- path/to/history.json
+//! cargo run --example checker -- --demo          # run on a built-in demo
+//! cargo run --example checker -- --emit-demo     # print the demo JSON
+//! ```
+//!
+//! The JSON schema is `si_model::History`'s serde form; `--emit-demo`
+//! prints a template to adapt.
+
+use std::process::ExitCode;
+
+use analysing_si::analysis::{classify_history, history_witness, SearchBudget};
+use analysing_si::execution::SpecModel;
+use analysing_si::model::{History, HistoryBuilder, Op};
+
+fn demo_history() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+    b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+    b.build()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let history: History = match args.first().map(String::as_str) {
+        Some("--emit-demo") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&demo_history()).expect("demo serialises")
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some("--demo") | None => demo_history(),
+        Some(path) => {
+            let data = match std::fs::read_to_string(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str(&data) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: {path} is not a valid history: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    if let Err(e) = history.validate() {
+        eprintln!("error: malformed history: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err((tx, v)) = history.check_int() {
+        eprintln!("history violates INT in {tx}: {v}");
+        eprintln!("verdict: allowed by no consistency model");
+        return ExitCode::FAILURE;
+    }
+
+    println!("checking history with {} transactions:\n{history}", history.tx_count());
+
+    let budget = SearchBudget::default();
+    match classify_history(&history, &budget) {
+        Ok(verdict) => {
+            println!("SER: {}", verdict.ser);
+            println!("SI:  {}", verdict.si);
+            println!("PSI: {}", verdict.psi);
+            println!("PC:  {}  (prefix consistency; SI without conflict detection)", verdict.pc);
+            println!("classification: {}", verdict.anomaly_label());
+            // Show the witnessing dependency graph for the weakest
+            // admitting model.
+            let witness_model = if verdict.ser {
+                Some(SpecModel::Ser)
+            } else if verdict.si {
+                Some(SpecModel::Si)
+            } else if verdict.psi {
+                Some(SpecModel::Psi)
+            } else {
+                None
+            };
+            if let Some(model) = witness_model {
+                if let Ok(Some(g)) = history_witness(model, &history, &budget) {
+                    println!("\nwitness dependency graph ({model}):\n{g}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Render the paper's figures as Graphviz DOT files: the Figure 2
+//! anomaly dependency graphs and a pair of engine-produced graphs.
+//!
+//! Run with `cargo run --example visualize [output-dir]`; pipe any of the
+//! produced files through `dot -Tsvg` to get the diagrams.
+
+use std::fs;
+use std::path::PathBuf;
+
+use analysing_si::analysis::history_witness;
+use analysing_si::depgraph::{extract, to_dot};
+use analysing_si::execution::SpecModel;
+use analysing_si::model::{History, HistoryBuilder, Op};
+use analysing_si::mvcc::{PsiEngine, Scheduler, SchedulerConfig, SiEngine};
+use analysing_si::prelude::SearchBudget;
+use analysing_si::workloads::fork::long_fork_repeated;
+use analysing_si::workloads::random::{random_mix, RandomMix};
+
+fn write_skew_history() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("acct1");
+    let y = b.object("acct2");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+    b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+    b.build()
+}
+
+fn long_fork_history() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+    b.push_tx(s1, [Op::write(x, 1)]);
+    b.push_tx(s2, [Op::write(y, 1)]);
+    b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+    b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+    b.build()
+}
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/dot".to_owned())
+        .into();
+    fs::create_dir_all(&dir).expect("create output directory");
+    let budget = SearchBudget::default();
+    let mut written = Vec::new();
+
+    // Figure 2(d): the SI witness graph of write skew.
+    let ws = history_witness(SpecModel::Si, &write_skew_history(), &budget)
+        .unwrap()
+        .expect("write skew is in HistSI");
+    let path = dir.join("fig2d_write_skew.dot");
+    fs::write(&path, to_dot(&ws)).unwrap();
+    written.push(path);
+
+    // Figure 2(c): the PSI witness graph of the long fork.
+    let lf = history_witness(SpecModel::Psi, &long_fork_history(), &budget)
+        .unwrap()
+        .expect("long fork is in HistPSI");
+    let path = dir.join("fig2c_long_fork.dot");
+    fs::write(&path, to_dot(&lf)).unwrap();
+    written.push(path);
+
+    // An SI-engine run on a random mix.
+    let mix = RandomMix { sessions: 3, txs_per_session: 3, objects: 3, ..Default::default() };
+    let mut s = Scheduler::new(SchedulerConfig { seed: 11, ..Default::default() });
+    let run = s.run(&mut SiEngine::new(mix.objects), &random_mix(&mix));
+    let path = dir.join("si_engine_run.dot");
+    fs::write(&path, to_dot(&extract(&run.execution).unwrap())).unwrap();
+    written.push(path);
+
+    // A PSI-engine run that actually forked (search the seeds).
+    for seed in 0..60 {
+        let mut s = Scheduler::new(SchedulerConfig {
+            seed,
+            background_probability: 0.02,
+            ..Default::default()
+        });
+        let run = s.run(&mut PsiEngine::new(2, 2), &long_fork_repeated(1, 4));
+        let g = extract(&run.execution).unwrap();
+        if analysing_si::analysis::check_si(&g).is_err() {
+            let path = dir.join("psi_engine_fork.dot");
+            fs::write(&path, to_dot(&g)).unwrap();
+            written.push(path);
+            break;
+        }
+    }
+
+    println!("wrote {} DOT files:", written.len());
+    for p in &written {
+        println!("  {}", p.display());
+    }
+    println!("render with: dot -Tsvg <file> -o out.svg");
+    assert!(written.len() >= 3);
+}

@@ -1,0 +1,111 @@
+//! # analysing-si
+//!
+//! A comprehensive Rust reproduction of **“Analysing Snapshot Isolation”**
+//! (Andrea Cerone and Alexey Gotsman, PODC 2016): the dependency-graph
+//! characterisation of snapshot isolation, the transaction-chopping and
+//! robustness analyses built on it, and the MVCC engine substrate the
+//! theory describes.
+//!
+//! This crate is a facade re-exporting the workspace's public API under
+//! topical modules:
+//!
+//! | module | contents | paper section |
+//! |--------|----------|---------------|
+//! | [`model`] | events, transactions, sessions, histories, INT | §2 |
+//! | [`execution`] | abstract executions, VIS/CO, the Figure 1 axioms, `ExecSI`/`ExecSER`/`ExecPSI`, brute-force `Hist*` search | §2 |
+//! | [`depgraph`] | Adya dependency graphs, extraction `graph(X)` | §3 |
+//! | [`analysis`] | Theorems 8/9/21 membership, Lemma 15 solver, Theorem 10(i) construction, history membership search | §4 |
+//! | [`chopping`] | splicing, chopping graphs, critical cycles, static analysis | §5, App. B |
+//! | [`robustness`] | robustness against SI and against PSI | §6 |
+//! | [`mvcc`] | SI / SER / PSI engines, deterministic scheduler, recorder | §1 |
+//! | [`workloads`] | runnable scenarios for every figure + random mixes | — |
+//! | [`relations`] | the underlying relation/graph algebra | — |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use analysing_si::prelude::*;
+//!
+//! // The write-skew anomaly of Figure 2(d).
+//! let mut b = HistoryBuilder::new();
+//! let (x, y) = (b.object("acct1"), b.object("acct2"));
+//! let (s1, s2) = (b.session(), b.session());
+//! b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+//! b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+//! let history = b.build();
+//!
+//! // Classify it against all three consistency models (Theorems 8/9/21).
+//! let verdict = classify_history(&history, &SearchBudget::default())?;
+//! assert!(verdict.si && !verdict.ser && verdict.psi);
+//! assert_eq!(verdict.anomaly_label(), "SI-only (write-skew-like)");
+//! # Ok::<(), analysing_si::analysis::SearchExhausted>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Binary relations, bitsets and labelled-graph algorithms (`si-relations`).
+pub mod relations {
+    pub use si_relations::*;
+}
+
+/// Histories and their building blocks (`si-model`).
+pub mod model {
+    pub use si_model::*;
+}
+
+/// Abstract executions and the consistency axioms (`si-execution`).
+pub mod execution {
+    pub use si_execution::*;
+}
+
+/// Dependency graphs (`si-depgraph`).
+pub mod depgraph {
+    pub use si_depgraph::*;
+}
+
+/// The paper's core results: characterisations and constructions
+/// (`si-core`).
+pub mod analysis {
+    pub use si_core::*;
+}
+
+/// Transaction chopping (`si-chopping`).
+pub mod chopping {
+    pub use si_chopping::*;
+}
+
+/// Robustness analyses (`si-robustness`).
+pub mod robustness {
+    pub use si_robustness::*;
+}
+
+/// MVCC engines, scheduler and recorder (`si-mvcc`).
+pub mod mvcc {
+    pub use si_mvcc::*;
+}
+
+/// Workload generators (`si-workloads`).
+pub mod workloads {
+    pub use si_workloads::*;
+}
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use si_chopping::{advise_chopping, analyse_chopping, Criterion, ProgramSet};
+    pub use si_core::pc::{check_pc_graph, execution_from_graph_pc, history_membership_pc};
+    pub use si_core::{
+        check_psi, check_ser, check_si, classify_graph, classify_history, execution_from_graph,
+        explain_si_violation, history_membership, history_witness, smallest_solution,
+        ObservedTx, SearchBudget, SiMonitor,
+    };
+    pub use si_depgraph::{extract, DepGraphBuilder, DependencyGraph};
+    pub use si_execution::{AbstractExecution, SpecModel};
+    pub use si_model::{History, HistoryBuilder, Obj, Op, Transaction, Value};
+    pub use si_mvcc::{
+        Engine, PsiEngine, Scheduler, SchedulerConfig, Script, SerEngine, SiEngine, SsiEngine,
+        Workload,
+    };
+    pub use si_relations::{Relation, TxId, TxSet};
+    pub use si_robustness::{check_ser_robustness, check_si_robustness, StaticDepGraph};
+}

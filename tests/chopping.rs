@@ -1,0 +1,291 @@
+//! Integration tests for §5 and Appendix B: the chopping figures, the
+//! dynamic criterion (Theorem 16) as a property, and the criterion
+//! comparisons (Theorems 29 and 31).
+
+mod common;
+
+use common::arb_dependency_graph;
+use proptest::prelude::*;
+
+use analysing_si::analysis::{check_si, execution_from_graph};
+use analysing_si::chopping::{
+    analyse_chopping, dynamic_chopping_graph, find_critical_cycle, is_spliceable_by_criterion,
+    splice_graph, splice_history, Criterion, ProgramSet,
+};
+use analysing_si::depgraph::DepGraphBuilder;
+use analysing_si::model::{HistoryBuilder, Op};
+use analysing_si::relations::TxId;
+use analysing_si::workloads::bank::{program_set_figure5, program_set_figure6};
+use analysing_si::workloads::fork::{program_set_figure11, program_set_figure12};
+
+const BUDGET: usize = 2_000_000;
+
+/// Figure 4's graph G1: lookupAll (one session, two pieces) observes the
+/// transfer mid-flight. Not spliceable.
+fn figure4_g1() -> analysing_si::depgraph::DependencyGraph {
+    let mut b = HistoryBuilder::new();
+    let a1 = b.object("acct1");
+    let a2 = b.object("acct2");
+    let st = b.session();
+    let sl = b.session();
+    // transfer chopped: debit acct1, credit acct2.
+    b.push_tx(st, [Op::read(a1, 100), Op::write(a1, 0)]);
+    b.push_tx(st, [Op::read(a2, 0), Op::write(a2, 100)]);
+    // lookupAll chopped: sees acct1 already debited but acct2 not yet
+    // credited — the mid-transfer state.
+    b.push_tx(sl, [Op::read(a1, 0)]);
+    b.push_tx(sl, [Op::read(a2, 0)]);
+    let h = b.build_with_initial_values([(a1, 100), (a2, 0)]);
+    let mut g = DepGraphBuilder::new(h);
+    g.infer_wr();
+    g.build().unwrap()
+}
+
+/// Figure 4's graph G2: both lookups observe consistent states.
+/// Spliceable.
+fn figure4_g2() -> analysing_si::depgraph::DependencyGraph {
+    let mut b = HistoryBuilder::new();
+    let a1 = b.object("acct1");
+    let a2 = b.object("acct2");
+    let st = b.session();
+    let sl1 = b.session();
+    let sl2 = b.session();
+    b.push_tx(st, [Op::read(a1, 100), Op::write(a1, 0)]);
+    b.push_tx(st, [Op::read(a2, 0), Op::write(a2, 100)]);
+    b.push_tx(sl1, [Op::read(a1, 100)]); // before the transfer
+    b.push_tx(sl2, [Op::read(a2, 100)]); // after the transfer
+    let h = b.build_with_initial_values([(a1, 100), (a2, 0)]);
+    let mut g = DepGraphBuilder::new(h);
+    g.infer_wr();
+    g.build().unwrap()
+}
+
+#[test]
+fn figure4_g1_has_critical_cycle_and_is_not_spliceable() {
+    let g1 = figure4_g1();
+    assert!(check_si(&g1).is_ok(), "G1 itself is an SI behaviour");
+    let dcg = dynamic_chopping_graph(&g1);
+    let witness = find_critical_cycle(&dcg, Criterion::Si, BUDGET).unwrap();
+    assert!(witness.is_some(), "DCG(G1) must contain a critical cycle");
+    // And indeed the spliced graph leaves GraphSI (or fails to splice).
+    match splice_graph(&g1) {
+        Ok(spliced) => assert!(check_si(&spliced).is_err(), "splice(G1) must not be in GraphSI"),
+        Err(_) => {} // failing to lift is also a correct outcome
+    }
+}
+
+#[test]
+fn figure4_g2_is_spliceable() {
+    let g2 = figure4_g2();
+    assert!(check_si(&g2).is_ok());
+    assert!(is_spliceable_by_criterion(&g2, BUDGET).unwrap());
+    let spliced = splice_graph(&g2).unwrap();
+    assert!(check_si(&spliced).is_ok(), "splice(G2) ∈ GraphSI");
+    // The spliced history equals splice(H_{G2}).
+    let expected = splice_history(g2.history());
+    assert_eq!(spliced.history(), &expected.history);
+}
+
+#[test]
+fn figure5_and_6_static_analyses() {
+    let fig5 = program_set_figure5();
+    assert!(!analyse_chopping(&fig5, Criterion::Si, BUDGET).unwrap().correct);
+    assert!(!analyse_chopping(&fig5, Criterion::Ser, BUDGET).unwrap().correct);
+    assert!(!analyse_chopping(&fig5, Criterion::Psi, BUDGET).unwrap().correct);
+
+    let fig6 = program_set_figure6();
+    assert!(analyse_chopping(&fig6, Criterion::Si, BUDGET).unwrap().correct);
+    assert!(analyse_chopping(&fig6, Criterion::Ser, BUDGET).unwrap().correct);
+    assert!(analyse_chopping(&fig6, Criterion::Psi, BUDGET).unwrap().correct);
+}
+
+#[test]
+fn appendix_b_criterion_comparisons() {
+    // Figure 11: correct under SI (and PSI), incorrect under SER.
+    let fig11 = program_set_figure11();
+    assert!(analyse_chopping(&fig11, Criterion::Si, BUDGET).unwrap().correct);
+    assert!(analyse_chopping(&fig11, Criterion::Psi, BUDGET).unwrap().correct);
+    assert!(!analyse_chopping(&fig11, Criterion::Ser, BUDGET).unwrap().correct);
+
+    // Figure 12: correct under PSI, incorrect under SI and SER.
+    let fig12 = program_set_figure12();
+    assert!(analyse_chopping(&fig12, Criterion::Psi, BUDGET).unwrap().correct);
+    assert!(!analyse_chopping(&fig12, Criterion::Si, BUDGET).unwrap().correct);
+    assert!(!analyse_chopping(&fig12, Criterion::Ser, BUDGET).unwrap().correct);
+}
+
+#[test]
+fn figure11_dynamic_counterexample_under_ser() {
+    // The history H6 of Figure 11: each session reads the *initial* value
+    // of its input and writes its output, producing a write-skew-like
+    // result once spliced.
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(x, 0)]); // var1 = x
+    b.push_tx(s1, [Op::write(y, 10)]); // y = var1 (+marker)
+    b.push_tx(s2, [Op::read(y, 0)]); // var2 = y
+    b.push_tx(s2, [Op::write(x, 20)]); // x = var2 (+marker)
+    let h = b.build();
+    let mut g = DepGraphBuilder::new(h);
+    g.infer_wr();
+    let g = g.build().unwrap();
+    // The chopped execution is serializable, but its splice is not: the
+    // Figure 11 chopping is incorrect under SER.
+    assert!(analysing_si::analysis::check_ser(&g).is_ok());
+    let spliced = splice_graph(&g).unwrap();
+    assert!(analysing_si::analysis::check_ser(&spliced).is_err());
+    // …while the splice *is* still an SI behaviour (the chopping is
+    // correct under SI).
+    assert!(check_si(&spliced).is_ok());
+}
+
+#[test]
+fn figure13_splicing_executions_directly_fails() {
+    // Appendix B.3's exact scenario: session A's two transactions surround
+    // session B's transaction in the commit order, so the naive
+    // session-wise lift of CO ties a cycle — while splicing the
+    // *dependency graph* of the same execution succeeds and stays in
+    // GraphSI. This is why §5 splices graphs, not executions.
+    use analysing_si::execution::{AbstractExecution, SpecModel};
+    use analysing_si::relations::Relation;
+
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let sa = b.session();
+    let sb = b.session();
+    let t1 = b.push_tx(sa, [Op::write(x, 1)]);
+    let t2 = b.push_tx(sa, [Op::read(y, 0), Op::write(y, 2)]);
+    let s = b.push_tx(sb, [Op::read(x, 1)]);
+    let h = b.build();
+
+    // CO: init < T1 < S < T2 (S committed between the session-A pair);
+    // VIS = the full prefixes (a serializable, hence SI, execution).
+    let order = [TxId(0), t1, s, t2];
+    let mut co = Relation::new(4);
+    for (i, &a) in order.iter().enumerate() {
+        for &b2 in &order[i + 1..] {
+            co.insert(a, b2);
+        }
+    }
+    let exec = AbstractExecution::new(h, co.clone(), co).unwrap();
+    assert!(SpecModel::Si.check(&exec).is_ok());
+
+    // Naive CO lift: ~T~ -CO→ ~S~ iff ∃ T' ≈ T, S' ≈ S with T' -CO→ S'.
+    let spliced_h = splice_history(exec.history());
+    let n = spliced_h.history.tx_count();
+    let mut lifted_co = Relation::new(n);
+    for (a, b2) in exec.co().iter_pairs() {
+        let (sa2, sb2) = (spliced_h.map[a.index()], spliced_h.map[b2.index()]);
+        if sa2 != sb2 {
+            lifted_co.insert(sa2, sb2);
+        }
+    }
+    assert!(
+        !lifted_co.is_acyclic(),
+        "the naive execution splice must tie a CO cycle (T1 < S < T2)"
+    );
+
+    // The dependency-graph route succeeds on the same execution.
+    let g = analysing_si::depgraph::extract(&exec).unwrap();
+    let spliced = splice_graph(&g).unwrap();
+    assert!(check_si(&spliced).is_ok(), "splice(graph(X)) ∈ GraphSI");
+    // And the paper's resolution: construct a fresh execution for the
+    // spliced graph via Theorem 10(i).
+    let rebuilt = execution_from_graph(&spliced).unwrap();
+    assert!(SpecModel::Si.check(&rebuilt).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Theorem 16 as a property: if G ∈ GraphSI and DCG(G) has no
+    /// SI-critical cycle, then splice(G) is a well-formed dependency
+    /// graph in GraphSI over splice(H_G).
+    #[test]
+    fn theorem16_dynamic_criterion(g in arb_dependency_graph(6, 3)) {
+        prop_assume!(check_si(&g).is_ok());
+        let spliceable = is_spliceable_by_criterion(&g, BUDGET).unwrap();
+        if spliceable {
+            let spliced = splice_graph(&g)
+                .expect("Theorem 16: criterion holds but splice failed");
+            prop_assert!(
+                check_si(&spliced).is_ok(),
+                "Theorem 16: splice left GraphSI"
+            );
+            prop_assert_eq!(
+                spliced.history(),
+                &splice_history(g.history()).history
+            );
+        }
+    }
+
+    /// Criterion monotonicity (Appendix B): a chopping correct under SER
+    /// is correct under SI; correct under SI implies correct under PSI.
+    #[test]
+    fn criterion_monotonicity(
+        pieces in proptest::collection::vec(
+            (proptest::collection::vec(0..3usize, 0..3),
+             proptest::collection::vec(0..3usize, 0..3)),
+            1..6,
+        ),
+        splits in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        // Build a random program set: each entry is a program; `splits`
+        // decides whether consecutive entries merge into one program.
+        let mut ps = ProgramSet::new();
+        let objs: Vec<_> = (0..3).map(|i| ps.object(&format!("o{i}"))).collect();
+        let mut current = None;
+        for (i, (reads, writes)) in pieces.iter().enumerate() {
+            let program = match current {
+                Some(p) if !splits.get(i).copied().unwrap_or(false) => p,
+                _ => {
+                    let p = ps.add_program(&format!("p{i}"));
+                    current = Some(p);
+                    p
+                }
+            };
+            ps.add_piece(
+                program,
+                &format!("piece{i}"),
+                reads.iter().map(|&r| objs[r]),
+                writes.iter().map(|&w| objs[w]),
+            );
+        }
+        let ser = analyse_chopping(&ps, Criterion::Ser, BUDGET).unwrap().correct;
+        let si = analyse_chopping(&ps, Criterion::Si, BUDGET).unwrap().correct;
+        let psi = analyse_chopping(&ps, Criterion::Psi, BUDGET).unwrap().correct;
+        prop_assert!(!ser || si, "SER-correct must imply SI-correct");
+        prop_assert!(!si || psi, "SI-correct must imply PSI-correct");
+    }
+
+    /// Splicing preserves operations: the multiset of non-init operations
+    /// is unchanged.
+    #[test]
+    fn splice_preserves_operations(g in arb_dependency_graph(6, 3)) {
+        let h = g.history();
+        let spliced = splice_history(h);
+        let count_ops = |h: &analysing_si::model::History| -> usize {
+            h.tx_ids()
+                .filter(|&t| Some(t) != h.init_tx())
+                .map(|t| h.transaction(t).len())
+                .sum()
+        };
+        prop_assert_eq!(count_ops(h), count_ops(&spliced.history));
+        // One spliced transaction per non-empty session.
+        let non_empty = h.sessions().filter(|(_, txs)| !txs.is_empty()).count();
+        prop_assert_eq!(spliced.history.session_count(), non_empty);
+        for (_, txs) in spliced.history.sessions() {
+            prop_assert_eq!(txs.len(), 1);
+        }
+    }
+
+    /// TxId(0) note: the spliced init transaction stays the init.
+    #[test]
+    fn splice_keeps_init(g in arb_dependency_graph(5, 2)) {
+        let spliced = splice_history(g.history());
+        prop_assert_eq!(spliced.history.init_tx(), Some(TxId(0)));
+    }
+}

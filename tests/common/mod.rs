@@ -1,0 +1,159 @@
+//! Shared generators for the cross-crate integration and property tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use proptest::prelude::*;
+
+use analysing_si::depgraph::{DepGraphBuilder, DependencyGraph};
+use analysing_si::model::{History, HistoryBuilder, Obj, Op};
+use analysing_si::relations::TxId;
+
+/// Parameters of a random dependency-graph shape.
+#[derive(Debug, Clone)]
+pub struct GraphShape {
+    /// Per transaction: `(reads, writes)` object index sets.
+    pub txs: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Number of sessions the transactions are dealt into (round-robin).
+    pub sessions: usize,
+    /// Number of objects.
+    pub objects: usize,
+    /// Per object: a permutation seed for the WW order.
+    pub ww_seeds: Vec<u64>,
+    /// Per (tx, object): selector for which writer the read observes.
+    pub wr_seed: u64,
+}
+
+/// Strategy for random well-formed dependency graphs.
+///
+/// Construction guarantees Definition 6 well-formedness:
+/// * every write value is unique (`100 × tx + obj`), so read values pin
+///   writers unambiguously;
+/// * each transaction lists its external reads before its writes;
+/// * `WW(x)` is the init transaction followed by a seeded permutation of
+///   the writers;
+/// * each external read of `x` observes a seeded choice among `x`'s
+///   writers (or init).
+///
+/// The generated graph may or may not lie in `GraphSI` — membership tests
+/// filter as needed.
+pub fn arb_dependency_graph(
+    max_txs: usize,
+    max_objects: usize,
+) -> impl Strategy<Value = DependencyGraph> {
+    let tx = (
+        proptest::collection::vec(0..max_objects, 0..3), // reads
+        proptest::collection::vec(0..max_objects, 0..3), // writes
+    );
+    (
+        proptest::collection::vec(tx, 1..=max_txs),
+        1..4usize,
+        proptest::collection::vec(any::<u64>(), max_objects),
+        any::<u64>(),
+    )
+        .prop_map(move |(txs, sessions, ww_seeds, wr_seed)| {
+            build_graph(&GraphShape {
+                txs,
+                sessions,
+                objects: max_objects,
+                ww_seeds,
+                wr_seed,
+            })
+        })
+}
+
+/// Deterministically materialises a [`GraphShape`].
+pub fn build_graph(shape: &GraphShape) -> DependencyGraph {
+    let history = build_history(shape);
+    let n = history.tx_count();
+
+    let mut builder = DepGraphBuilder::new(history.clone());
+    for x_index in 0..shape.objects {
+        let x = Obj::from_index(x_index);
+        // Writers of x, excluding init.
+        let mut writers: Vec<TxId> = (1..n)
+            .map(TxId::from_index)
+            .filter(|&t| history.transaction(t).writes_to(x))
+            .collect();
+        // Seeded permutation (Fisher-Yates with a splitmix-style stream).
+        let mut state = shape.ww_seeds.get(x_index).copied().unwrap_or(0);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for i in (1..writers.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            writers.swap(i, j);
+        }
+        let mut order = vec![TxId(0)];
+        order.extend(writers);
+        builder.ww_order(x, order);
+    }
+    // WR edges follow from the unique values: infer_wr resolves all.
+    builder.infer_wr();
+    builder.build().expect("generated shape is well-formed")
+}
+
+/// Builds the history of a [`GraphShape`]: unique write values, external
+/// reads before writes, transactions dealt into sessions round-robin.
+pub fn build_history(shape: &GraphShape) -> History {
+    let mut b = HistoryBuilder::new();
+    let objects: Vec<Obj> = (0..shape.objects)
+        .map(|i| b.object(&format!("x{i}")))
+        .collect();
+    let session_ids: Vec<_> = (0..shape.sessions).map(|_| b.session()).collect();
+
+    // Pre-compute each transaction's final write values (unique).
+    let write_value = |tx_number: usize, obj: usize| 100 * (tx_number as u64 + 1) + obj as u64;
+
+    // For reads we need the value of the chosen writer; writers can only
+    // be transactions appearing anywhere in the history (or init). Choice
+    // is seeded.
+    let mut state = shape.wr_seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+
+    for (i, (reads, writes)) in shape.txs.iter().enumerate() {
+        let mut reads: Vec<usize> = reads.clone();
+        reads.sort_unstable();
+        reads.dedup();
+        let mut writes: Vec<usize> = writes.clone();
+        writes.sort_unstable();
+        writes.dedup();
+        if reads.is_empty() && writes.is_empty() {
+            writes.push(i % shape.objects.max(1));
+        }
+        let mut ops = Vec::new();
+        for &r in &reads {
+            // Candidate writers of object r: any other transaction that
+            // writes r, or the init transaction (value 0).
+            let writer_candidates: Vec<Option<usize>> = std::iter::once(None)
+                .chain(
+                    shape
+                        .txs
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, (_, w))| *j != i && w.contains(&r))
+                        .map(|(j, _)| Some(j)),
+                )
+                .collect();
+            let pick = writer_candidates[(next() % writer_candidates.len() as u64) as usize];
+            let value = match pick {
+                None => 0,
+                Some(j) => write_value(j, r),
+            };
+            ops.push(Op::read(objects[r], value));
+        }
+        for &w in &writes {
+            ops.push(Op::write(objects[w], write_value(i, w)));
+        }
+        b.push_tx(session_ids[i % shape.sessions], ops);
+    }
+    b.build()
+}
+
+/// Strategy for a random history alone (same construction as
+/// [`arb_dependency_graph`], without fixing the dependencies).
+pub fn arb_history(max_txs: usize, max_objects: usize) -> impl Strategy<Value = History> {
+    arb_dependency_graph(max_txs, max_objects).prop_map(|g| g.history().clone())
+}

@@ -1,0 +1,55 @@
+//! The decisive cross-validation of the paper's characterisations: for
+//! random *tiny* histories, membership decided through dependency graphs
+//! (Theorems 8, 9, 21) must coincide with membership decided by
+//! brute-force search over abstract executions (Definitions 4 and 20).
+
+mod common;
+
+use common::arb_history;
+use proptest::prelude::*;
+
+use analysing_si::analysis::{history_membership, SearchBudget};
+use analysing_si::execution::brute::{self, BruteConfig};
+use analysing_si::execution::SpecModel;
+
+proptest! {
+    // Brute force is factorial; keep the case count moderate and the
+    // histories tiny (≤ 4 transactions + init).
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn si_verdicts_agree(h in arb_history(4, 2)) {
+        let via_graphs =
+            history_membership(SpecModel::Si, &h, &SearchBudget::default()).unwrap();
+        let via_axioms = brute::is_allowed(SpecModel::Si, &h, &BruteConfig::default()).unwrap();
+        prop_assert_eq!(via_graphs, via_axioms, "Theorem 9 failed on:\n{}", h);
+    }
+
+    #[test]
+    fn ser_verdicts_agree(h in arb_history(4, 2)) {
+        let via_graphs =
+            history_membership(SpecModel::Ser, &h, &SearchBudget::default()).unwrap();
+        let via_axioms = brute::is_allowed(SpecModel::Ser, &h, &BruteConfig::default()).unwrap();
+        prop_assert_eq!(via_graphs, via_axioms, "Theorem 8 failed on:\n{}", h);
+    }
+
+    #[test]
+    fn psi_verdicts_agree(h in arb_history(3, 2)) {
+        let via_graphs =
+            history_membership(SpecModel::Psi, &h, &SearchBudget::default()).unwrap();
+        let via_axioms = brute::is_allowed(SpecModel::Psi, &h, &BruteConfig::default()).unwrap();
+        prop_assert_eq!(via_graphs, via_axioms, "Theorem 21 failed on:\n{}", h);
+    }
+
+    /// The model inclusions HistSER ⊆ HistSI ⊆ HistPSI, via the graph
+    /// characterisations, on slightly larger histories.
+    #[test]
+    fn inclusion_chain(h in arb_history(6, 3)) {
+        let budget = SearchBudget::default();
+        let ser = history_membership(SpecModel::Ser, &h, &budget).unwrap();
+        let si = history_membership(SpecModel::Si, &h, &budget).unwrap();
+        let psi = history_membership(SpecModel::Psi, &h, &budget).unwrap();
+        prop_assert!(!ser || si, "HistSER ⊄ HistSI on:\n{}", h);
+        prop_assert!(!si || psi, "HistSI ⊄ HistPSI on:\n{}", h);
+    }
+}

@@ -1,0 +1,162 @@
+//! Mechanical validation of the derived prefix-consistency
+//! characterisation (the §7 programme carried out in `si_core::pc`):
+//!
+//! * graph-level membership (`GraphPC`: `((SO ∪ WR) ; RW?) ∪ WW` acyclic)
+//!   must equal brute-force search over executions of the PC axiom set,
+//!   exhaustively on all two-transaction histories and on random ones;
+//! * the PC soundness construction must realise every `GraphPC` member as
+//!   an execution satisfying the PC axioms with `graph(X) = G`;
+//! * the inclusion chain `HistSER ⊆ HistSI ⊆ HistPC` holds, and PC is
+//!   *incomparable* with PSI (lost update ∈ PC \ PSI; long fork ∈
+//!   PSI \ PC).
+
+mod common;
+
+use common::{arb_dependency_graph, arb_history};
+use proptest::prelude::*;
+
+use analysing_si::analysis::pc::{
+    check_pc_graph, execution_from_graph_pc, history_membership_pc,
+};
+use analysing_si::analysis::{check_si, history_membership, SearchBudget};
+use analysing_si::depgraph::extract;
+use analysing_si::execution::brute::{self, BruteConfig};
+use analysing_si::execution::{check_pc, SpecModel};
+use analysing_si::model::{HistoryBuilder, Obj, Op};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline: graph-level PC membership ≡ axiomatic PC membership
+    /// on random tiny histories.
+    #[test]
+    fn pc_verdicts_agree(h in arb_history(4, 2)) {
+        let via_graphs = history_membership_pc(&h, &SearchBudget::default()).unwrap();
+        let via_axioms = brute::is_allowed_pc(&h, &BruteConfig::default()).unwrap();
+        prop_assert_eq!(via_graphs, via_axioms, "GraphPC characterisation failed on:\n{}", h);
+    }
+
+    /// PC soundness: every GraphPC member is realised by the construction.
+    #[test]
+    fn pc_soundness_construction(g in arb_dependency_graph(7, 3)) {
+        prop_assume!(check_pc_graph(&g).is_ok());
+        let exec = execution_from_graph_pc(&g).expect("G ∈ GraphPC must be realisable");
+        prop_assert!(exec.is_co_total());
+        prop_assert!(check_pc(&exec).is_ok(), "{:?}", check_pc(&exec));
+        prop_assert_eq!(extract(&exec).unwrap(), g);
+    }
+
+    /// PC completeness on constructed executions: extraction stays in
+    /// GraphPC.
+    #[test]
+    fn pc_completeness_roundtrip(g in arb_dependency_graph(7, 3)) {
+        prop_assume!(check_pc_graph(&g).is_ok());
+        let exec = execution_from_graph_pc(&g).unwrap();
+        prop_assert!(check_pc_graph(&extract(&exec).unwrap()).is_ok());
+    }
+
+    /// GraphSI ⊆ GraphPC (SI = PC + NOCONFLICT).
+    #[test]
+    fn graph_si_subset_graph_pc(g in arb_dependency_graph(8, 3)) {
+        if check_si(&g).is_ok() {
+            prop_assert!(check_pc_graph(&g).is_ok(), "GraphSI ⊄ GraphPC");
+        }
+    }
+
+    /// History-level inclusion chain with PC in the middle.
+    #[test]
+    fn hist_inclusions_with_pc(h in arb_history(5, 3)) {
+        let budget = SearchBudget::default();
+        let si = history_membership(SpecModel::Si, &h, &budget).unwrap();
+        let pc = history_membership_pc(&h, &budget).unwrap();
+        prop_assert!(!si || pc, "HistSI ⊄ HistPC on:\n{}", h);
+    }
+}
+
+#[test]
+fn exhaustive_two_transaction_pc() {
+    // The same exhaustive census as tests/exhaustive_tiny.rs, now for PC.
+    let budget = SearchBudget::default();
+    let cfg = BruteConfig::default();
+    let slot = |tx: u64| {
+        let mut ops = Vec::new();
+        for obj in [Obj(0), Obj(1)] {
+            for v in 0..=2u64 {
+                ops.push(Op::read(obj, v));
+            }
+            ops.push(Op::write(obj, tx));
+        }
+        ops
+    };
+    let candidates = |tx: u64| {
+        let slots = slot(tx);
+        let mut out: Vec<Vec<Op>> = slots.iter().map(|&op| vec![op]).collect();
+        for &a in &slots {
+            for &b in &slots {
+                out.push(vec![a, b]);
+            }
+        }
+        out
+    };
+    let mut checked = 0;
+    let mut pc_allowed = 0;
+    let mut si_allowed = 0;
+    for t1 in candidates(1) {
+        // Thin the quadratic product to keep the run in seconds while
+        // still covering every t1 against a spread of t2s.
+        for t2 in candidates(2).into_iter().step_by(5) {
+            let mut b = HistoryBuilder::new();
+            b.object("x");
+            b.object("y");
+            let (s1, s2) = (b.session(), b.session());
+            b.push_tx(s1, t1.clone());
+            b.push_tx(s2, t2);
+            let h = b.build();
+            let via_graphs = history_membership_pc(&h, &budget).unwrap();
+            let via_axioms = brute::is_allowed_pc(&h, &cfg).unwrap();
+            assert_eq!(via_graphs, via_axioms, "GraphPC failed on:\n{h}");
+            let si = history_membership(SpecModel::Si, &h, &budget).unwrap();
+            assert!(!si || via_graphs, "HistSI ⊄ HistPC on:\n{h}");
+            checked += 1;
+            pc_allowed += usize::from(via_graphs);
+            si_allowed += usize::from(si);
+        }
+    }
+    assert!(checked > 1000, "checked {checked}");
+    // HistSI ⊆ HistPC on the census (the strict separation — lost update —
+    // is asserted in `pc_and_psi_are_incomparable`; the thinned sample may
+    // or may not contain a separator).
+    assert!(
+        pc_allowed >= si_allowed,
+        "census violates HistSI ⊆ HistPC (PC {pc_allowed} vs SI {si_allowed} of {checked})"
+    );
+    eprintln!("checked {checked}: SI {si_allowed}, PC {pc_allowed}");
+}
+
+#[test]
+fn pc_and_psi_are_incomparable() {
+    let budget = SearchBudget::default();
+
+    // Lost update: in HistPC (no conflict detection), not in HistPSI.
+    let mut b = HistoryBuilder::new();
+    let acct = b.object("acct");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(acct, 0), Op::write(acct, 50)]);
+    b.push_tx(s2, [Op::read(acct, 0), Op::write(acct, 25)]);
+    let lu = b.build();
+    assert!(history_membership_pc(&lu, &budget).unwrap());
+    assert!(!history_membership(SpecModel::Psi, &lu, &budget).unwrap());
+
+    // Long fork: in HistPSI, not in HistPC (PREFIX).
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+    b.push_tx(s1, [Op::write(x, 1)]);
+    b.push_tx(s2, [Op::write(y, 1)]);
+    b.push_tx(s3, [Op::read(x, 1), Op::read(y, 0)]);
+    b.push_tx(s4, [Op::read(x, 0), Op::read(y, 1)]);
+    let lf = b.build();
+    assert!(!history_membership_pc(&lf, &budget).unwrap());
+    assert!(history_membership(SpecModel::Psi, &lf, &budget).unwrap());
+}

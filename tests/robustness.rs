@@ -1,0 +1,157 @@
+//! Integration tests for §6: the Theorem 19 and 22 dichotomies as
+//! properties over random graphs, and the static analyses' soundness
+//! against engine runs.
+
+mod common;
+
+use common::arb_dependency_graph;
+use proptest::prelude::*;
+
+use analysing_si::analysis::{check_psi, check_ser, check_si};
+use analysing_si::chopping::ProgramSet;
+use analysing_si::depgraph::extract;
+use analysing_si::mvcc::{Scheduler, SchedulerConfig, SiEngine};
+use analysing_si::robustness::{
+    check_ser_robustness, check_ser_robustness_refined, check_si_robustness, in_psi_not_si,
+    in_si_not_ser, shape_psi_not_si, shape_si_not_ser, DangerousStructure, StaticDepGraph,
+};
+use analysing_si::workloads::tpcc_lite;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Theorem 19: the cycle-shape characterisation of GraphSI \ GraphSER
+    /// coincides with the membership difference.
+    #[test]
+    fn theorem19_shape_equivalence(g in arb_dependency_graph(7, 3)) {
+        prop_assert_eq!(shape_si_not_ser(&g), in_si_not_ser(&g));
+    }
+
+    /// Theorem 22: likewise for GraphPSI \ GraphSI.
+    #[test]
+    fn theorem22_shape_equivalence(g in arb_dependency_graph(7, 3)) {
+        prop_assert_eq!(shape_psi_not_si(&g), in_psi_not_si(&g));
+    }
+
+    /// The three graph classes are totally ordered by inclusion.
+    #[test]
+    fn graph_class_inclusions(g in arb_dependency_graph(8, 3)) {
+        if check_ser(&g).is_ok() {
+            prop_assert!(check_si(&g).is_ok(), "GraphSER ⊄ GraphSI");
+        }
+        if check_si(&g).is_ok() {
+            prop_assert!(check_psi(&g).is_ok(), "GraphSI ⊄ GraphPSI");
+        }
+    }
+
+    /// The refined §6.1 analysis accepts everything the plain one accepts.
+    #[test]
+    fn refined_is_laxer(
+        sets in proptest::collection::vec(
+            (proptest::collection::vec(0..4usize, 0..3),
+             proptest::collection::vec(0..4usize, 0..3)),
+            1..5,
+        ),
+    ) {
+        let mut ps = ProgramSet::new();
+        let objs: Vec<_> = (0..4).map(|i| ps.object(&format!("o{i}"))).collect();
+        for (i, (reads, writes)) in sets.iter().enumerate() {
+            let p = ps.add_program(&format!("p{i}"));
+            ps.add_piece(
+                p,
+                "piece",
+                reads.iter().map(|&r| objs[r]),
+                writes.iter().map(|&w| objs[w]),
+            );
+        }
+        let g = StaticDepGraph::from_programs(&ps);
+        if check_ser_robustness(&g).robust {
+            prop_assert!(check_ser_robustness_refined(&g).robust);
+        }
+    }
+}
+
+/// Soundness of the §6.1 static analysis against the running SI engine:
+/// if the analysis declares an application robust, then *no* run of that
+/// application on the SI engine may leave `GraphSER`.
+#[test]
+fn static_ser_robustness_is_sound_for_tpcc() {
+    let ps = tpcc_lite::program_set(3, 2);
+    let graph = StaticDepGraph::from_programs(&ps);
+    assert!(check_ser_robustness(&graph).robust, "tpcc-lite should be robust");
+
+    let schema = tpcc_lite::Schema::new(3, 2);
+    let w = tpcc_lite::mixed_workload(&schema, 4, 3, 100);
+    for seed in 0..30 {
+        let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        let run = s.run(&mut SiEngine::new(schema.object_count()), &w);
+        let g = extract(&run.execution).unwrap();
+        assert!(
+            check_ser(&g).is_ok(),
+            "robust application produced a non-serializable SI run (seed {seed})"
+        );
+    }
+}
+
+/// The write-skew application is (correctly) flagged, and the witness
+/// structure is genuine.
+#[test]
+fn write_skew_witness_structure_is_genuine() {
+    let mut ps = ProgramSet::new();
+    let x = ps.object("x");
+    let y = ps.object("y");
+    let w1 = ps.add_program("w1");
+    ps.add_piece(w1, "p", [x, y], [x]);
+    let w2 = ps.add_program("w2");
+    ps.add_piece(w2, "p", [x, y], [y]);
+    let graph = StaticDepGraph::from_programs(&ps);
+    let report = check_ser_robustness(&graph);
+    assert!(!report.robust);
+    let Some(DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path }) =
+        report.witness
+    else {
+        panic!("expected an adjacent anti-dependency witness");
+    };
+    assert!(graph.rw().contains(a, b));
+    assert!(graph.rw().contains(b, c));
+    if c != a {
+        assert_eq!(closing_path.first(), Some(&c));
+        assert_eq!(closing_path.last(), Some(&a));
+        for pair in closing_path.windows(2) {
+            assert!(graph.all().contains(pair[0], pair[1]));
+        }
+    }
+}
+
+/// §6.2 separates the long-fork app from the write-skew app.
+#[test]
+fn psi_robustness_separates_the_figures() {
+    // Long-fork app (Figure 12 unchopped): not robust against PSI.
+    let mut lf = ProgramSet::new();
+    let x = lf.object("x");
+    let y = lf.object("y");
+    let w1 = lf.add_program("write1");
+    lf.add_piece(w1, "p", [], [x]);
+    let w2 = lf.add_program("write2");
+    lf.add_piece(w2, "p", [], [y]);
+    let r1 = lf.add_program("read1");
+    lf.add_piece(r1, "p", [x, y], []);
+    let r2 = lf.add_program("read2");
+    lf.add_piece(r2, "p", [x, y], []);
+    let g = StaticDepGraph::from_programs(&lf);
+    assert!(!check_si_robustness(&g, 1_000_000).unwrap().robust);
+    // But it *is* robust against SI towards SER (writers read nothing).
+    assert!(check_ser_robustness(&g).robust);
+
+    // Write-skew app: exactly the other way around.
+    let mut ws = ProgramSet::new();
+    let x = ws.object("x");
+    let y = ws.object("y");
+    let w1 = ws.add_program("w1");
+    ws.add_piece(w1, "p", [x, y], [x]);
+    let w2 = ws.add_program("w2");
+    ws.add_piece(w2, "p", [x, y], [y]);
+    let g = StaticDepGraph::from_programs(&ws);
+    assert!(check_si_robustness(&g, 1_000_000).unwrap().robust);
+    assert!(!check_ser_robustness(&g).robust);
+}
