@@ -24,10 +24,7 @@ fn print_matrix() {
     for (name, ps, expected) in program_sets() {
         let verdicts = [ChopCriterion::Ser, ChopCriterion::Si, ChopCriterion::Psi]
             .map(|c| analyse_chopping(&ps, c, BUDGET).unwrap().correct);
-        println!(
-            "{:26} {:>6} {:>6} {:>6}",
-            name, verdicts[0], verdicts[1], verdicts[2]
-        );
+        println!("{:26} {:>6} {:>6} {:>6}", name, verdicts[0], verdicts[1], verdicts[2]);
         assert_eq!(verdicts, expected, "{name} deviates from the paper");
     }
     println!();

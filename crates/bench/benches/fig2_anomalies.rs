@@ -15,14 +15,7 @@ fn print_verdict_table() {
     println!("{:22} {:>5} {:>5} {:>5}  label", "history", "SER", "SI", "PSI");
     for (name, h) in figure2_histories() {
         let v = classify_history(&h, &SearchBudget::default()).unwrap();
-        println!(
-            "{:22} {:>5} {:>5} {:>5}  {}",
-            name,
-            v.ser,
-            v.si,
-            v.psi,
-            v.anomaly_label()
-        );
+        println!("{:22} {:>5} {:>5} {:>5}  {}", name, v.ser, v.si, v.psi, v.anomaly_label());
         assert!(v.respects_inclusions());
     }
     println!();

@@ -10,14 +10,10 @@ use si_relations::{Relation, TxId};
 fn pairs(n: usize, edges: usize, seed: u64) -> Vec<(TxId, TxId)> {
     let mut state = seed;
     let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         (state >> 11) as usize
     };
-    (0..edges)
-        .map(|_| (TxId::from_index(next() % n), TxId::from_index(next() % n)))
-        .collect()
+    (0..edges).map(|_| (TxId::from_index(next() % n), TxId::from_index(next() % n))).collect()
 }
 
 fn bench(c: &mut Criterion) {

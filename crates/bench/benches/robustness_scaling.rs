@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use si_bench::synthetic_programs;
-use si_robustness::{check_ser_robustness, check_ser_robustness_refined, check_si_robustness, StaticDepGraph};
+use si_robustness::{
+    check_ser_robustness, check_ser_robustness_refined, check_si_robustness, StaticDepGraph,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("robustness_scaling");

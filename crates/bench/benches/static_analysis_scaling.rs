@@ -23,18 +23,14 @@ fn bench(c: &mut Criterion) {
         let ps = synthetic_programs(programs, pieces, programs + pieces);
         let id = format!("{programs}x{pieces}");
         for criterion in [ChopCriterion::Ser, ChopCriterion::Si, ChopCriterion::Psi] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{criterion}"), &id),
-                &ps,
-                |b, ps| {
-                    b.iter(|| {
-                        // A found critical cycle short-circuits; both
-                        // outcomes are the analysis's real cost profile.
-                        analyse_chopping(std::hint::black_box(ps), criterion, 50_000_000)
-                            .map(|r| r.correct)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{criterion}"), &id), &ps, |b, ps| {
+                b.iter(|| {
+                    // A found critical cycle short-circuits; both
+                    // outcomes are the analysis's real cost profile.
+                    analyse_chopping(std::hint::black_box(ps), criterion, 50_000_000)
+                        .map(|r| r.correct)
+                })
+            });
         }
     }
     group.finish();

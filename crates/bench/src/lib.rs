@@ -76,9 +76,7 @@ pub fn write_skew() -> History {
 pub fn random_graph(txs: usize, objects: usize, sessions: usize, seed: u64) -> DependencyGraph {
     let mut state = seed;
     let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         (state >> 11) as usize
     };
 
@@ -125,11 +123,8 @@ pub fn random_graph(txs: usize, objects: usize, sessions: usize, seed: u64) -> D
 
     let mut builder = DepGraphBuilder::new(history.clone());
     for (oi, &x) in objs.iter().enumerate() {
-        let mut writers: Vec<TxId> = history
-            .tx_ids()
-            .skip(1)
-            .filter(|&t| history.transaction(t).writes_to(x))
-            .collect();
+        let mut writers: Vec<TxId> =
+            history.tx_ids().skip(1).filter(|&t| history.transaction(t).writes_to(x)).collect();
         for i in (1..writers.len()).rev() {
             let j = next() % (i + 1);
             writers.swap(i, j);
@@ -148,7 +143,12 @@ pub fn random_graph(txs: usize, objects: usize, sessions: usize, seed: u64) -> D
 /// runs a seeded random workload on the actual SI engine and extracts the
 /// graph — Theorem 10(ii) guarantees membership. `txs` is a target; the
 /// returned graph has roughly that many transactions plus init.
-pub fn random_graph_in_si(txs: usize, objects: usize, sessions: usize, seed: u64) -> DependencyGraph {
+pub fn random_graph_in_si(
+    txs: usize,
+    objects: usize,
+    sessions: usize,
+    seed: u64,
+) -> DependencyGraph {
     use si_mvcc::{Scheduler, SchedulerConfig, SiEngine};
     use si_workloads::random::{random_mix, RandomMix};
 
@@ -173,7 +173,11 @@ pub fn random_graph_in_si(txs: usize, objects: usize, sessions: usize, seed: u64
 /// A synthetic chopped application: `programs` programs of `pieces`
 /// pieces each, touching overlapping object windows — sized input for the
 /// static-analysis scaling benches.
-pub fn synthetic_programs(programs: usize, pieces: usize, objects: usize) -> si_chopping::ProgramSet {
+pub fn synthetic_programs(
+    programs: usize,
+    pieces: usize,
+    objects: usize,
+) -> si_chopping::ProgramSet {
     let mut ps = si_chopping::ProgramSet::new();
     let objs: Vec<Obj> = (0..objects).map(|i| ps.object(&format!("o{i}"))).collect();
     for p in 0..programs {

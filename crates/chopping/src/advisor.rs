@@ -51,24 +51,19 @@ fn merge_adjacent(ps: &ProgramSet, program: ProgramId, k: usize) -> ProgramSet {
             let piece = PieceId { program: p, piece: j };
             if p == program && j == k && j + 1 < count {
                 let next = PieceId { program: p, piece: j + 1 };
-                let reads: Vec<_> = ps
-                    .reads(piece)
-                    .iter()
-                    .chain(ps.reads(next))
-                    .copied()
-                    .collect();
-                let writes: Vec<_> = ps
-                    .writes(piece)
-                    .iter()
-                    .chain(ps.writes(next))
-                    .copied()
-                    .collect();
+                let reads: Vec<_> = ps.reads(piece).iter().chain(ps.reads(next)).copied().collect();
+                let writes: Vec<_> =
+                    ps.writes(piece).iter().chain(ps.writes(next)).copied().collect();
                 let label = format!("{} + {}", ps.piece_label(piece), ps.piece_label(next));
                 out.add_piece(np, &label, reads, writes);
                 j += 2;
             } else {
-                out.add_piece(np, ps.piece_label(piece), ps.reads(piece).iter().copied(),
-                    ps.writes(piece).iter().copied());
+                out.add_piece(
+                    np,
+                    ps.piece_label(piece),
+                    ps.reads(piece).iter().copied(),
+                    ps.writes(piece).iter().copied(),
+                );
                 j += 1;
             }
         }

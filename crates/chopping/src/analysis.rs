@@ -70,12 +70,7 @@ pub fn analyse_chopping(
 ) -> Result<ChoppingReport, SearchBudgetExceeded> {
     let (graph, nodes) = static_chopping_graph(programs);
     let witness = find_critical_cycle(&graph, criterion, step_budget)?;
-    Ok(ChoppingReport {
-        criterion,
-        correct: witness.is_none(),
-        witness,
-        nodes,
-    })
+    Ok(ChoppingReport { criterion, correct: witness.is_none(), witness, nodes })
 }
 
 /// The dynamic chopping criterion (Theorem 16): `true` iff `DCG(G)` has no

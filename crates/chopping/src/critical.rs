@@ -277,9 +277,6 @@ mod tests {
                 }
             }
         }
-        assert_eq!(
-            find_critical_cycle(&g, Criterion::Si, 5),
-            Err(SearchBudgetExceeded)
-        );
+        assert_eq!(find_critical_cycle(&g, Criterion::Si, 5), Err(SearchBudgetExceeded));
     }
 }

@@ -11,14 +11,16 @@ use core::fmt;
 use si_model::Obj;
 
 /// Identifies a program within a [`ProgramSet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct ProgramId(pub usize);
 
 /// Identifies a piece: `(program, index within the program)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct PieceId {
     /// The owning program.
     pub program: ProgramId,
@@ -32,16 +34,14 @@ impl fmt::Display for PieceId {
     }
 }
 
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 struct Piece {
     label: String,
     reads: Vec<Obj>,
     writes: Vec<Obj>,
 }
 
-#[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 struct Program {
     name: String,
     pieces: Vec<Piece>,
@@ -63,8 +63,7 @@ struct Program {
 /// assert_eq!(ps.piece_count(), 1);
 /// assert_eq!(ps.piece_label(si_chopping::PieceId { program: w, piece: 0 }), "x := 1");
 /// ```
-#[derive(Debug, Clone, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ProgramSet {
     programs: Vec<Program>,
     object_names: Vec<String>,
@@ -103,7 +102,13 @@ impl ProgramSet {
     /// # Panics
     ///
     /// Panics if `program` is not from this set.
-    pub fn add_piece<R, W>(&mut self, program: ProgramId, label: &str, reads: R, writes: W) -> PieceId
+    pub fn add_piece<R, W>(
+        &mut self,
+        program: ProgramId,
+        label: &str,
+        reads: R,
+        writes: W,
+    ) -> PieceId
     where
         R: IntoIterator<Item = Obj>,
         W: IntoIterator<Item = Obj>,
@@ -191,10 +196,7 @@ impl ProgramSet {
     /// program's pieces. Used by the robustness analyses of §6, which work
     /// on whole transactions.
     pub fn unchopped(&self) -> ProgramSet {
-        let mut out = ProgramSet {
-            programs: Vec::new(),
-            object_names: self.object_names.clone(),
-        };
+        let mut out = ProgramSet { programs: Vec::new(), object_names: self.object_names.clone() };
         for prog in &self.programs {
             let mut reads = Vec::new();
             let mut writes = Vec::new();

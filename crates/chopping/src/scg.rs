@@ -24,10 +24,7 @@ impl PieceNode {
 
     /// The vertex of a piece.
     pub fn vertex(&self, piece: PieceId) -> Option<TxId> {
-        self.nodes
-            .iter()
-            .position(|&p| p == piece)
-            .map(TxId::from_index)
+        self.nodes.iter().position(|&p| p == piece).map(TxId::from_index)
     }
 
     /// Number of vertices.
@@ -81,9 +78,8 @@ pub fn static_chopping_graph(programs: &ProgramSet) -> (MultiGraph<ChopEdge>, Pi
                 }
                 continue;
             }
-            let intersects = |xs: &[si_model::Obj], ys: &[si_model::Obj]| {
-                xs.iter().any(|x| ys.contains(x))
-            };
+            let intersects =
+                |xs: &[si_model::Obj], ys: &[si_model::Obj]| xs.iter().any(|x| ys.contains(x));
             if intersects(programs.writes(a), programs.reads(b)) {
                 g.add_edge(va, vb, ChopEdge::Conflict(ConflictKind::Wr));
             }
@@ -145,10 +141,7 @@ mod tests {
             let v = nodes.vertex(piece).unwrap();
             assert_eq!(nodes.piece(v), piece);
         }
-        assert_eq!(
-            nodes.vertex(PieceId { program: crate::ProgramId(9), piece: 0 }),
-            None
-        );
+        assert_eq!(nodes.vertex(PieceId { program: crate::ProgramId(9), piece: 0 }), None);
     }
 
     #[test]

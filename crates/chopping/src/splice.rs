@@ -52,13 +52,9 @@ pub fn splice_history(history: &History) -> SplicedHistory {
         }
         sessions.push(vec![new_id]);
     }
-    let history = History::from_parts(
-        transactions,
-        sessions,
-        init,
-        history.object_names().to_vec(),
-    )
-    .expect("splicing preserves the session-structure invariants");
+    let history =
+        History::from_parts(transactions, sessions, init, history.object_names().to_vec())
+            .expect("splicing preserves the session-structure invariants");
     SplicedHistory { history, map }
 }
 

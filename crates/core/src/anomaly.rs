@@ -50,7 +50,10 @@ impl Classification {
     /// always true for classifications produced by this crate; useful as a
     /// sanity assertion on hand-made values.
     pub fn respects_inclusions(&self) -> bool {
-        (!self.ser || self.si) && (!self.si || self.psi) && (!self.si || self.pc)
+        fn implies(a: bool, b: bool) -> bool {
+            !a || b
+        }
+        implies(self.ser, self.si) && implies(self.si, self.psi) && implies(self.si, self.pc)
     }
 }
 
@@ -155,8 +158,12 @@ mod tests {
     fn inclusion_sanity() {
         assert!(Classification { ser: true, si: true, psi: true, pc: true }.respects_inclusions());
         assert!(!Classification { ser: true, si: false, psi: true, pc: true }.respects_inclusions());
-        assert!(!Classification { ser: false, si: true, psi: false, pc: true }.respects_inclusions());
-        assert!(!Classification { ser: false, si: true, psi: true, pc: false }.respects_inclusions());
+        assert!(
+            !Classification { ser: false, si: true, psi: false, pc: true }.respects_inclusions()
+        );
+        assert!(
+            !Classification { ser: false, si: true, psi: true, pc: false }.respects_inclusions()
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use core::fmt;
 
-use si_execution::AbstractExecution;
 use si_depgraph::DependencyGraph;
+use si_execution::AbstractExecution;
 use si_relations::{Relation, TxId};
 
 use crate::solve::smallest_solution;

@@ -196,10 +196,7 @@ mod tests {
         for w in cycle.edges.windows(2) {
             assert_eq!(w[0].to(), w[1].from());
         }
-        assert_eq!(
-            cycle.edges.last().unwrap().to(),
-            cycle.edges.first().unwrap().from()
-        );
+        assert_eq!(cycle.edges.last().unwrap().to(), cycle.edges.first().unwrap().from());
         // …with the forbidden shape: no two adjacent RWs.
         assert!(!cycle.has_adjacent_rw(), "witness must be the forbidden shape: {cycle}");
         // Rendered form mentions the object (dense id form).

@@ -20,8 +20,13 @@ use core::fmt;
 use si_depgraph::{DepGraphBuilder, DependencyGraph};
 use si_execution::SpecModel;
 use si_model::{History, Obj, TxId};
+use si_telemetry::{Event, Telemetry};
 
 use crate::membership::GraphClass;
+
+/// Nodes between periodic [`SolverIteration`](Event::SolverIteration)
+/// progress events.
+const PROGRESS_INTERVAL: u64 = 65_536;
 
 /// Node budget for the backtracking search.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +68,22 @@ pub fn history_membership(
     history_witness(model, history, budget).map(|w| w.is_some())
 }
 
+/// [`history_membership`] with telemetry: the search reports periodic and
+/// final [`SolverIteration`](Event::SolverIteration) events (nodes
+/// explored, dead ends pruned, budget exhaustion).
+///
+/// # Errors
+///
+/// Returns [`SearchExhausted`] if the budget ran out first.
+pub fn history_membership_traced(
+    model: SpecModel,
+    history: &History,
+    budget: &SearchBudget,
+    telemetry: &Telemetry,
+) -> Result<bool, SearchExhausted> {
+    history_witness_traced(model, history, budget, telemetry).map(|w| w.is_some())
+}
+
 /// Like [`history_membership`], but returns the witness dependency graph.
 ///
 /// # Errors
@@ -73,12 +94,27 @@ pub fn history_witness(
     history: &History,
     budget: &SearchBudget,
 ) -> Result<Option<DependencyGraph>, SearchExhausted> {
+    history_witness_traced(model, history, budget, &Telemetry::disabled())
+}
+
+/// [`history_witness`] with telemetry (see
+/// [`history_membership_traced`]).
+///
+/// # Errors
+///
+/// Returns [`SearchExhausted`] if the budget ran out first.
+pub fn history_witness_traced(
+    model: SpecModel,
+    history: &History,
+    budget: &SearchBudget,
+    telemetry: &Telemetry,
+) -> Result<Option<DependencyGraph>, SearchExhausted> {
     let class = match model {
         SpecModel::Si => GraphClass::Si,
         SpecModel::Ser => GraphClass::Ser,
         SpecModel::Psi => GraphClass::Psi,
     };
-    history_witness_for_class(class, history, budget)
+    history_witness_for_class_traced(class, history, budget, telemetry)
 }
 
 /// The class-generic search behind [`history_witness`]; also serves the
@@ -87,6 +123,15 @@ pub(crate) fn history_witness_for_class(
     class: GraphClass,
     history: &History,
     budget: &SearchBudget,
+) -> Result<Option<DependencyGraph>, SearchExhausted> {
+    history_witness_for_class_traced(class, history, budget, &Telemetry::disabled())
+}
+
+pub(crate) fn history_witness_for_class_traced(
+    class: GraphClass,
+    history: &History,
+    budget: &SearchBudget,
+    telemetry: &Telemetry,
 ) -> Result<Option<DependencyGraph>, SearchExhausted> {
     if history.check_int().is_err() {
         // INT is independent of WR/WW: no extension can be in any class.
@@ -121,8 +166,16 @@ pub(crate) fn history_witness_for_class(
         class,
         choices: &choices,
         nodes_left: budget.max_nodes,
+        max_nodes: budget.max_nodes,
+        backtracks: 0,
+        telemetry,
     };
-    search.solve(0, &mut DepGraphBuilder::new(history.clone()))
+    let result = search.solve(0, &mut DepGraphBuilder::new(history.clone()));
+    let nodes_explored = search.max_nodes - search.nodes_left;
+    let backtracks = search.backtracks;
+    let exhausted = result.is_err();
+    telemetry.emit(|| Event::SolverIteration { nodes_explored, backtracks, exhausted });
+    result
 }
 
 struct ObjChoices {
@@ -137,6 +190,11 @@ struct Search<'a> {
     class: GraphClass,
     choices: &'a [ObjChoices],
     nodes_left: u64,
+    max_nodes: u64,
+    /// Dead ends: partial assignments found doomed, plus complete
+    /// assignments failing the final class check.
+    backtracks: u64,
+    telemetry: &'a Telemetry,
 }
 
 impl Search<'_> {
@@ -150,6 +208,15 @@ impl Search<'_> {
             return Err(SearchExhausted);
         }
         self.nodes_left -= 1;
+        let explored = self.max_nodes - self.nodes_left;
+        if explored.is_multiple_of(PROGRESS_INTERVAL) {
+            let backtracks = self.backtracks;
+            self.telemetry.emit(|| Event::SolverIteration {
+                nodes_explored: explored,
+                backtracks,
+                exhausted: false,
+            });
+        }
 
         if at == self.choices.len() {
             let graph = builder
@@ -159,6 +226,7 @@ impl Search<'_> {
             if self.class.check(&graph).is_ok() {
                 return Ok(Some(graph));
             }
+            self.backtracks += 1;
             return Ok(None);
         }
 
@@ -222,6 +290,7 @@ impl Search<'_> {
             // the builder, but their WR edges are missing, so we cannot
             // `build()` yet — instead check the partial relation directly.
             if self.partial_is_doomed(&b2, at) {
+                self.backtracks += 1;
                 return Ok(None);
             }
             let mut b3 = b2.clone();
@@ -412,10 +481,7 @@ mod tests {
     fn budget_exhaustion_reported() {
         let h = long_fork();
         let tiny = SearchBudget { max_nodes: 1 };
-        assert_eq!(
-            history_membership(SpecModel::Si, &h, &tiny),
-            Err(SearchExhausted)
-        );
+        assert_eq!(history_membership(SpecModel::Si, &h, &tiny), Err(SearchExhausted));
     }
 
     #[test]

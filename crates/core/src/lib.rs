@@ -84,7 +84,13 @@ mod solve;
 pub use anomaly::{classify_graph, classify_history, Classification};
 pub use construct::{execution_from_graph, execution_from_graph_iterative, NotInGraphSi};
 pub use explain::{explain_si_violation, ExplainedCycle, ExplainedEdge};
-pub use history_check::{history_membership, history_witness, SearchBudget, SearchExhausted};
-pub use membership::{check_psi, check_ser, check_si, GraphClass, MembershipError};
+pub use history_check::{
+    history_membership, history_membership_traced, history_witness, history_witness_traced,
+    SearchBudget, SearchExhausted,
+};
+pub use membership::{
+    check_psi, check_psi_traced, check_ser, check_ser_traced, check_si, check_si_traced,
+    GraphClass, MembershipError,
+};
 pub use monitor::{MonitorVerdict, ObservedTx, SiMonitor};
 pub use solve::{smallest_solution, Solution};

@@ -5,6 +5,7 @@ use core::fmt;
 use si_depgraph::DependencyGraph;
 use si_model::IntViolation;
 use si_relations::TxId;
+use si_telemetry::{Event, SpanTimer, Telemetry};
 
 /// The dependency-graph classes characterising the three consistency
 /// models.
@@ -35,6 +36,32 @@ impl GraphClass {
             GraphClass::Si => check_si(graph),
             GraphClass::Psi => check_psi(graph),
             GraphClass::Pc => crate::pc::check_pc_graph(graph),
+        }
+    }
+
+    /// Like [`GraphClass::check`], reporting composed-relation sizes and
+    /// check timings through `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphClass::check`].
+    pub fn check_traced(
+        self,
+        graph: &DependencyGraph,
+        telemetry: &Telemetry,
+    ) -> Result<(), MembershipError> {
+        match self {
+            GraphClass::Ser => check_ser_traced(graph, telemetry),
+            GraphClass::Si => check_si_traced(graph, telemetry),
+            GraphClass::Psi => check_psi_traced(graph, telemetry),
+            GraphClass::Pc => {
+                let timer = SpanTimer::start();
+                let result = crate::pc::check_pc_graph(graph);
+                let nanos = timer.elapsed_nanos();
+                let ok = result.is_ok();
+                telemetry.emit(|| Event::VerdictEmitted { check: "check_pc", ok, nanos });
+                result
+            }
         }
     }
 }
@@ -97,10 +124,7 @@ impl fmt::Display for MembershipError {
 impl std::error::Error for MembershipError {}
 
 fn check_int(graph: &DependencyGraph) -> Result<(), MembershipError> {
-    graph
-        .history()
-        .check_int()
-        .map_err(|(tx, violation)| MembershipError::Int { tx, violation })
+    graph.history().check_int().map_err(|(tx, violation)| MembershipError::Int { tx, violation })
 }
 
 /// Theorem 8 (after Adya): `G ∈ GraphSER` iff `T_G ⊨ INT` and
@@ -110,8 +134,34 @@ fn check_int(graph: &DependencyGraph) -> Result<(), MembershipError> {
 ///
 /// Returns the INT violation or a witness cycle.
 pub fn check_ser(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    check_ser_traced(graph, &Telemetry::disabled())
+}
+
+/// [`check_ser`] with telemetry: emits one
+/// [`CycleSearchStep`](Event::CycleSearchStep) with the size of
+/// `SO ∪ WR ∪ WW ∪ RW` and one [`VerdictEmitted`](Event::VerdictEmitted)
+/// with the acyclicity-check wall-clock time.
+///
+/// # Errors
+///
+/// Same as [`check_ser`].
+pub fn check_ser_traced(
+    graph: &DependencyGraph,
+    telemetry: &Telemetry,
+) -> Result<(), MembershipError> {
     check_int(graph)?;
-    match graph.all_relation().find_cycle() {
+    let timer = SpanTimer::start();
+    let all = graph.all_relation();
+    let cycle = all.find_cycle();
+    let nanos = timer.elapsed_nanos();
+    telemetry.emit(|| Event::CycleSearchStep {
+        check: "check_ser",
+        nodes: graph.history().tx_count() as u64,
+        edges: all.edge_count() as u64,
+    });
+    let ok = cycle.is_none();
+    telemetry.emit(|| Event::VerdictEmitted { check: "check_ser", ok, nanos });
+    match cycle {
         None => Ok(()),
         Some(nodes) => Err(MembershipError::Cycle { class: GraphClass::Ser, nodes }),
     }
@@ -126,9 +176,35 @@ pub fn check_ser(graph: &DependencyGraph) -> Result<(), MembershipError> {
 ///
 /// Returns the INT violation or a witness cycle of the composed relation.
 pub fn check_si(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    check_si_traced(graph, &Telemetry::disabled())
+}
+
+/// [`check_si`] with telemetry: emits one
+/// [`CycleSearchStep`](Event::CycleSearchStep) with the size of the
+/// composed relation `(SO ∪ WR ∪ WW) ; RW?` and one
+/// [`VerdictEmitted`](Event::VerdictEmitted) with the composition +
+/// acyclicity wall-clock time.
+///
+/// # Errors
+///
+/// Same as [`check_si`].
+pub fn check_si_traced(
+    graph: &DependencyGraph,
+    telemetry: &Telemetry,
+) -> Result<(), MembershipError> {
     check_int(graph)?;
+    let timer = SpanTimer::start();
     let composed = graph.dep_relation().compose_opt(&graph.rw_relation());
-    match composed.find_cycle() {
+    let cycle = composed.find_cycle();
+    let nanos = timer.elapsed_nanos();
+    telemetry.emit(|| Event::CycleSearchStep {
+        check: "check_si",
+        nodes: graph.history().tx_count() as u64,
+        edges: composed.edge_count() as u64,
+    });
+    let ok = cycle.is_none();
+    telemetry.emit(|| Event::VerdictEmitted { check: "check_si", ok, nanos });
+    match cycle {
         None => Ok(()),
         Some(nodes) => Err(MembershipError::Cycle { class: GraphClass::Si, nodes }),
     }
@@ -143,15 +219,39 @@ pub fn check_si(graph: &DependencyGraph) -> Result<(), MembershipError> {
 /// Returns the INT violation or a witness: the transaction `T` with
 /// `(T, T)` in the composed relation.
 pub fn check_psi(graph: &DependencyGraph) -> Result<(), MembershipError> {
+    check_psi_traced(graph, &Telemetry::disabled())
+}
+
+/// [`check_psi`] with telemetry: emits one
+/// [`CycleSearchStep`](Event::CycleSearchStep) with the size of the
+/// composed relation `(SO ∪ WR ∪ WW)⁺ ; RW?` and one
+/// [`VerdictEmitted`](Event::VerdictEmitted) with the closure +
+/// irreflexivity wall-clock time.
+///
+/// # Errors
+///
+/// Same as [`check_psi`].
+pub fn check_psi_traced(
+    graph: &DependencyGraph,
+    telemetry: &Telemetry,
+) -> Result<(), MembershipError> {
     check_int(graph)?;
+    let timer = SpanTimer::start();
     let dep_plus = graph.dep_relation().transitive_closure();
     let composed = dep_plus.compose_opt(&graph.rw_relation());
-    for t in graph.history().tx_ids() {
-        if composed.contains(t, t) {
-            return Err(MembershipError::Cycle { class: GraphClass::Psi, nodes: vec![t] });
-        }
+    let reflexive = graph.history().tx_ids().find(|&t| composed.contains(t, t));
+    let nanos = timer.elapsed_nanos();
+    telemetry.emit(|| Event::CycleSearchStep {
+        check: "check_psi",
+        nodes: graph.history().tx_count() as u64,
+        edges: composed.edge_count() as u64,
+    });
+    let ok = reflexive.is_none();
+    telemetry.emit(|| Event::VerdictEmitted { check: "check_psi", ok, nanos });
+    match reflexive {
+        None => Ok(()),
+        Some(t) => Err(MembershipError::Cycle { class: GraphClass::Psi, nodes: vec![t] }),
     }
-    Ok(())
 }
 
 #[cfg(test)]

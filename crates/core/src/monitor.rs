@@ -14,6 +14,7 @@
 use si_execution::SpecModel;
 use si_model::Obj;
 use si_relations::{Relation, TxId};
+use si_telemetry::{EdgeKind, Event, SpanTimer, Telemetry};
 
 /// A transaction reported to the monitor: its dependencies as observed by
 /// the system.
@@ -91,6 +92,7 @@ pub struct SiMonitor {
     violated: Option<Vec<TxId>>,
     next_tx: u32,
     so_pred: Vec<Option<TxId>>,
+    telemetry: Telemetry,
 }
 
 impl SiMonitor {
@@ -105,6 +107,31 @@ impl SiMonitor {
             violated: None,
             next_tx: 0,
             so_pred: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Creates a monitor that emits
+    /// [`EdgeAdded`](si_telemetry::Event::EdgeAdded) /
+    /// [`CycleSearchStep`](si_telemetry::Event::CycleSearchStep) /
+    /// [`VerdictEmitted`](si_telemetry::Event::VerdictEmitted) telemetry.
+    pub fn with_telemetry(model: SpecModel, telemetry: Telemetry) -> Self {
+        let mut monitor = SiMonitor::new(model);
+        monitor.telemetry = telemetry;
+        monitor
+    }
+
+    /// Attaches (or replaces) the telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry label of this monitor's verdicts.
+    fn check_label(&self) -> &'static str {
+        match self.model {
+            SpecModel::Si => "monitor.si",
+            SpecModel::Ser => "monitor.ser",
+            SpecModel::Psi => "monitor.psi",
         }
     }
 
@@ -139,6 +166,11 @@ impl SiMonitor {
             let mut cur = Some(pred);
             while let Some(p) = cur {
                 self.dep.insert(p, id);
+                self.telemetry.emit(|| Event::EdgeAdded {
+                    kind: EdgeKind::So,
+                    from: p.0,
+                    to: id.0,
+                });
                 cur = self.so_pred[p.index()];
             }
             self.so_pred[id.index()] = Some(pred);
@@ -148,6 +180,11 @@ impl SiMonitor {
         for &(x, writer) in &tx.reads_from {
             self.ensure_obj(x);
             self.dep.insert(writer, id);
+            self.telemetry.emit(|| Event::EdgeAdded {
+                kind: EdgeKind::Wr,
+                from: writer.0,
+                to: id.0,
+            });
             self.reads.push((x, id, writer));
             // RW edges towards writers that already overwrote `writer`.
             let order = &self.version_order[x.index()];
@@ -156,6 +193,11 @@ impl SiMonitor {
                     order[pos + 1..].iter().copied().filter(|&s| s != id).collect();
                 for s in later {
                     self.rw.insert(id, s);
+                    self.telemetry.emit(|| Event::EdgeAdded {
+                        kind: EdgeKind::Rw,
+                        from: id.0,
+                        to: s.0,
+                    });
                 }
             }
         }
@@ -167,28 +209,46 @@ impl SiMonitor {
             let order = self.version_order[x.index()].clone();
             for &prev in &order {
                 self.dep.insert(prev, id);
+                self.telemetry.emit(|| Event::EdgeAdded {
+                    kind: EdgeKind::Ww,
+                    from: prev.0,
+                    to: id.0,
+                });
             }
             for &(ox, reader, writer) in &self.reads {
                 if ox == x && reader != id && order.contains(&writer) {
                     self.rw.insert(reader, id);
+                    self.telemetry.emit(|| Event::EdgeAdded {
+                        kind: EdgeKind::Rw,
+                        from: reader.0,
+                        to: id.0,
+                    });
                 }
             }
             self.version_order[x.index()].push(id);
         }
 
         if self.violated.is_none() {
+            let timer = SpanTimer::start();
             let composed = match self.model {
                 SpecModel::Si => self.dep.compose_opt(&self.rw),
                 SpecModel::Ser => self.dep.union(&self.rw),
                 SpecModel::Psi => self.dep.transitive_closure().compose_opt(&self.rw),
             };
             let cycle = match self.model {
-                SpecModel::Psi => (0..self.next_tx)
-                    .map(TxId)
-                    .find(|&t| composed.contains(t, t))
-                    .map(|t| vec![t]),
+                SpecModel::Psi => {
+                    (0..self.next_tx).map(TxId).find(|&t| composed.contains(t, t)).map(|t| vec![t])
+                }
                 _ => composed.find_cycle(),
             };
+            let nanos = timer.elapsed_nanos();
+            let check = self.check_label();
+            self.telemetry.emit(|| Event::CycleSearchStep {
+                check,
+                nodes: u64::from(self.next_tx),
+                edges: composed.edge_count() as u64,
+            });
+            self.telemetry.emit(|| Event::VerdictEmitted { check, ok: cycle.is_none(), nanos });
             self.violated = cycle;
         }
         id
@@ -269,14 +329,8 @@ mod tests {
             let i = init(&mut m);
             let w1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
             let w2 = m.append(ObservedTx { writes: vec![y()], ..Default::default() });
-            m.append(ObservedTx {
-                reads_from: vec![(x(), w1), (y(), i)],
-                ..Default::default()
-            });
-            m.append(ObservedTx {
-                reads_from: vec![(x(), i), (y(), w2)],
-                ..Default::default()
-            });
+            m.append(ObservedTx { reads_from: vec![(x(), w1), (y(), i)], ..Default::default() });
+            m.append(ObservedTx { reads_from: vec![(x(), i), (y(), w2)], ..Default::default() });
             assert_eq!(m.is_consistent(), expect_ok, "{model}");
         }
     }
@@ -329,7 +383,6 @@ mod tests {
                 session_predecessor: Some(last),
                 reads_from: vec![(x(), last)],
                 writes: vec![x()],
-                ..Default::default()
             });
             assert!(m.is_consistent());
         }

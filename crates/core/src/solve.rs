@@ -37,7 +37,7 @@ impl Solution {
             && self.co.compose(&self.vis).is_subset(&self.vis)  // S2
             && self.vis.is_subset(&self.co)                     // S3
             && self.co.compose(&self.co).is_subset(&self.co)    // S4
-            && self.vis.compose(&rw).is_subset(&self.co)        // S5
+            && self.vis.compose(&rw).is_subset(&self.co) // S5
     }
 }
 

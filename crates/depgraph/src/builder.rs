@@ -26,11 +26,7 @@ pub struct DepGraphBuilder {
 impl DepGraphBuilder {
     /// Starts building a graph over `history`.
     pub fn new(history: History) -> Self {
-        DepGraphBuilder {
-            history,
-            wr: BTreeMap::new(),
-            ww: BTreeMap::new(),
-        }
+        DepGraphBuilder { history, wr: BTreeMap::new(), ww: BTreeMap::new() }
     }
 
     /// The history the graph is being built over.
@@ -133,10 +129,7 @@ mod tests {
         let mut g = DepGraphBuilder::new(h);
         g.infer_wr();
         // Ambiguity leaves the read unresolved, which fails validation.
-        assert!(matches!(
-            g.build(),
-            Err(DepGraphError::MissingWr { reader: TxId(3), .. })
-        ));
+        assert!(matches!(g.build(), Err(DepGraphError::MissingWr { reader: TxId(3), .. })));
     }
 
     #[test]

@@ -15,10 +15,7 @@ impl fmt::Display for DependencyGraph {
     /// ```
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = |x: si_model::Obj| {
-            self.history()
-                .object_name(x)
-                .map(str::to_owned)
-                .unwrap_or_else(|| x.to_string())
+            self.history().object_name(x).map(str::to_owned).unwrap_or_else(|| x.to_string())
         };
         for x in self.objects() {
             for (w, r) in self.wr_pairs(x) {

@@ -33,11 +33,7 @@ use crate::DependencyGraph;
 pub fn to_dot(graph: &DependencyGraph) -> String {
     let mut out = String::new();
     let h = graph.history();
-    let name = |x: Obj| {
-        h.object_name(x)
-            .map(str::to_owned)
-            .unwrap_or_else(|| x.to_string())
-    };
+    let name = |x: Obj| h.object_name(x).map(str::to_owned).unwrap_or_else(|| x.to_string());
 
     out.push_str("digraph dependency_graph {\n");
     out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");

@@ -139,10 +139,8 @@ mod tests {
         b.push_tx(s, [Op::write(x, 1)]);
         b.push_tx(s, [Op::read(x, 1), Op::write(y, 2)]);
         let h = b.build();
-        let co = Relation::from_pairs(
-            3,
-            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
-        );
+        let co =
+            Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))]);
         AbstractExecution::new(h, co.clone(), co).unwrap()
     }
 
@@ -208,11 +206,7 @@ mod tests {
         let exec = AbstractExecution::new(h, Relation::new(3), co).unwrap();
         assert_eq!(
             extract(&exec),
-            Err(ExtractError::WritersUnordered {
-                first: TxId(1),
-                second: TxId(2),
-                obj: Obj(0),
-            })
+            Err(ExtractError::WritersUnordered { first: TxId(1), second: TxId(2), obj: Obj(0) })
         );
     }
 
@@ -227,10 +221,8 @@ mod tests {
         b.push_tx(s1, [Op::write(x, 1)]);
         b.push_tx(s2, [Op::read(x, 0)]);
         let h = b.build();
-        let vis = Relation::from_pairs(
-            3,
-            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
-        );
+        let vis =
+            Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))]);
         let mut co = vis.clone();
         co.insert(TxId(1), TxId(2));
         let exec = AbstractExecution::new(h, vis, co).unwrap();

@@ -283,11 +283,7 @@ mod tests {
         let g = g.build().unwrap();
         assert_eq!(
             g.ww_pairs(x),
-            vec![
-                (TxId(0), TxId(1)),
-                (TxId(0), TxId(2)),
-                (TxId(1), TxId(2)),
-            ]
+            vec![(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2)),]
         );
     }
 }

@@ -95,10 +95,9 @@ impl fmt::Display for DepGraphError {
             DepGraphError::WrReaderDoesNotRead { reader, obj } => {
                 write!(f, "WR({obj}) reader {reader} has no external read of {obj}")
             }
-            DepGraphError::WrValueMismatch { writer, reader, obj, written, read } => write!(
-                f,
-                "WR({obj}): {writer} finally wrote {written} but {reader} read {read}"
-            ),
+            DepGraphError::WrValueMismatch { writer, reader, obj, written, read } => {
+                write!(f, "WR({obj}): {writer} finally wrote {written} but {reader} read {read}")
+            }
             DepGraphError::MissingWr { reader, obj } => {
                 write!(f, "{reader} reads {obj} externally but has no WR({obj}) writer")
             }
@@ -243,10 +242,7 @@ mod tests {
         // Init wrote 0, but T2 read 1 — blaming init is a mismatch.
         let wr = wr_map(x, &[(TxId(0), TxId(2))]);
         let ww = ww_map(x, &[TxId(0), TxId(1)]);
-        assert!(matches!(
-            validate(&h, &wr, &ww),
-            Err(DepGraphError::WrValueMismatch { .. })
-        ));
+        assert!(matches!(validate(&h, &wr, &ww), Err(DepGraphError::WrValueMismatch { .. })));
     }
 
     #[test]

@@ -51,7 +51,7 @@ proptest! {
         let g = pipeline(n);
         let victim = TxId::from_index((victim % n) + 1);
         let (history, mut wr, ww) = g.into_parts();
-        let removed = wr.get_mut(&Obj(0)).map(|m| m.remove(&victim)).flatten();
+        let removed = wr.get_mut(&Obj(0)).and_then(|m| m.remove(&victim));
         prop_assume!(removed.is_some());
         let result = DependencyGraph::new(history, wr, ww);
         let detected = matches!(result, Err(si_depgraph::DepGraphError::MissingWr { .. }));

@@ -116,9 +116,7 @@ impl std::error::Error for AxiomViolation {}
 ///
 /// Returns the first violating transaction.
 pub fn check_int(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
-    exec.history()
-        .check_int()
-        .map_err(|(tx, violation)| AxiomViolation::Int { tx, violation })
+    exec.history().check_int().map_err(|(tx, violation)| AxiomViolation::Int { tx, violation })
 }
 
 /// EXT (external consistency): if `T ⊢ read(x, n)` then
@@ -138,10 +136,7 @@ pub fn check_ext(exec: &AbstractExecution) -> Result<(), AxiomViolation> {
             let Some(writer) = exec.co().max_element(&visible_writers) else {
                 return Err(AxiomViolation::ExtNoVisibleWriter { reader, obj: x });
             };
-            let written = h
-                .transaction(writer)
-                .final_write(x)
-                .expect("writer is in WriteTx_x");
+            let written = h.transaction(writer).final_write(x).expect("writer is in WriteTx_x");
             if written != read {
                 return Err(AxiomViolation::ExtWrongValue {
                     reader,
@@ -273,10 +268,7 @@ mod tests {
     #[test]
     fn lost_update_violates_no_conflict() {
         // T1 and T2 both see only the init transaction.
-        let exec = lost_update_exec(
-            &[(0, 1), (0, 2)],
-            &[(0, 1), (0, 2), (1, 2)],
-        );
+        let exec = lost_update_exec(&[(0, 1), (0, 2)], &[(0, 1), (0, 2), (1, 2)]);
         assert!(check_int(&exec).is_ok());
         assert!(check_ext(&exec).is_ok());
         assert!(check_session(&exec).is_ok());
@@ -288,10 +280,7 @@ mod tests {
     fn lost_update_with_vis_violates_ext() {
         // Making T1 visible to T2 fixes NOCONFLICT but breaks EXT: T2 read
         // 0 yet its latest visible writer T1 wrote 50.
-        let exec = lost_update_exec(
-            &[(0, 1), (0, 2), (1, 2)],
-            &[(0, 1), (0, 2), (1, 2)],
-        );
+        let exec = lost_update_exec(&[(0, 1), (0, 2), (1, 2)], &[(0, 1), (0, 2), (1, 2)]);
         assert!(check_no_conflict(&exec).is_ok());
         let err = check_ext(&exec).unwrap_err();
         assert_eq!(
@@ -316,15 +305,10 @@ mod tests {
         let h = b.build();
         // VIS omits the SO edge T1 -> T2.
         let vis = Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
-        let co = Relation::from_pairs(
-            3,
-            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
-        );
+        let co =
+            Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))]);
         let exec = AbstractExecution::new(h, vis, co).unwrap();
-        assert_eq!(
-            check_session(&exec),
-            Err(AxiomViolation::Session(TxId(1), TxId(2)))
-        );
+        assert_eq!(check_session(&exec), Err(AxiomViolation::Session(TxId(1), TxId(2))));
         // Figure 2(a): once SESSION forces the edge, EXT forbids reading 0.
     }
 
@@ -349,11 +333,7 @@ mod tests {
         let exec = AbstractExecution::new(h, vis, co).unwrap();
         assert_eq!(
             check_prefix(&exec),
-            Err(AxiomViolation::Prefix {
-                committed: TxId(1),
-                seen: TxId(2),
-                observer: TxId(3),
-            })
+            Err(AxiomViolation::Prefix { committed: TxId(1), seen: TxId(2), observer: TxId(3) })
         );
     }
 
@@ -377,10 +357,7 @@ mod tests {
         assert!(check_ext(&exec).is_ok());
         assert!(check_no_conflict(&exec).is_ok());
         assert!(check_prefix(&exec).is_ok());
-        assert_eq!(
-            check_total_vis(&exec),
-            Err(AxiomViolation::TotalVis(TxId(1), TxId(2)))
-        );
+        assert_eq!(check_total_vis(&exec), Err(AxiomViolation::TotalVis(TxId(1), TxId(2))));
     }
 
     #[test]
@@ -423,9 +400,6 @@ mod tests {
         b.push_tx(s, [Op::read(x, 0)]);
         let h = b.build();
         let exec = AbstractExecution::new(h, Relation::new(1), Relation::new(1)).unwrap();
-        assert!(matches!(
-            check_ext(&exec),
-            Err(AxiomViolation::ExtNoVisibleWriter { .. })
-        ));
+        assert!(matches!(check_ext(&exec), Err(AxiomViolation::ExtNoVisibleWriter { .. })));
     }
 }

@@ -67,10 +67,7 @@ pub fn find_execution(
     config: &BruteConfig,
 ) -> Result<Option<AbstractExecution>, BruteExhausted> {
     // Fix the init transaction (if any) at position 0; permute the rest.
-    let mut rest: Vec<TxId> = history
-        .tx_ids()
-        .filter(|&t| Some(t) != history.init_tx())
-        .collect();
+    let mut rest: Vec<TxId> = history.tx_ids().filter(|&t| Some(t) != history.init_tx()).collect();
     let prefix: Vec<TxId> = history.init_tx().into_iter().collect();
 
     let mut budget = config.step_budget;
@@ -106,10 +103,7 @@ pub fn find_execution(
 ///
 /// Returns [`BruteExhausted`] if the step budget ran out first.
 pub fn is_allowed_pc(history: &History, config: &BruteConfig) -> Result<bool, BruteExhausted> {
-    let mut rest: Vec<TxId> = history
-        .tx_ids()
-        .filter(|&t| Some(t) != history.init_tx())
-        .collect();
+    let mut rest: Vec<TxId> = history.tx_ids().filter(|&t| Some(t) != history.init_tx()).collect();
     let prefix: Vec<TxId> = history.init_tx().into_iter().collect();
     let mut budget = config.step_budget;
     let mut found = false;
@@ -427,7 +421,10 @@ mod tests {
         };
         for model in SpecModel::ALL {
             assert!(is_allowed(model, &mk(1), &cfg()).unwrap());
-            assert!(!is_allowed(model, &mk(0), &cfg()).unwrap(), "{model} allowed a stale session read");
+            assert!(
+                !is_allowed(model, &mk(0), &cfg()).unwrap(),
+                "{model} allowed a stale session read"
+            );
         }
     }
 }

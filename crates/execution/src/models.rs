@@ -172,10 +172,8 @@ mod tests {
         b.push_tx(s, [Op::write(x, 1)]);
         b.push_tx(s, [Op::read(x, 1), Op::write(x, 2)]);
         let h = b.build();
-        let co = Relation::from_pairs(
-            3,
-            [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))],
-        );
+        let co =
+            Relation::from_pairs(3, [(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(1), TxId(2))]);
         let exec = AbstractExecution::new(h, co.clone(), co).unwrap();
         for model in SpecModel::ALL {
             assert!(model.check(&exec).is_ok(), "{model} rejected a serial chain");

@@ -19,7 +19,7 @@ fn serial_execution(accesses: Vec<Vec<(usize, bool)>>, sessions: usize) -> Abstr
     let mut b = HistoryBuilder::new();
     let objs: Vec<Obj> = (0..OBJECTS).map(|i| b.object(&format!("x{i}"))).collect();
     let session_ids: Vec<_> = (0..sessions.max(1)).map(|_| b.session()).collect();
-    let mut store = vec![0u64; OBJECTS];
+    let mut store = [0u64; OBJECTS];
     let mut counter = 0u64;
     for (i, tx) in accesses.iter().enumerate() {
         let mut ops = Vec::new();
@@ -49,10 +49,7 @@ fn serial_execution(accesses: Vec<Vec<(usize, bool)>>, sessions: usize) -> Abstr
 }
 
 fn arb_accesses() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0..OBJECTS, any::<bool>()), 0..4),
-        1..6,
-    )
+    proptest::collection::vec(proptest::collection::vec((0..OBJECTS, any::<bool>()), 0..4), 1..6)
 }
 
 proptest! {

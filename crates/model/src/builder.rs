@@ -104,11 +104,7 @@ impl HistoryBuilder {
     /// assert_eq!(h.transaction(t).len(), 2);
     /// ```
     pub fn tx(&mut self, session: SessionId) -> TxSketch<'_> {
-        TxSketch {
-            builder: self,
-            session,
-            ops: Vec::new(),
-        }
+        TxSketch { builder: self, session, ops: Vec::new() }
     }
 
     /// Builds the history, prepending an init transaction that writes 0 to
@@ -119,9 +115,8 @@ impl HistoryBuilder {
     /// Panics if the init transaction is enabled but no objects were
     /// interned (the init transaction would be empty).
     pub fn build(self) -> History {
-        let objs: Vec<(Obj, Value)> = (0..self.object_names.len())
-            .map(|i| (Obj::from_index(i), Value::INITIAL))
-            .collect();
+        let objs: Vec<(Obj, Value)> =
+            (0..self.object_names.len()).map(|i| (Obj::from_index(i), Value::INITIAL)).collect();
         self.build_inner(objs)
     }
 
@@ -132,10 +127,12 @@ impl HistoryBuilder {
     ///
     /// Panics if the init transaction is enabled but no objects were
     /// interned.
-    pub fn build_with_initial_values<I: IntoIterator<Item = (Obj, u64)>>(self, values: I) -> History {
-        let mut init: Vec<(Obj, Value)> = (0..self.object_names.len())
-            .map(|i| (Obj::from_index(i), Value::INITIAL))
-            .collect();
+    pub fn build_with_initial_values<I: IntoIterator<Item = (Obj, u64)>>(
+        self,
+        values: I,
+    ) -> History {
+        let mut init: Vec<(Obj, Value)> =
+            (0..self.object_names.len()).map(|i| (Obj::from_index(i), Value::INITIAL)).collect();
         for (x, v) in values {
             init[x.index()].1 = Value(v);
         }
@@ -152,9 +149,8 @@ impl HistoryBuilder {
                 "cannot build an init transaction for a history with no objects; \
                  use without_init()"
             );
-            transactions.push(Transaction::new(
-                initial.iter().map(|&(x, v)| Op::Write(x, v)).collect(),
-            ));
+            transactions
+                .push(Transaction::new(initial.iter().map(|&(x, v)| Op::Write(x, v)).collect()));
             init_tx = Some(TxId(0));
         }
         transactions.extend(self.transactions);

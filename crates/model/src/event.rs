@@ -20,8 +20,7 @@ use crate::{Obj, Value};
 /// assert_eq!(op.value(), Value(5));
 /// assert_eq!(op.to_string(), "read(x0, 5)");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Op {
     /// `read(x, n)`: the transaction read value `n` from object `x`.
     Read(Obj, Value),

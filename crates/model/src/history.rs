@@ -7,8 +7,9 @@ use si_relations::{Relation, TxId, TxSet};
 use crate::{IntViolation, Obj, Transaction};
 
 /// A session identifier (dense index into a history's session list).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct SessionId(pub u32);
 
@@ -37,8 +38,7 @@ impl fmt::Display for SessionId {
 ///
 /// Use [`HistoryBuilder`](crate::HistoryBuilder) to construct histories;
 /// [`History::from_parts`] is the low-level escape hatch.
-#[derive(Clone, PartialEq, Eq, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct History {
     transactions: Vec<Transaction>,
     sessions: Vec<Vec<TxId>>,
@@ -67,9 +67,15 @@ impl fmt::Display for HistoryError {
         match self {
             HistoryError::DanglingTxId(s, t) => write!(f, "session {s} references unknown {t}"),
             HistoryError::DuplicateMembership(t) => write!(f, "{t} appears in two sessions"),
-            HistoryError::Orphan(t) => write!(f, "{t} belongs to no session and is not the init transaction"),
-            HistoryError::InitInSession(t) => write!(f, "init transaction {t} is listed inside a session"),
-            HistoryError::InconsistentIndex(t) => write!(f, "session index for {t} is inconsistent"),
+            HistoryError::Orphan(t) => {
+                write!(f, "{t} belongs to no session and is not the init transaction")
+            }
+            HistoryError::InitInSession(t) => {
+                write!(f, "init transaction {t} is listed inside a session")
+            }
+            HistoryError::InconsistentIndex(t) => {
+                write!(f, "session index for {t} is inconsistent")
+            }
         }
     }
 }
@@ -109,9 +115,9 @@ impl History {
                 session_of[t.index()] = Some(sid);
             }
         }
-        for i in 0..n {
+        for (i, membership) in session_of.iter().enumerate() {
             let t = TxId::from_index(i);
-            if session_of[i].is_none() && Some(t) != init {
+            if membership.is_none() && Some(t) != init {
                 return Err(HistoryError::Orphan(t));
             }
         }
@@ -120,13 +126,7 @@ impl History {
                 return Err(HistoryError::DanglingTxId(SessionId(u32::MAX), t));
             }
         }
-        Ok(History {
-            transactions,
-            sessions,
-            session_of,
-            init,
-            object_names,
-        })
+        Ok(History { transactions, sessions, session_of, init, object_names })
     }
 
     /// Number of transactions, including the init transaction if present.
@@ -147,10 +147,7 @@ impl History {
 
     /// Iterates over `(TxId, &Transaction)` pairs.
     pub fn transactions(&self) -> impl Iterator<Item = (TxId, &Transaction)> + '_ {
-        self.transactions
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TxId::from_index(i), t))
+        self.transactions.iter().enumerate().map(|(i, t)| (TxId::from_index(i), t))
     }
 
     /// All transaction ids, including the init transaction.
@@ -181,10 +178,7 @@ impl History {
 
     /// Iterates over `(SessionId, &[TxId])`.
     pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &[TxId])> + '_ {
-        self.sessions
-            .iter()
-            .enumerate()
-            .map(|(i, txs)| (SessionId(i as u32), txs.as_slice()))
+        self.sessions.iter().enumerate().map(|(i, txs)| (SessionId(i as u32), txs.as_slice()))
     }
 
     /// The session a transaction belongs to (`None` for the init

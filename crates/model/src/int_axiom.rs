@@ -94,11 +94,7 @@ mod tests {
 
     #[test]
     fn later_write_resets_expectation() {
-        let ops = [
-            Op::read(Obj(0), 5),
-            Op::write(Obj(0), 9),
-            Op::read(Obj(0), 9),
-        ];
+        let ops = [Op::read(Obj(0), 5), Op::write(Obj(0), 9), Op::read(Obj(0), 9)];
         assert!(check_ops_int(&ops).is_ok());
     }
 }

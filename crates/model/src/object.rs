@@ -15,8 +15,9 @@ use core::fmt;
 /// assert_eq!(x.index(), 0);
 /// assert_eq!(x.to_string(), "x0");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Obj(pub u32);
 

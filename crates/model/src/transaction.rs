@@ -22,8 +22,7 @@ use crate::{Obj, Op, Value};
 /// assert_eq!(t.external_read(x), Some(Value(0))); // T ⊢ read(x, 0)
 /// assert_eq!(t.final_write(x), Some(Value(2)));   // T ⊢ write(x, 2)
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Transaction {
     ops: Vec<Op>,
 }
@@ -63,11 +62,7 @@ impl Transaction {
     /// of its *last* write to `x` (the paper's
     /// `op(max_po {e | op(e) = write(x, _)})`).
     pub fn final_write(&self, x: Obj) -> Option<Value> {
-        self.ops
-            .iter()
-            .rev()
-            .find(|op| op.is_write() && op.obj() == x)
-            .map(Op::value)
+        self.ops.iter().rev().find(|op| op.is_write() && op.obj() == x).map(Op::value)
     }
 
     /// `T ⊢ read(x, n)`: if the transaction's *first* operation on `x` is a
@@ -201,27 +196,15 @@ mod tests {
     #[test]
     fn int_axiom_examples() {
         // read sees earlier write: OK.
-        assert!(Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 1)])
-            .check_int()
-            .is_ok());
+        assert!(Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 1)]).check_int().is_ok());
         // read disagrees with earlier write: violation.
-        assert!(Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 2)])
-            .check_int()
-            .is_err());
+        assert!(Transaction::new(vec![Op::write(x(), 1), Op::read(x(), 2)]).check_int().is_err());
         // read repeats earlier read: OK.
-        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(x(), 7)])
-            .check_int()
-            .is_ok());
+        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(x(), 7)]).check_int().is_ok());
         // read disagrees with earlier read: violation.
-        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(x(), 8)])
-            .check_int()
-            .is_err());
+        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(x(), 8)]).check_int().is_err());
         // first read on each object unconstrained.
-        assert!(
-            Transaction::new(vec![Op::read(x(), 7), Op::read(y(), 9)])
-                .check_int()
-                .is_ok()
-        );
+        assert!(Transaction::new(vec![Op::read(x(), 7), Op::read(y(), 9)]).check_int().is_ok());
     }
 
     #[test]

@@ -15,8 +15,9 @@ use core::fmt;
 /// assert_eq!(v.to_string(), "42");
 /// assert_eq!(Value::INITIAL, Value(0));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Value(pub u64);
 

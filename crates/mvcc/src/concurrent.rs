@@ -107,7 +107,7 @@ mod tests {
         let result = stress_si_engine(2, 3, 20, 7);
         let history = &result.history;
         let n = history.tx_count();
-        let mut finals = vec![Value::INITIAL; 2];
+        let mut finals = [Value::INITIAL; 2];
         // Replay the version order: the last committed write per object.
         for i in 1..n {
             let t = history.transaction(si_relations::TxId::from_index(i));

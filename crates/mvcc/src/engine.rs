@@ -3,6 +3,7 @@
 use core::fmt;
 
 use si_model::{Obj, Value};
+use si_telemetry::{AbortCause, Telemetry};
 
 /// Handle to an in-flight transaction. Obtained from [`Engine::begin`] and
 /// consumed by [`Engine::commit`] / [`Engine::abort`].
@@ -19,6 +20,23 @@ pub enum AbortReason {
     /// OCC read validation: another transaction committed a write to an
     /// object this transaction read (SER engine only).
     ReadConflict(Obj),
+}
+
+impl AbortReason {
+    /// The telemetry classification of this abort.
+    pub fn cause(&self) -> AbortCause {
+        match self {
+            AbortReason::WriteConflict(_) => AbortCause::WwConflict,
+            AbortReason::ReadConflict(_) => AbortCause::RwConflict,
+        }
+    }
+
+    /// The conflicting object conflict detection named.
+    pub fn obj(&self) -> Obj {
+        match self {
+            AbortReason::WriteConflict(x) | AbortReason::ReadConflict(x) => *x,
+        }
+    }
 }
 
 impl fmt::Display for AbortReason {
@@ -89,6 +107,15 @@ pub trait Engine {
 
     /// A short engine name for reports ("SI", "SER", "PSI").
     fn name(&self) -> &'static str;
+
+    /// Attaches a telemetry handle. Instrumented engines then emit
+    /// [`TxBegin`](si_telemetry::Event::TxBegin) /
+    /// [`TxCommit`](si_telemetry::Event::TxCommit) /
+    /// [`TxAbort`](si_telemetry::Event::TxAbort) events for every
+    /// transaction; the default implementation ignores the handle.
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        let _ = telemetry;
+    }
 
     /// Performs one step of background work (e.g. replicating one commit
     /// between PSI replicas); returns `true` if anything happened. The

@@ -85,3 +85,7 @@ pub use ssi_engine::SsiEngine;
 pub use store::{MultiVersionStore, Version};
 
 pub use si_model::{History, Obj, Value};
+pub use si_telemetry::{
+    AbortCause, CountingSink, Event, JsonlSink, MetricsRegistry, MetricsReport, NullSink,
+    Telemetry, TelemetrySink,
+};

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use si_model::{Obj, Value};
+use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
 use crate::store::MultiVersionStore;
@@ -45,6 +46,7 @@ pub struct PsiEngine {
     active: Vec<ActiveTx>,
     replicas: Vec<BTreeSet<u64>>,
     committed: Vec<CommittedMeta>,
+    telemetry: Telemetry,
 }
 
 impl PsiEngine {
@@ -62,6 +64,7 @@ impl PsiEngine {
             active: Vec::new(),
             replicas: vec![BTreeSet::new(); replica_count],
             committed: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -77,9 +80,7 @@ impl PsiEngine {
 
     /// Whether every replica has applied every commit.
     pub fn fully_replicated(&self) -> bool {
-        self.replicas
-            .iter()
-            .all(|r| r.len() as u64 == self.commit_counter)
+        self.replicas.iter().all(|r| r.len() as u64 == self.commit_counter)
     }
 
     /// Read-only access to the underlying store (for assertions and
@@ -110,6 +111,7 @@ impl Engine for PsiEngine {
 
     fn begin(&mut self, session: usize) -> TxToken {
         let replica = self.replica_of(session);
+        self.telemetry.emit(|| Event::TxBegin { session });
         self.active.push(ActiveTx {
             session,
             snapshot: self.replicas[replica].clone(),
@@ -144,6 +146,11 @@ impl Engine for PsiEngine {
             for version in self.store.versions(obj) {
                 if version.commit_seq != 0 && !snapshot.contains(&version.commit_seq) {
                     self.active[tx.0].finished = true;
+                    self.telemetry.emit(|| Event::TxAbort {
+                        session,
+                        cause: AbortCause::WwConflict,
+                        obj: Some(obj.0),
+                    });
                     return Err(AbortReason::WriteConflict(obj));
                 }
             }
@@ -159,15 +166,23 @@ impl Engine for PsiEngine {
         // writes; SESSION axiom).
         self.replicas[origin].insert(seq);
         self.active[tx.0].finished = true;
+        self.telemetry.emit(|| Event::TxCommit { session, seq, ops: writes.len() });
         Ok(CommitInfo { seq, visible: snapshot.into_iter().collect() })
     }
 
     fn abort(&mut self, tx: TxToken) {
-        self.tx(tx).finished = true;
+        let t = self.tx(tx);
+        t.finished = true;
+        let session = t.session;
+        self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
     }
 
     fn name(&self) -> &'static str {
         "PSI"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Replicates the oldest applicable commit to the first replica

@@ -1,8 +1,10 @@
 //! Turning engine runs into histories and abstract executions.
 
+use serde::Serialize;
 use si_execution::AbstractExecution;
 use si_model::{History, Obj, Op, Transaction, Value};
 use si_relations::{Relation, TxId};
+use si_telemetry::MetricsReport;
 
 /// A committed transaction as observed by the scheduler: the operations
 /// it performed (with the values actually read) plus the engine's ground
@@ -20,13 +22,19 @@ pub struct CommittedTx {
 }
 
 /// Aggregate counters of a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct RunStats {
     /// Transactions that committed.
     pub committed: u64,
     /// Commit attempts refused by conflict detection (each followed by a
     /// retry, up to the scheduler's limit).
     pub aborted: u64,
+    /// The subset of `aborted` refused by write-write conflict detection
+    /// (first-committer-wins / NOCONFLICT).
+    pub aborted_ww: u64,
+    /// The subset of `aborted` refused by read validation or SSI
+    /// dangerous-structure prevention.
+    pub aborted_rw: u64,
     /// Scripts abandoned after exhausting their retries.
     pub gave_up: u64,
     /// Total operations executed (including those of aborted attempts).
@@ -45,6 +53,9 @@ pub struct RunResult {
     pub execution: AbstractExecution,
     /// Aggregate counters.
     pub stats: RunStats,
+    /// Snapshot of the run's metrics registry (commit/abort counters and
+    /// latency histograms); empty when the scheduler ran unmetered.
+    pub metrics: MetricsReport,
 }
 
 /// Accumulates committed transactions and finishes into a
@@ -53,6 +64,7 @@ pub struct RunResult {
 pub struct Recorder {
     committed: Vec<CommittedTx>,
     pub(crate) stats: RunStats,
+    pub(crate) metrics: MetricsReport,
 }
 
 impl Recorder {
@@ -140,7 +152,7 @@ impl Recorder {
         let execution = AbstractExecution::new(history.clone(), vis, co)
             .expect("engine ground truth is structurally valid");
 
-        RunResult { history, execution, stats: self.stats }
+        RunResult { history, execution, stats: self.stats, metrics: self.metrics }
     }
 }
 

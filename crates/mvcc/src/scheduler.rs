@@ -4,8 +4,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use si_model::{Obj, Op, Value};
+use si_telemetry::{MetricsRegistry, SpanTimer, LATENCY_BOUNDS_NANOS};
 
-use crate::engine::{Engine, TxToken};
+use crate::engine::{AbortReason, Engine, TxToken};
 use crate::recorder::{CommittedTx, Recorder, RunResult};
 use crate::script::{Script, ScriptOp};
 
@@ -52,11 +53,7 @@ pub struct Workload {
 impl Workload {
     /// A workload over `object_count` objects and no sessions yet.
     pub fn new(object_count: usize) -> Self {
-        Workload {
-            object_count,
-            initials: Vec::new(),
-            sessions: Vec::new(),
-        }
+        Workload { object_count, initials: Vec::new(), sessions: Vec::new() }
     }
 
     /// Sets an object's initial value (default 0).
@@ -69,8 +66,7 @@ impl Workload {
     /// Appends a session executing the given scripts in order.
     #[must_use]
     pub fn session<I: IntoIterator<Item = Script>>(mut self, scripts: I) -> Self {
-        self.sessions
-            .push(scripts.into_iter().filter(|s| !s.is_empty()).collect());
+        self.sessions.push(scripts.into_iter().filter(|s| !s.is_empty()).collect());
         self
     }
 
@@ -115,6 +111,7 @@ struct InFlight {
     pc: usize,
     registers: Vec<Value>,
     ops: Vec<Op>,
+    started: SpanTimer,
 }
 
 /// Runs workloads against engines with a seeded random interleaving of
@@ -123,6 +120,7 @@ struct InFlight {
 pub struct Scheduler {
     config: SchedulerConfig,
     rng: StdRng,
+    metrics: MetricsRegistry,
 }
 
 impl Scheduler {
@@ -131,7 +129,15 @@ impl Scheduler {
         Scheduler {
             config,
             rng: StdRng::seed_from_u64(config.seed),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Replaces the metrics registry (by default each scheduler has its
+    /// own). Sharing one registry across schedulers aggregates several
+    /// runs into a single report.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Executes the whole workload to completion and returns the recorded
@@ -149,9 +155,8 @@ impl Scheduler {
         for &(obj, v) in &workload.initials {
             engine.set_initial(obj, Value(v));
         }
-        let initial_values: Vec<Value> = (0..engine.object_count())
-            .map(|i| engine.initial(Obj::from_index(i)))
-            .collect();
+        let initial_values: Vec<Value> =
+            (0..engine.object_count()).map(|i| engine.initial(Obj::from_index(i))).collect();
 
         let mut recorder = Recorder::new();
         let mut sessions: Vec<SessionState> = workload
@@ -178,7 +183,9 @@ impl Scheduler {
             if self.config.background_probability > 0.0
                 && self.rng.gen_bool(self.config.background_probability)
             {
-                engine.background_step();
+                if engine.background_step() {
+                    self.metrics.counter("scheduler.background_steps").inc();
+                }
                 continue;
             }
             let si = runnable[self.rng.gen_range(0..runnable.len())];
@@ -191,11 +198,13 @@ impl Scheduler {
                 if let Some(tx) = sessions[si].tx.take() {
                     engine.abort(tx.token);
                     recorder.stats.crashes += 1;
+                    self.metrics.counter("scheduler.crashes").inc();
                 }
                 continue;
             }
             self.step_session(si, &mut sessions[si], engine, &mut recorder);
         }
+        recorder.metrics = self.metrics.snapshot();
         recorder.finish(&initial_values, workload.session_count())
     }
 
@@ -217,6 +226,7 @@ impl Scheduler {
                     pc: 0,
                     registers: Vec::new(),
                     ops: Vec::new(),
+                    started: SpanTimer::start(),
                 });
                 return;
             }
@@ -255,7 +265,8 @@ impl Scheduler {
         }
 
         // Script finished: attempt commit.
-        let InFlight { token, ops, .. } = state.tx.take().expect("in-flight checked above");
+        let InFlight { token, ops, started, .. } =
+            state.tx.take().expect("in-flight checked above");
         if ops.is_empty() {
             // Degenerate script (e.g. only a guard): nothing to record.
             engine.abort(token);
@@ -266,6 +277,11 @@ impl Scheduler {
         match engine.commit(token) {
             Ok(info) => {
                 recorder.stats.committed += 1;
+                self.metrics.counter("txn.committed").inc();
+                // Latency of the successful attempt, begin to commit.
+                self.metrics
+                    .histogram("txn.commit_latency_nanos", LATENCY_BOUNDS_NANOS)
+                    .record(started.elapsed_nanos());
                 recorder.record(CommittedTx {
                     session: session_index,
                     ops,
@@ -275,13 +291,26 @@ impl Scheduler {
                 state.next_script += 1;
                 state.retries = 0;
             }
-            Err(_) => {
+            Err(reason) => {
                 recorder.stats.aborted += 1;
+                match reason {
+                    AbortReason::WriteConflict(_) => {
+                        recorder.stats.aborted_ww += 1;
+                        self.metrics.counter("txn.aborted.ww_conflict").inc();
+                    }
+                    AbortReason::ReadConflict(_) => {
+                        recorder.stats.aborted_rw += 1;
+                        self.metrics.counter("txn.aborted.rw_conflict").inc();
+                    }
+                }
                 state.retries += 1;
                 if state.retries > self.config.max_retries {
                     recorder.stats.gave_up += 1;
+                    self.metrics.counter("txn.gave_up").inc();
                     state.next_script += 1;
                     state.retries = 0;
+                } else {
+                    self.metrics.counter("txn.retries").inc();
                 }
                 // Otherwise the same script will be resubmitted from
                 // scratch on the session's next turn.
@@ -299,11 +328,8 @@ mod tests {
     fn transfer_workload() -> Workload {
         let (x, y) = (Obj(0), Obj(1));
         let deposit = Script::new().read(x).write_computed(x, [0], 50);
-        let transfer = Script::new()
-            .read(x)
-            .read(y)
-            .write_computed(x, [0], -10)
-            .write_computed(y, [1], 10);
+        let transfer =
+            Script::new().read(x).read(y).write_computed(x, [0], -10).write_computed(y, [1], 10);
         Workload::new(2)
             .initial(x, 100)
             .session([deposit.clone(), transfer.clone()])
@@ -376,10 +402,7 @@ mod tests {
         let x = Obj(0);
         // Withdraw only if balance >= 100; balance is 40, so the write is
         // skipped and the transaction is read-only.
-        let guarded = Script::new()
-            .read(x)
-            .end_if_sum_below([0], 100)
-            .write_computed(x, [0], -100);
+        let guarded = Script::new().read(x).end_if_sum_below([0], 100).write_computed(x, [0], -100);
         let w = Workload::new(1).initial(x, 40).session([guarded]);
         let mut s = Scheduler::new(SchedulerConfig::default());
         let result = s.run(&mut SiEngine::new(1), &w);

@@ -83,11 +83,7 @@ impl Script {
         regs: R,
         delta: i64,
     ) -> Self {
-        self.ops.push(ScriptOp::WriteComputed {
-            obj,
-            regs: regs.into_iter().collect(),
-            delta,
-        });
+        self.ops.push(ScriptOp::WriteComputed { obj, regs: regs.into_iter().collect(), delta });
         self
     }
 
@@ -98,10 +94,7 @@ impl Script {
         regs: R,
         threshold: u64,
     ) -> Self {
-        self.ops.push(ScriptOp::EndIfSumBelow {
-            regs: regs.into_iter().collect(),
-            threshold,
-        });
+        self.ops.push(ScriptOp::EndIfSumBelow { regs: regs.into_iter().collect(), threshold });
         self
     }
 

@@ -4,12 +4,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use si_model::{Obj, Value};
+use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
 struct ActiveTx {
+    session: usize,
     snapshot: u64,
     reads: BTreeSet<Obj>,
     writes: BTreeMap<Obj, Value>,
@@ -30,6 +32,7 @@ pub struct SerEngine {
     store: MultiVersionStore,
     commit_counter: u64,
     active: Vec<ActiveTx>,
+    telemetry: Telemetry,
 }
 
 impl SerEngine {
@@ -39,6 +42,7 @@ impl SerEngine {
             store: MultiVersionStore::new(object_count),
             commit_counter: 0,
             active: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -68,8 +72,10 @@ impl Engine for SerEngine {
         self.store.initial(obj)
     }
 
-    fn begin(&mut self, _session: usize) -> TxToken {
+    fn begin(&mut self, session: usize) -> TxToken {
+        self.telemetry.emit(|| Event::TxBegin { session });
         self.active.push(ActiveTx {
+            session,
             snapshot: self.commit_counter,
             reads: BTreeSet::new(),
             writes: BTreeMap::new(),
@@ -95,19 +101,29 @@ impl Engine for SerEngine {
     }
 
     fn commit(&mut self, tx: TxToken) -> Result<CommitInfo, AbortReason> {
-        let (snapshot, reads, writes) = {
+        let (session, snapshot, reads, writes) = {
             let t = self.tx(tx);
-            (t.snapshot, t.reads.clone(), t.writes.clone())
+            (t.session, t.snapshot, t.reads.clone(), t.writes.clone())
         };
         for &obj in &reads {
             if self.store.latest_seq(obj) > snapshot {
                 self.active[tx.0].finished = true;
+                self.telemetry.emit(|| Event::TxAbort {
+                    session,
+                    cause: AbortCause::RwConflict,
+                    obj: Some(obj.0),
+                });
                 return Err(AbortReason::ReadConflict(obj));
             }
         }
         for &obj in writes.keys() {
             if self.store.latest_seq(obj) > snapshot {
                 self.active[tx.0].finished = true;
+                self.telemetry.emit(|| Event::TxAbort {
+                    session,
+                    cause: AbortCause::WwConflict,
+                    obj: Some(obj.0),
+                });
                 return Err(AbortReason::WriteConflict(obj));
             }
         }
@@ -117,6 +133,7 @@ impl Engine for SerEngine {
             self.store.install(obj, value, seq);
         }
         self.active[tx.0].finished = true;
+        self.telemetry.emit(|| Event::TxCommit { session, seq, ops: writes.len() });
         // With full validation, everything that committed before us is
         // indistinguishable from having been in our snapshot: report the
         // whole prefix so the recorded execution satisfies TOTALVIS.
@@ -124,11 +141,18 @@ impl Engine for SerEngine {
     }
 
     fn abort(&mut self, tx: TxToken) {
-        self.tx(tx).finished = true;
+        let t = self.tx(tx);
+        t.finished = true;
+        let session = t.session;
+        self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
     }
 
     fn name(&self) -> &'static str {
         "SER"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

@@ -3,12 +3,14 @@
 use std::collections::BTreeMap;
 
 use si_model::{Obj, Value};
+use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
 struct ActiveTx {
+    session: usize,
     snapshot: u64,
     writes: BTreeMap<Obj, Value>,
     finished: bool,
@@ -34,6 +36,7 @@ pub struct SiEngine {
     commit_counter: u64,
     active: Vec<ActiveTx>,
     session_high_water: Vec<u64>,
+    telemetry: Telemetry,
 }
 
 impl SiEngine {
@@ -44,6 +47,7 @@ impl SiEngine {
             commit_counter: 0,
             active: Vec::new(),
             session_high_water: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -82,11 +86,8 @@ impl Engine for SiEngine {
         // session previously committed. A monotone global counter makes
         // this automatic.
         debug_assert!(snapshot >= self.session_high_water[session]);
-        self.active.push(ActiveTx {
-            snapshot,
-            writes: BTreeMap::new(),
-            finished: false,
-        });
+        self.telemetry.emit(|| Event::TxBegin { session });
+        self.active.push(ActiveTx { session, snapshot, writes: BTreeMap::new(), finished: false });
         TxToken(self.active.len() - 1)
     }
 
@@ -107,14 +108,19 @@ impl Engine for SiEngine {
 
     fn commit(&mut self, tx: TxToken) -> Result<CommitInfo, AbortReason> {
         let token = tx;
-        let (snapshot, writes) = {
+        let (session, snapshot, writes) = {
             let t = self.tx(token);
-            (t.snapshot, t.writes.clone())
+            (t.session, t.snapshot, t.writes.clone())
         };
         // First-committer-wins write-conflict detection.
         for &obj in writes.keys() {
             if self.store.latest_seq(obj) > snapshot {
                 self.active[token.0].finished = true;
+                self.telemetry.emit(|| Event::TxAbort {
+                    session,
+                    cause: AbortCause::WwConflict,
+                    obj: Some(obj.0),
+                });
                 return Err(AbortReason::WriteConflict(obj));
             }
         }
@@ -124,15 +130,23 @@ impl Engine for SiEngine {
             self.store.install(obj, value, seq);
         }
         self.active[token.0].finished = true;
+        self.telemetry.emit(|| Event::TxCommit { session, seq, ops: writes.len() });
         Ok(CommitInfo { seq, visible: (1..=snapshot).collect() })
     }
 
     fn abort(&mut self, tx: TxToken) {
-        self.tx(tx).finished = true;
+        let t = self.tx(tx);
+        t.finished = true;
+        let session = t.session;
+        self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
     }
 
     fn name(&self) -> &'static str {
         "SI"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

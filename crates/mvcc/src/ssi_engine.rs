@@ -15,12 +15,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use si_model::{Obj, Value};
+use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
 struct ActiveTx {
+    session: usize,
     snapshot: u64,
     reads: BTreeSet<Obj>,
     writes: BTreeMap<Obj, Value>,
@@ -60,6 +62,7 @@ pub struct SsiEngine {
     /// Committed transactions, kept for overlap checks against still
     /// active ones.
     committed: Vec<CommittedInfo>,
+    telemetry: Telemetry,
 }
 
 impl SsiEngine {
@@ -70,6 +73,7 @@ impl SsiEngine {
             commit_counter: 0,
             active: Vec::new(),
             committed: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -98,8 +102,10 @@ impl Engine for SsiEngine {
         self.store.initial(obj)
     }
 
-    fn begin(&mut self, _session: usize) -> TxToken {
+    fn begin(&mut self, session: usize) -> TxToken {
+        self.telemetry.emit(|| Event::TxBegin { session });
         self.active.push(ActiveTx {
+            session,
             snapshot: self.commit_counter,
             reads: BTreeSet::new(),
             writes: BTreeMap::new(),
@@ -141,9 +147,10 @@ impl Engine for SsiEngine {
 
     fn commit(&mut self, tx: TxToken) -> Result<CommitInfo, AbortReason> {
         let token = tx;
-        let (snapshot, reads, writes) = {
+        let (session, snapshot, reads, writes) = {
             let t = self.tx(token);
             (
+                t.session,
                 t.snapshot,
                 t.reads.clone(),
                 t.writes.keys().copied().collect::<BTreeSet<_>>(),
@@ -154,6 +161,11 @@ impl Engine for SsiEngine {
         for &obj in &writes {
             if self.store.latest_seq(obj) > snapshot {
                 self.active[token.0].finished = true;
+                self.telemetry.emit(|| Event::TxAbort {
+                    session,
+                    cause: AbortCause::WwConflict,
+                    obj: Some(obj.0),
+                });
                 return Err(AbortReason::WriteConflict(obj));
             }
         }
@@ -191,9 +203,13 @@ impl Engine for SsiEngine {
             let c_total_out = c.out_conflict || c_out;
             if c_total_in && c_total_out {
                 self.active[token.0].finished = true;
-                return Err(AbortReason::ReadConflict(
-                    *c.writes.iter().next().unwrap_or(&Obj(0)),
-                ));
+                let witness = *c.writes.iter().next().unwrap_or(&Obj(0));
+                self.telemetry.emit(|| Event::TxAbort {
+                    session,
+                    cause: AbortCause::RwConflict,
+                    obj: Some(witness.0),
+                });
+                return Err(AbortReason::ReadConflict(witness));
             }
         }
 
@@ -226,6 +242,11 @@ impl Engine for SsiEngine {
         if in_conflict && out_conflict {
             self.active[token.0].finished = true;
             let witness = reads.iter().next().copied().unwrap_or(Obj(0));
+            self.telemetry.emit(|| Event::TxAbort {
+                session,
+                cause: AbortCause::RwConflict,
+                obj: Some(witness.0),
+            });
             return Err(AbortReason::ReadConflict(witness));
         }
 
@@ -243,23 +264,26 @@ impl Engine for SsiEngine {
             self.active[ai].in_conflict |= a_in;
             self.active[ai].out_conflict |= a_out;
         }
-        self.committed.push(CommittedInfo {
-            seq,
-            reads,
-            writes,
-            in_conflict,
-            out_conflict,
-        });
+        let write_count = writes.len();
+        self.committed.push(CommittedInfo { seq, reads, writes, in_conflict, out_conflict });
         self.active[token.0].finished = true;
+        self.telemetry.emit(|| Event::TxCommit { session, seq, ops: write_count });
         Ok(CommitInfo { seq, visible: (1..=snapshot).collect() })
     }
 
     fn abort(&mut self, tx: TxToken) {
-        self.tx(tx).finished = true;
+        let t = self.tx(tx);
+        t.finished = true;
+        let session = t.session;
+        self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
     }
 
     fn name(&self) -> &'static str {
         "SSI"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 
@@ -283,10 +307,7 @@ mod tests {
         e.write(t2, y, Value(0));
         let r1 = e.commit(t1);
         let r2 = e.commit(t2);
-        assert!(
-            r1.is_err() || r2.is_err(),
-            "SSI must abort at least one write-skew participant"
-        );
+        assert!(r1.is_err() || r2.is_err(), "SSI must abort at least one write-skew participant");
     }
 
     #[test]

@@ -98,10 +98,7 @@ impl MultiVersionStore {
     ///
     /// Panics if `obj` is out of range.
     pub fn latest_seq(&self, obj: Obj) -> u64 {
-        self.versions[obj.index()]
-            .last()
-            .expect("version 0 always present")
-            .commit_seq
+        self.versions[obj.index()].last().expect("version 0 always present").commit_seq
     }
 
     /// Installs a new committed version.

@@ -102,10 +102,7 @@ pub enum EnumerationEnd {
 impl<L: Clone> MultiGraph<L> {
     /// Creates a graph with vertices `{T0,…,T(n-1)}` and no edges.
     pub fn new(n: usize) -> Self {
-        MultiGraph {
-            n,
-            adjacency: (0..n).map(|_| Vec::new()).collect(),
-        }
+        MultiGraph { n, adjacency: (0..n).map(|_| Vec::new()).collect() }
     }
 
     /// Number of vertices.
@@ -202,10 +199,7 @@ impl<L: Clone> MultiGraph<L> {
             out.push(c.clone());
             CycleVisit::Continue
         });
-        assert!(
-            end == EnumerationEnd::Complete,
-            "cycle enumeration exceeded the step budget"
-        );
+        assert!(end == EnumerationEnd::Complete, "cycle enumeration exceeded the step budget");
         out
     }
 }
@@ -269,10 +263,7 @@ fn scc_containing<L>(graph: &MultiGraph<L>, start: usize) -> Vec<bool> {
             if backward[v] {
                 continue;
             }
-            if graph.adjacency[v]
-                .iter()
-                .any(|(w, _)| *w >= start && backward[*w])
-            {
+            if graph.adjacency[v].iter().any(|(w, _)| *w >= start && backward[*w]) {
                 backward[v] = true;
                 changed = true;
             }
@@ -379,11 +370,8 @@ mod tests {
     }
 
     fn cycle_signatures(g: &MultiGraph<&'static str>) -> Vec<String> {
-        let mut sigs: Vec<String> = g
-            .all_simple_cycles(1_000_000)
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
+        let mut sigs: Vec<String> =
+            g.all_simple_cycles(1_000_000).iter().map(|c| c.to_string()).collect();
         sigs.sort();
         sigs
     }
@@ -420,10 +408,7 @@ mod tests {
     #[test]
     fn two_overlapping_triangles() {
         // 0->1->2->0 and 0->1->3->0 share edge 0->1.
-        let g = graph(
-            4,
-            &[(0, 1, "a"), (1, 2, "b"), (2, 0, "c"), (1, 3, "d"), (3, 0, "e")],
-        );
+        let g = graph(4, &[(0, 1, "a"), (1, 2, "b"), (2, 0, "c"), (1, 3, "d"), (3, 0, "e")]);
         let sigs = cycle_signatures(&g);
         assert_eq!(sigs.len(), 2);
     }

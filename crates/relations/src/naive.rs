@@ -67,10 +67,7 @@ impl NaiveRelation {
     /// Union.
     pub fn union(&self, other: &NaiveRelation) -> NaiveRelation {
         assert_eq!(self.n, other.n);
-        NaiveRelation {
-            n: self.n,
-            pairs: self.pairs.union(&other.pairs).copied().collect(),
-        }
+        NaiveRelation { n: self.n, pairs: self.pairs.union(&other.pairs).copied().collect() }
     }
 
     /// Textbook composition: `{(a,c) | ∃b. (a,b) ∈ R ∧ (b,c) ∈ S}`.
@@ -108,10 +105,7 @@ impl NaiveRelation {
 
     /// Inverse.
     pub fn inverse(&self) -> NaiveRelation {
-        NaiveRelation {
-            n: self.n,
-            pairs: self.pairs.iter().map(|&(a, b)| (b, a)).collect(),
-        }
+        NaiveRelation { n: self.n, pairs: self.pairs.iter().map(|&(a, b)| (b, a)).collect() }
     }
 
     /// Converts to the bitset representation.
@@ -148,7 +142,10 @@ mod tests {
 
     #[test]
     fn fixpoint_closure() {
-        let r = NaiveRelation::from_pairs(4, [(TxId(0), TxId(1)), (TxId(1), TxId(2)), (TxId(2), TxId(3))]);
+        let r = NaiveRelation::from_pairs(
+            4,
+            [(TxId(0), TxId(1)), (TxId(1), TxId(2)), (TxId(2), TxId(3))],
+        );
         let c = r.transitive_closure();
         assert!(c.contains(TxId(0), TxId(3)));
         assert_eq!(c.edge_count(), 6);

@@ -143,9 +143,6 @@ mod tests {
         let p = path_between(&r, TxId(0), TxId(0)).unwrap();
         assert_eq!(p, vec![TxId(0), TxId(1), TxId(0)]);
         let loopy = rel(1, &[(0, 0)]);
-        assert_eq!(
-            path_between(&loopy, TxId(0), TxId(0)).unwrap(),
-            vec![TxId(0), TxId(0)]
-        );
+        assert_eq!(path_between(&loopy, TxId(0), TxId(0)).unwrap(), vec![TxId(0), TxId(0)]);
     }
 }

@@ -43,10 +43,7 @@ pub struct Relation {
 impl Relation {
     /// Creates the empty relation over `{T0,…,T(n-1)}`.
     pub fn new(n: usize) -> Self {
-        Relation {
-            n,
-            rows: (0..n).map(|_| TxSet::new(n)).collect(),
-        }
+        Relation { n, rows: (0..n).map(|_| TxSet::new(n)).collect() }
     }
 
     /// Builds a relation from `(source, target)` pairs.
@@ -325,7 +322,8 @@ impl Relation {
                                 let mut cycle = vec![TxId::from_index(node)];
                                 let mut cur = node;
                                 while cur != ni {
-                                    cur = parent[cur].expect("grey node must have a parent on the stack");
+                                    cur = parent[cur]
+                                        .expect("grey node must have a parent on the stack");
                                     cycle.push(TxId::from_index(cur));
                                 }
                                 cycle.reverse();
@@ -583,11 +581,7 @@ impl TxSetIterOwned {
     fn new(set: &TxSet) -> Self {
         let words: Vec<u64> = set.words().to_vec();
         let current = words.first().copied().unwrap_or(0);
-        TxSetIterOwned {
-            words,
-            word_index: 0,
-            current,
-        }
+        TxSetIterOwned { words, word_index: 0, current }
     }
 }
 
@@ -660,12 +654,7 @@ impl Iterator for PairIter<'_> {
             if self.row >= self.relation.n {
                 return None;
             }
-            self.inner = Some(
-                self.relation.rows[self.row]
-                    .iter()
-                    .collect::<Vec<_>>()
-                    .into_iter(),
-            );
+            self.inner = Some(self.relation.rows[self.row].iter().collect::<Vec<_>>().into_iter());
         }
     }
 }
@@ -801,9 +790,8 @@ mod tests {
     fn topo_sort_respects_edges() {
         let r = rel(5, &[(0, 1), (0, 2), (2, 3), (1, 3), (3, 4)]);
         let order = r.topo_sort().unwrap();
-        let pos: Vec<usize> = (0..5)
-            .map(|i| order.iter().position(|t| t.index() == i).unwrap())
-            .collect();
+        let pos: Vec<usize> =
+            (0..5).map(|i| order.iter().position(|t| t.index() == i).unwrap()).collect();
         for (a, b) in r.iter_pairs() {
             assert!(pos[a.index()] < pos[b.index()]);
         }
@@ -902,9 +890,6 @@ mod tests {
     fn iter_pairs_row_major() {
         let r = rel(3, &[(2, 0), (0, 2), (0, 1)]);
         let pairs: Vec<_> = r.iter_pairs().collect();
-        assert_eq!(
-            pairs,
-            vec![(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(2), TxId(0))]
-        );
+        assert_eq!(pairs, vec![(TxId(0), TxId(1)), (TxId(0), TxId(2)), (TxId(2), TxId(0))]);
     }
 }

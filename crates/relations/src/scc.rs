@@ -53,11 +53,8 @@ pub fn strongly_connected_components(relation: &Relation) -> Vec<Vec<TxId>> {
                     next_index += 1;
                     stack.push(v);
                     on_stack[v] = true;
-                    let succs: Vec<usize> = relation
-                        .successors(TxId::from_index(v))
-                        .iter()
-                        .map(TxId::index)
-                        .collect();
+                    let succs: Vec<usize> =
+                        relation.successors(TxId::from_index(v)).iter().map(TxId::index).collect();
                     frames.push(Frame::Resume(v, succs, 0));
                 }
                 Frame::Resume(v, succs, mut pos) => {
@@ -167,17 +164,10 @@ mod tests {
     #[test]
     fn mixed_components_reverse_topological() {
         // {0,1} -> {2} -> {3,4}
-        let r = rel(
-            5,
-            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)],
-        );
+        let r = rel(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]);
         let sccs = strongly_connected_components(&r);
         assert_eq!(sccs.len(), 3);
-        let pos = |t: u32| {
-            sccs.iter()
-                .position(|c| c.contains(&TxId(t)))
-                .unwrap()
-        };
+        let pos = |t: u32| sccs.iter().position(|c| c.contains(&TxId(t))).unwrap();
         // Reverse topological: sinks first.
         assert!(pos(3) < pos(2));
         assert!(pos(2) < pos(0));
@@ -192,10 +182,7 @@ mod tests {
 
     #[test]
     fn condensation_is_acyclic() {
-        let r = rel(
-            6,
-            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)],
-        );
+        let r = rel(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)]);
         let (components, dag) = condensation(&r);
         assert_eq!(components.len(), 3);
         assert!(dag.is_acyclic());
@@ -205,9 +192,8 @@ mod tests {
     #[test]
     fn deep_chain_does_not_overflow() {
         let n = 20_000;
-        let pairs: Vec<(TxId, TxId)> = (0..n - 1)
-            .map(|i| (TxId::from_index(i), TxId::from_index(i + 1)))
-            .collect();
+        let pairs: Vec<(TxId, TxId)> =
+            (0..n - 1).map(|i| (TxId::from_index(i), TxId::from_index(i + 1))).collect();
         let r = Relation::from_pairs(n, pairs);
         let sccs = strongly_connected_components(&r);
         assert_eq!(sccs.len(), n);

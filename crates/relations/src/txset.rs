@@ -37,10 +37,7 @@ pub struct TxSet {
 impl TxSet {
     /// Creates an empty set over the universe `{T0, …, T(universe-1)}`.
     pub fn new(universe: usize) -> Self {
-        TxSet {
-            universe,
-            words: vec![0; universe.div_ceil(WORD_BITS)],
-        }
+        TxSet { universe, words: vec![0; universe.div_ceil(WORD_BITS)] }
     }
 
     /// Creates the full set over the universe `{T0, …, T(universe-1)}`.
@@ -201,11 +198,7 @@ impl TxSet {
 
     /// Iterates over members in increasing order.
     pub fn iter(&self) -> TxSetIter<'_> {
-        TxSetIter {
-            set: self,
-            word_index: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        TxSetIter { set: self, word_index: 0, current: self.words.first().copied().unwrap_or(0) }
     }
 
     /// The smallest member, if any.

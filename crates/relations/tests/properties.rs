@@ -19,10 +19,7 @@ fn arb_acyclic_relation() -> impl Strategy<Value = Relation> {
     proptest::collection::vec((0..N as u32, 0..N as u32), 0..40).prop_map(|pairs| {
         Relation::from_pairs(
             N,
-            pairs
-                .into_iter()
-                .filter(|(a, b)| a < b)
-                .map(|(a, b)| (TxId(a), TxId(b))),
+            pairs.into_iter().filter(|(a, b)| a < b).map(|(a, b)| (TxId(a), TxId(b))),
         )
     })
 }
@@ -101,7 +98,7 @@ proptest! {
     fn forward_only_graphs_are_acyclic(r in arb_acyclic_relation()) {
         prop_assert!(r.is_acyclic());
         let order = r.topo_sort().unwrap();
-        let mut pos = vec![0usize; N];
+        let mut pos = [0usize; N];
         for (i, t) in order.iter().enumerate() {
             pos[t.index()] = i;
         }
@@ -187,7 +184,7 @@ proptest! {
         // Linearising an acyclic relation yields a strict total order
         // containing it — the skeleton of the Theorem 10(i) construction.
         let order = r.topo_sort().unwrap();
-        let mut pos = vec![0usize; N];
+        let mut pos = [0usize; N];
         for (i, t) in order.iter().enumerate() {
             pos[t.index()] = i;
         }

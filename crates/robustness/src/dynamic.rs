@@ -24,10 +24,8 @@ pub fn shape_si_not_ser(graph: &DependencyGraph) -> bool {
         return false;
     }
     let has_cycle = !graph.all_relation().is_acyclic();
-    let all_cycles_have_two_adjacent_rw = graph
-        .dep_relation()
-        .compose_opt(&graph.rw_relation())
-        .is_acyclic();
+    let all_cycles_have_two_adjacent_rw =
+        graph.dep_relation().compose_opt(&graph.rw_relation()).is_acyclic();
     has_cycle && all_cycles_have_two_adjacent_rw
 }
 
@@ -48,10 +46,8 @@ pub fn shape_psi_not_si(graph: &DependencyGraph) -> bool {
     if graph.history().check_int().is_err() {
         return false;
     }
-    let some_cycle_without_adjacent_rw = !graph
-        .dep_relation()
-        .compose_opt(&graph.rw_relation())
-        .is_acyclic();
+    let some_cycle_without_adjacent_rw =
+        !graph.dep_relation().compose_opt(&graph.rw_relation()).is_acyclic();
     let dep_plus = graph.dep_relation().transitive_closure();
     let composed = dep_plus.compose_opt(&graph.rw_relation());
     let all_cycles_have_two_rw = graph.history().tx_ids().all(|t| !composed.contains(t, t));

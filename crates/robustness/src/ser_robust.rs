@@ -127,9 +127,7 @@ fn is_long_fork_shape(labels: &[ConflictKind]) -> bool {
     if rw_count < 2 {
         return false;
     }
-    (0..n).all(|i| {
-        !(labels[i] == ConflictKind::Rw && labels[(i + 1) % n] == ConflictKind::Rw)
-    })
+    (0..n).all(|i| !(labels[i] == ConflictKind::Rw && labels[(i + 1) % n] == ConflictKind::Rw))
 }
 
 #[cfg(test)]
@@ -269,8 +267,8 @@ mod tests {
         ps.add_piece(b, "p", [y], [x]); // writes x, reads y
         let c = ps.add_program("c");
         ps.add_piece(c, "p", [], [y, z]); // writes y and z
-        // close the cycle: c writes z which a reads? a -RW-> … simpler:
-        // make a also read z so c -WR-> a.
+                                          // close the cycle: c writes z which a reads? a -RW-> … simpler:
+                                          // make a also read z so c -WR-> a.
         let a2 = ps.add_program("a2");
         ps.add_piece(a2, "p", [x, z], []);
         let report = check_ser_robustness(&StaticDepGraph::from_programs(&ps));

@@ -56,9 +56,7 @@ impl StaticDepGraph {
                 }
             }
         }
-        let names = (0..n)
-            .map(|i| whole.program_name(ProgramId(i)).to_owned())
-            .collect();
+        let names = (0..n).map(|i| whole.program_name(ProgramId(i)).to_owned()).collect();
         StaticDepGraph { wr, ww, rw, names }
     }
 
@@ -90,10 +88,9 @@ impl StaticDepGraph {
             for prog in whole.programs() {
                 let name = format!("{}#{k}", whole.program_name(prog));
                 let p = duplicated.add_program(&name);
-                for piece in (0..whole.pieces_of(prog)).map(|j| si_chopping::PieceId {
-                    program: prog,
-                    piece: j,
-                }) {
+                for piece in (0..whole.pieces_of(prog))
+                    .map(|j| si_chopping::PieceId { program: prog, piece: j })
+                {
                     duplicated.add_piece(
                         p,
                         whole.piece_label(piece),

@@ -1,0 +1,147 @@
+//! The typed event model shared by engines, the scheduler, the online
+//! monitor and the offline checkers.
+
+use core::fmt;
+
+use serde::Serialize;
+
+/// The dependency-graph edge kinds of the paper (Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum EdgeKind {
+    /// Session order.
+    So,
+    /// Read dependency (write-read).
+    Wr,
+    /// Write dependency (write-write / version order).
+    Ww,
+    /// Anti-dependency (read-write).
+    Rw,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::So => write!(f, "SO"),
+            EdgeKind::Wr => write!(f, "WR"),
+            EdgeKind::Ww => write!(f, "WW"),
+            EdgeKind::Rw => write!(f, "RW"),
+        }
+    }
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum AbortCause {
+    /// First-committer-wins: a concurrent committed transaction wrote an
+    /// object this transaction also wrote (SI/PSI/SSI write-conflict
+    /// detection, and the write half of OCC validation).
+    WwConflict,
+    /// Read validation or dangerous-structure prevention: a concurrent
+    /// committed transaction wrote an object this transaction read (SER
+    /// OCC read validation; SSI pivot completion).
+    RwConflict,
+    /// The client or scheduler abandoned the transaction (injected
+    /// failure, crash simulation, or a degenerate empty script).
+    Explicit,
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCause::WwConflict => write!(f, "ww-conflict"),
+            AbortCause::RwConflict => write!(f, "rw-conflict"),
+            AbortCause::Explicit => write!(f, "explicit"),
+        }
+    }
+}
+
+/// One structured telemetry event. Serialized as one JSON object per
+/// line by [`JsonlSink`](crate::JsonlSink).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Event {
+    /// A transaction started.
+    TxBegin {
+        /// Client session index.
+        session: usize,
+    },
+    /// A transaction committed.
+    TxCommit {
+        /// Client session index.
+        session: usize,
+        /// Commit sequence number (1-based).
+        seq: u64,
+        /// Number of buffered operations installed.
+        ops: usize,
+    },
+    /// A transaction aborted.
+    TxAbort {
+        /// Client session index.
+        session: usize,
+        /// Why.
+        cause: AbortCause,
+        /// The conflicting object's index, when conflict detection names
+        /// one.
+        obj: Option<u32>,
+    },
+    /// The online monitor (or a checker) added a dependency edge.
+    EdgeAdded {
+        /// Edge kind.
+        kind: EdgeKind,
+        /// Source transaction index.
+        from: u32,
+        /// Target transaction index.
+        to: u32,
+    },
+    /// One acyclicity / composed-relation check ran: its input sizes.
+    CycleSearchStep {
+        /// Which check ("monitor.si", "check_si", …).
+        check: &'static str,
+        /// Vertices of the composed relation.
+        nodes: u64,
+        /// Edges of the composed relation.
+        edges: u64,
+    },
+    /// A checker or monitor emitted a verdict.
+    VerdictEmitted {
+        /// Which check ("monitor.si", "check_ser", …).
+        check: &'static str,
+        /// `true` = consistent / member of the class.
+        ok: bool,
+        /// Wall-clock nanoseconds the check took.
+        nanos: u64,
+    },
+    /// Progress of the backtracking history-membership solver.
+    SolverIteration {
+        /// Candidate (partial) assignments explored so far.
+        nodes_explored: u64,
+        /// Dead ends pruned (partial assignments found doomed).
+        backtracks: u64,
+        /// Whether the node budget ran out before a verdict.
+        exhausted: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_to_externally_tagged_json() {
+        let e = Event::TxAbort { session: 2, cause: AbortCause::WwConflict, obj: Some(3) };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"TxAbort\""), "{json}");
+        assert!(json.contains("\"WwConflict\""), "{json}");
+        assert!(json.contains("\"obj\":3"), "{json}");
+
+        let e = Event::EdgeAdded { kind: EdgeKind::Rw, from: 1, to: 4 };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"EdgeAdded\""), "{json}");
+        assert!(json.contains("\"Rw\""), "{json}");
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(EdgeKind::Rw.to_string(), "RW");
+        assert_eq!(AbortCause::WwConflict.to_string(), "ww-conflict");
+    }
+}

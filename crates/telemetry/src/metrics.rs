@@ -1,0 +1,269 @@
+//! Lightweight in-process metrics: monotonic counters and bucketed
+//! histograms behind a named registry, snapshotted into a serializable
+//! [`MetricsReport`]. No external metrics stack — the registry is a
+//! plain map of atomics, safe to share across scheduler sessions and
+//! stress threads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed, caller-chosen bucket upper bounds. A sample
+/// lands in the first bucket whose bound is `>=` the sample; samples
+/// above every bound land in the implicit overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One per bound, plus a trailing overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Default latency bucket bounds in nanoseconds: 1µs … 100ms, decade
+/// steps with a 2.5/5 split.
+pub const LATENCY_BOUNDS_NANOS: &[u64] = &[
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+impl Histogram {
+    /// A histogram with the given upper bounds (sorted ascending;
+    /// duplicates are harmless but pointless).
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, buckets, count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: u64) {
+        let idx = self.bounds.partition_point(|&b| b < sample);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one longer than `bounds` (overflow
+    /// bucket last).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or `None` when empty. Samples in the overflow
+    /// bucket report the largest bound (a floor on the true value).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds[i.min(self.bounds.len() - 1)]);
+            }
+        }
+        Some(*self.bounds.last().expect("non-empty bounds"))
+    }
+}
+
+/// A named registry of counters and histograms. Cloning shares the
+/// underlying metrics (`Arc` inside), so one registry can be threaded
+/// through the scheduler, engines and checkers of a single run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.counters.lock();
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (later calls keep the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock();
+        map.entry(name.to_owned()).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+    }
+
+    /// A serializable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`MetricsRegistry`], serializable via
+/// serde.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct MetricsReport {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsReport {
+    /// The value of counter `name`, defaulting to zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(2);
+        reg.counter("b").inc();
+        let report = reg.snapshot();
+        assert_eq!(report.counter("a"), 3);
+        assert_eq!(report.counter("b"), 1);
+        assert_eq!(report.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for s in [1, 5, 10, 50, 200, 5000] {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 5266);
+        // Buckets: <=10 gets {1,5,10}, <=100 gets {50}, <=1000 gets {200},
+        // overflow gets {5000}.
+        assert_eq!(snap.counts, vec![3, 1, 1, 1]);
+        assert_eq!(snap.quantile(0.5), Some(10));
+        assert_eq!(snap.quantile(1.0), Some(1000));
+        assert!((snap.mean().unwrap() - 5266.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.counter("shared").inc();
+        assert_eq!(reg.snapshot().counter("shared"), 1);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.histogram("h", &[10]).record(4);
+        let json = serde_json::to_string(&reg.snapshot()).unwrap();
+        assert!(json.contains("\"c\":1"), "{json}");
+        assert!(json.contains("\"bounds\":[10]"), "{json}");
+    }
+}

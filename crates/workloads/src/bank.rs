@@ -52,11 +52,11 @@ pub fn transfers_and_lookups(
             let from = Obj::from_index((s + r) % accounts);
             let to = Obj::from_index((s + r + 1) % accounts);
             scripts.push(
-                Script::new()
-                    .read(from)
-                    .read(to)
-                    .write_computed(from, [0], -10)
-                    .write_computed(to, [1], 10),
+                Script::new().read(from).read(to).write_computed(from, [0], -10).write_computed(
+                    to,
+                    [1],
+                    10,
+                ),
             );
         }
         w = w.session(scripts);
@@ -150,10 +150,7 @@ mod tests {
             assert!(SpecModel::Ser.check(&run.execution).is_ok());
             let b1 = engine.store().read_at(Obj(0), u64::MAX).value.0;
             let b2 = engine.store().read_at(Obj(1), u64::MAX).value.0;
-            assert!(
-                !(b1 == 0 && b2 == 0),
-                "seed {seed}: serializable engine exhibited write skew"
-            );
+            assert!(!(b1 == 0 && b2 == 0), "seed {seed}: serializable engine exhibited write skew");
         }
     }
 

@@ -110,9 +110,7 @@ mod tests {
     use si_mvcc::{Scheduler, SchedulerConfig, SiEngine};
 
     fn total_balance(engine: &SiEngine, accounts: usize) -> u64 {
-        (0..accounts)
-            .map(|a| engine.store().read_at(Obj::from_index(a), u64::MAX).value.0)
-            .sum()
+        (0..accounts).map(|a| engine.store().read_at(Obj::from_index(a), u64::MAX).value.0).sum()
     }
 
     #[test]
@@ -158,10 +156,7 @@ mod tests {
         // Chopped ballast pieces are read-only and never abort; the
         // debit/credit pieces are tiny. The unchopped form re-executes the
         // ballast on every retry.
-        assert!(
-            ch <= un,
-            "chopping did not reduce wasted work: chopped {ch} vs unchopped {un}"
-        );
+        assert!(ch <= un, "chopping did not reduce wasted work: chopped {ch} vs unchopped {un}");
     }
 
     #[test]

@@ -75,9 +75,8 @@ fn segment(
         if k == 0 || at + k > scripts.len() {
             continue;
         }
-        let covered = (0..k).all(|j| {
-            piece_covers(programs, PieceId { program, piece: j }, &scripts[at + j])
-        });
+        let covered =
+            (0..k).all(|j| piece_covers(programs, PieceId { program, piece: j }, &scripts[at + j]));
         if covered {
             acc.push(program);
             if segment(programs, scripts, at + k, acc, deepest) {
@@ -139,7 +138,12 @@ mod tests {
 
     #[test]
     fn chopped_transfers_are_covered() {
-        let params = TransferLoad { accounts: 4, sessions: 2, transfers_per_session: 3, ..Default::default() };
+        let params = TransferLoad {
+            accounts: 4,
+            sessions: 2,
+            transfers_per_session: 3,
+            ..Default::default()
+        };
         let w = chopped(&params);
         let ps = chopped_transfer_programs(params.accounts);
         let coverage = check_coverage(&ps, &w).expect("chopped workload must be covered");
@@ -153,8 +157,7 @@ mod tests {
         // Figure 6's programs only touch acct1/acct2; a workload touching
         // a third object cannot be covered.
         let ps = program_set_figure6();
-        let w = si_mvcc::Workload::new(3)
-            .session([si_mvcc::Script::new().read(Obj(2))]);
+        let w = si_mvcc::Workload::new(3).session([si_mvcc::Script::new().read(Obj(2))]);
         let err = check_coverage(&ps, &w).unwrap_err();
         assert_eq!(err, CoverageError::SessionNotCovered { session: 0, at: 0 });
         assert!(err.to_string().contains("session 0"));
@@ -193,10 +196,8 @@ mod tests {
         let b = ps.add_program("B");
         ps.add_piece(b, "rx", [x], []);
         ps.add_piece(b, "ry", [y], []);
-        let w = si_mvcc::Workload::new(2).session([
-            si_mvcc::Script::new().read(x),
-            si_mvcc::Script::new().read(y),
-        ]);
+        let w = si_mvcc::Workload::new(2)
+            .session([si_mvcc::Script::new().read(x), si_mvcc::Script::new().read(y)]);
         let coverage = check_coverage(&ps, &w).unwrap();
         assert_eq!(coverage[0].instances, vec![ProgramId(1)]);
     }

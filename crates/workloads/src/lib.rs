@@ -24,9 +24,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bank;
-pub mod coverage;
 pub mod chopped;
 pub mod counter;
+pub mod coverage;
 pub mod fork;
 pub mod random;
 pub mod smallbank;

@@ -49,10 +49,7 @@ impl Default for RandomMix {
 /// Panics if `objects` is zero or `read_ratio` is outside `[0, 1]`.
 pub fn random_mix(params: &RandomMix) -> Workload {
     assert!(params.objects > 0, "need at least one object");
-    assert!(
-        (0.0..=1.0).contains(&params.read_ratio),
-        "read_ratio must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&params.read_ratio), "read_ratio must be a probability");
     let mut rng = StdRng::seed_from_u64(params.seed);
     let zipf = if params.zipf_s > 0.0 {
         Some(Zipf::new(params.objects as u64, params.zipf_s).expect("valid Zipf parameters"))

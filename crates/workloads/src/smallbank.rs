@@ -59,16 +59,12 @@ pub fn balance(a: &Accounts, c: usize) -> Script {
 
 /// `deposit_checking(c, v)`.
 pub fn deposit_checking(a: &Accounts, c: usize, v: i64) -> Script {
-    Script::new()
-        .read(a.checking[c])
-        .write_computed(a.checking[c], [0], v)
+    Script::new().read(a.checking[c]).write_computed(a.checking[c], [0], v)
 }
 
 /// `transact_savings(c, v)`.
 pub fn transact_savings(a: &Accounts, c: usize, v: i64) -> Script {
-    Script::new()
-        .read(a.savings[c])
-        .write_computed(a.savings[c], [0], v)
+    Script::new().read(a.savings[c]).write_computed(a.savings[c], [0], v)
 }
 
 /// `amalgamate(c1, c2)`: move everything from `c1` into `checking(c2)`.
@@ -84,23 +80,19 @@ pub fn amalgamate(a: &Accounts, c1: usize, c2: usize) -> Script {
 
 /// `write_check(c, v)`: check the combined balance, debit checking only.
 pub fn write_check(a: &Accounts, c: usize, v: u64) -> Script {
-    Script::new()
-        .read(a.savings[c])
-        .read(a.checking[c])
-        .end_if_sum_below([0, 1], v)
-        .write_computed(a.checking[c], [1], -(v as i64))
+    Script::new().read(a.savings[c]).read(a.checking[c]).end_if_sum_below([0, 1], v).write_computed(
+        a.checking[c],
+        [1],
+        -(v as i64),
+    )
 }
 
 /// The read/write sets of the five kernels as a [`ProgramSet`]
 /// (conservatively over all customers), for the robustness analyses.
 pub fn program_set(customers: usize) -> ProgramSet {
     let mut ps = ProgramSet::new();
-    let checking: Vec<Obj> = (0..customers)
-        .map(|c| ps.object(&format!("checking{c}")))
-        .collect();
-    let savings: Vec<Obj> = (0..customers)
-        .map(|c| ps.object(&format!("savings{c}")))
-        .collect();
+    let checking: Vec<Obj> = (0..customers).map(|c| ps.object(&format!("checking{c}"))).collect();
+    let savings: Vec<Obj> = (0..customers).map(|c| ps.object(&format!("savings{c}"))).collect();
     let both = || checking.iter().chain(&savings).copied();
 
     let bal = ps.add_program("balance");

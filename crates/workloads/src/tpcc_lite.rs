@@ -76,9 +76,7 @@ pub fn payment(schema: &Schema, customer: usize, amount: i64) -> Script {
 
 /// The read-only `order_status` script for a customer.
 pub fn order_status(schema: &Schema, customer: usize) -> Script {
-    Script::new()
-        .read(schema.customer_balance[customer])
-        .read(schema.district_next_oid)
+    Script::new().read(schema.customer_balance[customer]).read(schema.district_next_oid)
 }
 
 /// The read-only `stock_level` script (scans all stock).
@@ -120,9 +118,7 @@ pub fn program_set(items: usize, customers: usize) -> ProgramSet {
     let d_ytd = ps.object("district_ytd");
     let d_oid = ps.object("district_next_oid");
     let stock: Vec<Obj> = (0..items).map(|i| ps.object(&format!("stock{i}"))).collect();
-    let bal: Vec<Obj> = (0..customers)
-        .map(|c| ps.object(&format!("customer{c}")))
-        .collect();
+    let bal: Vec<Obj> = (0..customers).map(|c| ps.object(&format!("customer{c}"))).collect();
 
     let no = ps.add_program("new_order");
     let mut no_rw: Vec<Obj> = vec![d_oid];

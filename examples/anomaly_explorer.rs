@@ -28,11 +28,8 @@ fn explore(
 ) -> Tally {
     let mut tally = Tally::default();
     for seed in 0..seeds {
-        let mut scheduler = Scheduler::new(SchedulerConfig {
-            seed,
-            background_probability,
-            ..Default::default()
-        });
+        let mut scheduler =
+            Scheduler::new(SchedulerConfig { seed, background_probability, ..Default::default() });
         let mut engine = make_engine();
         let run = scheduler.run(engine.as_mut(), workload);
 
@@ -115,10 +112,7 @@ fn main() {
         seeds,
     );
     assert!(t.psi_only > 0, "PSI engine should produce long forks");
-    println!(
-        "  ({} of {} lazy-replication runs exhibited the fork)",
-        t.psi_only, t.runs
-    );
+    println!("  ({} of {} lazy-replication runs exhibited the fork)", t.psi_only, t.runs);
 
     println!("\nAll engine/anomaly relationships match Figure 2.");
 }

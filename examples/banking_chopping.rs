@@ -73,7 +73,5 @@ fn main() {
     // operations per commit (each retry repeats only a small piece).
     let waste_un = un.2 as f64 / un.0 as f64;
     let waste_ch = ch.2 as f64 / ch.0 as f64;
-    println!(
-        "\n  chopping reduced ops per committed transaction: {waste_un:.2} -> {waste_ch:.2}"
-    );
+    println!("\n  chopping reduced ops per committed transaction: {waste_un:.2} -> {waste_ch:.2}");
 }

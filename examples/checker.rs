@@ -32,10 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let history: History = match args.first().map(String::as_str) {
         Some("--emit-demo") => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&demo_history()).expect("demo serialises")
-            );
+            println!("{}", serde_json::to_string_pretty(&demo_history()).expect("demo serialises"));
             return ExitCode::SUCCESS;
         }
         Some("--demo") | None => demo_history(),

@@ -5,19 +5,26 @@
 //!
 //! Run with `cargo run --example online_monitor`.
 
+use std::sync::Arc;
+
 use analysing_si::analysis::{ObservedTx, SiMonitor};
 use analysing_si::depgraph::{extract, DependencyGraph};
 use analysing_si::execution::SpecModel;
-use analysing_si::mvcc::{PsiEngine, Scheduler, SchedulerConfig, SiEngine};
+use analysing_si::mvcc::{Engine, PsiEngine, Scheduler, SchedulerConfig, SiEngine};
 use analysing_si::relations::TxId;
+use analysing_si::telemetry::{JsonlSink, MetricsRegistry, Telemetry};
 use analysing_si::workloads::fork::long_fork_repeated;
 use analysing_si::workloads::random::{random_mix, RandomMix};
 
 /// Replays a finished run's dependency graph into a monitor, transaction
 /// by transaction in commit order (TxId order for recorded runs), and
 /// returns the step at which the monitor flagged a violation, if any.
-fn replay(graph: &DependencyGraph, model: SpecModel) -> (SiMonitor, Option<usize>) {
-    let mut monitor = SiMonitor::new(model);
+fn replay(
+    graph: &DependencyGraph,
+    model: SpecModel,
+    telemetry: &Telemetry,
+) -> (SiMonitor, Option<usize>) {
+    let mut monitor = SiMonitor::with_telemetry(model, telemetry.clone());
     let h = graph.history();
     let mut first_violation = None;
     // Recorded histories order TxIds by commit; sessions give SO
@@ -47,16 +54,27 @@ fn replay(graph: &DependencyGraph, model: SpecModel) -> (SiMonitor, Option<usize
 }
 
 fn main() {
+    // Every engine transaction and every monitor verdict below streams
+    // into one JSONL trace; the scheduler's counters aggregate into one
+    // metrics report printed at the end.
+    let trace_path = std::path::Path::new("target").join("online_monitor.jsonl");
+    std::fs::create_dir_all("target").expect("create target dir");
+    let jsonl = Arc::new(JsonlSink::to_file(&trace_path).expect("open trace file"));
+    let telemetry = Telemetry::new(jsonl.clone());
+    let metrics = MetricsRegistry::new();
+
     // ── SI engine runs certify clean under the SI monitor ─────────────
     println!("=== monitoring SI-engine runs (SI monitor) ===");
     let mix = RandomMix { sessions: 4, txs_per_session: 8, objects: 6, ..Default::default() };
     for seed in 0..5 {
         let w = random_mix(&RandomMix { seed, ..mix });
         let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        s.set_metrics(metrics.clone());
         let mut engine = SiEngine::new(mix.objects);
+        engine.set_telemetry(telemetry.clone());
         let run = s.run(&mut engine, &w);
         let g = extract(&run.execution).unwrap();
-        let (monitor, violation) = replay(&g, SpecModel::Si);
+        let (monitor, violation) = replay(&g, SpecModel::Si, &telemetry);
         println!(
             "  seed {seed}: {} transactions monitored, violation: {:?}",
             monitor.tx_count(),
@@ -76,13 +94,15 @@ fn main() {
             background_probability: 0.02,
             ..Default::default()
         });
+        s.set_metrics(metrics.clone());
         let mut engine = PsiEngine::new(2, 2);
+        engine.set_telemetry(telemetry.clone());
         let run = s.run(&mut engine, &workload);
         let g = extract(&run.execution).unwrap();
 
-        let (monitor, violation) = replay(&g, SpecModel::Si);
+        let (monitor, violation) = replay(&g, SpecModel::Si, &telemetry);
         // The PSI monitor must stay quiet on its own model…
-        let (psi_monitor, psi_violation) = replay(&g, SpecModel::Psi);
+        let (psi_monitor, psi_violation) = replay(&g, SpecModel::Psi, &telemetry);
         assert!(psi_violation.is_none(), "PSI run flagged by the PSI monitor");
         assert!(psi_monitor.is_consistent());
 
@@ -103,4 +123,17 @@ fn main() {
     println!("  {flagged} forked runs flagged, {clean} fork-free runs clean (30 seeds)");
     assert!(flagged > 0, "expected at least one long fork");
     println!("\nonline monitor verdicts match the offline characterisations.");
+
+    // ── Final metrics report across both monitored sweeps ─────────────
+    jsonl.flush().expect("flush trace");
+    let report = metrics.snapshot();
+    println!("\n=== aggregated scheduler metrics (35 runs) ===");
+    for (name, value) in &report.counters {
+        println!("  {name:<28} {value}");
+    }
+    for (name, hist) in &report.histograms {
+        let mean = hist.mean().map_or("-".to_string(), |m| format!("{:.1}µs", m / 1_000.0));
+        println!("  {name:<28} count={} mean={mean}", hist.count);
+    }
+    println!("structured trace written to {}", trace_path.display());
 }

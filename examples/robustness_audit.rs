@@ -50,13 +50,17 @@ fn main() {
     audit("guarded withdrawals (write skew)", &ws);
 
     // A TPC-C-like mix: known to be robust against SI.
-    audit("tpcc-lite {new_order, payment, order_status, stock_level}",
-          &tpcc_lite::program_set(4, 3));
+    audit(
+        "tpcc-lite {new_order, payment, order_status, stock_level}",
+        &tpcc_lite::program_set(4, 3),
+    );
 
     // SmallBank: the canonical NON-robust application — write_check reads
     // savings without writing it while transact_savings writes it blindly.
-    audit("smallbank {balance, deposit, transact_savings, amalgamate, write_check}",
-          &smallbank::program_set(2));
+    audit(
+        "smallbank {balance, deposit, transact_savings, amalgamate, write_check}",
+        &smallbank::program_set(2),
+    );
 
     // Fixing write skew by materialising the constraint: both withdrawals
     // also write a shared "combined_total" object, turning the

@@ -6,7 +6,9 @@
 use analysing_si::analysis::{check_ser, classify_graph};
 use analysing_si::depgraph::extract;
 use analysing_si::mvcc::{Scheduler, SchedulerConfig, SiEngine, SsiEngine};
-use analysing_si::robustness::{check_ser_robustness, check_ser_robustness_refined, StaticDepGraph};
+use analysing_si::robustness::{
+    check_ser_robustness, check_ser_robustness_refined, StaticDepGraph,
+};
 use analysing_si::workloads::smallbank::{self, Accounts};
 
 fn main() {

@@ -39,10 +39,7 @@ fn long_fork_history() -> History {
 }
 
 fn main() {
-    let dir: PathBuf = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "target/dot".to_owned())
-        .into();
+    let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "target/dot".to_owned()).into();
     fs::create_dir_all(&dir).expect("create output directory");
     let budget = SearchBudget::default();
     let mut written = Vec::new();

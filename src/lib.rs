@@ -20,6 +20,7 @@
 //! | [`mvcc`] | SI / SER / PSI engines, deterministic scheduler, recorder | §1 |
 //! | [`workloads`] | runnable scenarios for every figure + random mixes | — |
 //! | [`relations`] | the underlying relation/graph algebra | — |
+//! | [`telemetry`] | structured event sinks, metrics registries, span timing | — |
 //!
 //! ## Quickstart
 //!
@@ -90,14 +91,19 @@ pub mod workloads {
     pub use si_workloads::*;
 }
 
+/// Structured tracing, metrics and span timing (`si-telemetry`).
+pub mod telemetry {
+    pub use si_telemetry::*;
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use si_chopping::{advise_chopping, analyse_chopping, Criterion, ProgramSet};
     pub use si_core::pc::{check_pc_graph, execution_from_graph_pc, history_membership_pc};
     pub use si_core::{
         check_psi, check_ser, check_si, classify_graph, classify_history, execution_from_graph,
-        explain_si_violation, history_membership, history_witness, smallest_solution,
-        ObservedTx, SearchBudget, SiMonitor,
+        explain_si_violation, history_membership, history_witness, smallest_solution, ObservedTx,
+        SearchBudget, SiMonitor,
     };
     pub use si_depgraph::{extract, DepGraphBuilder, DependencyGraph};
     pub use si_execution::{AbstractExecution, SpecModel};
@@ -108,4 +114,5 @@ pub mod prelude {
     };
     pub use si_relations::{Relation, TxId, TxSet};
     pub use si_robustness::{check_ser_robustness, check_si_robustness, StaticDepGraph};
+    pub use si_telemetry::{CountingSink, JsonlSink, MetricsReport, Telemetry};
 }

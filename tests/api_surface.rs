@@ -29,19 +29,15 @@ fn history_json_roundtrip_preserves_verdicts() {
     assert!(back.validate().is_ok());
     // The verdict survives the round-trip (the checker CLI's contract).
     let budget = SearchBudget::default();
-    assert_eq!(
-        classify_history(&h, &budget).unwrap(),
-        classify_history(&back, &budget).unwrap()
-    );
+    assert_eq!(classify_history(&h, &budget).unwrap(), classify_history(&back, &budget).unwrap());
 }
 
 #[test]
 fn malformed_json_is_rejected() {
     let bad = r#"{"transactions": [], "sessions": [[0]], "init": null, "object_names": []}"#;
     // Either deserialisation fails or validation catches the dangling id.
-    match serde_json::from_str::<History>(bad) {
-        Ok(h) => assert!(h.validate().is_err()),
-        Err(_) => {}
+    if let Ok(h) = serde_json::from_str::<History>(bad) {
+        assert!(h.validate().is_err());
     }
 }
 
@@ -68,9 +64,7 @@ fn advisor_fixes_figure12_under_si() {
     assert!(!analyse_chopping(&fig12, Criterion::Si, 2_000_000).unwrap().correct);
     let advice = advise_chopping(&fig12, Criterion::Si, 2_000_000).unwrap();
     assert!(advice.merges > 0);
-    assert!(analyse_chopping(&advice.programs, Criterion::Si, 2_000_000)
-        .unwrap()
-        .correct);
+    assert!(analyse_chopping(&advice.programs, Criterion::Si, 2_000_000).unwrap().correct);
     // Under PSI the original chopping is already fine: zero merges.
     let psi_advice = advise_chopping(&fig12, Criterion::Psi, 2_000_000).unwrap();
     assert_eq!(psi_advice.merges, 0);

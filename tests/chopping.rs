@@ -68,9 +68,9 @@ fn figure4_g1_has_critical_cycle_and_is_not_spliceable() {
     let witness = find_critical_cycle(&dcg, Criterion::Si, BUDGET).unwrap();
     assert!(witness.is_some(), "DCG(G1) must contain a critical cycle");
     // And indeed the spliced graph leaves GraphSI (or fails to splice).
-    match splice_graph(&g1) {
-        Ok(spliced) => assert!(check_si(&spliced).is_err(), "splice(G1) must not be in GraphSI"),
-        Err(_) => {} // failing to lift is also a correct outcome
+    // Failing to lift is also a correct outcome, hence no assertion on Err.
+    if let Ok(spliced) = splice_graph(&g1) {
+        assert!(check_si(&spliced).is_err(), "splice(G1) must not be in GraphSI");
     }
 }
 

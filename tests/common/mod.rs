@@ -50,13 +50,7 @@ pub fn arb_dependency_graph(
         any::<u64>(),
     )
         .prop_map(move |(txs, sessions, ww_seeds, wr_seed)| {
-            build_graph(&GraphShape {
-                txs,
-                sessions,
-                objects: max_objects,
-                ww_seeds,
-                wr_seed,
-            })
+            build_graph(&GraphShape { txs, sessions, objects: max_objects, ww_seeds, wr_seed })
         })
 }
 
@@ -69,10 +63,8 @@ pub fn build_graph(shape: &GraphShape) -> DependencyGraph {
     for x_index in 0..shape.objects {
         let x = Obj::from_index(x_index);
         // Writers of x, excluding init.
-        let mut writers: Vec<TxId> = (1..n)
-            .map(TxId::from_index)
-            .filter(|&t| history.transaction(t).writes_to(x))
-            .collect();
+        let mut writers: Vec<TxId> =
+            (1..n).map(TxId::from_index).filter(|&t| history.transaction(t).writes_to(x)).collect();
         // Seeded permutation (Fisher-Yates with a splitmix-style stream).
         let mut state = shape.ww_seeds.get(x_index).copied().unwrap_or(0);
         let mut next = move || {
@@ -96,9 +88,7 @@ pub fn build_graph(shape: &GraphShape) -> DependencyGraph {
 /// reads before writes, transactions dealt into sessions round-robin.
 pub fn build_history(shape: &GraphShape) -> History {
     let mut b = HistoryBuilder::new();
-    let objects: Vec<Obj> = (0..shape.objects)
-        .map(|i| b.object(&format!("x{i}")))
-        .collect();
+    let objects: Vec<Obj> = (0..shape.objects).map(|i| b.object(&format!("x{i}"))).collect();
     let session_ids: Vec<_> = (0..shape.sessions).map(|_| b.session()).collect();
 
     // Pre-compute each transaction's final write values (unique).

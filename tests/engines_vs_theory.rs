@@ -8,15 +8,17 @@ use analysing_si::analysis::{check_psi, check_ser, check_si, classify_graph};
 use analysing_si::depgraph::extract;
 use analysing_si::execution::SpecModel;
 use analysing_si::mvcc::{
-    stress_si_engine, Engine, PsiEngine, Scheduler, SchedulerConfig, SerEngine, SiEngine,
-    SsiEngine,
+    stress_si_engine, Engine, PsiEngine, Scheduler, SchedulerConfig, SerEngine, SiEngine, SsiEngine,
 };
 use analysing_si::workloads::random::{random_mix, RandomMix};
 use analysing_si::workloads::{bank, counter, fork};
 
 fn mixes(seed: u64) -> Vec<(RandomMix, f64)> {
     vec![
-        (RandomMix { seed, sessions: 3, txs_per_session: 5, objects: 4, ..Default::default() }, 0.0),
+        (
+            RandomMix { seed, sessions: 3, txs_per_session: 5, objects: 4, ..Default::default() },
+            0.0,
+        ),
         (
             RandomMix {
                 seed,

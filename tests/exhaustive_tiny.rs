@@ -64,8 +64,7 @@ fn exhaustive_two_transaction_histories() {
                 for (mi, model) in SpecModel::ALL.into_iter().enumerate() {
                     let via_graphs = history_membership(model, &h, &budget)
                         .expect("budget ample for tiny histories");
-                    let via_axioms =
-                        brute::is_allowed(model, &h, &cfg).expect("budget ample");
+                    let via_axioms = brute::is_allowed(model, &h, &cfg).expect("budget ample");
                     assert_eq!(
                         via_graphs, via_axioms,
                         "characterisation disagreement under {model} on:\n{h}"

@@ -43,7 +43,8 @@ fn replay(graph: &DependencyGraph, model: SpecModel) -> SiMonitor {
 #[test]
 fn monitor_agrees_with_offline_checks_on_engine_runs() {
     for seed in 0..10 {
-        let mix = RandomMix { seed, sessions: 4, txs_per_session: 6, objects: 5, ..Default::default() };
+        let mix =
+            RandomMix { seed, sessions: 4, txs_per_session: 6, objects: 5, ..Default::default() };
         let w = random_mix(&mix);
         let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
         let run = s.run(&mut SiEngine::new(mix.objects), &w);

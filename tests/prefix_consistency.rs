@@ -15,9 +15,7 @@ mod common;
 use common::{arb_dependency_graph, arb_history};
 use proptest::prelude::*;
 
-use analysing_si::analysis::pc::{
-    check_pc_graph, execution_from_graph_pc, history_membership_pc,
-};
+use analysing_si::analysis::pc::{check_pc_graph, execution_from_graph_pc, history_membership_pc};
 use analysing_si::analysis::{check_si, history_membership, SearchBudget};
 use analysing_si::depgraph::extract;
 use analysing_si::execution::brute::{self, BruteConfig};

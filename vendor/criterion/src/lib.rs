@@ -1,0 +1,352 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same macro and builder surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`), but measurement is a plain wall-clock mean printed as
+//! text — no statistics, plots, or baselines.
+//!
+//! Bench targets here use `harness = false`, so `cargo test` executes
+//! their `main` too. In debug builds (the test profile) every routine
+//! runs exactly once as a smoke test; real timing happens only under
+//! `cargo bench` / release builds or when `--measure` is passed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    smoke_only: bool,
+}
+
+impl Settings {
+    fn default_settings() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            // Test profile: run each routine once and move on.
+            smoke_only: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { settings: Settings::default_settings() }
+    }
+}
+
+impl Criterion {
+    /// No-op here (the stand-in never produces plots).
+    #[must_use]
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Sets the per-benchmark warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        assert!(d > Duration::ZERO, "warm-up time must be positive");
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        assert!(d > Duration::ZERO, "measurement time must be positive");
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Applies command-line overrides: `--test` (smoke mode), `--measure`
+    /// (force real timing), `--warm-up-time <secs>`,
+    /// `--measurement-time <secs>`. Other criterion flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--test" => self.settings.smoke_only = true,
+                "--measure" => self.settings.smoke_only = false,
+                "--warm-up-time" if i + 1 < args.len() => {
+                    if let Ok(secs) = args[i + 1].parse::<f64>() {
+                        self.settings.warm_up = Duration::from_secs_f64(secs);
+                    }
+                    i += 1;
+                }
+                "--measurement-time" if i + 1 < args.len() => {
+                    if let Ok(secs) = args[i + 1].parse::<f64>() {
+                        self.settings.measurement = Duration::from_secs_f64(secs);
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings.clone();
+        run_one(&id.into().id, &settings, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes measurement by
+    /// time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to report a rate alongside the latency.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets this group's measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        assert!(d > Duration::ZERO, "measurement time must be positive");
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Benchmarks a routine.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &self.settings, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a routine that borrows an input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &self.settings, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (output is printed per-benchmark, so this only
+    /// exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    settings: Settings,
+    mean_ns: f64,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.ran = true;
+        if self.settings.smoke_only {
+            black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+
+        // Warm-up, also calibrating iterations-per-batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // One timed run sized to fill the measurement window.
+        let total_iters =
+            ((self.settings.measurement.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..total_iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / total_iters as f64;
+    }
+}
+
+fn run_one(
+    label: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { settings: settings.clone(), mean_ns: 0.0, ran: false };
+    f(&mut bencher);
+    if !bencher.ran {
+        println!("{label}: no iter() call");
+        return;
+    }
+    if settings.smoke_only {
+        println!("{label}: ok (smoke)");
+        return;
+    }
+    let mean = bencher.mean_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(", {:.3e} elem/s", n as f64 / (mean / 1e9)),
+        Throughput::Bytes(n) => format!(", {:.3e} B/s", n as f64 / (mean / 1e9)),
+    });
+    println!("{label}: {mean:.1} ns/iter{}", rate.unwrap_or_default());
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_settings() -> Settings {
+        Settings {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+            smoke_only: true,
+        }
+    }
+
+    #[test]
+    fn bencher_smoke_runs_routine_once() {
+        let mut calls = 0;
+        let mut b = Bencher { settings: smoke_settings(), mean_ns: 0.0, ran: false };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.ran);
+    }
+
+    #[test]
+    fn bencher_measures_when_not_smoke() {
+        let settings = Settings {
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(2),
+            smoke_only: false,
+        };
+        let mut b = Bencher { settings, mean_ns: 0.0, ran: false };
+        b.iter(|| black_box(3u64.pow(7)));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.settings.smoke_only = true;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

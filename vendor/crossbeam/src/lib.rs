@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`: only [`scope`], implemented on
+//! `std::thread::scope` (stable since Rust 1.63). The crossbeam API
+//! returns `Result` and passes the scope back into each spawned closure;
+//! both quirks are reproduced so call sites compile unchanged.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle passed to [`scope`]'s closure and re-passed to
+/// every spawned closure (mirroring `crossbeam::thread::Scope`).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(scope))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the caller's
+/// stack. All threads are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Returns `Err` with the panic payload if the closure or any spawned
+/// thread panicked (matching crossbeam's signature).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_can_borrow_and_results_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total
+                        .fetch_add(chunk.iter().sum::<u64>(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

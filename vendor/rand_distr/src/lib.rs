@@ -1,0 +1,121 @@
+//! Offline stand-in for `rand_distr`: just the Zipf distribution, which
+//! is all this workspace samples. Implemented by inverse-CDF lookup over
+//! precomputed cumulative weights — object universes here are small
+//! (tens to a few thousand), so the O(n) setup and O(log n) sampling are
+//! more than fast enough.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use rand::Rng;
+
+/// Distributions that can be sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfError(&'static str);
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `{1, …, n}` with exponent `s`: rank `k` has
+/// probability proportional to `k^-s`. Samples are returned as `f64`
+/// (matching `rand_distr::Zipf`), always an integral value in `[1, n]`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative normalized weights; `cdf[k-1]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError("Zipf requires a finite non-negative exponent"));
+        }
+        let n = usize::try_from(n).map_err(|_| ZipfError("Zipf n too large"))?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = self.cdf.partition_point(|&c| c < unit);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low_rank = 0usize;
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+            assert_eq!(x, x.trunc());
+            if x <= 10.0 {
+                low_rank += 1;
+            }
+        }
+        // With s = 1.2 the top 10 ranks carry well over half the mass.
+        assert!(low_rank > 5_000, "low_rank={low_rank}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts={counts:?}");
+        }
+    }
+}

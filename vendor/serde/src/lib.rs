@@ -1,0 +1,304 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal serialization framework under the same crate name. Instead
+//! of serde's visitor-based zero-copy data model, types convert to and
+//! from a JSON-shaped [`Content`] tree; `serde_json` renders and parses
+//! it. The `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! `serde_derive`) cover the shapes this workspace uses: named structs,
+//! tuple structs (including `#[serde(transparent)]` newtypes), and enums
+//! with unit, tuple and struct variants, externally tagged like serde.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate representation between
+/// typed values and text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the intermediate representation.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the intermediate representation into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree's shape does not match.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self >= 0 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(x) => Ok(*x),
+            Content::U64(n) => Ok(*n as f64),
+            Content::I64(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Keys are rendered through their own serialization; string and
+        // integer keys become object keys.
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_content() {
+                        Content::Str(s) => s,
+                        Content::U64(n) => n.to_string(),
+                        Content::I64(n) => n.to_string(),
+                        other => format!("{other:?}"),
+                    };
+                    (key, v.to_content())
+                })
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            $name::from_content(
+                                it.next().ok_or_else(|| Error::custom("tuple too short"))?
+                            )?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(Error::custom("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(Error::custom(format!("expected array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

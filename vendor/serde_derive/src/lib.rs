@@ -1,0 +1,384 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote` in this
+//! offline environment). Supports the shapes this workspace uses:
+//!
+//! * named structs — serialized as JSON objects;
+//! * tuple structs — newtypes serialize as their inner value (also the
+//!   `#[serde(transparent)]` behaviour), longer ones as arrays;
+//! * enums — externally tagged: unit variants as strings, tuple variants
+//!   as `{"Variant": value}` / `{"Variant": [values…]}`, struct variants
+//!   as `{"Variant": {fields…}}`.
+//!
+//! Generics are not supported (nothing in the workspace derives on a
+//! generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ── parsing ────────────────────────────────────────────────────────────
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = ident_at(&tokens, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i).expect("expected a type name");
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic types");
+    }
+
+    match (kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let fields = split_top_level(g.stream())
+                .into_iter()
+                .map(|chunk| field_name(&chunk).expect("expected a named field"))
+                .collect();
+            Item::NamedStruct { name, fields }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: split_top_level(g.stream()).len() }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = split_top_level(g.stream())
+                .into_iter()
+                .map(|chunk| parse_variant(&chunk))
+                .collect();
+            Item::Enum { name, variants }
+        }
+        _ => panic!("unsupported item shape for vendored serde derive"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    skip_attrs_and_vis(chunk, &mut i);
+    let name = ident_at(chunk, i).expect("expected a variant name");
+    i += 1;
+    let kind = match chunk.get(i) {
+        None => VariantKind::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit, // discriminant
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantKind::Struct(
+            split_top_level(g.stream())
+                .into_iter()
+                .map(|f| field_name(&f).expect("expected a named variant field"))
+                .collect(),
+        ),
+        other => panic!("unsupported variant shape: {other:?}"),
+    };
+    Variant { name, kind }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Splits a field/variant list on commas that are outside any group and
+/// outside angle brackets (`Vec<Option<T>>`, `BTreeMap<K, V>`).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// The identifier before the `:` in a named field chunk.
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    skip_attrs_and_vis(chunk, &mut i);
+    ident_at(chunk, i)
+}
+
+// ── code generation ────────────────────────────────────────────────────
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(content.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Map(_) => Ok({name} {{ {} }}),\n\
+                             other => Err(::serde::Error::custom(format!(\"expected object for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Seq(items) if items.len() == {arity} => \
+                                 Ok({name}({})),\n\
+                             other => Err(::serde::Error::custom(format!(\"expected {arity}-element array for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                        // Also accept the tagged form {"V": null}.
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => match value {{\n\
+                                 ::serde::Content::Null => Ok({name}::{vn}),\n\
+                                 other => Err(::serde::Error::custom(format!(\"unexpected payload for unit variant {name}::{vn}: {{other:?}}\"))),\n\
+                             }},"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(value)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => match value {{\n\
+                                 ::serde::Content::Seq(items) if items.len() == {n} => \
+                                     Ok({name}::{vn}({})),\n\
+                                 other => Err(::serde::Error::custom(format!(\"expected {n}-element array for {name}::{vn}, found {{other:?}}\"))),\n\
+                             }},",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(value.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::custom(\"missing field `{f}` in {name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => match value {{\n\
+                                 ::serde::Content::Map(_) => Ok({name}::{vn} {{ {} }}),\n\
+                                 other => Err(::serde::Error::custom(format!(\"expected object for {name}::{vn}, found {{other:?}}\"))),\n\
+                             }},",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, value) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::custom(format!(\"expected string or single-key object for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
