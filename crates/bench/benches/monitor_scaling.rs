@@ -1,0 +1,206 @@
+//! Online-monitor scaling: the incremental acyclicity engine against the
+//! dense from-scratch oracle on identical committed-transaction streams.
+//!
+//! Both monitors are warm-started over the first `n - TAIL` transactions
+//! with [`SiMonitor::resume_from_graph`] (edge application only, one
+//! verdict at the end), then the measured routine clones the warm monitor
+//! and appends the last `TAIL` transactions with full per-append
+//! checking — the steady-state cost an online deployment pays per commit.
+//! The dense oracle recomposes `D ; RW?` from scratch on every append
+//! (`O(n³/64)`), the incremental engine pays a bounded Pearce–Kelly
+//! reorder, so the gap widens with stream length.
+//!
+//! A measured run (release build, or `--measure`) also rewrites
+//! `BENCH_monitor.json` at the repository root with per-append means and
+//! the incremental-over-dense speedup; see EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::Serialize;
+use si_bench::{random_graph_in_si, smallbank_graph};
+use si_core::{ObservedTx, SiMonitor};
+use si_depgraph::DependencyGraph;
+use si_execution::SpecModel;
+use si_relations::TxId;
+
+/// Appends measured per iteration: the steady-state tail of the stream.
+const TAIL: usize = 8;
+
+/// Mirrors the vendored criterion harness's mode selection so the sized
+/// inputs shrink in smoke runs (`cargo test` executes these mains too).
+fn smoke_mode() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--measure") {
+        return false;
+    }
+    if args.iter().any(|a| a == "--test") {
+        return true;
+    }
+    cfg!(debug_assertions)
+}
+
+/// The two stream shapes at a target size: a Zipf random mix and the
+/// contended SmallBank kernel mix, both produced by real SI-engine runs
+/// (hence commit-ordered and in `GraphSI`).
+fn streams(n: usize) -> Vec<(&'static str, DependencyGraph)> {
+    vec![
+        ("random", random_graph_in_si(n, (n / 4).max(2), (n / 8).max(1), 0x5151 ^ n as u64)),
+        ("smallbank", smallbank_graph(n, (n / 16).max(2), (n / 8).max(1), 0xBA2C ^ n as u64)),
+    ]
+}
+
+/// The transactions `[from..]` of the graph as monitor observations, with
+/// session predecessors computed over the full stream.
+fn observed_tail(graph: &DependencyGraph, from: usize) -> Vec<ObservedTx> {
+    let h = graph.history();
+    let mut last_of_session: Vec<Option<TxId>> = vec![None; h.session_count()];
+    let mut out = Vec::new();
+    for t in h.tx_ids() {
+        let session = h.session_of(t);
+        if t.index() >= from {
+            out.push(ObservedTx {
+                session_predecessor: session.and_then(|s| last_of_session[s.index()]),
+                reads_from: h
+                    .transaction(t)
+                    .external_read_set()
+                    .into_iter()
+                    .map(|x| (x, graph.writer_for(t, x).expect("reads have writers")))
+                    .collect(),
+                writes: h.transaction(t).write_set(),
+            });
+        }
+        if let Some(s) = session {
+            last_of_session[s.index()] = Some(t);
+        }
+    }
+    out
+}
+
+fn append_tail(warm: &SiMonitor, tail: &[ObservedTx]) -> bool {
+    let mut monitor = warm.clone();
+    for tx in tail {
+        monitor.append(tx.clone());
+    }
+    monitor.is_consistent()
+}
+
+fn bench(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke_mode() { &[48, 64] } else { &[256, 1024, 4096] };
+    let mut group = c.benchmark_group("monitor_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TAIL as u64));
+    for &n in sizes {
+        for (name, graph) in streams(n) {
+            let from = graph.history().tx_count().saturating_sub(TAIL);
+            let tail = observed_tail(&graph, from);
+            let incremental = SiMonitor::resume_from_graph(SpecModel::Si, &graph, from, false);
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental/{name}"), n),
+                &(),
+                |b, ()| b.iter(|| append_tail(&incremental, &tail)),
+            );
+            let dense = SiMonitor::resume_from_graph(SpecModel::Si, &graph, from, true);
+            group.bench_with_input(BenchmarkId::new(format!("dense/{name}"), n), &(), |b, ()| {
+                b.iter(|| append_tail(&dense, &tail))
+            });
+        }
+    }
+    group.finish();
+
+    if !smoke_mode() {
+        record_json(sizes);
+    }
+}
+
+#[derive(Serialize)]
+struct MonitorBenchRow {
+    stream: &'static str,
+    n: usize,
+    tail: usize,
+    incremental_ns_per_append: f64,
+    dense_ns_per_append: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct MonitorBench {
+    bench: &'static str,
+    model: &'static str,
+    note: &'static str,
+    results: Vec<MonitorBenchRow>,
+}
+
+/// Best-of-`reps` per-append nanoseconds; the clone of the warm monitor
+/// happens outside the timed window, so the numbers isolate append cost.
+fn per_append_ns(warm: &SiMonitor, tail: &[ObservedTx], reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut monitor = warm.clone();
+        let start = Instant::now();
+        for tx in tail {
+            monitor.append(tx.clone());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / tail.len() as f64);
+    }
+    best
+}
+
+fn record_json(sizes: &[usize]) {
+    let mut results = Vec::new();
+    for &n in sizes {
+        for (name, graph) in streams(n) {
+            let from = graph.history().tx_count().saturating_sub(TAIL);
+            let tail = observed_tail(&graph, from);
+            let incremental = SiMonitor::resume_from_graph(SpecModel::Si, &graph, from, false);
+            let dense = SiMonitor::resume_from_graph(SpecModel::Si, &graph, from, true);
+            let inc_ns = per_append_ns(&incremental, &tail, 5);
+            let dense_reps = if n >= 4096 { 2 } else { 5 };
+            let dense_ns = per_append_ns(&dense, &tail, dense_reps);
+            results.push(MonitorBenchRow {
+                stream: name,
+                n,
+                tail: tail.len(),
+                incremental_ns_per_append: inc_ns,
+                dense_ns_per_append: dense_ns,
+                speedup: dense_ns / inc_ns,
+            });
+        }
+    }
+    let report = MonitorBench {
+        bench: "monitor_scaling",
+        model: "SI",
+        note: "per-append wall-clock over the last TAIL transactions of a \
+               warm engine-produced stream; best of N repetitions",
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monitor.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("monitor_scaling: could not write {path}: {e}");
+            } else {
+                println!("monitor_scaling: wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("monitor_scaling: serialization failed: {e}"),
+    }
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

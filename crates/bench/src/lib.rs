@@ -170,6 +170,27 @@ pub fn random_graph_in_si(
     graph
 }
 
+/// A SmallBank mixed-workload dependency graph from the SI engine — the
+/// contended, write-skew-prone stream shape (in `GraphSI` by
+/// Theorem 10(ii)). `txs` is a target; the returned graph has roughly
+/// that many transactions plus init.
+pub fn smallbank_graph(
+    txs: usize,
+    customers: usize,
+    sessions: usize,
+    seed: u64,
+) -> DependencyGraph {
+    use si_mvcc::{Scheduler, SchedulerConfig, SiEngine};
+    use si_workloads::smallbank::{mixed_workload, Accounts};
+
+    let sessions = sessions.max(1);
+    let accounts = Accounts::new(customers.max(1));
+    let workload = mixed_workload(&accounts, sessions, txs.div_ceil(sessions), 100);
+    let mut scheduler = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+    let run = scheduler.run(&mut SiEngine::new(accounts.object_count()), &workload);
+    si_depgraph::extract(&run.execution).expect("engine runs extract cleanly")
+}
+
 /// A synthetic chopped application: `programs` programs of `pieces`
 /// pieces each, touching overlapping object windows — sized input for the
 /// static-analysis scaling benches.

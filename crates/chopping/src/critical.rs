@@ -111,9 +111,104 @@ impl fmt::Display for SearchBudgetExceeded {
 
 impl std::error::Error for SearchBudgetExceeded {}
 
+/// Strongly connected components of the projected (label-blind) digraph,
+/// as a component index per vertex. Iterative Tarjan.
+fn components(graph: &MultiGraph<ChopEdge>) -> Vec<u32> {
+    let n = graph.vertex_count();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        adj[e.from.index()].push(e.to.index() as u32);
+    }
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp = vec![0u32; n];
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut i)) = call.last_mut() {
+            if let Some(&w) = adj[v as usize].get(*i) {
+                *i += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds the component");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Whether the "conflict, predecessor, conflict" fragment every critical
+/// cycle must contain can possibly lie on a cycle: some predecessor edge
+/// `v → w` inside one SCC with a same-SCC conflict edge into `v` and a
+/// same-SCC conflict edge out of `w`. A simple cycle stays within one SCC,
+/// so this is necessary for *any* criterion's critical cycle — but only an
+/// over-approximation (the witnesses need not be joinable into one simple
+/// cycle), hence Johnson's enumeration still decides the survivors.
+fn fragment_feasible(graph: &MultiGraph<ChopEdge>) -> bool {
+    let comp = components(graph);
+    let n = graph.vertex_count();
+    let mut conflict_in = vec![false; n];
+    let mut conflict_out = vec![false; n];
+    for e in graph.edges() {
+        if e.label.is_conflict() && e.from != e.to && comp[e.from.index()] == comp[e.to.index()] {
+            conflict_out[e.from.index()] = true;
+            conflict_in[e.to.index()] = true;
+        }
+    }
+    graph.edges().any(|e| {
+        *e.label == ChopEdge::Predecessor
+            && comp[e.from.index()] == comp[e.to.index()]
+            && conflict_in[e.from.index()]
+            && conflict_out[e.to.index()]
+    })
+}
+
 /// Searches the chopping graph for a critical cycle under `criterion`,
 /// enumerating simple cycles with Johnson's algorithm (bounded by
 /// `step_budget` edge traversals).
+///
+/// An SCC prescreen runs first: if no "conflict, predecessor, conflict"
+/// fragment fits inside a strongly connected component, no critical cycle
+/// can exist under *any* criterion and the (potentially exponential)
+/// enumeration is skipped entirely — correct choppings, whose graphs are
+/// usually cycle-poor, get a linear-time fast path.
 ///
 /// Returns the first critical cycle found, or `None` if the enumeration
 /// completed without one — by Theorem 16 / Corollary 18 / Theorems 29 & 31
@@ -127,6 +222,9 @@ pub fn find_critical_cycle(
     criterion: Criterion,
     step_budget: usize,
 ) -> Result<Option<LabelledCycle<ChopEdge>>, SearchBudgetExceeded> {
+    if !fragment_feasible(graph) {
+        return Ok(None);
+    }
     let mut found = None;
     let end = graph.simple_cycles(step_budget, |cycle| {
         if is_critical(criterion, cycle) {
@@ -269,6 +367,27 @@ mod tests {
     #[test]
     fn budget_exhaustion_reported() {
         use si_relations::MultiGraph;
+        // A dense mixed graph that passes the SCC prescreen (conflict and
+        // predecessor edges everywhere) but has exponentially many simple
+        // cycles, so a tiny budget must be reported as exceeded.
+        let mut g: MultiGraph<ChopEdge> = MultiGraph::new(6);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    g.add_edge(TxId(a), TxId(b), WR);
+                    g.add_edge(TxId(a), TxId(b), P);
+                }
+            }
+        }
+        assert_eq!(find_critical_cycle(&g, Criterion::Si, 5), Err(SearchBudgetExceeded));
+    }
+
+    #[test]
+    fn prescreen_rejects_fragment_free_graphs_without_enumeration() {
+        use si_relations::MultiGraph;
+        // The complete successor-only graph has ~400 simple cycles but no
+        // conflict or predecessor edge at all: the prescreen must answer
+        // "no critical cycle" without touching the step budget.
         let mut g: MultiGraph<ChopEdge> = MultiGraph::new(6);
         for a in 0..6u32 {
             for b in 0..6u32 {
@@ -277,6 +396,31 @@ mod tests {
                 }
             }
         }
-        assert_eq!(find_critical_cycle(&g, Criterion::Si, 5), Err(SearchBudgetExceeded));
+        for criterion in [Criterion::Ser, Criterion::Si, Criterion::Psi] {
+            assert_eq!(find_critical_cycle(&g, criterion, 0), Ok(None), "{criterion}");
+        }
+
+        // A predecessor edge whose endpoints sit in different SCCs (no way
+        // back) is equally infeasible.
+        let mut g: MultiGraph<ChopEdge> = MultiGraph::new(4);
+        g.add_edge(TxId(0), TxId(1), WR);
+        g.add_edge(TxId(1), TxId(0), RW);
+        g.add_edge(TxId(1), TxId(2), P);
+        g.add_edge(TxId(2), TxId(3), WW);
+        g.add_edge(TxId(3), TxId(2), WR);
+        assert_eq!(find_critical_cycle(&g, Criterion::Ser, 0), Ok(None));
+    }
+
+    #[test]
+    fn prescreen_admits_the_critical_triangle() {
+        use si_relations::MultiGraph;
+        // Regression guard for the prescreen's direction conventions: the
+        // WR,P,RW triangle from `search_finds_and_misses` must survive it.
+        let mut g: MultiGraph<ChopEdge> = MultiGraph::new(3);
+        g.add_edge(TxId(0), TxId(1), WR);
+        g.add_edge(TxId(1), TxId(2), P);
+        g.add_edge(TxId(2), TxId(0), RW);
+        assert!(fragment_feasible(&g));
+        assert!(find_critical_cycle(&g, Criterion::Ser, 1_000_000).unwrap().is_some());
     }
 }

@@ -20,9 +20,19 @@ use core::fmt;
 use si_depgraph::{DepGraphBuilder, DependencyGraph};
 use si_execution::SpecModel;
 use si_model::{History, Obj, TxId};
+use si_relations::{ClassKind, DepEdgeKind, IncrementalClass};
 use si_telemetry::{Event, Telemetry};
 
 use crate::membership::GraphClass;
+
+fn class_kind(class: GraphClass) -> ClassKind {
+    match class {
+        GraphClass::Ser => ClassKind::Ser,
+        GraphClass::Si => ClassKind::Si,
+        GraphClass::Psi => ClassKind::Psi,
+        GraphClass::Pc => ClassKind::Pc,
+    }
+}
 
 /// Nodes between periodic [`SolverIteration`](Event::SolverIteration)
 /// progress events.
@@ -161,6 +171,17 @@ pub(crate) fn history_witness_for_class_traced(
         choices.push(ObjChoices { obj: x, writers, readers });
     }
 
+    // The incremental characteristic relation of the partial assignment:
+    // session order is fixed up front; each object's WR/WW/RW edges are
+    // fed under a checkpoint as the search assigns them and popped on
+    // backtrack (edges are only ever added along a search path, so a
+    // violation mid-path dooms every completion — Theorem 9's
+    // monotonicity, now paying per-edge instead of per-node rebuilds).
+    let mut inc = IncrementalClass::new(class_kind(class), history.tx_count());
+    for (a, b) in history.session_order().iter_pairs() {
+        inc.add(DepEdgeKind::So, a, b);
+    }
+
     let mut search = Search {
         history,
         class,
@@ -169,6 +190,7 @@ pub(crate) fn history_witness_for_class_traced(
         max_nodes: budget.max_nodes,
         backtracks: 0,
         telemetry,
+        inc,
     };
     let result = search.solve(0, &mut DepGraphBuilder::new(history.clone()));
     let nodes_explored = search.max_nodes - search.nodes_left;
@@ -195,6 +217,10 @@ struct Search<'a> {
     /// assignments failing the final class check.
     backtracks: u64,
     telemetry: &'a Telemetry,
+    /// The class's characteristic relation over the partial assignment,
+    /// maintained incrementally: SO is fed once up front, each object's
+    /// WR/WW/RW edges under a checkpoint as the search assigns them.
+    inc: IncrementalClass,
 }
 
 impl Search<'_> {
@@ -233,15 +259,15 @@ impl Search<'_> {
         let choice = &self.choices[at];
         // Enumerate WR assignments (product of candidates) × WW
         // permutations for this object, descending into the next object
-        // for each; prune by checking the partial graph (only assigned
-        // objects) for class violations. Edges are only added as more
-        // objects are assigned, so a cycle in the partial graph is final.
+        // for each. The builder is mutated in place: `wr` and `ww_order`
+        // overwrite this object's entries on every iteration, and entries
+        // for objects past `at` are only ever set by deeper frames that
+        // themselves overwrite them on re-entry.
         let mut wr_pick = vec![0usize; choice.readers.len()];
         loop {
             // Set the WR choices for this object.
-            let mut b1 = builder.clone();
             for (i, (reader, candidates)) in choice.readers.iter().enumerate() {
-                b1.wr(choice.obj, candidates[wr_pick[i]], *reader);
+                builder.wr(choice.obj, candidates[wr_pick[i]], *reader);
             }
             // Enumerate permutations of the writers, keeping the init
             // transaction (which writes the initial version) pinned first.
@@ -253,7 +279,7 @@ impl Search<'_> {
                     fixed = 1;
                 }
             }
-            let found = self.permute_ww(&mut writers, fixed, choice.obj, &b1, at)?;
+            let found = self.permute_ww(&mut writers, fixed, choice.obj, builder, at)?;
             if found.is_some() {
                 return Ok(found);
             }
@@ -279,22 +305,45 @@ impl Search<'_> {
         writers: &mut [TxId],
         fixed: usize,
         obj: Obj,
-        builder: &DepGraphBuilder,
+        builder: &mut DepGraphBuilder,
         at: usize,
     ) -> Result<Option<DependencyGraph>, SearchExhausted> {
         if fixed == writers.len() {
-            let mut b2 = builder.clone();
-            b2.ww_order(obj, writers.iter().copied());
-            // Prune: check the partial graph restricted to assigned
-            // objects. Unassigned objects get their default WW order from
-            // the builder, but their WR edges are missing, so we cannot
-            // `build()` yet — instead check the partial relation directly.
-            if self.partial_is_doomed(&b2, at) {
+            builder.ww_order(obj, writers.iter().copied());
+            // Prune: feed this object's now-complete WR/WW/RW edges into
+            // the incremental characteristic relation under a checkpoint.
+            // Edges only ever get added as more objects are assigned, so a
+            // violation here dooms every completion; on backtrack the
+            // checkpoint pops exactly this object's edges.
+            let mark = self.inc.mark();
+            let fed = 'feed: {
+                for (w, r) in builder.wr_pairs(obj) {
+                    if !self.inc.add(DepEdgeKind::Wr, w, r) {
+                        break 'feed false;
+                    }
+                }
+                for (a, b) in builder.ww_pairs(obj) {
+                    if !self.inc.add(DepEdgeKind::Ww, a, b) {
+                        break 'feed false;
+                    }
+                }
+                for (a, b) in builder.rw_pairs(obj) {
+                    if !self.inc.add(DepEdgeKind::Rw, a, b) {
+                        break 'feed false;
+                    }
+                }
+                true
+            };
+            if !fed {
+                self.inc.undo_to(mark);
                 self.backtracks += 1;
                 return Ok(None);
             }
-            let mut b3 = b2.clone();
-            return self.solve(at + 1, &mut b3);
+            let found = self.solve(at + 1, builder)?;
+            if found.is_none() {
+                self.inc.undo_to(mark);
+            }
+            return Ok(found);
         }
         for i in fixed..writers.len() {
             writers.swap(fixed, i);
@@ -305,71 +354,6 @@ impl Search<'_> {
             writers.swap(fixed, i);
         }
         Ok(None)
-    }
-
-    /// Checks whether the partially assigned graph already violates the
-    /// class's acyclicity condition (restricted to objects `[0..=at]`,
-    /// whose WR/WW are fully assigned). Edges only ever get added as more
-    /// objects are assigned, so a violation here dooms every completion.
-    fn partial_is_doomed(&self, builder: &DepGraphBuilder, at: usize) -> bool {
-        // `build()` would reject partial assignments (MissingWr for the
-        // objects not yet reached), so fill the missing WR entries with the
-        // first value-compatible writer purely for this pruning check — the
-        // relations consulted below only involve assigned objects, whose
-        // entries are untouched by the fill.
-        let mut filled = builder.clone();
-        fill_missing_wr(&mut filled);
-        let Ok(graph) = filled.build() else {
-            return true;
-        };
-        let n = self.history.tx_count();
-        let mut so_wr = self.history.session_order();
-        let mut ww = si_relations::Relation::new(n);
-        let mut rw = si_relations::Relation::new(n);
-        for choice in &self.choices[..=at] {
-            let x = choice.obj;
-            for (w, r) in graph.wr_pairs(x) {
-                so_wr.insert(w, r);
-            }
-            for (a, b) in graph.ww_pairs(x) {
-                ww.insert(a, b);
-            }
-            for (a, b) in graph.rw_pairs(x) {
-                rw.insert(a, b);
-            }
-        }
-        match self.class {
-            GraphClass::Ser => !so_wr.union(&ww).union(&rw).is_acyclic(),
-            GraphClass::Si => !so_wr.union(&ww).compose_opt(&rw).is_acyclic(),
-            GraphClass::Psi => {
-                let dp = so_wr.union(&ww).transitive_closure();
-                let comp = dp.compose_opt(&rw);
-                self.history.tx_ids().any(|t| comp.contains(t, t))
-            }
-            GraphClass::Pc => !so_wr.compose_opt(&rw).union(&ww).is_acyclic(),
-        }
-    }
-}
-
-/// Fills every missing WR entry with the first value-compatible writer
-/// (arbitrary but deterministic); used only to satisfy the builder's
-/// completeness validation during partial-assignment pruning.
-fn fill_missing_wr(builder: &mut DepGraphBuilder) {
-    let history = builder.history().clone();
-    for (reader, t) in history.transactions() {
-        for x in t.external_read_set() {
-            if builder.has_wr(x, reader) {
-                continue;
-            }
-            let v = t.external_read(x).expect("external read exists");
-            let candidate = history
-                .transactions()
-                .find(|&(w, wt)| w != reader && wt.final_write(x) == Some(v))
-                .map(|(w, _)| w);
-            if let Some(w) = candidate {
-                builder.wr(x, w, reader);
-            }
-        }
     }
 }
 

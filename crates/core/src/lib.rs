@@ -90,7 +90,8 @@ pub use history_check::{
 };
 pub use membership::{
     check_psi, check_psi_traced, check_ser, check_ser_traced, check_si, check_si_traced,
-    GraphClass, MembershipError,
+    psi_characteristic_irreflexive, ser_characteristic_acyclic, si_characteristic_acyclic,
+    GraphClass, MembershipError, INCREMENTAL_CROSSOVER,
 };
 pub use monitor::{MonitorVerdict, ObservedTx, SiMonitor};
 pub use solve::{smallest_solution, Solution};

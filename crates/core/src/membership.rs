@@ -1,11 +1,99 @@
 //! Graph-class membership: Theorems 8, 9 and 21.
+//!
+//! Each acyclicity check has two implementations:
+//!
+//! * a **dense** one-shot pass — build the composed relation with the
+//!   bitset [`Relation`](si_relations::Relation) algebra and run
+//!   [`find_cycle`](si_relations::Relation::find_cycle); and
+//! * an **incremental** pass — feed the graph's labelled edges into an
+//!   [`IncrementalClass`], which maintains the composed relation under
+//!   online topological-order maintenance and stops at the first
+//!   violating edge.
+//!
+//! For SER and SI the incremental pass takes over above
+//! [`INCREMENTAL_CROSSOVER`] transactions, where the dense `O(n³/64)`
+//! composition dominates; below it, the word-parallel dense algebra is
+//! faster than per-edge bookkeeping. PSI stays dense at every size for
+//! one-shot checks: its condition needs `D⁺`, and a single word-parallel
+//! Warshall closure beats per-edge reachability sweeps when the whole
+//! graph is already known (the incremental PSI engine earns its keep in
+//! the *streaming* monitor, where re-running the closure per append is
+//! the `O(n⁴/64)` alternative).
 
 use core::fmt;
 
 use si_depgraph::DependencyGraph;
 use si_model::IntViolation;
-use si_relations::TxId;
+use si_relations::{ClassKind, DepEdgeKind, IncrementalClass, TxId};
 use si_telemetry::{Event, SpanTimer, Telemetry};
+
+/// Transaction count at which the SER/SI membership checks switch from
+/// the dense bitset pass to the incremental engine.
+pub const INCREMENTAL_CROSSOVER: usize = 256;
+
+/// Feeds every labelled dependency edge of `graph` into a fresh
+/// [`IncrementalClass`], stopping at the first violation. Session order
+/// first (it is shared by every class), then per object: read
+/// dependencies, write dependencies, anti-dependencies.
+fn feed_class(kind: ClassKind, graph: &DependencyGraph) -> IncrementalClass {
+    let n = graph.history().tx_count();
+    let mut class = IncrementalClass::new(kind, n);
+    'feed: {
+        for (a, b) in graph.so_relation().iter_pairs() {
+            if !class.add(DepEdgeKind::So, a, b) {
+                break 'feed;
+            }
+        }
+        for x in graph.objects() {
+            for (a, b) in graph.wr_pairs(x) {
+                if !class.add(DepEdgeKind::Wr, a, b) {
+                    break 'feed;
+                }
+            }
+            for (a, b) in graph.ww_pairs(x) {
+                if !class.add(DepEdgeKind::Ww, a, b) {
+                    break 'feed;
+                }
+            }
+            for (a, b) in graph.rw_pairs(x) {
+                if !class.add(DepEdgeKind::Rw, a, b) {
+                    break 'feed;
+                }
+            }
+        }
+    }
+    class
+}
+
+/// Whether `SO ∪ WR ∪ WW ∪ RW` is acyclic — SER's characteristic test
+/// (Theorem 8) without the INT precondition. Picks the dense or
+/// incremental engine by [`INCREMENTAL_CROSSOVER`].
+pub fn ser_characteristic_acyclic(graph: &DependencyGraph) -> bool {
+    if graph.history().tx_count() >= INCREMENTAL_CROSSOVER {
+        feed_class(ClassKind::Ser, graph).is_consistent()
+    } else {
+        graph.all_relation().is_acyclic()
+    }
+}
+
+/// Whether `(SO ∪ WR ∪ WW) ; RW?` is acyclic — SI's characteristic test
+/// (Theorem 9) without the INT precondition. Picks the dense or
+/// incremental engine by [`INCREMENTAL_CROSSOVER`].
+pub fn si_characteristic_acyclic(graph: &DependencyGraph) -> bool {
+    if graph.history().tx_count() >= INCREMENTAL_CROSSOVER {
+        feed_class(ClassKind::Si, graph).is_consistent()
+    } else {
+        graph.dep_relation().compose_opt(&graph.rw_relation()).is_acyclic()
+    }
+}
+
+/// Whether `(SO ∪ WR ∪ WW)⁺ ; RW?` is irreflexive — PSI's characteristic
+/// test (Theorem 21) without the INT precondition. Always dense (module
+/// docs explain why one-shot PSI keeps the Warshall closure).
+pub fn psi_characteristic_irreflexive(graph: &DependencyGraph) -> bool {
+    let composed = graph.dep_relation().transitive_closure().compose_opt(&graph.rw_relation());
+    graph.history().tx_ids().all(|t| !composed.contains(t, t))
+}
 
 /// The dependency-graph classes characterising the three consistency
 /// models.
@@ -151,13 +239,23 @@ pub fn check_ser_traced(
 ) -> Result<(), MembershipError> {
     check_int(graph)?;
     let timer = SpanTimer::start();
-    let all = graph.all_relation();
-    let cycle = all.find_cycle();
+    let (cycle, edges, visited, reordered) = if graph.history().tx_count() >= INCREMENTAL_CROSSOVER
+    {
+        let class = feed_class(ClassKind::Ser, graph);
+        let stats = class.stats();
+        let cycle = class.violation().map(<[TxId]>::to_vec);
+        (cycle, class.maintained_edge_count(), stats.visited, stats.reordered)
+    } else {
+        let all = graph.all_relation();
+        (all.find_cycle(), all.edge_count(), 0, 0)
+    };
     let nanos = timer.elapsed_nanos();
     telemetry.emit(|| Event::CycleSearchStep {
         check: "check_ser",
         nodes: graph.history().tx_count() as u64,
-        edges: all.edge_count() as u64,
+        edges: edges as u64,
+        visited,
+        reordered,
     });
     let ok = cycle.is_none();
     telemetry.emit(|| Event::VerdictEmitted { check: "check_ser", ok, nanos });
@@ -194,13 +292,23 @@ pub fn check_si_traced(
 ) -> Result<(), MembershipError> {
     check_int(graph)?;
     let timer = SpanTimer::start();
-    let composed = graph.dep_relation().compose_opt(&graph.rw_relation());
-    let cycle = composed.find_cycle();
+    let (cycle, edges, visited, reordered) = if graph.history().tx_count() >= INCREMENTAL_CROSSOVER
+    {
+        let class = feed_class(ClassKind::Si, graph);
+        let stats = class.stats();
+        let cycle = class.violation().map(<[TxId]>::to_vec);
+        (cycle, class.maintained_edge_count(), stats.visited, stats.reordered)
+    } else {
+        let composed = graph.dep_relation().compose_opt(&graph.rw_relation());
+        (composed.find_cycle(), composed.edge_count(), 0, 0)
+    };
     let nanos = timer.elapsed_nanos();
     telemetry.emit(|| Event::CycleSearchStep {
         check: "check_si",
         nodes: graph.history().tx_count() as u64,
-        edges: composed.edge_count() as u64,
+        edges: edges as u64,
+        visited,
+        reordered,
     });
     let ok = cycle.is_none();
     telemetry.emit(|| Event::VerdictEmitted { check: "check_si", ok, nanos });
@@ -245,6 +353,8 @@ pub fn check_psi_traced(
         check: "check_psi",
         nodes: graph.history().tx_count() as u64,
         edges: composed.edge_count() as u64,
+        visited: 0,
+        reordered: 0,
     });
     let ok = reflexive.is_none();
     telemetry.emit(|| Event::VerdictEmitted { check: "check_psi", ok, nanos });
@@ -362,6 +472,33 @@ mod tests {
             assert!(composed.contains(w[0], w[1]));
         }
         assert!(composed.contains(*nodes.last().unwrap(), nodes[0]));
+    }
+
+    #[test]
+    fn incremental_feed_agrees_with_dense_on_canonical_graphs() {
+        // The canonical graphs all satisfy INT, so the dense check_*
+        // verdicts are exactly the characteristic tests — which the
+        // incremental feed must reproduce for every class.
+        for g in [write_skew(), lost_update(), long_fork(), serial_chain()] {
+            let expectations = [
+                (ClassKind::Ser, check_ser(&g).is_ok()),
+                (ClassKind::Si, check_si(&g).is_ok()),
+                (ClassKind::Psi, check_psi(&g).is_ok()),
+                (ClassKind::Pc, crate::pc::check_pc_graph(&g).is_ok()),
+            ];
+            for (kind, dense_ok) in expectations {
+                assert_eq!(feed_class(kind, &g).is_consistent(), dense_ok, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn characteristic_helpers_match_checks_on_int_satisfying_graphs() {
+        for g in [write_skew(), lost_update(), long_fork(), serial_chain()] {
+            assert_eq!(ser_characteristic_acyclic(&g), check_ser(&g).is_ok());
+            assert_eq!(si_characteristic_acyclic(&g), check_si(&g).is_ok());
+            assert_eq!(psi_characteristic_irreflexive(&g), check_psi(&g).is_ok());
+        }
     }
 
     #[test]

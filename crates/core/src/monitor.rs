@@ -10,10 +10,24 @@
 //! graph class. Because edges only ever get added, a violation is final —
 //! exactly the monotonicity that makes Theorem 9's acyclicity condition
 //! monitorable online.
+//!
+//! Two engines implement the check:
+//!
+//! * the default **incremental** engine ([`IncrementalClass`]) maintains
+//!   the class's characteristic relation under edge insertion
+//!   (Pearce–Kelly online topological order), so an append costs the
+//!   bounded searches its new edges trigger — amortised near-linear,
+//!   the way production black-box checkers such as PolySI scale;
+//! * the **dense oracle** engine ([`SiMonitor::new_dense`]) recomputes
+//!   the composed relation from scratch with the bitset [`Relation`]
+//!   algebra on every append — `O(n³/64)` per append, kept as the
+//!   differential-testing oracle (`tests/monitor.rs`) and for
+//!   apples-to-apples benchmarks (`crates/bench/benches/monitor_scaling`).
 
+use si_depgraph::DependencyGraph;
 use si_execution::SpecModel;
 use si_model::Obj;
-use si_relations::{Relation, TxId};
+use si_relations::{ClassKind, DepEdgeKind, IncrementalClass, IncrementalStats, Relation, TxId};
 use si_telemetry::{EdgeKind, Event, SpanTimer, Telemetry};
 
 /// A transaction reported to the monitor: its dependencies as observed by
@@ -42,6 +56,22 @@ pub enum MonitorVerdict {
     Violation {
         /// A witness cycle of the class's composed relation.
         cycle: Vec<TxId>,
+    },
+}
+
+/// The check engine backing a monitor.
+#[derive(Debug, Clone)]
+enum MonitorEngine {
+    /// Online maintenance of the class's characteristic relation (boxed:
+    /// the maintainer's index vectors dwarf the two dense relation
+    /// handles).
+    Incremental(Box<IncrementalClass>),
+    /// From-scratch dense recomposition per append (the oracle).
+    Dense {
+        /// `SO ∪ WR ∪ WW` so far.
+        dep: Relation,
+        /// `RW` so far.
+        rw: Relation,
     },
 }
 
@@ -78,36 +108,88 @@ pub enum MonitorVerdict {
 #[derive(Debug, Clone)]
 pub struct SiMonitor {
     model: SpecModel,
-    /// `SO ∪ WR ∪ WW` so far.
-    dep: Relation,
-    /// `RW` so far.
-    rw: Relation,
-    /// Last transaction of each session chain is tracked by the caller;
-    /// the monitor itself only stores per-object state:
-    /// version order per object.
+    engine: MonitorEngine,
+    /// Version order per object, in append order.
     version_order: Vec<Vec<TxId>>, // indexed by Obj
-    /// `(object, reader, writer)` triples seen, to derive RW when later
-    /// writers arrive.
-    reads: Vec<(Obj, TxId, TxId)>,
+    /// Per object: the transactions that externally read one of its
+    /// versions — the index that turns write-side anti-dependency
+    /// derivation into a per-object lookup instead of a scan over every
+    /// read ever observed.
+    readers_of: Vec<Vec<TxId>>, // indexed by Obj
     violated: Option<Vec<TxId>>,
     next_tx: u32,
     so_pred: Vec<Option<TxId>>,
     telemetry: Telemetry,
+    /// Reusable per-append edge buffer.
+    scratch: Vec<(EdgeKind, TxId, TxId)>,
+}
+
+fn dep_kind(kind: EdgeKind) -> DepEdgeKind {
+    match kind {
+        EdgeKind::So => DepEdgeKind::So,
+        EdgeKind::Wr => DepEdgeKind::Wr,
+        EdgeKind::Ww => DepEdgeKind::Ww,
+        EdgeKind::Rw => DepEdgeKind::Rw,
+    }
+}
+
+fn class_of(model: SpecModel) -> ClassKind {
+    match model {
+        SpecModel::Si => ClassKind::Si,
+        SpecModel::Ser => ClassKind::Ser,
+        SpecModel::Psi => ClassKind::Psi,
+    }
+}
+
+/// The dense oracle's verdict over accumulated `dep`/`rw` relations.
+fn dense_verdict(model: SpecModel, dep: &Relation, rw: &Relation) -> (Relation, Option<Vec<TxId>>) {
+    let composed = match model {
+        SpecModel::Si => dep.compose_opt(rw),
+        SpecModel::Ser => dep.union(rw),
+        SpecModel::Psi => dep.transitive_closure().compose_opt(rw),
+    };
+    let cycle = match model {
+        SpecModel::Psi => (0..composed.universe() as u32)
+            .map(TxId)
+            .find(|&t| composed.contains(t, t))
+            .map(|t| vec![t]),
+        _ => composed.find_cycle(),
+    };
+    (composed, cycle)
 }
 
 impl SiMonitor {
-    /// Creates a monitor for the given model's graph class.
+    /// Creates a monitor for the given model's graph class, backed by the
+    /// incremental engine.
     pub fn new(model: SpecModel) -> Self {
+        Self::with_engine(
+            model,
+            MonitorEngine::Incremental(Box::new(IncrementalClass::new(class_of(model), 0))),
+        )
+    }
+
+    /// Creates a monitor backed by the dense from-scratch engine —
+    /// `O(n³/64)` per append. Verdict-equivalent to [`SiMonitor::new`]
+    /// (witness cycles may differ); kept as the differential-testing
+    /// oracle and benchmark baseline.
+    pub fn new_dense(model: SpecModel) -> Self {
+        Self::with_engine(
+            model,
+            MonitorEngine::Dense { dep: Relation::new(0), rw: Relation::new(0) },
+        )
+    }
+
+    fn with_engine(model: SpecModel, engine: MonitorEngine) -> Self {
         SiMonitor {
             model,
-            dep: Relation::new(0),
-            rw: Relation::new(0),
+            engine,
             version_order: Vec::new(),
-            reads: Vec::new(),
+            readers_of: Vec::new(),
             violated: None,
             next_tx: 0,
             so_pred: Vec::new(),
             telemetry: Telemetry::disabled(),
+            scratch: Vec::new(),
         }
     }
 
@@ -124,6 +206,59 @@ impl SiMonitor {
     /// Attaches (or replaces) the telemetry handle.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Whether this monitor runs the dense from-scratch oracle engine.
+    pub fn is_dense_oracle(&self) -> bool {
+        matches!(self.engine, MonitorEngine::Dense { .. })
+    }
+
+    /// Warm-starts a monitor as if the first `prefix` transactions of
+    /// `graph` (in `TxId` order) had been appended, paying only the edge
+    /// application plus a *single* verdict check at the end — the cheap
+    /// way to resume monitoring from an offline-validated checkpoint, and
+    /// what lets benchmarks measure steady-state append cost without
+    /// replaying the dense engine's per-append checks.
+    ///
+    /// Requires the graph's dependencies to point backwards in `TxId`
+    /// order (true of engine-extracted, commit-ordered graphs); panics
+    /// otherwise. Set `dense` for the dense oracle engine.
+    pub fn resume_from_graph(
+        model: SpecModel,
+        graph: &DependencyGraph,
+        prefix: usize,
+        dense: bool,
+    ) -> Self {
+        let mut monitor = if dense { Self::new_dense(model) } else { Self::new(model) };
+        let h = graph.history();
+        let mut last_of_session: Vec<Option<TxId>> = vec![None; h.session_count()];
+        for t in h.tx_ids().take(prefix) {
+            let session = h.session_of(t);
+            let tx = ObservedTx {
+                session_predecessor: session.and_then(|s| last_of_session[s.index()]),
+                reads_from: h
+                    .transaction(t)
+                    .external_read_set()
+                    .into_iter()
+                    .map(|x| (x, graph.writer_for(t, x).expect("reads have writers")))
+                    .collect(),
+                writes: h.transaction(t).write_set(),
+            };
+            if let Some(s) = session {
+                last_of_session[s.index()] = Some(t);
+            }
+            let id = TxId(monitor.next_tx);
+            monitor.next_tx += 1;
+            monitor.grow(monitor.next_tx as usize);
+            monitor.apply_observed(&tx, id);
+        }
+        // One verdict for the whole prefix (the incremental engine has
+        // been checking all along; the dense engine composes once).
+        monitor.violated = match &monitor.engine {
+            MonitorEngine::Incremental(class) => class.violation().map(<[TxId]>::to_vec),
+            MonitorEngine::Dense { dep, rw } => dense_verdict(model, dep, rw).1,
+        };
+        monitor
     }
 
     /// The telemetry label of this monitor's verdicts.
@@ -161,92 +296,36 @@ impl SiMonitor {
         self.next_tx += 1;
         self.grow(self.next_tx as usize);
 
-        // SO edge, transitively extended along the session chain.
-        if let Some(pred) = tx.session_predecessor {
-            let mut cur = Some(pred);
-            while let Some(p) = cur {
-                self.dep.insert(p, id);
-                self.telemetry.emit(|| Event::EdgeAdded {
-                    kind: EdgeKind::So,
-                    from: p.0,
-                    to: id.0,
-                });
-                cur = self.so_pred[p.index()];
-            }
-            self.so_pred[id.index()] = Some(pred);
-        }
+        let check_needed = self.violated.is_none();
+        let timer = SpanTimer::start();
+        let stats_before = match &self.engine {
+            MonitorEngine::Incremental(class) => class.stats(),
+            MonitorEngine::Dense { .. } => IncrementalStats::default(),
+        };
 
-        // WR edges + remember reads for future RW derivation.
-        for &(x, writer) in &tx.reads_from {
-            self.ensure_obj(x);
-            self.dep.insert(writer, id);
-            self.telemetry.emit(|| Event::EdgeAdded {
-                kind: EdgeKind::Wr,
-                from: writer.0,
-                to: id.0,
-            });
-            self.reads.push((x, id, writer));
-            // RW edges towards writers that already overwrote `writer`.
-            let order = &self.version_order[x.index()];
-            if let Some(pos) = order.iter().position(|&w| w == writer) {
-                let later: Vec<TxId> =
-                    order[pos + 1..].iter().copied().filter(|&s| s != id).collect();
-                for s in later {
-                    self.rw.insert(id, s);
-                    self.telemetry.emit(|| Event::EdgeAdded {
-                        kind: EdgeKind::Rw,
-                        from: id.0,
-                        to: s.0,
-                    });
-                }
-            }
-        }
+        self.apply_observed(&tx, id);
 
-        // WW edges: this transaction becomes the newest version of each
-        // written object; readers of older versions now anti-depend on it.
-        for &x in &tx.writes {
-            self.ensure_obj(x);
-            let order = self.version_order[x.index()].clone();
-            for &prev in &order {
-                self.dep.insert(prev, id);
-                self.telemetry.emit(|| Event::EdgeAdded {
-                    kind: EdgeKind::Ww,
-                    from: prev.0,
-                    to: id.0,
-                });
-            }
-            for &(ox, reader, writer) in &self.reads {
-                if ox == x && reader != id && order.contains(&writer) {
-                    self.rw.insert(reader, id);
-                    self.telemetry.emit(|| Event::EdgeAdded {
-                        kind: EdgeKind::Rw,
-                        from: reader.0,
-                        to: id.0,
-                    });
+        if check_needed {
+            let check = self.check_label();
+            let (cycle, edges, stats) = match &mut self.engine {
+                MonitorEngine::Incremental(class) => {
+                    let mut stats = class.stats();
+                    stats.visited -= stats_before.visited;
+                    stats.reordered -= stats_before.reordered;
+                    (class.violation().map(<[TxId]>::to_vec), class.maintained_edge_count(), stats)
                 }
-            }
-            self.version_order[x.index()].push(id);
-        }
-
-        if self.violated.is_none() {
-            let timer = SpanTimer::start();
-            let composed = match self.model {
-                SpecModel::Si => self.dep.compose_opt(&self.rw),
-                SpecModel::Ser => self.dep.union(&self.rw),
-                SpecModel::Psi => self.dep.transitive_closure().compose_opt(&self.rw),
-            };
-            let cycle = match self.model {
-                SpecModel::Psi => {
-                    (0..self.next_tx).map(TxId).find(|&t| composed.contains(t, t)).map(|t| vec![t])
+                MonitorEngine::Dense { dep, rw } => {
+                    let (composed, cycle) = dense_verdict(self.model, dep, rw);
+                    (cycle, composed.edge_count(), IncrementalStats::default())
                 }
-                _ => composed.find_cycle(),
             };
             let nanos = timer.elapsed_nanos();
-            let check = self.check_label();
             self.telemetry.emit(|| Event::CycleSearchStep {
                 check,
                 nodes: u64::from(self.next_tx),
-                edges: composed.edge_count() as u64,
+                edges: edges as u64,
+                visited: stats.visited,
+                reordered: stats.reordered,
             });
             self.telemetry.emit(|| Event::VerdictEmitted { check, ok: cycle.is_none(), nanos });
             self.violated = cycle;
@@ -254,15 +333,86 @@ impl SiMonitor {
         id
     }
 
+    /// Derives `id`'s dependency edges and applies them to the engine
+    /// (emitting [`Event::EdgeAdded`] per edge), without checking.
+    fn apply_observed(&mut self, tx: &ObservedTx, id: TxId) {
+        let mut edges = std::mem::take(&mut self.scratch);
+        edges.clear();
+
+        // SO edge, transitively extended along the session chain.
+        if let Some(pred) = tx.session_predecessor {
+            let mut cur = Some(pred);
+            while let Some(p) = cur {
+                edges.push((EdgeKind::So, p, id));
+                cur = self.so_pred[p.index()];
+            }
+            self.so_pred[id.index()] = Some(pred);
+        }
+
+        // WR edges, read-side RW edges towards writers that already
+        // overwrote the observed version, and the readers index for
+        // write-side derivation later.
+        for &(x, writer) in &tx.reads_from {
+            self.ensure_obj(x);
+            edges.push((EdgeKind::Wr, writer, id));
+            let order = &self.version_order[x.index()];
+            if let Some(pos) = order.iter().position(|&w| w == writer) {
+                for &s in &order[pos + 1..] {
+                    if s != id {
+                        edges.push((EdgeKind::Rw, id, s));
+                    }
+                }
+                self.readers_of[x.index()].push(id);
+            }
+        }
+
+        // WW edges: this transaction becomes the newest version of each
+        // written object; readers of older versions now anti-depend on it.
+        for &x in &tx.writes {
+            self.ensure_obj(x);
+            for &prev in &self.version_order[x.index()] {
+                edges.push((EdgeKind::Ww, prev, id));
+            }
+            for &reader in &self.readers_of[x.index()] {
+                if reader != id {
+                    edges.push((EdgeKind::Rw, reader, id));
+                }
+            }
+            self.version_order[x.index()].push(id);
+        }
+
+        for &(kind, from, to) in &edges {
+            self.telemetry.emit(|| Event::EdgeAdded { kind, from: from.0, to: to.0 });
+            match &mut self.engine {
+                MonitorEngine::Incremental(class) => {
+                    class.add(dep_kind(kind), from, to);
+                }
+                MonitorEngine::Dense { dep, rw } => {
+                    match kind {
+                        EdgeKind::Rw => rw.insert(from, to),
+                        _ => dep.insert(from, to),
+                    };
+                }
+            }
+        }
+        self.scratch = edges;
+    }
+
     fn grow(&mut self, n: usize) {
-        self.dep = self.dep.grown(n);
-        self.rw = self.rw.grown(n);
+        match &mut self.engine {
+            MonitorEngine::Incremental(class) => class.grow(n),
+            MonitorEngine::Dense { dep, rw } => {
+                *dep = dep.grown(n);
+                *rw = rw.grown(n);
+            }
+        }
         self.so_pred.resize(n, None);
     }
 
     fn ensure_obj(&mut self, x: Obj) {
         if x.index() >= self.version_order.len() {
             self.version_order.resize(x.index() + 1, Vec::new());
+            self.readers_of.resize(x.index() + 1, Vec::new());
         }
     }
 }
@@ -278,6 +428,12 @@ mod tests {
         Obj(1)
     }
 
+    /// Both engines, so every scenario differentially tests the
+    /// incremental path against the dense oracle.
+    fn monitors(model: SpecModel) -> [SiMonitor; 2] {
+        [SiMonitor::new(model), SiMonitor::new_dense(model)]
+    }
+
     fn init(monitor: &mut SiMonitor) -> TxId {
         monitor.append(ObservedTx { writes: vec![x(), y()], ..Default::default() })
     }
@@ -285,38 +441,40 @@ mod tests {
     #[test]
     fn write_skew_tolerated_by_si_flagged_by_ser() {
         for (model, expect_ok) in [(SpecModel::Si, true), (SpecModel::Ser, false)] {
-            let mut m = SiMonitor::new(model);
-            let i = init(&mut m);
-            m.append(ObservedTx {
-                reads_from: vec![(x(), i), (y(), i)],
-                writes: vec![x()],
-                ..Default::default()
-            });
-            m.append(ObservedTx {
-                reads_from: vec![(x(), i), (y(), i)],
-                writes: vec![y()],
-                ..Default::default()
-            });
-            assert_eq!(m.is_consistent(), expect_ok, "{model}");
+            for mut m in monitors(model) {
+                let i = init(&mut m);
+                m.append(ObservedTx {
+                    reads_from: vec![(x(), i), (y(), i)],
+                    writes: vec![x()],
+                    ..Default::default()
+                });
+                m.append(ObservedTx {
+                    reads_from: vec![(x(), i), (y(), i)],
+                    writes: vec![y()],
+                    ..Default::default()
+                });
+                assert_eq!(m.is_consistent(), expect_ok, "{model} dense={}", m.is_dense_oracle());
+            }
         }
     }
 
     #[test]
     fn lost_update_flagged_by_all() {
         for model in SpecModel::ALL {
-            let mut m = SiMonitor::new(model);
-            let i = init(&mut m);
-            m.append(ObservedTx {
-                reads_from: vec![(x(), i)],
-                writes: vec![x()],
-                ..Default::default()
-            });
-            m.append(ObservedTx {
-                reads_from: vec![(x(), i)],
-                writes: vec![x()],
-                ..Default::default()
-            });
-            assert!(!m.is_consistent(), "{model} missed the lost update");
+            for mut m in monitors(model) {
+                let i = init(&mut m);
+                m.append(ObservedTx {
+                    reads_from: vec![(x(), i)],
+                    writes: vec![x()],
+                    ..Default::default()
+                });
+                m.append(ObservedTx {
+                    reads_from: vec![(x(), i)],
+                    writes: vec![x()],
+                    ..Default::default()
+                });
+                assert!(!m.is_consistent(), "{model} missed the lost update");
+            }
         }
     }
 
@@ -325,37 +483,45 @@ mod tests {
         for (model, expect_ok) in
             [(SpecModel::Psi, true), (SpecModel::Si, false), (SpecModel::Ser, false)]
         {
-            let mut m = SiMonitor::new(model);
-            let i = init(&mut m);
-            let w1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
-            let w2 = m.append(ObservedTx { writes: vec![y()], ..Default::default() });
-            m.append(ObservedTx { reads_from: vec![(x(), w1), (y(), i)], ..Default::default() });
-            m.append(ObservedTx { reads_from: vec![(x(), i), (y(), w2)], ..Default::default() });
-            assert_eq!(m.is_consistent(), expect_ok, "{model}");
+            for mut m in monitors(model) {
+                let i = init(&mut m);
+                let w1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
+                let w2 = m.append(ObservedTx { writes: vec![y()], ..Default::default() });
+                m.append(ObservedTx {
+                    reads_from: vec![(x(), w1), (y(), i)],
+                    ..Default::default()
+                });
+                m.append(ObservedTx {
+                    reads_from: vec![(x(), i), (y(), w2)],
+                    ..Default::default()
+                });
+                assert_eq!(m.is_consistent(), expect_ok, "{model}");
+            }
         }
     }
 
     #[test]
     fn violation_is_sticky_and_witnessed() {
-        let mut m = SiMonitor::new(SpecModel::Si);
-        let i = init(&mut m);
-        m.append(ObservedTx {
-            reads_from: vec![(x(), i)],
-            writes: vec![x()],
-            ..Default::default()
-        });
-        m.append(ObservedTx {
-            reads_from: vec![(x(), i)],
-            writes: vec![x()],
-            ..Default::default()
-        });
-        assert!(!m.is_consistent());
-        let witness = m.violation().unwrap().to_vec();
-        assert!(!witness.is_empty());
-        // Appending a harmless transaction does not clear the flag.
-        m.append(ObservedTx { writes: vec![y()], ..Default::default() });
-        assert!(!m.is_consistent());
-        assert_eq!(m.violation().unwrap(), witness.as_slice());
+        for mut m in monitors(SpecModel::Si) {
+            let i = init(&mut m);
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i)],
+                writes: vec![x()],
+                ..Default::default()
+            });
+            m.append(ObservedTx {
+                reads_from: vec![(x(), i)],
+                writes: vec![x()],
+                ..Default::default()
+            });
+            assert!(!m.is_consistent());
+            let witness = m.violation().unwrap().to_vec();
+            assert!(!witness.is_empty());
+            // Appending a harmless transaction does not clear the flag.
+            m.append(ObservedTx { writes: vec![y()], ..Default::default() });
+            assert!(!m.is_consistent());
+            assert_eq!(m.violation().unwrap(), witness.as_slice());
+        }
     }
 
     #[test]
@@ -363,29 +529,31 @@ mod tests {
         // T1 writes x; same session's T2 "reads stale x" (observes init
         // although T1 precedes it in the session) — SESSION makes this a
         // violation in every model.
-        let mut m = SiMonitor::new(SpecModel::Si);
-        let i = init(&mut m);
-        let t1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
-        m.append(ObservedTx {
-            session_predecessor: Some(t1),
-            reads_from: vec![(x(), i)],
-            ..Default::default()
-        });
-        assert!(!m.is_consistent());
+        for mut m in monitors(SpecModel::Si) {
+            let i = init(&mut m);
+            let t1 = m.append(ObservedTx { writes: vec![x()], ..Default::default() });
+            m.append(ObservedTx {
+                session_predecessor: Some(t1),
+                reads_from: vec![(x(), i)],
+                ..Default::default()
+            });
+            assert!(!m.is_consistent());
+        }
     }
 
     #[test]
     fn serial_stream_stays_consistent() {
-        let mut m = SiMonitor::new(SpecModel::Ser);
-        let mut last = init(&mut m);
-        for _ in 0..10 {
-            last = m.append(ObservedTx {
-                session_predecessor: Some(last),
-                reads_from: vec![(x(), last)],
-                writes: vec![x()],
-            });
-            assert!(m.is_consistent());
+        for mut m in monitors(SpecModel::Ser) {
+            let mut last = init(&mut m);
+            for _ in 0..10 {
+                last = m.append(ObservedTx {
+                    session_predecessor: Some(last),
+                    reads_from: vec![(x(), last)],
+                    writes: vec![x()],
+                });
+                assert!(m.is_consistent());
+            }
+            assert_eq!(m.tx_count(), 11); // init + 10 increments
         }
-        assert_eq!(m.tx_count(), 11); // init + 10 increments
     }
 }

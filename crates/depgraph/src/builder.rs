@@ -46,6 +46,54 @@ impl DepGraphBuilder {
         self
     }
 
+    /// Read-dependency pairs `(writer, reader)` for `x`, from the entries
+    /// recorded *so far* — the partial-assignment view backtracking
+    /// searches need, without cloning or building the graph. Matches
+    /// [`DependencyGraph::wr_pairs`] once every entry is assigned.
+    pub fn wr_pairs(&self, x: Obj) -> Vec<(TxId, TxId)> {
+        self.wr
+            .get(&x)
+            .map(|m| m.iter().map(|(&reader, &writer)| (writer, reader)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Write-dependency pairs `(overwritten, overwriter)` for `x` — all
+    /// ordered pairs of the version order recorded so far (empty if no
+    /// explicit order has been set). Matches
+    /// [`DependencyGraph::ww_pairs`] once the order is assigned.
+    pub fn ww_pairs(&self, x: Obj) -> Vec<(TxId, TxId)> {
+        let order = self.ww.get(&x).map(Vec::as_slice).unwrap_or(&[]);
+        let mut pairs = Vec::new();
+        for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Anti-dependency pairs for `x` derived from the entries recorded so
+    /// far, per Definition 5: `T -RW(x)→ S` iff `T ≠ S ∧ ∃T'. T' -WR(x)→
+    /// T ∧ T' -WW(x)→ S`. Matches [`DependencyGraph::rw_pairs`] once
+    /// `x`'s entries are fully assigned.
+    pub fn rw_pairs(&self, x: Obj) -> Vec<(TxId, TxId)> {
+        let mut pairs = Vec::new();
+        let order = self.ww.get(&x).map(Vec::as_slice).unwrap_or(&[]);
+        let Some(readers) = self.wr.get(&x) else {
+            return pairs;
+        };
+        for (&reader, &writer) in readers {
+            if let Some(pos) = order.iter().position(|&t| t == writer) {
+                for &overwriter in &order[pos + 1..] {
+                    if overwriter != reader {
+                        pairs.push((reader, overwriter));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
     /// Sets the full version order of `x` (earliest version first).
     pub fn ww_order<I: IntoIterator<Item = TxId>>(&mut self, x: Obj, order: I) -> &mut Self {
         self.ww.insert(x, order.into_iter().collect());
@@ -157,6 +205,39 @@ mod tests {
         builder.ww_order(Obj(0), [TxId(0), TxId(2), TxId(1)]);
         let g = builder.build().unwrap();
         assert_eq!(g.ww_order(Obj(0)), &[TxId(0), TxId(2), TxId(1)]);
+    }
+
+    #[test]
+    fn partial_pairs_match_built_graph() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 1), Op::write(x, 2)]);
+        b.push_tx(s1, [Op::read(x, 0)]);
+        let h = b.build();
+        let mut builder = DepGraphBuilder::new(h);
+        builder.ww_order(x, [TxId(0), TxId(1), TxId(2)]);
+        builder.wr(x, TxId(1), TxId(2));
+        builder.wr(x, TxId(0), TxId(3));
+        let (wr, ww, rw) = (builder.wr_pairs(x), builder.ww_pairs(x), builder.rw_pairs(x));
+        let g = builder.build().unwrap();
+        assert_eq!(wr, g.wr_pairs(x));
+        assert_eq!(ww, g.ww_pairs(x));
+        assert_eq!(rw, g.rw_pairs(x));
+        assert!(!rw.is_empty());
+    }
+
+    #[test]
+    fn partial_pairs_on_unassigned_object_are_empty() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1)]);
+        let builder = DepGraphBuilder::new(b.build());
+        assert!(builder.wr_pairs(x).is_empty());
+        assert!(builder.ww_pairs(x).is_empty());
+        assert!(builder.rw_pairs(x).is_empty());
     }
 
     #[test]

@@ -1,0 +1,890 @@
+//! Incremental acyclicity: online topological order maintenance and
+//! per-class characteristic-relation maintenance.
+//!
+//! The paper's monitorability argument (Theorem 9 plus the §1 remark on
+//! run-time monitoring) rests on monotonicity: dependency edges are only
+//! ever *added*, so a cycle of the characteristic relation, once closed,
+//! is closed forever. That makes from-scratch recomputation wasteful —
+//! the natural data structure is an *online* cycle detector that pays
+//! only for the edges that arrive, the strategy production black-box
+//! checkers use (PolySI; Biswas & Enea's complexity analysis).
+//!
+//! Two layers live here:
+//!
+//! * [`IncrementalDag`] — a digraph that maintains a topological order
+//!   under edge insertion using the Pearce–Kelly two-way bounded search,
+//!   reports cycles with an explicit witness path, and supports cheap
+//!   speculative batches via [`IncrementalDag::mark`] /
+//!   [`IncrementalDag::undo_to`].
+//! * [`IncrementalClass`] — maintains one graph class's characteristic
+//!   relation (`SER: D ∪ RW`, `SI: D ; RW?`, `PSI: D⁺ ; RW?`,
+//!   `PC: (SO ∪ WR) ; RW? ∪ WW`) as labelled dependency edges arrive,
+//!   deriving composed edges incrementally instead of re-composing dense
+//!   matrices.
+//!
+//! The dense [`Relation`] algorithms remain the differential-testing
+//! oracle (`tests/differential.rs`) and the faster choice for one-shot
+//! checks of small graphs; see `si-core`'s membership crossover.
+
+use std::collections::HashSet;
+
+use crate::{Relation, TxId};
+
+/// Maintenance-effort counters for an incremental structure, exposed so
+/// telemetry can report how much work edge insertion actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Vertices visited by bounded searches (discovery plus reachability
+    /// queries).
+    pub visited: u64,
+    /// Vertices whose topological index was reassigned.
+    pub reordered: u64,
+}
+
+/// A checkpoint into an [`IncrementalDag`]'s edge log; see
+/// [`IncrementalDag::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagMark(usize);
+
+/// A digraph maintaining acyclicity and a topological order under online
+/// edge insertion (Pearce–Kelly style), with cycle witnesses and a
+/// checkpoint/rollback API for speculative edge batches.
+///
+/// Inserting an edge `(a, b)` with `ord[a] < ord[b]` is `O(1)`; otherwise
+/// a two-way search bounded by the *affected region* `[ord[b], ord[a]]`
+/// either finds a path `b ⇝ a` (a cycle — the edge is rejected and a
+/// witness returned) or reorders just the discovered vertices.
+///
+/// # Checkpoints
+///
+/// [`IncrementalDag::mark`] records the current length of the insertion
+/// log; [`IncrementalDag::undo_to`] pops edges back to a mark. Because
+/// every adjacency list is append-only, undo is a plain `pop` per edge,
+/// and because removing edges cannot invalidate a topological order, the
+/// maintained order stays valid without restoration. Marks must be used
+/// LIFO (undo to the most recent outstanding mark first).
+///
+/// # Example
+///
+/// ```
+/// use si_relations::{IncrementalDag, TxId};
+///
+/// let mut dag = IncrementalDag::new(3);
+/// assert_eq!(dag.add_edge(TxId(0), TxId(1)), Ok(true));
+/// assert_eq!(dag.add_edge(TxId(1), TxId(2)), Ok(true));
+/// let mark = dag.mark();
+/// assert!(dag.add_edge(TxId(2), TxId(0)).is_err()); // would close a cycle
+/// dag.undo_to(mark);
+/// assert_eq!(dag.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDag {
+    /// `ord[v]` is `v`'s position in the maintained topological order — a
+    /// permutation of `0..n` with `ord[a] < ord[b]` for every edge.
+    ord: Vec<u32>,
+    out: Vec<Vec<u32>>,
+    inn: Vec<Vec<u32>>,
+    edges: HashSet<(u32, u32)>,
+    /// Insertion log (append-only between undos) backing `mark`/`undo_to`.
+    log: Vec<(u32, u32)>,
+    epoch: u64,
+    fwd_stamp: Vec<u64>,
+    bwd_stamp: Vec<u64>,
+    parent: Vec<u32>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalDag {
+    /// Creates an empty dag over the universe `{T0, …, T(n-1)}`.
+    pub fn new(n: usize) -> Self {
+        IncrementalDag {
+            ord: (0..n as u32).collect(),
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            edges: HashSet::new(),
+            log: Vec::new(),
+            epoch: 0,
+            fwd_stamp: vec![0; n],
+            bwd_stamp: vec![0; n],
+            parent: vec![0; n],
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.ord.len()
+    }
+
+    /// Number of edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether edge `(a, b)` is present.
+    pub fn contains(&self, a: TxId, b: TxId) -> bool {
+        self.edges.contains(&(a.0, b.0))
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Extends the universe to `n` vertices; new vertices take the
+    /// highest topological indices. Growth is not captured by marks and
+    /// is not undone by [`IncrementalDag::undo_to`].
+    pub fn grow(&mut self, n: usize) {
+        let old = self.ord.len();
+        if n <= old {
+            return;
+        }
+        self.ord.extend(old as u32..n as u32);
+        self.out.resize(n, Vec::new());
+        self.inn.resize(n, Vec::new());
+        self.fwd_stamp.resize(n, 0);
+        self.bwd_stamp.resize(n, 0);
+        self.parent.resize(n, 0);
+    }
+
+    /// Successors of `a`.
+    pub fn successors(&self, a: TxId) -> impl Iterator<Item = TxId> + '_ {
+        self.out[a.index()].iter().map(|&v| TxId(v))
+    }
+
+    /// Predecessors of `b`.
+    pub fn predecessors(&self, b: TxId) -> impl Iterator<Item = TxId> + '_ {
+        self.inn[b.index()].iter().map(|&v| TxId(v))
+    }
+
+    /// Records a checkpoint; pair with [`IncrementalDag::undo_to`].
+    pub fn mark(&self) -> DagMark {
+        DagMark(self.log.len())
+    }
+
+    /// Pops every edge inserted after `mark`, restoring the exact edge
+    /// set at the time of the mark. The maintained topological order is
+    /// left as-is: edge removal cannot invalidate it.
+    pub fn undo_to(&mut self, mark: DagMark) {
+        while self.log.len() > mark.0 {
+            let (a, b) = self.log.pop().expect("log length checked");
+            self.edges.remove(&(a, b));
+            let popped_out = self.out[a as usize].pop();
+            debug_assert_eq!(popped_out, Some(b), "adjacency lists must be LIFO");
+            let popped_in = self.inn[b as usize].pop();
+            debug_assert_eq!(popped_in, Some(a), "adjacency lists must be LIFO");
+        }
+    }
+
+    /// Inserts edge `(a, b)`.
+    ///
+    /// Returns `Ok(true)` if inserted, `Ok(false)` if already present.
+    ///
+    /// # Errors
+    ///
+    /// If the edge would close a cycle, returns the witness as a vertex
+    /// sequence `b → … → a` whose consecutive vertices are joined by
+    /// existing edges and whose closing edge is the rejected `(a, b)`
+    /// itself — the same implicit-closing-edge convention as
+    /// [`Relation::find_cycle`]. The edge is **not** inserted, so the dag
+    /// stays acyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` lie outside the universe.
+    pub fn add_edge(&mut self, a: TxId, b: TxId) -> Result<bool, Vec<TxId>> {
+        let n = self.ord.len();
+        assert!(a.index() < n && b.index() < n, "edge outside universe");
+        if a == b {
+            return Err(vec![a]);
+        }
+        if self.edges.contains(&(a.0, b.0)) {
+            return Ok(false);
+        }
+        if self.ord[a.index()] <= self.ord[b.index()] {
+            self.insert_raw(a.0, b.0);
+            return Ok(true);
+        }
+        // Affected region: ords in [ord[b], ord[a]]. A path b ⇝ a, if one
+        // exists, lies entirely inside it (ord increases along edges).
+        let (fwd, bwd) = self.discover(a.0, b.0)?;
+        self.reorder(fwd, bwd);
+        self.insert_raw(a.0, b.0);
+        Ok(true)
+    }
+
+    /// Whether `to` is reachable from `from` (including `from == to`),
+    /// counting visited vertices into the stats. Returns the witness path
+    /// `from → … → to` if reachable.
+    pub fn path_between(&mut self, from: TxId, to: TxId) -> Option<Vec<TxId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        // Reachability only ever moves forward in the topological order.
+        if self.ord[from.index()] > self.ord[to.index()] {
+            return None;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let bound = self.ord[to.index()];
+        self.fwd_stamp[from.index()] = epoch;
+        let mut stack = vec![from.0];
+        while let Some(v) = stack.pop() {
+            self.stats.visited += 1;
+            for i in 0..self.out[v as usize].len() {
+                let w = self.out[v as usize][i];
+                if w == to.0 {
+                    self.parent[w as usize] = v;
+                    let mut path = vec![to];
+                    let mut cur = to.0;
+                    while cur != from.0 {
+                        cur = self.parent[cur as usize];
+                        path.push(TxId(cur));
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if self.ord[w as usize] < bound && self.fwd_stamp[w as usize] != epoch {
+                    self.fwd_stamp[w as usize] = epoch;
+                    self.parent[w as usize] = v;
+                    stack.push(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// The current edge set as a dense [`Relation`] (for differential
+    /// tests and oracle comparisons).
+    pub fn to_relation(&self) -> Relation {
+        let mut rel = Relation::new(self.ord.len());
+        for &(a, b) in &self.edges {
+            rel.insert(TxId(a), TxId(b));
+        }
+        rel
+    }
+
+    fn insert_raw(&mut self, a: u32, b: u32) {
+        self.edges.insert((a, b));
+        self.out[a as usize].push(b);
+        self.inn[b as usize].push(a);
+        self.log.push((a, b));
+    }
+
+    /// Pearce–Kelly discovery for a violating insertion `(a, b)` (with
+    /// `ord[a] > ord[b]`): forward search from `b` and backward search
+    /// from `a`, both bounded by the affected region. Errors with the
+    /// cycle witness `b → … → a` if `a` is forward-reachable from `b`.
+    #[allow(clippy::type_complexity)]
+    fn discover(&mut self, a: u32, b: u32) -> Result<(Vec<u32>, Vec<u32>), Vec<TxId>> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let ub = self.ord[a as usize];
+        let lb = self.ord[b as usize];
+
+        // Forward from b over ords < ub; reaching a closes a cycle.
+        let mut fwd = vec![b];
+        self.fwd_stamp[b as usize] = epoch;
+        let mut i = 0;
+        while i < fwd.len() {
+            let v = fwd[i];
+            i += 1;
+            self.stats.visited += 1;
+            for j in 0..self.out[v as usize].len() {
+                let w = self.out[v as usize][j];
+                if w == a {
+                    // Cycle: b ⇝ v → a, closed by the rejected (a, b).
+                    let mut path = vec![TxId(a)];
+                    let mut cur = v;
+                    loop {
+                        path.push(TxId(cur));
+                        if cur == b {
+                            break;
+                        }
+                        cur = self.parent[cur as usize];
+                    }
+                    path.reverse();
+                    return Err(path);
+                }
+                if self.ord[w as usize] < ub && self.fwd_stamp[w as usize] != epoch {
+                    self.fwd_stamp[w as usize] = epoch;
+                    self.parent[w as usize] = v;
+                    fwd.push(w);
+                }
+            }
+        }
+
+        // Backward from a over ords > lb.
+        let mut bwd = vec![a];
+        self.bwd_stamp[a as usize] = epoch;
+        let mut i = 0;
+        while i < bwd.len() {
+            let v = bwd[i];
+            i += 1;
+            self.stats.visited += 1;
+            for j in 0..self.inn[v as usize].len() {
+                let w = self.inn[v as usize][j];
+                if self.ord[w as usize] > lb && self.bwd_stamp[w as usize] != epoch {
+                    self.bwd_stamp[w as usize] = epoch;
+                    bwd.push(w);
+                }
+            }
+        }
+        Ok((fwd, bwd))
+    }
+
+    /// Reassigns the discovered vertices' topological indices: the
+    /// backward set (ending at `a`) moves before the forward set
+    /// (starting at `b`), reusing the same pool of indices so `ord`
+    /// remains a permutation.
+    fn reorder(&mut self, mut fwd: Vec<u32>, mut bwd: Vec<u32>) {
+        fwd.sort_unstable_by_key(|&v| self.ord[v as usize]);
+        bwd.sort_unstable_by_key(|&v| self.ord[v as usize]);
+        let mut pool: Vec<u32> =
+            bwd.iter().chain(fwd.iter()).map(|&v| self.ord[v as usize]).collect();
+        pool.sort_unstable();
+        self.stats.reordered += pool.len() as u64;
+        for (slot, v) in pool.into_iter().zip(bwd.into_iter().chain(fwd)) {
+            self.ord[v as usize] = slot;
+        }
+    }
+
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        // `ord` is a permutation…
+        let mut seen = vec![false; self.ord.len()];
+        for &o in &self.ord {
+            assert!(!seen[o as usize], "ord is not a permutation");
+            seen[o as usize] = true;
+        }
+        // …and a topological order of the current edges.
+        for &(a, b) in &self.edges {
+            assert!(self.ord[a as usize] < self.ord[b as usize], "ord violates edge ({a}, {b})");
+        }
+    }
+}
+
+/// The graph class whose characteristic relation an [`IncrementalClass`]
+/// maintains (Definition 15 / Theorem 9 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassKind {
+    /// `GraphSER`: `(SO ∪ WR ∪ WW) ∪ RW` acyclic.
+    Ser,
+    /// `GraphSI`: `(SO ∪ WR ∪ WW) ; RW?` acyclic.
+    Si,
+    /// `GraphPSI`: `(SO ∪ WR ∪ WW)⁺ ; RW?` irreflexive.
+    Psi,
+    /// `GraphPC`: `((SO ∪ WR) ; RW?) ∪ WW` acyclic.
+    Pc,
+}
+
+/// The label of a dependency edge fed to an [`IncrementalClass`].
+///
+/// Mirrors the dependency-relation components of Definition 6; kept local
+/// to `si-relations` so the crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepEdgeKind {
+    /// Session order.
+    So,
+    /// Read dependency (writer → reader).
+    Wr,
+    /// Write dependency (version order).
+    Ww,
+    /// Anti-dependency (reader → overwriter).
+    Rw,
+}
+
+/// A checkpoint into an [`IncrementalClass`]; see
+/// [`IncrementalClass::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassMark {
+    dag: DagMark,
+    ops: usize,
+    violated: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IndexOp {
+    LeftIn(u32),
+    RwOut(u32),
+    RwEdge,
+}
+
+/// Maintains one graph class's characteristic relation incrementally as
+/// labelled dependency edges arrive, flagging the first edge whose
+/// insertion makes the class's acyclicity/irreflexivity condition fail.
+///
+/// Composed edges are derived *per arriving edge*: e.g. for `SI`
+/// (`D ; RW?`), a dependency edge `(a, b)` contributes itself plus
+/// `(a, c)` for every recorded anti-dependency `(b, c)`, and an
+/// anti-dependency `(b, c)` contributes `(a, c)` for every recorded
+/// dependency `(a, b)` — never a dense matrix product. For `PSI` the
+/// closure `D⁺` is not materialised at all: the class keeps the plain
+/// dependency dag plus the anti-dependency list, and checks reachability
+/// (`D⁺ ; RW?` is irreflexive iff `D` is acyclic and no anti-dependency
+/// `(s, t)` has a dependency path `t ⇝ s`).
+///
+/// Once a violation is recorded the class freezes: further
+/// [`IncrementalClass::add`] calls are ignored until an
+/// [`IncrementalClass::undo_to`] to a pre-violation mark clears it —
+/// the monotonicity that makes these classes monitorable online
+/// (Theorem 9).
+#[derive(Debug, Clone)]
+pub struct IncrementalClass {
+    kind: ClassKind,
+    /// Ser/Si/Pc: the composed characteristic relation. Psi: the plain
+    /// dependency relation `D` (anti-dependencies live in `rw_edges`).
+    dag: IncrementalDag,
+    /// Per vertex `b`: sources `a` of recorded left-composable edges
+    /// `(a, b)` (Si: dependencies; Pc: `SO ∪ WR`). Unused for Ser/Psi.
+    left_in: Vec<Vec<u32>>,
+    /// Per vertex `b`: targets `c` of recorded anti-dependencies
+    /// `(b, c)`. Unused for Ser/Psi.
+    rw_out: Vec<Vec<u32>>,
+    /// Psi only: all recorded anti-dependency edges.
+    rw_edges: Vec<(u32, u32)>,
+    /// Index-maintenance log backing `mark`/`undo_to`.
+    ops: Vec<IndexOp>,
+    violation: Option<Vec<TxId>>,
+    /// Scratch for Psi reachability sweeps.
+    epoch: u64,
+    fwd_stamp: Vec<u64>,
+    bwd_stamp: Vec<u64>,
+    fwd_parent: Vec<u32>,
+    bwd_parent: Vec<u32>,
+    visited_extra: u64,
+}
+
+impl IncrementalClass {
+    /// Creates an empty class monitor over `{T0, …, T(n-1)}`.
+    pub fn new(kind: ClassKind, n: usize) -> Self {
+        IncrementalClass {
+            kind,
+            dag: IncrementalDag::new(n),
+            left_in: vec![Vec::new(); n],
+            rw_out: vec![Vec::new(); n],
+            rw_edges: Vec::new(),
+            ops: Vec::new(),
+            violation: None,
+            epoch: 0,
+            fwd_stamp: vec![0; n],
+            bwd_stamp: vec![0; n],
+            fwd_parent: vec![0; n],
+            bwd_parent: vec![0; n],
+            visited_extra: 0,
+        }
+    }
+
+    /// The monitored class.
+    pub fn kind(&self) -> ClassKind {
+        self.kind
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.dag.universe()
+    }
+
+    /// Extends the universe to `n` vertices (not captured by marks).
+    pub fn grow(&mut self, n: usize) {
+        if n <= self.dag.universe() {
+            return;
+        }
+        self.dag.grow(n);
+        self.left_in.resize(n, Vec::new());
+        self.rw_out.resize(n, Vec::new());
+        self.fwd_stamp.resize(n, 0);
+        self.bwd_stamp.resize(n, 0);
+        self.fwd_parent.resize(n, 0);
+        self.bwd_parent.resize(n, 0);
+    }
+
+    /// Whether no violation has been recorded.
+    pub fn is_consistent(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// The recorded violation witness: a cycle `v0 → v1 → … → v0`
+    /// (closing edge implicit) of `D ∪ RW` whose shape violates the
+    /// class's condition. For Psi a dependency-only cycle may be
+    /// reported.
+    pub fn violation(&self) -> Option<&[TxId]> {
+        self.violation.as_deref()
+    }
+
+    /// Number of edges currently maintained (composed edges for
+    /// Ser/Si/Pc; dependency plus anti-dependency edges for Psi).
+    pub fn maintained_edge_count(&self) -> usize {
+        self.dag.edge_count() + if self.kind == ClassKind::Psi { self.rw_edges.len() } else { 0 }
+    }
+
+    /// Cumulative maintenance counters (dag searches plus Psi
+    /// reachability sweeps).
+    pub fn stats(&self) -> IncrementalStats {
+        let mut s = self.dag.stats();
+        s.visited += self.visited_extra;
+        s
+    }
+
+    /// The maintained relation as a dense [`Relation`] — the composed
+    /// characteristic relation for Ser/Si/Pc, the plain dependency
+    /// relation for Psi. For differential tests and oracles.
+    pub fn maintained_relation(&self) -> Relation {
+        self.dag.to_relation()
+    }
+
+    /// Records a checkpoint; pair with [`IncrementalClass::undo_to`].
+    pub fn mark(&self) -> ClassMark {
+        ClassMark { dag: self.dag.mark(), ops: self.ops.len(), violated: self.violation.is_some() }
+    }
+
+    /// Rolls back every edge (and any violation) recorded after `mark`.
+    /// Marks must be used LIFO.
+    pub fn undo_to(&mut self, mark: ClassMark) {
+        self.dag.undo_to(mark.dag);
+        while self.ops.len() > mark.ops {
+            match self.ops.pop().expect("ops length checked") {
+                IndexOp::LeftIn(v) => {
+                    self.left_in[v as usize].pop();
+                }
+                IndexOp::RwOut(v) => {
+                    self.rw_out[v as usize].pop();
+                }
+                IndexOp::RwEdge => {
+                    self.rw_edges.pop();
+                }
+            }
+        }
+        if !mark.violated {
+            self.violation = None;
+        }
+    }
+
+    /// Feeds one labelled dependency edge and returns whether the class
+    /// is still consistent. After a violation the class freezes (calls
+    /// become no-ops returning `false`) until undone past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` lie outside the universe.
+    pub fn add(&mut self, kind: DepEdgeKind, a: TxId, b: TxId) -> bool {
+        if self.violation.is_some() {
+            return false;
+        }
+        match (self.kind, kind) {
+            // SER: every edge is a characteristic edge.
+            (ClassKind::Ser, _) => {
+                Self::insert_composed(&mut self.dag, &mut self.violation, a, b);
+            }
+            // SI: D ; RW?. PC: (SO ∪ WR) ; RW? ∪ WW — WW joins directly,
+            // without composing into RW.
+            (ClassKind::Si, DepEdgeKind::So | DepEdgeKind::Wr | DepEdgeKind::Ww)
+            | (ClassKind::Pc, DepEdgeKind::So | DepEdgeKind::Wr) => {
+                self.left_in[b.index()].push(a.0);
+                self.ops.push(IndexOp::LeftIn(b.0));
+                Self::insert_composed(&mut self.dag, &mut self.violation, a, b);
+                let mut i = 0;
+                while self.violation.is_none() && i < self.rw_out[b.index()].len() {
+                    let c = TxId(self.rw_out[b.index()][i]);
+                    Self::insert_composed(&mut self.dag, &mut self.violation, a, c);
+                    i += 1;
+                }
+            }
+            (ClassKind::Pc, DepEdgeKind::Ww) => {
+                Self::insert_composed(&mut self.dag, &mut self.violation, a, b);
+            }
+            // SI/PC anti-dependency (a, b): not a characteristic edge by
+            // itself; composes with every recorded left edge into a.
+            (ClassKind::Si | ClassKind::Pc, DepEdgeKind::Rw) => {
+                self.rw_out[a.index()].push(b.0);
+                self.ops.push(IndexOp::RwOut(a.0));
+                let mut i = 0;
+                while self.violation.is_none() && i < self.left_in[a.index()].len() {
+                    let p = TxId(self.left_in[a.index()][i]);
+                    Self::insert_composed(&mut self.dag, &mut self.violation, p, b);
+                    i += 1;
+                }
+            }
+            (ClassKind::Psi, DepEdgeKind::So | DepEdgeKind::Wr | DepEdgeKind::Ww) => {
+                self.psi_add_dep(a, b);
+            }
+            (ClassKind::Psi, DepEdgeKind::Rw) => {
+                self.psi_add_rw(a, b);
+            }
+        }
+        self.violation.is_none()
+    }
+
+    fn insert_composed(
+        dag: &mut IncrementalDag,
+        violation: &mut Option<Vec<TxId>>,
+        a: TxId,
+        b: TxId,
+    ) {
+        if violation.is_none() {
+            if let Err(cycle) = dag.add_edge(a, b) {
+                *violation = Some(cycle);
+            }
+        }
+    }
+
+    /// Psi dependency edge: keep `D` acyclic, then look for a *new*
+    /// dependency path `t ⇝ s` for some recorded anti-dependency
+    /// `(s, t)` — every new path passes through the fresh edge `(a, b)`,
+    /// so `t` must reach `a` and `b` must reach `s`.
+    fn psi_add_dep(&mut self, a: TxId, b: TxId) {
+        match self.dag.add_edge(a, b) {
+            Err(cycle) => self.violation = Some(cycle),
+            Ok(false) => {}
+            Ok(true) => {
+                if self.rw_edges.is_empty() {
+                    return;
+                }
+                self.epoch += 1;
+                let epoch = self.epoch;
+                // Forward sweep from b (descendants, incl. b).
+                let mut stack = vec![b.0];
+                self.fwd_stamp[b.index()] = epoch;
+                while let Some(v) = stack.pop() {
+                    self.visited_extra += 1;
+                    for w in self.dag.successors(TxId(v)) {
+                        if self.fwd_stamp[w.index()] != epoch {
+                            self.fwd_stamp[w.index()] = epoch;
+                            self.fwd_parent[w.index()] = v;
+                            stack.push(w.0);
+                        }
+                    }
+                }
+                // Backward sweep from a (ancestors, incl. a).
+                let mut stack = vec![a.0];
+                self.bwd_stamp[a.index()] = epoch;
+                while let Some(v) = stack.pop() {
+                    self.visited_extra += 1;
+                    for w in self.dag.predecessors(TxId(v)) {
+                        if self.bwd_stamp[w.index()] != epoch {
+                            self.bwd_stamp[w.index()] = epoch;
+                            self.bwd_parent[w.index()] = v;
+                            stack.push(w.0);
+                        }
+                    }
+                }
+                // An anti-dependency (s, t) with s a descendant and t an
+                // ancestor closes t ⇝ a → b ⇝ s → t.
+                for i in 0..self.rw_edges.len() {
+                    let (s, t) = self.rw_edges[i];
+                    if self.fwd_stamp[s as usize] == epoch && self.bwd_stamp[t as usize] == epoch {
+                        let mut cycle = Vec::new();
+                        // t ⇝ a along bwd_parent links.
+                        let mut cur = t;
+                        cycle.push(TxId(cur));
+                        while cur != a.0 {
+                            cur = self.bwd_parent[cur as usize];
+                            cycle.push(TxId(cur));
+                        }
+                        // b ⇝ s along fwd_parent links (built backwards).
+                        let mut tail = Vec::new();
+                        let mut cur = s;
+                        while cur != b.0 {
+                            tail.push(TxId(cur));
+                            cur = self.fwd_parent[cur as usize];
+                        }
+                        tail.push(b);
+                        tail.reverse();
+                        cycle.extend(tail);
+                        self.violation = Some(cycle);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Psi anti-dependency edge `(s, t)`: violates iff a dependency path
+    /// `t ⇝ s` already exists (a self anti-dependency needs a `D` cycle,
+    /// which the dag check covers when it forms).
+    fn psi_add_rw(&mut self, s: TxId, t: TxId) {
+        self.rw_edges.push((s.0, t.0));
+        self.ops.push(IndexOp::RwEdge);
+        if s != t {
+            if let Some(path) = self.dag.path_between(t, s) {
+                // t ⇝ s closed by the anti-dependency (s, t).
+                self.violation = Some(path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxId {
+        TxId(i)
+    }
+
+    #[test]
+    fn insert_and_detect_cycle() {
+        let mut dag = IncrementalDag::new(4);
+        assert_eq!(dag.add_edge(t(2), t(1)), Ok(true)); // against initial order
+        assert_eq!(dag.add_edge(t(1), t(0)), Ok(true));
+        assert_eq!(dag.add_edge(t(1), t(0)), Ok(false)); // duplicate
+        dag.assert_invariants();
+        let cycle = dag.add_edge(t(0), t(2)).unwrap_err();
+        assert_eq!(cycle.first(), Some(&t(2)));
+        assert_eq!(cycle.last(), Some(&t(0)));
+        // Rejected edge leaves the dag untouched and acyclic.
+        assert_eq!(dag.edge_count(), 2);
+        dag.assert_invariants();
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut dag = IncrementalDag::new(2);
+        assert_eq!(dag.add_edge(t(1), t(1)), Err(vec![t(1)]));
+    }
+
+    #[test]
+    fn mark_undo_restores_exact_state() {
+        let mut dag = IncrementalDag::new(5);
+        dag.add_edge(t(0), t(1)).unwrap();
+        let mark = dag.mark();
+        dag.add_edge(t(1), t(2)).unwrap();
+        dag.add_edge(t(3), t(0)).unwrap();
+        assert_eq!(dag.edge_count(), 3);
+        dag.undo_to(mark);
+        assert_eq!(dag.edge_count(), 1);
+        assert!(dag.contains(t(0), t(1)));
+        assert!(!dag.contains(t(1), t(2)));
+        dag.assert_invariants();
+        // The undone edges can be re-inserted.
+        assert_eq!(dag.add_edge(t(1), t(2)), Ok(true));
+    }
+
+    #[test]
+    fn undo_reopens_previously_cyclic_insertions() {
+        let mut dag = IncrementalDag::new(3);
+        let mark = dag.mark();
+        dag.add_edge(t(0), t(1)).unwrap();
+        dag.add_edge(t(1), t(2)).unwrap();
+        assert!(dag.add_edge(t(2), t(0)).is_err());
+        dag.undo_to(mark);
+        // With the path gone, the formerly cyclic edge is fine.
+        assert_eq!(dag.add_edge(t(2), t(0)), Ok(true));
+        dag.assert_invariants();
+    }
+
+    #[test]
+    fn path_between_finds_witness() {
+        let mut dag = IncrementalDag::new(4);
+        dag.add_edge(t(3), t(2)).unwrap();
+        dag.add_edge(t(2), t(0)).unwrap();
+        assert_eq!(dag.path_between(t(3), t(0)), Some(vec![t(3), t(2), t(0)]));
+        assert_eq!(dag.path_between(t(0), t(3)), None);
+        assert_eq!(dag.path_between(t(1), t(1)), Some(vec![t(1)]));
+    }
+
+    #[test]
+    fn class_si_tolerates_write_skew_ser_does_not() {
+        // Write skew: D = {}, RW = {(1,2), (2,1)}.
+        for (kind, ok) in [(ClassKind::Si, true), (ClassKind::Ser, false)] {
+            let mut c = IncrementalClass::new(kind, 3);
+            assert!(c.add(DepEdgeKind::Rw, t(1), t(2)));
+            assert_eq!(c.add(DepEdgeKind::Rw, t(2), t(1)), ok, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn class_psi_tolerates_long_fork_si_does_not() {
+        // Long fork: WR (1,3), (2,4); RW (3,2), (4,1).
+        for (kind, ok) in [(ClassKind::Psi, true), (ClassKind::Si, false)] {
+            let mut c = IncrementalClass::new(kind, 5);
+            c.add(DepEdgeKind::Wr, t(1), t(3));
+            c.add(DepEdgeKind::Wr, t(2), t(4));
+            c.add(DepEdgeKind::Rw, t(3), t(2));
+            c.add(DepEdgeKind::Rw, t(4), t(1));
+            assert_eq!(c.is_consistent(), ok, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn class_lost_update_flagged_by_ser_si_psi_not_pc() {
+        // PC's characteristic relation does not compose WW into RW, so
+        // without session order between the writers it admits the shape.
+        for (kind, ok) in [
+            (ClassKind::Ser, false),
+            (ClassKind::Si, false),
+            (ClassKind::Psi, false),
+            (ClassKind::Pc, true),
+        ] {
+            let mut c = IncrementalClass::new(kind, 3);
+            // T1, T2 both read init(0) and write x; WW order 0 < 1 < 2.
+            c.add(DepEdgeKind::Wr, t(0), t(1));
+            c.add(DepEdgeKind::Wr, t(0), t(2));
+            c.add(DepEdgeKind::Ww, t(0), t(1));
+            c.add(DepEdgeKind::Ww, t(0), t(2));
+            c.add(DepEdgeKind::Ww, t(1), t(2));
+            c.add(DepEdgeKind::Rw, t(1), t(2));
+            c.add(DepEdgeKind::Rw, t(2), t(1));
+            assert_eq!(c.is_consistent(), ok, "{kind:?} on lost update");
+            assert_eq!(c.violation().is_some(), !ok);
+        }
+    }
+
+    #[test]
+    fn class_mark_undo_clears_violation() {
+        let mut c = IncrementalClass::new(ClassKind::Si, 3);
+        c.add(DepEdgeKind::Ww, t(0), t(1));
+        let mark = c.mark();
+        c.add(DepEdgeKind::Rw, t(1), t(0)); // composes (0,0): cycle
+        assert!(!c.is_consistent());
+        c.undo_to(mark);
+        assert!(c.is_consistent());
+        assert_eq!(c.maintained_edge_count(), 1);
+        // A different continuation succeeds.
+        assert!(c.add(DepEdgeKind::Rw, t(1), t(2)));
+        assert!(c.maintained_relation().contains(t(0), t(2)));
+    }
+
+    #[test]
+    fn class_pc_ww_not_composed_with_rw() {
+        // PC characteristic: (SO ∪ WR) ; RW? ∪ WW. A WW edge followed by
+        // an RW out of its target must NOT compose.
+        let mut c = IncrementalClass::new(ClassKind::Pc, 3);
+        c.add(DepEdgeKind::Rw, t(1), t(2));
+        c.add(DepEdgeKind::Ww, t(0), t(1));
+        assert!(!c.maintained_relation().contains(t(0), t(2)));
+        // …but a WR edge does compose.
+        c.add(DepEdgeKind::Wr, t(0), t(1));
+        assert!(c.maintained_relation().contains(t(0), t(2)));
+    }
+
+    #[test]
+    fn psi_detects_rw_after_path_and_path_after_rw() {
+        // Path first: D path 1 → 2 → 3, then RW (3, 1) … wait, the
+        // violating shape is RW (s, t) with a D path t ⇝ s.
+        let mut c = IncrementalClass::new(ClassKind::Psi, 4);
+        c.add(DepEdgeKind::So, t(1), t(2));
+        c.add(DepEdgeKind::So, t(2), t(3));
+        assert!(!c.add(DepEdgeKind::Rw, t(3), t(1)));
+        let w = c.violation().unwrap();
+        assert_eq!(w.first(), Some(&t(1)));
+        assert_eq!(w.last(), Some(&t(3)));
+
+        // RW first, D path completes later.
+        let mut c = IncrementalClass::new(ClassKind::Psi, 4);
+        c.add(DepEdgeKind::Rw, t(3), t(1));
+        c.add(DepEdgeKind::So, t(1), t(2));
+        assert!(!c.add(DepEdgeKind::So, t(2), t(3)));
+        assert!(c.violation().is_some());
+    }
+
+    #[test]
+    fn grow_preserves_state() {
+        let mut c = IncrementalClass::new(ClassKind::Si, 2);
+        c.add(DepEdgeKind::Ww, t(0), t(1));
+        c.grow(4);
+        assert!(c.add(DepEdgeKind::Rw, t(1), t(3)));
+        assert!(c.maintained_relation().contains(t(0), t(3)));
+        assert_eq!(c.universe(), 4);
+    }
+}

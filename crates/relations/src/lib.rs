@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod incremental;
 mod multigraph;
 pub mod naive;
 mod paths;
@@ -55,6 +56,9 @@ mod scc;
 mod txid;
 mod txset;
 
+pub use incremental::{
+    ClassKind, ClassMark, DagMark, DepEdgeKind, IncrementalClass, IncrementalDag, IncrementalStats,
+};
 pub use multigraph::{CycleVisit, EdgeRef, EnumerationEnd, LabelledCycle, MultiGraph};
 pub use paths::{path_between, reachable_from};
 pub use relation::{PairIter, Relation, RowIter, TotalOrderError};

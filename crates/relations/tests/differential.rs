@@ -1,15 +1,70 @@
 //! Differential testing: the production bitset [`Relation`] against the
-//! textbook [`naive::NaiveRelation`] on every shared operation.
+//! textbook [`naive::NaiveRelation`] on every shared operation, and the
+//! incremental acyclicity layer ([`IncrementalDag`], [`IncrementalClass`])
+//! against dense from-scratch recomputation under random insertion
+//! streams and checkpoint/undo.
 
 use proptest::prelude::*;
 use si_relations::naive::NaiveRelation;
-use si_relations::{Relation, TxId};
+use si_relations::{ClassKind, DepEdgeKind, IncrementalClass, IncrementalDag, Relation, TxId};
 
 const N: usize = 10;
 
 fn arb_pairs() -> impl Strategy<Value = Vec<(TxId, TxId)>> {
     proptest::collection::vec((0..N as u32, 0..N as u32), 0..30)
         .prop_map(|v| v.into_iter().map(|(a, b)| (TxId(a), TxId(b))).collect())
+}
+
+fn arb_labelled() -> impl Strategy<Value = Vec<(DepEdgeKind, TxId, TxId)>> {
+    proptest::collection::vec((0u8..4, 0..N as u32, 0..N as u32), 0..40).prop_map(|v| {
+        v.into_iter()
+            .map(|(k, a, b)| {
+                let kind = match k {
+                    0 => DepEdgeKind::So,
+                    1 => DepEdgeKind::Wr,
+                    2 => DepEdgeKind::Ww,
+                    _ => DepEdgeKind::Rw,
+                };
+                (kind, TxId(a), TxId(b))
+            })
+            .collect()
+    })
+}
+
+const ALL_CLASSES: [ClassKind; 4] = [ClassKind::Ser, ClassKind::Si, ClassKind::Psi, ClassKind::Pc];
+
+/// Whether the class's characteristic condition is violated on the edge
+/// multiset, recomputed densely from scratch (Theorems 8/9/21 and the PC
+/// extension).
+fn dense_violated(kind: ClassKind, edges: &[(DepEdgeKind, TxId, TxId)]) -> bool {
+    let mut dep = Relation::new(N); // SO ∪ WR ∪ WW
+    let mut so_wr = Relation::new(N);
+    let mut ww = Relation::new(N);
+    let mut rw = Relation::new(N);
+    for &(k, a, b) in edges {
+        match k {
+            DepEdgeKind::So | DepEdgeKind::Wr => {
+                so_wr.insert(a, b);
+                dep.insert(a, b);
+            }
+            DepEdgeKind::Ww => {
+                ww.insert(a, b);
+                dep.insert(a, b);
+            }
+            DepEdgeKind::Rw => {
+                rw.insert(a, b);
+            }
+        }
+    }
+    match kind {
+        ClassKind::Ser => !dep.union(&rw).is_acyclic(),
+        ClassKind::Si => !dep.compose_opt(&rw).is_acyclic(),
+        ClassKind::Psi => {
+            let comp = dep.transitive_closure().compose_opt(&rw);
+            (0..N as u32).any(|t| comp.contains(TxId(t), TxId(t)))
+        }
+        ClassKind::Pc => !so_wr.compose_opt(&rw).union(&ww).is_acyclic(),
+    }
 }
 
 proptest! {
@@ -63,6 +118,121 @@ proptest! {
                     naive.contains(TxId(i), TxId(j))
                 );
             }
+        }
+    }
+
+    /// Every insertion's accept/reject decision, duplicate detection and
+    /// cycle witness, against a dense mirror rebuilt from scratch.
+    #[test]
+    fn incremental_dag_agrees_with_dense_insertion(edges in arb_pairs()) {
+        let mut dag = IncrementalDag::new(N);
+        let mut dense = Relation::new(N);
+        for (a, b) in edges {
+            let creates_cycle = a == b || dense.transitive_closure().contains(b, a);
+            match dag.add_edge(a, b) {
+                Ok(inserted) => {
+                    prop_assert!(!creates_cycle, "accepted cycle-closing edge {a} -> {b}");
+                    prop_assert_eq!(inserted, !dense.contains(a, b));
+                    dense.insert(a, b);
+                }
+                Err(witness) => {
+                    prop_assert!(creates_cycle, "rejected safe edge {a} -> {b}");
+                    // The witness is a path b → … → a whose closing edge is
+                    // the rejected (a, b); every step must be a real edge.
+                    prop_assert_eq!(witness[0], b);
+                    prop_assert_eq!(*witness.last().unwrap(), a);
+                    for w in witness.windows(2) {
+                        prop_assert!(dense.contains(w[0], w[1]), "fabricated witness edge");
+                    }
+                }
+            }
+            prop_assert_eq!(
+                NaiveRelation::from_dense(&dag.to_relation()),
+                NaiveRelation::from_dense(&dense)
+            );
+        }
+    }
+
+    /// Nested checkpoints pop back to bit-exact dense snapshots in LIFO
+    /// order, regardless of what (including rejected edges) happened in
+    /// between.
+    #[test]
+    fn dag_checkpoint_undo_restores_dense_snapshots(
+        batches in proptest::collection::vec(arb_pairs(), 1..5)
+    ) {
+        let mut dag = IncrementalDag::new(N);
+        let mut snapshots = Vec::new();
+        for batch in &batches {
+            snapshots.push((dag.mark(), dag.to_relation()));
+            for &(a, b) in batch {
+                let _ = dag.add_edge(a, b);
+            }
+        }
+        for (mark, snapshot) in snapshots.into_iter().rev() {
+            dag.undo_to(mark);
+            prop_assert_eq!(
+                NaiveRelation::from_dense(&dag.to_relation()),
+                NaiveRelation::from_dense(&snapshot)
+            );
+        }
+    }
+
+    /// The incremental class flags a violation at exactly the same stream
+    /// position as dense from-scratch recomputation, for every class.
+    #[test]
+    fn incremental_class_first_violation_matches_dense(stream in arb_labelled()) {
+        for kind in ALL_CLASSES {
+            let mut class = IncrementalClass::new(kind, N);
+            let mut inc_first = None;
+            for (i, &(k, a, b)) in stream.iter().enumerate() {
+                if !class.add(k, a, b) {
+                    inc_first = Some(i);
+                    break;
+                }
+            }
+            let mut dense_first = None;
+            for i in 0..stream.len() {
+                if dense_violated(kind, &stream[..=i]) {
+                    dense_first = Some(i);
+                    break;
+                }
+            }
+            prop_assert_eq!(inc_first, dense_first, "{:?}", kind);
+        }
+    }
+
+    /// Checkpoint, a (possibly violating) detour, undo, then a different
+    /// continuation: the verdict must match dense recomputation over the
+    /// surviving edges only — the detour leaves no trace.
+    #[test]
+    fn class_undo_then_refeed_matches_dense(
+        before in arb_labelled(),
+        detour in arb_labelled(),
+        after in arb_labelled(),
+    ) {
+        for kind in ALL_CLASSES {
+            let mut class = IncrementalClass::new(kind, N);
+            for &(k, a, b) in &before {
+                class.add(k, a, b);
+            }
+            let mark = class.mark();
+            for &(k, a, b) in &detour {
+                class.add(k, a, b);
+            }
+            class.undo_to(mark);
+            for &(k, a, b) in &after {
+                class.add(k, a, b);
+            }
+            // Violations are monotone in the edge set, so checking the
+            // final surviving multiset decides "ever violated".
+            let surviving: Vec<_> =
+                before.iter().chain(after.iter()).copied().collect();
+            prop_assert_eq!(
+                class.is_consistent(),
+                !dense_violated(kind, &surviving),
+                "{:?}",
+                kind
+            );
         }
     }
 

@@ -1,7 +1,10 @@
 //! Dynamic robustness dichotomies (Theorems 19 and 22) on concrete
 //! dependency graphs.
 
-use si_core::{check_psi, check_ser, check_si};
+use si_core::{
+    check_psi, check_ser, check_si, psi_characteristic_irreflexive, ser_characteristic_acyclic,
+    si_characteristic_acyclic,
+};
 use si_depgraph::DependencyGraph;
 
 /// Theorem 19, membership form: whether `G ∈ GraphSI \ GraphSER` — the
@@ -16,16 +19,16 @@ pub fn in_si_not_ser(graph: &DependencyGraph) -> bool {
 /// By Theorems 8 and 9 this is *equivalent* to [`in_si_not_ser`]: "some
 /// cycle exists" is the failure of the Theorem 8 acyclicity, and "every
 /// cycle has two adjacent anti-dependencies" is the Theorem 9 acyclicity
-/// of `(SO ∪ WR ∪ WW) ; RW?`. Computed from those conditions directly;
-/// kept separate so the equivalence is stated (and property-tested) rather
-/// than assumed.
+/// of `(SO ∪ WR ∪ WW) ; RW?`. Computed from those conditions directly
+/// (via the crossover-dispatched characteristic helpers, so large graphs
+/// use the incremental engine); kept separate so the equivalence is
+/// stated (and property-tested) rather than assumed.
 pub fn shape_si_not_ser(graph: &DependencyGraph) -> bool {
     if graph.history().check_int().is_err() {
         return false;
     }
-    let has_cycle = !graph.all_relation().is_acyclic();
-    let all_cycles_have_two_adjacent_rw =
-        graph.dep_relation().compose_opt(&graph.rw_relation()).is_acyclic();
+    let has_cycle = !ser_characteristic_acyclic(graph);
+    let all_cycles_have_two_adjacent_rw = si_characteristic_acyclic(graph);
     has_cycle && all_cycles_have_two_adjacent_rw
 }
 
@@ -46,11 +49,8 @@ pub fn shape_psi_not_si(graph: &DependencyGraph) -> bool {
     if graph.history().check_int().is_err() {
         return false;
     }
-    let some_cycle_without_adjacent_rw =
-        !graph.dep_relation().compose_opt(&graph.rw_relation()).is_acyclic();
-    let dep_plus = graph.dep_relation().transitive_closure();
-    let composed = dep_plus.compose_opt(&graph.rw_relation());
-    let all_cycles_have_two_rw = graph.history().tx_ids().all(|t| !composed.contains(t, t));
+    let some_cycle_without_adjacent_rw = !si_characteristic_acyclic(graph);
+    let all_cycles_have_two_rw = psi_characteristic_irreflexive(graph);
     some_cycle_without_adjacent_rw && all_cycles_have_two_rw
 }
 

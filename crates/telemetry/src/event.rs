@@ -92,7 +92,8 @@ pub enum Event {
         /// Target transaction index.
         to: u32,
     },
-    /// One acyclicity / composed-relation check ran: its input sizes.
+    /// One acyclicity / composed-relation check ran: its input sizes and
+    /// (for incremental checkers) the maintenance work it cost.
     CycleSearchStep {
         /// Which check ("monitor.si", "check_si", …).
         check: &'static str,
@@ -100,6 +101,12 @@ pub enum Event {
         nodes: u64,
         /// Edges of the composed relation.
         edges: u64,
+        /// Vertices visited by incremental bounded searches (0 for dense
+        /// from-scratch checks).
+        visited: u64,
+        /// Vertices whose topological index the incremental maintainer
+        /// reassigned (0 for dense from-scratch checks).
+        reordered: u64,
     },
     /// A checker or monitor emitted a verdict.
     VerdictEmitted {

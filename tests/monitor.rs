@@ -83,6 +83,63 @@ proptest! {
         prop_assert_eq!(replay(&g, SpecModel::Psi).is_consistent(), check_psi(&g).is_ok());
     }
 
+    /// The incremental engine and the dense oracle engine must emit the
+    /// same verdict after *every* append — in particular they must agree
+    /// on the first transaction whose arrival breaks consistency.
+    #[test]
+    fn incremental_and_dense_engines_agree_per_append(g in arb_dependency_graph(6, 3)) {
+        let commit_ordered = g.objects().iter().all(|&x| {
+            g.ww_order(x).windows(2).all(|w| w[0] < w[1])
+                && g.wr_pairs(x).iter().all(|&(w, r)| w < r)
+        });
+        prop_assume!(commit_ordered);
+        for model in [SpecModel::Si, SpecModel::Ser, SpecModel::Psi] {
+            let mut incremental = SiMonitor::new(model);
+            let mut dense = SiMonitor::new_dense(model);
+            prop_assert!(!incremental.is_dense_oracle());
+            prop_assert!(dense.is_dense_oracle());
+            let h = g.history();
+            let mut last_of_session: Vec<Option<TxId>> = vec![None; h.session_count()];
+            let mut first_violating: Option<TxId> = None;
+            for t in h.tx_ids() {
+                let session = h.session_of(t);
+                let observed = ObservedTx {
+                    session_predecessor: session.and_then(|s| last_of_session[s.index()]),
+                    reads_from: h
+                        .transaction(t)
+                        .external_read_set()
+                        .into_iter()
+                        .map(|x| (x, g.writer_for(t, x).expect("reads have writers")))
+                        .collect(),
+                    writes: h.transaction(t).write_set(),
+                };
+                incremental.append(observed.clone());
+                dense.append(observed);
+                if let Some(s) = session {
+                    last_of_session[s.index()] = Some(t);
+                }
+                prop_assert_eq!(
+                    incremental.is_consistent(),
+                    dense.is_consistent(),
+                    "{} diverged at {}",
+                    model,
+                    t
+                );
+                if first_violating.is_none() && !incremental.is_consistent() {
+                    first_violating = Some(t);
+                }
+            }
+            // Cross-check the final verdict against the offline check too.
+            let offline_ok = match model {
+                SpecModel::Si => check_si(&g).is_ok(),
+                SpecModel::Ser => check_ser(&g).is_ok(),
+                SpecModel::Psi => check_psi(&g).is_ok(),
+            };
+            prop_assert_eq!(incremental.is_consistent(), offline_ok);
+            prop_assert_eq!(first_violating.is_some(), !offline_ok);
+        }
+    }
+
     /// The explainer produces a connected cycle of real edges without two
     /// adjacent anti-dependencies, exactly when the graph is outside
     /// GraphSI (and INT holds, which the generator guarantees).
