@@ -1,0 +1,473 @@
+//! Diagnostics: stable codes, severities, witnesses and repairs.
+//!
+//! `si-lint` reports findings as [`Diagnostic`] values inside a
+//! [`LintReport`]. Codes are stable identifiers (suitable for suppression
+//! lists and golden tests); messages and witnesses are human-readable and
+//! may improve between versions.
+//!
+//! # Diagnostic codes
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | SI001 | error    | not SER-robust under SI: refined dangerous structure (Theorem 19 + Fekete vulnerability) |
+//! | SI002 | error    | chopping not spliceable under SI: critical cycle in the static chopping graph (Corollary 18) |
+//! | SI003 | warning  | chopping spliceable under SI but not under SER (Theorem 29): correctness depends on running under SI |
+//! | SI004 | warning  | chopping spliceable under PSI (Theorem 31) but not under SI: correctness depends on weakening to PSI |
+//! | SI005 | warning  | not PSI→SI robust: long-fork-shaped structure (Theorem 22); behaviour may change if the store weakens SI to PSI |
+//! | SI006 | warning  | analysis inconclusive: search budget exceeded |
+//! | SI007 | info     | the plain Theorem 19 check flags a dangerous structure that the Fekete refinement discharges (conflict already materialised by a write-write race) |
+
+use serde::{Content, Deserialize, Error, Serialize};
+
+/// A stable diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// Not SER-robust under SI (refined dangerous structure).
+    Si001,
+    /// Chopping not spliceable under SI (critical cycle).
+    Si002,
+    /// Chopping spliceable under SI but not under SER.
+    Si003,
+    /// Chopping spliceable under PSI but not under SI.
+    Si004,
+    /// Not PSI→SI robust (long-fork-shaped structure).
+    Si005,
+    /// Analysis inconclusive (budget exceeded).
+    Si006,
+    /// Plain check flags, refinement certifies.
+    Si007,
+}
+
+impl DiagCode {
+    /// The stable textual form, e.g. `"SI001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::Si001 => "SI001",
+            DiagCode::Si002 => "SI002",
+            DiagCode::Si003 => "SI003",
+            DiagCode::Si004 => "SI004",
+            DiagCode::Si005 => "SI005",
+            DiagCode::Si006 => "SI006",
+            DiagCode::Si007 => "SI007",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::Si001 | DiagCode::Si002 => Severity::Error,
+            DiagCode::Si003 | DiagCode::Si004 | DiagCode::Si005 | DiagCode::Si006 => {
+                Severity::Warning
+            }
+            DiagCode::Si007 => Severity::Info,
+        }
+    }
+}
+
+// Serialized as the bare code string (the derive macro has no rename
+// support, and `"Si001"` is not a stable public spelling).
+impl Serialize for DiagCode {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for DiagCode {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let Content::Str(s) = content else {
+            return Err(Error::custom(format!(
+                "expected diagnostic code string, found {content:?}"
+            )));
+        };
+        match s.as_str() {
+            "SI001" => Ok(DiagCode::Si001),
+            "SI002" => Ok(DiagCode::Si002),
+            "SI003" => Ok(DiagCode::Si003),
+            "SI004" => Ok(DiagCode::Si004),
+            "SI005" => Ok(DiagCode::Si005),
+            "SI006" => Ok(DiagCode::Si006),
+            "SI007" => Ok(DiagCode::Si007),
+            other => Err(Error::custom(format!("unknown diagnostic code {other:?}"))),
+        }
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: nothing to fix.
+    Info,
+    /// The application is correct under SI but fragile to isolation-level
+    /// changes, or the analysis could not conclude.
+    Warning,
+    /// The application can produce non-serializable (or non-spliceable)
+    /// behaviour under SI.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case stable form: `"error"`, `"warning"`, `"info"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl Serialize for Severity {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Severity {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let Content::Str(s) = content else {
+            return Err(Error::custom(format!("expected severity string, found {content:?}")));
+        };
+        match s.as_str() {
+            "info" => Ok(Severity::Info),
+            "warning" => Ok(Severity::Warning),
+            "error" => Ok(Severity::Error),
+            other => Err(Error::custom(format!("unknown severity {other:?}"))),
+        }
+    }
+}
+
+/// One edge of a witness cycle, rendered over program/piece names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessEdge {
+    /// Source vertex, e.g. `"write_check"` or `"transfer[acct1 -= 100]"`.
+    pub from: String,
+    /// Target vertex.
+    pub to: String,
+    /// Edge kind: `"RW"`, `"WR"`, `"WW"`, `"S"` (successor), `"P"`
+    /// (predecessor), or a disjunction like `"RW|WR|WW"` when the closing
+    /// path is abstract.
+    pub kind: String,
+    /// The object the edge conflicts on, when the analysis can name one
+    /// (session-order edges have none).
+    pub object: Option<String>,
+}
+
+/// A counterexample shape backing a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Witness {
+    /// One-line rendering of the whole cycle.
+    pub summary: String,
+    /// The cycle's edges in order.
+    pub edges: Vec<WitnessEdge>,
+}
+
+/// One primitive change of a [`Repair`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairAction {
+    /// Promote a read of `object` in `program` to a write (Fekete
+    /// materialisation: the identity update forces first-committer-wins
+    /// to serialise the conflict).
+    Promote {
+        /// The program to change.
+        program: String,
+        /// The object whose read is promoted.
+        object: String,
+    },
+    /// Merge pieces `piece` and `piece + 1` of `program` into one
+    /// transaction.
+    MergePieces {
+        /// The program to coarsen.
+        program: String,
+        /// Zero-based index of the first of the two merged pieces.
+        piece: usize,
+    },
+}
+
+/// A machine-checked fix suggestion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repair {
+    /// Human-readable one-liner.
+    pub description: String,
+    /// The primitive changes, applied together.
+    pub actions: Vec<RepairAction>,
+    /// Whether re-running the analysis on the repaired application
+    /// verified the fix. `si-lint` only emits verified repairs, so this is
+    /// `true` unless a caller constructs unverified ones.
+    pub verified: bool,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity (always `code.severity()` for `si-lint`-emitted values).
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// The counterexample shape, when the analysis produced one.
+    pub witness: Option<Witness>,
+    /// Verified fix suggestions, cheapest first.
+    pub repairs: Vec<Repair>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for `code` with its canonical severity.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            witness: None,
+            repairs: Vec::new(),
+        }
+    }
+}
+
+/// Aggregate verdicts of one lint run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of programs analysed (before instance replication).
+    pub programs: usize,
+    /// Total pieces across all programs.
+    pub pieces: usize,
+    /// Whether any program has more than one piece (chopping analyses
+    /// apply).
+    pub chopped: bool,
+    /// Theorem 19 verdict on the unchopped programs (no refinement).
+    pub ser_robust_plain: bool,
+    /// Theorem 19 + Fekete refinement verdict (the authoritative one).
+    pub ser_robust_refined: bool,
+    /// Theorem 22 verdict: SI and PSI produce the same behaviours.
+    pub psi_si_robust: bool,
+    /// Corollary 18 verdict, when chopped (`None` = not applicable or
+    /// budget exceeded).
+    pub chop_si_correct: Option<bool>,
+    /// Theorem 29 verdict, when chopped.
+    pub chop_ser_correct: Option<bool>,
+    /// Theorem 31 verdict, when chopped.
+    pub chop_psi_correct: Option<bool>,
+    /// Count of error-severity diagnostics.
+    pub errors: usize,
+    /// Count of warning-severity diagnostics.
+    pub warnings: usize,
+    /// Count of info-severity diagnostics.
+    pub infos: usize,
+}
+
+/// The full result of linting one application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// What was analysed (caller-chosen name, e.g. `"smallbank"`).
+    pub target: String,
+    /// Aggregate verdicts.
+    pub summary: Summary,
+    /// Findings, in deterministic order (errors first, then by code, then
+    /// by discovery order).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when no error-severity diagnostic was emitted.
+    pub fn is_clean(&self) -> bool {
+        self.summary.errors == 0
+    }
+
+    /// Renders the report as deterministic human-readable text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = &self.summary;
+        let _ = writeln!(out, "si-lint report for `{}`", self.target);
+        let _ = writeln!(
+            out,
+            "  programs: {} ({} pieces{})",
+            s.programs,
+            s.pieces,
+            if s.chopped { ", chopped" } else { "" }
+        );
+        let _ = writeln!(
+            out,
+            "  SER-robust under SI: {} (plain Theorem 19: {})",
+            yes_no(s.ser_robust_refined),
+            yes_no(s.ser_robust_plain)
+        );
+        let _ = writeln!(out, "  PSI/SI coincide (Theorem 22): {}", yes_no(s.psi_si_robust));
+        if s.chopped {
+            let _ = writeln!(
+                out,
+                "  chopping spliceable: SI {}, SER {}, PSI {}",
+                verdict(s.chop_si_correct),
+                verdict(s.chop_ser_correct),
+                verdict(s.chop_psi_correct)
+            );
+        }
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(out, "  no findings");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "  findings: {} error(s), {} warning(s), {} info(s)",
+            s.errors, s.warnings, s.infos
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "{}[{}]: {}", d.severity.as_str(), d.code.as_str(), d.message);
+            if let Some(w) = &d.witness {
+                let _ = writeln!(out, "  witness: {}", w.summary);
+                for e in &w.edges {
+                    let obj = e.object.as_deref().map(|o| format!(" on {o}")).unwrap_or_default();
+                    let _ = writeln!(out, "    {} -{}-> {}{}", e.from, e.kind, e.to, obj);
+                }
+            }
+            for r in &d.repairs {
+                let mark = if r.verified { "verified" } else { "UNVERIFIED" };
+                let _ = writeln!(out, "  repair ({mark}): {}", r.description);
+            }
+        }
+        out
+    }
+}
+
+/// Renders a batch of reports as deterministic pretty-printed JSON — the
+/// format the CLI's `--json` mode emits and CI diffs against the
+/// committed golden file.
+pub fn reports_to_json(reports: &[LintReport]) -> String {
+    serde_json::to_string_pretty(&reports).expect("lint reports always serialize")
+}
+
+/// Parses [`reports_to_json`] output back.
+///
+/// # Errors
+///
+/// Returns the underlying deserialization error when the JSON does not
+/// describe a list of lint reports.
+pub fn reports_from_json(json: &str) -> Result<Vec<LintReport>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+fn yes_no(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+fn verdict(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "yes",
+        Some(false) => "NO",
+        None => "inconclusive",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_as_strings() {
+        for code in [
+            DiagCode::Si001,
+            DiagCode::Si002,
+            DiagCode::Si003,
+            DiagCode::Si004,
+            DiagCode::Si005,
+            DiagCode::Si006,
+            DiagCode::Si007,
+        ] {
+            let json = serde_json::to_string(&code).unwrap();
+            assert_eq!(json, format!("\"{}\"", code.as_str()));
+            let back: DiagCode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, code);
+        }
+        assert!(serde_json::from_str::<DiagCode>("\"SI999\"").is_err());
+    }
+
+    #[test]
+    fn severities_are_ordered_and_stable() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(serde_json::to_string(&Severity::Error).unwrap(), "\"error\"");
+        let back: Severity = serde_json::from_str("\"warning\"").unwrap();
+        assert_eq!(back, Severity::Warning);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = LintReport {
+            target: "demo".into(),
+            summary: Summary {
+                programs: 2,
+                pieces: 2,
+                chopped: false,
+                ser_robust_plain: false,
+                ser_robust_refined: false,
+                psi_si_robust: true,
+                chop_si_correct: None,
+                chop_ser_correct: None,
+                chop_psi_correct: None,
+                errors: 1,
+                warnings: 0,
+                infos: 0,
+            },
+            diagnostics: vec![Diagnostic {
+                code: DiagCode::Si001,
+                severity: Severity::Error,
+                message: "write skew".into(),
+                witness: Some(Witness {
+                    summary: "a -RW-> b -RW-> a".into(),
+                    edges: vec![WitnessEdge {
+                        from: "a".into(),
+                        to: "b".into(),
+                        kind: "RW".into(),
+                        object: Some("x".into()),
+                    }],
+                }),
+                repairs: vec![Repair {
+                    description: "promote read of x in a".into(),
+                    actions: vec![RepairAction::Promote {
+                        program: "a".into(),
+                        object: "x".into(),
+                    }],
+                    verified: true,
+                }],
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // The stable code appears literally in the JSON.
+        assert!(json.contains("\"SI001\""));
+        assert!(json.contains("\"error\""));
+    }
+
+    #[test]
+    fn text_rendering_is_deterministic_and_named() {
+        let report = LintReport {
+            target: "demo".into(),
+            summary: Summary {
+                programs: 1,
+                pieces: 1,
+                chopped: false,
+                ser_robust_plain: true,
+                ser_robust_refined: true,
+                psi_si_robust: true,
+                chop_si_correct: None,
+                chop_ser_correct: None,
+                chop_psi_correct: None,
+                errors: 0,
+                warnings: 0,
+                infos: 0,
+            },
+            diagnostics: vec![],
+        };
+        let a = report.render_text();
+        let b = report.render_text();
+        assert_eq!(a, b);
+        assert!(a.contains("no findings"));
+        assert!(a.contains("SER-robust under SI: yes"));
+    }
+}

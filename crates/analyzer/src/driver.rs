@@ -1,0 +1,505 @@
+//! The analysis driver: run the full battery, emit diagnostics.
+//!
+//! [`lint_program_set`] (hand-declared exact sets) and [`lint_app`]
+//! (IR-derived may/must sets) run, in order:
+//!
+//! 1. the plain Theorem 19 SER-robustness check;
+//! 2. the Fekete-refined check (split over may/must write sets when the
+//!    sets are derived), enumerating every dangerous structure → SI001,
+//!    each with verified promotion repairs, or SI007 when the refinement
+//!    discharges a plain-only finding;
+//! 3. the Theorem 22 PSI→SI robustness check → SI005;
+//! 4. when any program is chopped: the Corollary 18 / Theorem 29 /
+//!    Theorem 31 spliceability battery → SI002 (with verified merge
+//!    repairs), SI003, SI004.
+//!
+//! Budget-limited searches that give out yield SI006 instead of a
+//! verdict. Diagnostics are ordered errors-first, then by code.
+
+use si_chopping::{analyse_chopping, ChoppingReport, Criterion, ProgramSet};
+use si_robustness::{
+    check_ser_robustness, check_si_robustness, enumerate_dangerous_structures_split, StaticDepGraph,
+};
+use si_telemetry::MetricsRegistry;
+
+use crate::diag::{DiagCode, Diagnostic, LintReport, Severity, Summary};
+use crate::ir::IrApp;
+use crate::render::{witness_from_chopping, witness_from_structure};
+use crate::repair::{search_merges, search_promotions};
+
+/// Tuning knobs for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Step budget for each cycle-enumeration search (Theorem 22 and the
+    /// chopping battery).
+    pub step_budget: usize,
+    /// Concurrent run-time instances modelled per program (see
+    /// [`StaticDepGraph::from_programs_with_instances`]). 1 analyses the
+    /// plain per-program graph.
+    pub instances: usize,
+    /// Maximum SI001 diagnostics (dangerous structures) reported.
+    pub max_diagnostics: usize,
+    /// Maximum verified repairs attached per diagnostic.
+    pub max_repairs: usize,
+    /// Maximum promotions combined in one repair.
+    pub max_promotion_size: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            step_budget: 1_000_000,
+            instances: 1,
+            max_diagnostics: 8,
+            max_repairs: 3,
+            max_promotion_size: 2,
+        }
+    }
+}
+
+/// Lints an application with hand-declared (exact) read/write sets.
+pub fn lint_program_set(target: &str, programs: &ProgramSet, opts: &LintOptions) -> LintReport {
+    lint_split(target, programs, programs, opts, None)
+}
+
+/// [`lint_program_set`] with counters recorded into `metrics` (names
+/// `lint.runs`, `lint.diagnostics`, `lint.diag.si001` …,
+/// `lint.repairs_proposed`, `lint.budget_exceeded`).
+pub fn lint_program_set_with_metrics(
+    target: &str,
+    programs: &ProgramSet,
+    opts: &LintOptions,
+    metrics: &MetricsRegistry,
+) -> LintReport {
+    lint_split(target, programs, programs, opts, Some(metrics))
+}
+
+/// Lints an IR application: lowers it with [`IrApp::approximate`] and
+/// runs the battery on the derived may/must sets (the refinement only
+/// subtracts guaranteed write-write conflicts — see the `ir` module docs
+/// for the soundness direction).
+pub fn lint_app(target: &str, app: &IrApp, opts: &LintOptions) -> LintReport {
+    let lowered = app.approximate();
+    lint_split(target, &lowered.may, &lowered.must, opts, None)
+}
+
+/// [`lint_app`] with metrics.
+pub fn lint_app_with_metrics(
+    target: &str,
+    app: &IrApp,
+    opts: &LintOptions,
+    metrics: &MetricsRegistry,
+) -> LintReport {
+    let lowered = app.approximate();
+    lint_split(target, &lowered.may, &lowered.must, opts, Some(metrics))
+}
+
+fn lint_split(
+    target: &str,
+    may: &ProgramSet,
+    must: &ProgramSet,
+    opts: &LintOptions,
+    metrics: Option<&MetricsRegistry>,
+) -> LintReport {
+    assert!(opts.instances >= 1, "need at least one instance per program");
+    if let Some(m) = metrics {
+        m.counter("lint.runs").add(1);
+    }
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    // Robustness graphs (whole transactions, optionally replicated).
+    let (gmay, gmust, whole) = if opts.instances == 1 {
+        (StaticDepGraph::from_programs(may), StaticDepGraph::from_programs(must), may.unchopped())
+    } else {
+        let rmay = may.replicated(opts.instances);
+        let rmust = must.replicated(opts.instances);
+        (
+            StaticDepGraph::from_programs(&rmay),
+            StaticDepGraph::from_programs(&rmust),
+            rmay.unchopped(),
+        )
+    };
+
+    let plain = check_ser_robustness(&gmay);
+    let structures =
+        enumerate_dangerous_structures_split(&gmay, &gmust, opts.max_diagnostics.max(1));
+    let refined_robust = structures.is_empty();
+
+    for s in &structures {
+        let witness = witness_from_structure(s, &gmay, &whole);
+        let mut d = Diagnostic::new(
+            DiagCode::Si001,
+            format!(
+                "not SER-robust under SI: {} — an SI execution can be non-serializable",
+                witness.summary
+            ),
+        );
+        d.repairs = search_promotions(
+            may,
+            must,
+            std::slice::from_ref(s),
+            &whole,
+            opts.instances,
+            opts.max_promotion_size,
+            opts.max_repairs,
+        );
+        if let Some(m) = metrics {
+            m.counter("lint.repairs_proposed").add(d.repairs.len() as u64);
+        }
+        d.witness = Some(witness);
+        diagnostics.push(d);
+    }
+    if refined_robust && !plain.robust {
+        let mut d = Diagnostic::new(
+            DiagCode::Si007,
+            "the plain Theorem 19 analysis finds a dangerous structure, but its programs \
+             already write-conflict (the constraint is materialised): the refined analysis \
+             certifies SER-robustness"
+                .to_owned(),
+        );
+        d.witness = plain.witness.as_ref().map(|w| witness_from_structure(w, &gmay, &whole));
+        diagnostics.push(d);
+    }
+
+    // §6.2: robustness against PSI towards SI.
+    let psi_si_robust = match check_si_robustness(&gmay, opts.step_budget) {
+        Ok(report) => {
+            if let Some(w) = &report.witness {
+                let mut d = Diagnostic::new(
+                    DiagCode::Si005,
+                    "not robust against parallel SI: a long-fork-shaped cycle exists, so \
+                     weakening the store from SI to PSI can change client-observable behaviour"
+                        .to_owned(),
+                );
+                d.witness = Some(witness_from_structure(w, &gmay, &whole));
+                diagnostics.push(d);
+            }
+            report.robust
+        }
+        Err(_) => {
+            diagnostics.push(Diagnostic::new(
+                DiagCode::Si006,
+                "the PSI→SI robustness search exceeded its step budget; treat the \
+                 application as possibly not robust"
+                    .to_owned(),
+            ));
+            if let Some(m) = metrics {
+                m.counter("lint.budget_exceeded").add(1);
+            }
+            false
+        }
+    };
+
+    // Chopping battery, when any program actually is chopped.
+    let chopped = may.piece_count() > may.program_count();
+    let mut chop_si = None;
+    let mut chop_ser = None;
+    let mut chop_psi = None;
+    if chopped {
+        let mut run = |criterion: Criterion| -> Option<ChoppingReport> {
+            match analyse_chopping(may, criterion, opts.step_budget) {
+                Ok(report) => Some(report),
+                Err(_) => {
+                    diagnostics.push(Diagnostic::new(
+                        DiagCode::Si006,
+                        format!(
+                            "the {criterion} chopping analysis exceeded its step budget; \
+                             treat the chopping as possibly incorrect"
+                        ),
+                    ));
+                    if let Some(m) = metrics {
+                        m.counter("lint.budget_exceeded").add(1);
+                    }
+                    None
+                }
+            }
+        };
+        let si_report = run(Criterion::Si);
+        let ser_report = run(Criterion::Ser);
+        let psi_report = run(Criterion::Psi);
+        chop_si = si_report.as_ref().map(|r| r.correct);
+        chop_ser = ser_report.as_ref().map(|r| r.correct);
+        chop_psi = psi_report.as_ref().map(|r| r.correct);
+        if let Some(report) = &si_report {
+            if !report.correct {
+                let mut d = Diagnostic::new(
+                    DiagCode::Si002,
+                    "the chopping is not spliceable under SI: the static chopping graph \
+                     has a critical cycle (Corollary 18), so chopped executions can be \
+                     inequivalent to any unchopped execution"
+                        .to_owned(),
+                );
+                d.witness = witness_from_chopping(report, may);
+                d.repairs = search_merges(may, Criterion::Si, opts.step_budget, opts.max_repairs);
+                if let Some(m) = metrics {
+                    m.counter("lint.repairs_proposed").add(d.repairs.len() as u64);
+                }
+                diagnostics.push(d);
+            }
+        }
+        if chop_si == Some(true) && chop_ser == Some(false) {
+            let mut d = Diagnostic::new(
+                DiagCode::Si003,
+                "the chopping is spliceable under SI but not under serializability \
+                 (Theorem 29): its correctness relies on snapshot reads, so migrating \
+                 to an SER store invalidates the chopping"
+                    .to_owned(),
+            );
+            d.witness = ser_report.as_ref().and_then(|r| witness_from_chopping(r, may));
+            diagnostics.push(d);
+        }
+        if chop_si == Some(false) && chop_psi == Some(true) {
+            let mut d = Diagnostic::new(
+                DiagCode::Si004,
+                "the chopping is spliceable under parallel SI (Theorem 31) but not under \
+                 SI: it is only correct if the store weakens snapshots to PSI"
+                    .to_owned(),
+            );
+            d.witness = si_report.as_ref().and_then(|r| witness_from_chopping(r, may));
+            diagnostics.push(d);
+        }
+    }
+
+    // Errors first, then warnings, then infos; stable within a class so
+    // discovery order (and hence code order) is preserved.
+    diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(&b.code)));
+
+    let count = |sev: Severity| diagnostics.iter().filter(|d| d.severity == sev).count();
+    let summary = Summary {
+        programs: may.program_count(),
+        pieces: may.piece_count(),
+        chopped,
+        ser_robust_plain: plain.robust,
+        ser_robust_refined: refined_robust,
+        psi_si_robust,
+        chop_si_correct: chop_si,
+        chop_ser_correct: chop_ser,
+        chop_psi_correct: chop_psi,
+        errors: count(Severity::Error),
+        warnings: count(Severity::Warning),
+        infos: count(Severity::Info),
+    };
+    if let Some(m) = metrics {
+        m.counter("lint.diagnostics").add(diagnostics.len() as u64);
+        for d in &diagnostics {
+            m.counter(&format!("lint.diag.{}", d.code.as_str().to_lowercase())).add(1);
+        }
+        m.counter("lint.repairs_verified")
+            .add(diagnostics.iter().flat_map(|d| &d.repairs).filter(|r| r.verified).count() as u64);
+    }
+    LintReport { target: target.to_owned(), summary, diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::RepairAction;
+    use crate::ir::Stmt;
+
+    fn write_skew() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("withdraw_x");
+        ps.add_piece(w1, "p", [x, y], [x]);
+        let w2 = ps.add_program("withdraw_y");
+        ps.add_piece(w2, "p", [x, y], [y]);
+        ps
+    }
+
+    #[test]
+    fn write_skew_yields_si001_with_verified_repair() {
+        let report = lint_program_set("write-skew", &write_skew(), &LintOptions::default());
+        assert!(!report.is_clean());
+        assert!(!report.summary.ser_robust_refined);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, DiagCode::Si001);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("withdraw_x"), "{}", d.message);
+        assert!(!d.repairs.is_empty());
+        assert!(d.repairs.iter().all(|r| r.verified));
+        // Chopping battery not applicable: one piece per program.
+        assert_eq!(report.summary.chop_si_correct, None);
+        assert!(!report.summary.chopped);
+    }
+
+    #[test]
+    fn materialised_constraint_yields_si007_only() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let total = ps.object("total");
+        let w1 = ps.add_program("w1");
+        ps.add_piece(w1, "p", [x, y, total], [x, total]);
+        let w2 = ps.add_program("w2");
+        ps.add_piece(w2, "p", [x, y, total], [y, total]);
+        let report = lint_program_set("materialised", &ps, &LintOptions::default());
+        assert!(report.is_clean());
+        assert!(report.summary.ser_robust_refined);
+        assert!(!report.summary.ser_robust_plain);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![DiagCode::Si007]);
+        assert_eq!(report.summary.infos, 1);
+    }
+
+    /// Figure 5's chopping: SI002 with a verified multi-merge repair.
+    #[test]
+    fn figure5_yields_si002_with_merge_repair() {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "debit", [a1], [a1]);
+        ps.add_piece(t, "credit", [a2], [a2]);
+        let l = ps.add_program("lookupAll");
+        ps.add_piece(l, "read1", [a1], []);
+        ps.add_piece(l, "read2", [a2], []);
+        let report = lint_program_set("figure5", &ps, &LintOptions::default());
+        let si002 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::Si002)
+            .expect("figure 5 chopping must be flagged");
+        assert_eq!(report.summary.chop_si_correct, Some(false));
+        let w = si002.witness.as_ref().unwrap();
+        assert!(w.summary.contains("transfer[") || w.summary.contains("lookupAll["));
+        assert!(!si002.repairs.is_empty());
+        assert!(si002
+            .repairs
+            .iter()
+            .all(|r| r.actions.iter().all(|a| matches!(a, RepairAction::MergePieces { .. }))));
+    }
+
+    /// Figure 11's chopping is SI-only: SI003.
+    #[test]
+    fn figure11_yields_si003() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("write1");
+        ps.add_piece(w1, "var1 = x", [x], []);
+        ps.add_piece(w1, "y = var1", [], [y]);
+        let w2 = ps.add_program("write2");
+        ps.add_piece(w2, "var2 = y", [y], []);
+        ps.add_piece(w2, "x = var2", [], [x]);
+        let report = lint_program_set("figure11", &ps, &LintOptions::default());
+        assert_eq!(report.summary.chop_si_correct, Some(true));
+        assert_eq!(report.summary.chop_ser_correct, Some(false));
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::Si003));
+        assert!(report.diagnostics.iter().all(|d| d.code != DiagCode::Si002));
+    }
+
+    /// Figure 12: long fork — SI004 (PSI-only chopping) and SI005 (not
+    /// PSI→SI robust).
+    #[test]
+    fn figure12_yields_si004_and_si005() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("write1");
+        ps.add_piece(w1, "x = post1", [], [x]);
+        let w2 = ps.add_program("write2");
+        ps.add_piece(w2, "y = post2", [], [y]);
+        let r1 = ps.add_program("read1");
+        ps.add_piece(r1, "a = y", [y], []);
+        ps.add_piece(r1, "b = x", [x], []);
+        let r2 = ps.add_program("read2");
+        ps.add_piece(r2, "a = x", [x], []);
+        ps.add_piece(r2, "b = y", [y], []);
+        let report = lint_program_set("figure12", &ps, &LintOptions::default());
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&DiagCode::Si002));
+        assert!(codes.contains(&DiagCode::Si004));
+        assert!(codes.contains(&DiagCode::Si005));
+        assert!(!report.summary.psi_si_robust);
+        assert_eq!(report.summary.chop_psi_correct, Some(true));
+        // Errors sort before warnings.
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn tiny_budget_yields_si006() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let t = ps.add_program("t");
+        ps.add_piece(t, "a", [x], [x]);
+        ps.add_piece(t, "b", [y], [y]);
+        let l = ps.add_program("l");
+        ps.add_piece(l, "c", [x, y], []);
+        let opts = LintOptions { step_budget: 1, ..LintOptions::default() };
+        let report = lint_program_set("tiny-budget", &ps, &opts);
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::Si006));
+        assert_eq!(report.summary.chop_si_correct, None);
+    }
+
+    #[test]
+    fn ir_app_with_conditional_write_is_still_flagged() {
+        // Write skew where each debit is conditional: the must-writes are
+        // empty, so the refinement cannot discount the anti-dependencies —
+        // SI001 must still fire (soundness of the split check).
+        let mut app = IrApp::new();
+        let x = app.scalar("x");
+        let y = app.scalar("y");
+        let w1 = app.program("withdraw_x");
+        app.piece(
+            w1,
+            "check then debit x",
+            vec![Stmt::branch(vec![x.clone(), y.clone()], vec![Stmt::write(x.clone())], vec![])],
+        );
+        let w2 = app.program("withdraw_y");
+        app.piece(
+            w2,
+            "check then debit y",
+            vec![Stmt::branch(vec![x.clone(), y.clone()], vec![Stmt::write(y.clone())], vec![])],
+        );
+        let report = lint_app("guarded-write-skew", &app, &LintOptions::default());
+        assert!(report.diagnostics.iter().any(|d| d.code == DiagCode::Si001));
+        // The promotion repair still verifies: the identity write it adds
+        // is unconditional, hence a must-write.
+        let d = report.diagnostics.iter().find(|d| d.code == DiagCode::Si001).unwrap();
+        assert!(!d.repairs.is_empty());
+    }
+
+    #[test]
+    fn metrics_counters_record_the_run() {
+        let metrics = MetricsRegistry::new();
+        let report = lint_program_set_with_metrics(
+            "write-skew",
+            &write_skew(),
+            &LintOptions::default(),
+            &metrics,
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("lint.runs"), 1);
+        assert_eq!(snap.counter("lint.diagnostics"), report.diagnostics.len() as u64);
+        assert!(snap.counter("lint.diag.si001") >= 1);
+        assert!(snap.counter("lint.repairs_proposed") >= 1);
+        assert_eq!(snap.counter("lint.repairs_proposed"), snap.counter("lint.repairs_verified"));
+    }
+
+    #[test]
+    fn instances_surface_self_conflicts() {
+        // A read-modify-write program is clean alone but its two instances
+        // write-conflict — the refinement discounts the RW pair, so it
+        // stays clean; a *blind read then write elsewhere* does not.
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let p = ps.add_program("swap_half");
+        ps.add_piece(p, "read x write y", [x], [y]);
+        let q = ps.add_program("swap_other");
+        ps.add_piece(q, "read y write x", [y], [x]);
+        let one = lint_program_set("swap", &ps, &LintOptions::default());
+        assert!(!one.summary.ser_robust_refined); // cross-program skew already
+        let two = lint_program_set(
+            "swap-2x",
+            &ps,
+            &LintOptions { instances: 2, ..LintOptions::default() },
+        );
+        assert!(!two.summary.ser_robust_refined);
+        // Witness names carry the instance suffix.
+        let d = &two.diagnostics[0];
+        assert!(d.witness.as_ref().unwrap().summary.contains('#'), "{}", d.message);
+    }
+}

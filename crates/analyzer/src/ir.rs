@@ -1,0 +1,465 @@
+//! A small program IR for transactional code, and its conservative
+//! lowering to the read/write sets the §5–§6 analyses consume.
+//!
+//! The library analyses (`si-chopping`, `si-robustness`) take a
+//! [`ProgramSet`] of hand-declared per-piece read/write sets. Real
+//! programs are not written as set declarations: they read and write
+//! *parameterised* locations (`checking[$c]`), scan *ranges* (`SELECT …
+//! WHERE balance < 0`), and branch. This module models exactly those
+//! shapes and derives the sets instead of trusting the caller:
+//!
+//! * an [`IrApp`] declares object **families** (a scalar is a family of
+//!   size 1) and **programs** split into session-ordered **pieces**;
+//! * each piece's body is a sequence of [`Stmt`]s: reads and writes of
+//!   [`Access`] paths, and conditionals whose guard reads are explicit;
+//! * [`IrApp::approximate`] lowers the app to a [`Lowered`] pair of
+//!   program sets — `may` (over-approximated reads *and* writes) and
+//!   `must` (under-approximated writes) — with the soundness direction
+//!   documented on [`Lowered`].
+//!
+//! # Approximation soundness direction
+//!
+//! Every run-time access is contained in the derived **may** sets:
+//! a parameterised access may touch any element of its family, a range
+//! access may touch all of them, and a conditional may execute either
+//! branch. The static dependency/chopping graphs built from the may sets
+//! therefore over-approximate every producible dynamic graph, which is
+//! the premise of Corollary 18 and the §6 analyses — "robust" /
+//! "spliceable" verdicts on the may sets are **sound**, while "not
+//! robust" may be a false positive.
+//!
+//! The one analysis that *subtracts* information — Fekete et al.'s
+//! vulnerability refinement, which discounts an anti-dependency when the
+//! two programs' write sets intersect — must not be fed over-approximated
+//! writes: a write that only *may* happen cannot be relied on to trigger
+//! first-committer-wins. The lowering therefore also tracks **must**
+//! writes (unconditional writes to statically known objects), and the
+//! driver runs the refinement as `RW(may) ∖ WW(must)`
+//! ([`si_robustness::check_ser_robustness_refined_split`]).
+
+use si_chopping::ProgramSet;
+use si_model::Obj;
+
+/// Identifies an object family within an [`IrApp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FamilyId(pub usize);
+
+/// Identifies a program within an [`IrApp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IrProgramId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    size: usize,
+}
+
+/// An access path: which object(s) a statement may touch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// A statically known element of a family (`checking[3]`; for a
+    /// scalar family, element 0).
+    Element(FamilyId, usize),
+    /// A parameterised element (`checking[$c]`): exactly one element is
+    /// touched at run time, but the analysis does not know which.
+    Param(FamilyId, String),
+    /// A predicate or range access over the whole family (`WHERE …` /
+    /// full scan): any subset of the family may be touched.
+    Range(FamilyId),
+}
+
+impl Access {
+    /// The family the access targets.
+    pub fn family(&self) -> FamilyId {
+        match self {
+            Access::Element(f, _) | Access::Param(f, _) | Access::Range(f) => *f,
+        }
+    }
+}
+
+/// One statement of a piece body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Read the access path.
+    Read(Access),
+    /// Write the access path.
+    Write(Access),
+    /// A conditional: the guard reads `guard_reads`, then exactly one of
+    /// the branches runs. The analysis unions both branches into the may
+    /// sets and treats neither as guaranteed.
+    If {
+        /// Accesses read to evaluate the guard (always performed).
+        guard_reads: Vec<Access>,
+        /// Statements of the `then` branch.
+        then_branch: Vec<Stmt>,
+        /// Statements of the `else` branch.
+        else_branch: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// A read statement.
+    pub fn read(access: Access) -> Stmt {
+        Stmt::Read(access)
+    }
+
+    /// A write statement.
+    pub fn write(access: Access) -> Stmt {
+        Stmt::Write(access)
+    }
+
+    /// A conditional statement.
+    pub fn branch(
+        guard_reads: Vec<Access>,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    ) -> Stmt {
+        Stmt::If { guard_reads, then_branch, else_branch }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct IrPiece {
+    label: String,
+    body: Vec<Stmt>,
+}
+
+#[derive(Debug, Clone)]
+struct IrProgram {
+    name: String,
+    pieces: Vec<IrPiece>,
+}
+
+/// A transactional application in IR form: families, programs, pieces.
+#[derive(Debug, Clone, Default)]
+pub struct IrApp {
+    families: Vec<Family>,
+    programs: Vec<IrProgram>,
+}
+
+/// The result of lowering an [`IrApp`]: the conservative may-sets the
+/// plain analyses run on, and the must-write sets the vulnerability
+/// refinement is allowed to subtract.
+///
+/// Invariant: `must` has the same programs, pieces and object interning
+/// as `may`, and each piece's must-write set is a subset of its may-write
+/// set. Reads are identical in both (the refinement never subtracts on
+/// reads).
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Over-approximated read/write sets (sound for Corollary 18 and the
+    /// plain §6 checks).
+    pub may: ProgramSet,
+    /// Same structure with only the *guaranteed* writes (sound for the
+    /// WW-subtraction of the Fekete refinement).
+    pub must: ProgramSet,
+}
+
+impl IrApp {
+    /// An empty application.
+    pub fn new() -> IrApp {
+        IrApp::default()
+    }
+
+    /// Declares (or looks up) an object family of `size` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was already declared with a different size, or
+    /// if `size` is zero.
+    pub fn family(&mut self, name: &str, size: usize) -> FamilyId {
+        assert!(size >= 1, "a family needs at least one element");
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            assert_eq!(self.families[i].size, size, "family {name:?} redeclared with a new size");
+            return FamilyId(i);
+        }
+        self.families.push(Family { name: name.to_owned(), size });
+        FamilyId(self.families.len() - 1)
+    }
+
+    /// Declares (or looks up) a scalar object — a family of size 1 —
+    /// returning the access path to it.
+    pub fn scalar(&mut self, name: &str) -> Access {
+        let f = self.family(name, 1);
+        Access::Element(f, 0)
+    }
+
+    /// Adds an empty program; populate it with [`piece`](IrApp::piece).
+    pub fn program(&mut self, name: &str) -> IrProgramId {
+        self.programs.push(IrProgram { name: name.to_owned(), pieces: Vec::new() });
+        IrProgramId(self.programs.len() - 1)
+    }
+
+    /// Appends a piece (one transaction of the chopped session) to
+    /// `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this app or a statement references
+    /// a family that is not.
+    pub fn piece(&mut self, program: IrProgramId, label: &str, body: Vec<Stmt>) {
+        fn check(families: usize, stmts: &[Stmt]) {
+            for s in stmts {
+                match s {
+                    Stmt::Read(a) | Stmt::Write(a) => {
+                        assert!(a.family().0 < families, "access to undeclared family");
+                    }
+                    Stmt::If { guard_reads, then_branch, else_branch } => {
+                        for a in guard_reads {
+                            assert!(a.family().0 < families, "access to undeclared family");
+                        }
+                        check(families, then_branch);
+                        check(families, else_branch);
+                    }
+                }
+            }
+        }
+        check(self.families.len(), &body);
+        self.programs[program.0].pieces.push(IrPiece { label: label.to_owned(), body });
+    }
+
+    /// Number of programs.
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// A program's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this app.
+    pub fn program_name(&self, program: IrProgramId) -> &str {
+        &self.programs[program.0].name
+    }
+
+    /// The printed name of one element of a family: the bare family name
+    /// for scalars, `name[i]` otherwise.
+    fn object_label(&self, f: FamilyId, i: usize) -> String {
+        let fam = &self.families[f.0];
+        if fam.size == 1 {
+            fam.name.clone()
+        } else {
+            format!("{}[{i}]", fam.name)
+        }
+    }
+
+    /// Lowers the app to [`Lowered`] may/must program sets; see the
+    /// module docs for the approximation rules and soundness direction.
+    pub fn approximate(&self) -> Lowered {
+        let mut may = ProgramSet::new();
+        let mut must = ProgramSet::new();
+        // Intern every family element up-front, in declaration order, so
+        // both sets agree on Obj values and no object is "invisible" just
+        // because no statement touches it.
+        let mut first_obj = Vec::with_capacity(self.families.len());
+        for (fi, fam) in self.families.iter().enumerate() {
+            for i in 0..fam.size {
+                let label = self.object_label(FamilyId(fi), i);
+                let o = may.object(&label);
+                let o2 = must.object(&label);
+                debug_assert_eq!(o, o2);
+                if i == 0 {
+                    first_obj.push(o);
+                }
+            }
+        }
+        let objects_of = |a: &Access| -> Vec<Obj> {
+            let f = a.family();
+            let base = first_obj[f.0].index();
+            match a {
+                Access::Element(_, i) => {
+                    assert!(*i < self.families[f.0].size, "family index out of range");
+                    vec![Obj::from_index(base + i)]
+                }
+                // One unknown element (Param) or any subset (Range): the
+                // may-approximation is the whole family either way.
+                Access::Param(..) | Access::Range(_) => {
+                    (0..self.families[f.0].size).map(|i| Obj::from_index(base + i)).collect()
+                }
+            }
+        };
+
+        for prog in &self.programs {
+            let mp = may.add_program(&prog.name);
+            let up = must.add_program(&prog.name);
+            for piece in &prog.pieces {
+                let mut reads = Vec::new();
+                let mut may_writes = Vec::new();
+                let mut must_writes = Vec::new();
+                collect(
+                    &piece.body,
+                    false,
+                    &objects_of,
+                    &mut reads,
+                    &mut may_writes,
+                    &mut must_writes,
+                );
+                may.add_piece(mp, &piece.label, reads.iter().copied(), may_writes);
+                must.add_piece(up, &piece.label, reads, must_writes);
+            }
+        }
+        Lowered { may, must }
+    }
+
+    /// Convenience: the over-approximated (may) program set alone, for
+    /// feeding the plain library analyses directly.
+    pub fn program_set(&self) -> ProgramSet {
+        self.approximate().may
+    }
+}
+
+/// Walks a statement list, accumulating may-reads, may-writes and
+/// must-writes. `conditional` is true inside any branch.
+fn collect(
+    stmts: &[Stmt],
+    conditional: bool,
+    objects_of: &dyn Fn(&Access) -> Vec<Obj>,
+    reads: &mut Vec<Obj>,
+    may_writes: &mut Vec<Obj>,
+    must_writes: &mut Vec<Obj>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Read(a) => reads.extend(objects_of(a)),
+            Stmt::Write(a) => {
+                may_writes.extend(objects_of(a));
+                // A write is guaranteed only when it is unconditional AND
+                // targets a statically known single object: a Param write
+                // definitely writes *some* element, but no particular one,
+                // and a Range write may match nothing.
+                if !conditional {
+                    if let Access::Element(..) = a {
+                        must_writes.extend(objects_of(a));
+                    }
+                }
+            }
+            Stmt::If { guard_reads, then_branch, else_branch } => {
+                for a in guard_reads {
+                    reads.extend(objects_of(a));
+                }
+                collect(then_branch, true, objects_of, reads, may_writes, must_writes);
+                collect(else_branch, true, objects_of, reads, may_writes, must_writes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// write_check in IR: read both accounts of customer `$c`, and only
+    /// if the combined balance covers the cheque debit checking.
+    fn write_check_ir() -> IrApp {
+        let mut app = IrApp::new();
+        let checking = app.family("checking", 2);
+        let savings = app.family("savings", 2);
+        let wc = app.program("write_check");
+        app.piece(
+            wc,
+            "read both, conditionally debit checking",
+            vec![
+                Stmt::read(Access::Param(savings, "c".into())),
+                Stmt::read(Access::Param(checking, "c".into())),
+                Stmt::branch(
+                    vec![],
+                    vec![Stmt::write(Access::Param(checking, "c".into()))],
+                    vec![],
+                ),
+            ],
+        );
+        app
+    }
+
+    #[test]
+    fn param_access_expands_to_the_family() {
+        let lowered = write_check_ir().approximate();
+        let piece = lowered.may.pieces().next().unwrap();
+        // Reads: both savings and both checking objects.
+        assert_eq!(lowered.may.reads(piece).len(), 4);
+        // May-writes: both checking objects; must-writes: none (the write
+        // is conditional AND parameterised).
+        assert_eq!(lowered.may.writes(piece).len(), 2);
+        assert!(lowered.must.writes(piece).is_empty());
+        assert_eq!(lowered.may.object_name(Obj(0)), Some("checking[0]"));
+    }
+
+    #[test]
+    fn scalars_and_elements_lower_exactly() {
+        let mut app = IrApp::new();
+        let x = app.scalar("x");
+        let stock = app.family("stock", 3);
+        let p = app.program("p");
+        app.piece(
+            p,
+            "body",
+            vec![
+                Stmt::read(x.clone()),
+                Stmt::write(x.clone()),
+                Stmt::write(Access::Element(stock, 1)),
+                Stmt::read(Access::Range(stock)),
+            ],
+        );
+        let lowered = app.approximate();
+        let piece = lowered.may.pieces().next().unwrap();
+        // Reads: x plus the whole stock family.
+        assert_eq!(lowered.may.reads(piece).len(), 4);
+        // Writes: x and stock[1], both unconditional known elements.
+        assert_eq!(lowered.may.writes(piece), lowered.must.writes(piece));
+        assert_eq!(lowered.must.writes(piece).len(), 2);
+        assert_eq!(lowered.may.object_name(Obj(0)), Some("x"));
+        assert_eq!(lowered.may.object_name(Obj(2)), Some("stock[1]"));
+    }
+
+    #[test]
+    fn conditional_writes_are_may_not_must() {
+        let mut app = IrApp::new();
+        let x = app.scalar("x");
+        let y = app.scalar("y");
+        let p = app.program("guarded");
+        app.piece(
+            p,
+            "if x { y := 1 } else { }",
+            vec![Stmt::branch(vec![x.clone()], vec![Stmt::write(y.clone())], vec![])],
+        );
+        let lowered = app.approximate();
+        let piece = lowered.may.pieces().next().unwrap();
+        assert_eq!(lowered.may.reads(piece).len(), 1); // guard read of x
+        assert_eq!(lowered.may.writes(piece).len(), 1); // may write y
+        assert!(lowered.must.writes(piece).is_empty());
+    }
+
+    #[test]
+    fn range_write_has_no_must_part() {
+        let mut app = IrApp::new();
+        let t = app.family("table", 3);
+        let p = app.program("sweep");
+        app.piece(p, "update where", vec![Stmt::write(Access::Range(t))]);
+        let lowered = app.approximate();
+        let piece = lowered.may.pieces().next().unwrap();
+        assert_eq!(lowered.may.writes(piece).len(), 3);
+        assert!(lowered.must.writes(piece).is_empty());
+    }
+
+    #[test]
+    fn must_structure_mirrors_may() {
+        let app = write_check_ir();
+        let lowered = app.approximate();
+        assert_eq!(lowered.may.program_count(), lowered.must.program_count());
+        assert_eq!(lowered.may.piece_count(), lowered.must.piece_count());
+        for (a, b) in lowered.may.pieces().zip(lowered.must.pieces()) {
+            assert_eq!(a, b);
+            assert_eq!(lowered.may.reads(a), lowered.must.reads(b));
+            // must ⊆ may on writes.
+            assert!(lowered.must.writes(b).iter().all(|o| lowered.may.writes(a).contains(o)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "redeclared")]
+    fn family_size_conflicts_panic() {
+        let mut app = IrApp::new();
+        app.family("t", 2);
+        app.family("t", 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Builds [`Witness`] values — named vertices, labelled edges, conflict
+//! objects — from the raw analysis witnesses.
+//!
+//! The library analyses report witnesses over vertex indices
+//! ([`si_relations::TxId`] for robustness, chopping-graph nodes for
+//! spliceability). This module resolves them back to program and piece
+//! names and annotates every conflict edge with the object the two sides
+//! fight over, so a diagnostic reads
+//! `balance -RW(checking0)-> write_check` rather than `T0 -RW-> T4`.
+
+use si_chopping::{
+    conflict_object, ChopEdge, ChoppingReport, ConflictKind, PieceId, ProgramId, ProgramSet,
+};
+use si_relations::TxId;
+use si_robustness::{DangerousStructure, StaticDepGraph};
+
+use crate::diag::{Witness, WitnessEdge};
+
+/// The single piece standing for whole program `v` in an unchopped set.
+fn whole_piece(v: TxId) -> PieceId {
+    PieceId { program: ProgramId(v.index()), piece: 0 }
+}
+
+/// Names the object an edge of `kind` between whole programs `from` and
+/// `to` conflicts on, if the (unchopped) sets intersect.
+fn edge_object(whole: &ProgramSet, from: TxId, to: TxId, kind: ConflictKind) -> Option<String> {
+    conflict_object(whole, whole_piece(from), whole_piece(to), kind)
+        .and_then(|o| whole.object_name(o).map(str::to_owned))
+}
+
+/// The kinds under which `from -> to` is an edge of `graph`, rendered as
+/// `"WR"`, `"RW|WW"`, …; `"?"` if none (should not happen for analysis
+/// witnesses).
+fn edge_kinds(graph: &StaticDepGraph, from: TxId, to: TxId) -> String {
+    let mut kinds = Vec::new();
+    if graph.wr().contains(from, to) {
+        kinds.push("WR");
+    }
+    if graph.ww().contains(from, to) {
+        kinds.push("WW");
+    }
+    if graph.rw().contains(from, to) {
+        kinds.push("RW");
+    }
+    if kinds.is_empty() {
+        "?".to_owned()
+    } else {
+        kinds.join("|")
+    }
+}
+
+/// First kind (in WR, WW, RW order) under which `from -> to` is an edge.
+fn first_kind(graph: &StaticDepGraph, from: TxId, to: TxId) -> Option<ConflictKind> {
+    if graph.wr().contains(from, to) {
+        Some(ConflictKind::Wr)
+    } else if graph.ww().contains(from, to) {
+        Some(ConflictKind::Ww)
+    } else if graph.rw().contains(from, to) {
+        Some(ConflictKind::Rw)
+    } else {
+        None
+    }
+}
+
+/// Renders a robustness witness over program names, annotating each edge
+/// with the conflicting object. `whole` must be the (unchopped,
+/// instance-replicated if applicable) program set the `graph` was built
+/// from, so that program indices line up with the witness's vertex ids.
+pub fn witness_from_structure(
+    structure: &DangerousStructure,
+    graph: &StaticDepGraph,
+    whole: &ProgramSet,
+) -> Witness {
+    let name = |v: TxId| graph.name(v).to_owned();
+    let summary = structure.describe_with(&name);
+    let mut edges = Vec::new();
+    match structure {
+        DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path } => {
+            for (from, to) in [(*a, *b), (*b, *c)] {
+                edges.push(WitnessEdge {
+                    from: name(from),
+                    to: name(to),
+                    kind: "RW".to_owned(),
+                    object: edge_object(whole, from, to, ConflictKind::Rw),
+                });
+            }
+            for pair in closing_path.windows(2) {
+                let (from, to) = (pair[0], pair[1]);
+                let object =
+                    first_kind(graph, from, to).and_then(|k| edge_object(whole, from, to, k));
+                edges.push(WitnessEdge {
+                    from: name(from),
+                    to: name(to),
+                    kind: edge_kinds(graph, from, to),
+                    object,
+                });
+            }
+        }
+        DangerousStructure::SeparatedAntiDependencyCycle { nodes } => {
+            let n = nodes.len();
+            for (i, &from) in nodes.iter().enumerate() {
+                let to = nodes[(i + 1) % n];
+                let object =
+                    first_kind(graph, from, to).and_then(|k| edge_object(whole, from, to, k));
+                edges.push(WitnessEdge {
+                    from: name(from),
+                    to: name(to),
+                    kind: edge_kinds(graph, from, to),
+                    object,
+                });
+            }
+        }
+    }
+    Witness { summary, edges }
+}
+
+/// Renders a chopping-analysis witness (a critical cycle in the static
+/// chopping graph) over program/piece names. Returns `None` when the
+/// report carries no witness (the chopping was correct).
+pub fn witness_from_chopping(report: &ChoppingReport, programs: &ProgramSet) -> Option<Witness> {
+    let cycle = report.witness.as_ref()?;
+    let summary = report.describe_witness(programs);
+    let render_node = |piece: PieceId| {
+        format!("{}[{}]", programs.program_name(piece.program), programs.piece_label(piece))
+    };
+    let n = cycle.nodes.len();
+    let mut edges = Vec::new();
+    for (i, (node, label)) in cycle.nodes.iter().zip(&cycle.labels).enumerate() {
+        let piece = report.nodes.piece(*node);
+        let next = report.nodes.piece(cycle.nodes[(i + 1) % n]);
+        let object = match label {
+            ChopEdge::Conflict(kind) => conflict_object(programs, piece, next, *kind)
+                .and_then(|o| programs.object_name(o).map(str::to_owned)),
+            _ => None,
+        };
+        edges.push(WitnessEdge {
+            from: render_node(piece),
+            to: render_node(next),
+            kind: label.to_string(),
+            object,
+        });
+    }
+    Some(Witness { summary, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_chopping::{analyse_chopping, Criterion};
+    use si_robustness::check_ser_robustness;
+
+    fn write_skew() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("withdraw_x");
+        ps.add_piece(w1, "p", [x, y], [x]);
+        let w2 = ps.add_program("withdraw_y");
+        ps.add_piece(w2, "p", [x, y], [y]);
+        ps
+    }
+
+    #[test]
+    fn structure_witness_names_programs_and_objects() {
+        let ps = write_skew();
+        let whole = ps.unchopped();
+        let graph = StaticDepGraph::from_programs(&ps);
+        let report = check_ser_robustness(&graph);
+        let w = witness_from_structure(report.witness.as_ref().unwrap(), &graph, &whole);
+        assert!(w.summary.contains("withdraw_x"), "{}", w.summary);
+        assert_eq!(w.edges.len(), 2); // a -RW-> b -RW-> a, no closing path
+        assert_eq!(w.edges[0].kind, "RW");
+        // withdraw_x reads y which withdraw_y writes (and x/x the other way).
+        let objs: Vec<_> = w.edges.iter().map(|e| e.object.clone().unwrap()).collect();
+        assert!(objs.contains(&"x".to_owned()) && objs.contains(&"y".to_owned()), "{objs:?}");
+    }
+
+    #[test]
+    fn chopping_witness_names_pieces_and_objects() {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "debit", [a1], [a1]);
+        ps.add_piece(t, "credit", [a2], [a2]);
+        let l = ps.add_program("lookupAll");
+        ps.add_piece(l, "read1", [a1], []);
+        ps.add_piece(l, "read2", [a2], []);
+        let report = analyse_chopping(&ps, Criterion::Si, 1_000_000).unwrap();
+        let w = witness_from_chopping(&report, &ps).unwrap();
+        assert!(!w.edges.is_empty());
+        // Session edges carry no object; at least one conflict edge names one.
+        assert!(w.edges.iter().any(|e| e.object.is_some()));
+        assert!(w.edges.iter().any(|e| e.kind == "P" || e.kind == "S"));
+        assert!(w.edges[0].from.contains('['), "piece-labelled: {}", w.edges[0].from);
+        // Correct choppings yield no witness.
+        let ok = analyse_chopping(&ps.unchopped(), Criterion::Si, 1_000_000).unwrap();
+        assert!(witness_from_chopping(&ok, &ps.unchopped()).is_none());
+    }
+}

@@ -14,7 +14,7 @@
 use crate::analysis::analyse_chopping;
 use crate::critical::{Criterion, SearchBudgetExceeded};
 use crate::dcg::ChopEdge;
-use crate::program::{PieceId, ProgramId, ProgramSet};
+use crate::program::ProgramSet;
 
 /// The advisor's result.
 #[derive(Debug, Clone)]
@@ -32,43 +32,6 @@ impl Advice {
     pub fn piece_count(&self) -> usize {
         self.programs.piece_count()
     }
-}
-
-/// Merges pieces `k` and `k+1` of `program`, unioning their sets.
-fn merge_adjacent(ps: &ProgramSet, program: ProgramId, k: usize) -> ProgramSet {
-    let mut out = ProgramSet::new();
-    // Re-intern object names in index order.
-    let mut i = 0;
-    while let Some(name) = ps.object_name(si_model::Obj::from_index(i)) {
-        out.object(name);
-        i += 1;
-    }
-    for p in ps.programs() {
-        let np = out.add_program(ps.program_name(p));
-        let count = ps.pieces_of(p);
-        let mut j = 0;
-        while j < count {
-            let piece = PieceId { program: p, piece: j };
-            if p == program && j == k && j + 1 < count {
-                let next = PieceId { program: p, piece: j + 1 };
-                let reads: Vec<_> = ps.reads(piece).iter().chain(ps.reads(next)).copied().collect();
-                let writes: Vec<_> =
-                    ps.writes(piece).iter().chain(ps.writes(next)).copied().collect();
-                let label = format!("{} + {}", ps.piece_label(piece), ps.piece_label(next));
-                out.add_piece(np, &label, reads, writes);
-                j += 2;
-            } else {
-                out.add_piece(
-                    np,
-                    ps.piece_label(piece),
-                    ps.reads(piece).iter().copied(),
-                    ps.writes(piece).iter().copied(),
-                );
-                j += 1;
-            }
-        }
-    }
-    out
 }
 
 /// Greedily coarsens `programs` until the chopping is correct under
@@ -111,7 +74,7 @@ pub fn advise_chopping(
         let to = report.nodes.piece(cycle.nodes[(pred_at + 1) % cycle.nodes.len()]);
         debug_assert_eq!(from.program, to.program);
         let merge_at = to.piece.min(from.piece);
-        current = merge_adjacent(&current, from.program, merge_at);
+        current = current.merge_adjacent_pieces(from.program, merge_at);
         merges += 1;
     }
 }
@@ -119,6 +82,7 @@ pub fn advise_chopping(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{PieceId, ProgramId};
 
     /// Figure 5's programs: the advisor must coarsen lookupAll (or the
     /// transfer) until correct.
@@ -187,7 +151,7 @@ mod tests {
     #[test]
     fn merge_preserves_sets() {
         let ps = figure5();
-        let merged = merge_adjacent(&ps, ProgramId(1), 0);
+        let merged = ps.merge_adjacent_pieces(ProgramId(1), 0);
         assert_eq!(merged.pieces_of(ProgramId(1)), 1);
         let piece = PieceId { program: ProgramId(1), piece: 0 };
         assert_eq!(merged.reads(piece).len(), 2); // acct1 and acct2

@@ -7,9 +7,27 @@ use si_depgraph::DependencyGraph;
 use si_relations::LabelledCycle;
 
 use crate::critical::{find_critical_cycle, Criterion, SearchBudgetExceeded};
-use crate::dcg::{dynamic_chopping_graph, ChopEdge};
-use crate::program::ProgramSet;
+use crate::dcg::{dynamic_chopping_graph, ChopEdge, ConflictKind};
+use crate::program::{PieceId, ProgramSet};
 use crate::scg::{static_chopping_graph, PieceNode};
+
+/// The object a conflict edge between two pieces fights over: the first
+/// (lowest-interned) element of the relevant set intersection, or `None`
+/// if the sets do not intersect (i.e. the edge does not exist).
+pub fn conflict_object(
+    programs: &ProgramSet,
+    from: PieceId,
+    to: PieceId,
+    kind: ConflictKind,
+) -> Option<si_model::Obj> {
+    let (xs, ys) = match kind {
+        ConflictKind::Wr => (programs.writes(from), programs.reads(to)),
+        ConflictKind::Ww => (programs.writes(from), programs.writes(to)),
+        ConflictKind::Rw => (programs.reads(from), programs.writes(to)),
+    };
+    // Both sets are sorted by Obj index, so the first match is canonical.
+    xs.iter().copied().find(|x| ys.contains(x))
+}
 
 /// Outcome of the static chopping analysis of a program set under one
 /// criterion.
@@ -27,20 +45,38 @@ pub struct ChoppingReport {
 }
 
 impl ChoppingReport {
-    /// Renders the witness cycle with piece labels from `programs`
-    /// (empty string when correct).
+    /// Renders the witness cycle over program and piece *names* from
+    /// `programs` (empty string when correct). Conflict edges are
+    /// annotated with the object they conflict on, e.g.
+    /// `transfer[acct1 -= 100] -WR(acct1)-> lookupAll[var1 = acct1]`.
     pub fn describe_witness(&self, programs: &ProgramSet) -> String {
         let Some(cycle) = &self.witness else {
             return String::new();
         };
+        let render_node = |piece: PieceId| {
+            format!("{}[{}]", programs.program_name(piece.program), programs.piece_label(piece))
+        };
         let mut out = String::new();
-        for (node, label) in cycle.nodes.iter().zip(&cycle.labels) {
+        let n = cycle.nodes.len();
+        for (i, (node, label)) in cycle.nodes.iter().zip(&cycle.labels).enumerate() {
             let piece = self.nodes.piece(*node);
-            out.push_str(&format!("[{}] -{label}-> ", programs.piece_label(piece)));
+            let next = self.nodes.piece(cycle.nodes[(i + 1) % n]);
+            let edge = match label {
+                ChopEdge::Conflict(kind) => match conflict_object(programs, piece, next, *kind) {
+                    Some(obj) => {
+                        let name = programs.object_name(obj).unwrap_or("?");
+                        format!("-{label}({name})-> ")
+                    }
+                    None => format!("-{label}-> "),
+                },
+                _ => format!("-{label}-> "),
+            };
+            out.push_str(&render_node(piece));
+            out.push(' ');
+            out.push_str(&edge);
         }
         if let Some(first) = cycle.nodes.first() {
-            let piece = self.nodes.piece(*first);
-            out.push_str(&format!("[{}]", programs.piece_label(piece)));
+            out.push_str(&render_node(self.nodes.piece(*first)));
         }
         out
     }
@@ -127,7 +163,22 @@ mod tests {
         assert!(!report.correct);
         let desc = report.describe_witness(&figure5());
         assert!(desc.contains("->"), "witness should render: {desc}");
+        // The rendering names programs, pieces and conflict objects.
+        assert!(desc.contains("transfer[") || desc.contains("lookupAll["), "{desc}");
+        assert!(desc.contains("(acct1)") || desc.contains("(acct2)"), "{desc}");
         assert!(report.to_string().contains("INCORRECT"));
+    }
+
+    #[test]
+    fn conflict_object_resolves_the_contended_object() {
+        let ps = figure5();
+        let a1 = PieceId { program: crate::ProgramId(0), piece: 0 }; // transfer: acct1 -= 100
+        let lookup1 = PieceId { program: crate::ProgramId(1), piece: 0 }; // var1 = acct1
+        let obj = conflict_object(&ps, a1, lookup1, ConflictKind::Wr).unwrap();
+        assert_eq!(ps.object_name(obj), Some("acct1"));
+        assert_eq!(conflict_object(&ps, a1, lookup1, ConflictKind::Ww), None);
+        let anti = conflict_object(&ps, lookup1, a1, ConflictKind::Rw).unwrap();
+        assert_eq!(ps.object_name(anti), Some("acct1"));
     }
 
     #[test]

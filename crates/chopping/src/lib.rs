@@ -64,7 +64,7 @@ mod scg;
 mod splice;
 
 pub use advisor::{advise_chopping, Advice};
-pub use analysis::{analyse_chopping, is_spliceable_by_criterion, ChoppingReport};
+pub use analysis::{analyse_chopping, conflict_object, is_spliceable_by_criterion, ChoppingReport};
 pub use critical::{find_critical_cycle, is_critical, Criterion, SearchBudgetExceeded};
 pub use dcg::{dynamic_chopping_graph, ChopEdge, ConflictKind};
 pub use program::{PieceId, ProgramId, ProgramSet};

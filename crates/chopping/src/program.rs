@@ -191,6 +191,80 @@ impl ProgramSet {
         &self.programs[piece.program.0].pieces[piece.piece].writes
     }
 
+    /// Returns the set with pieces `k` and `k+1` of `program` merged into
+    /// one piece whose read/write sets are the unions and whose label
+    /// joins the originals with ` + `. All other programs and pieces are
+    /// unchanged. When `k + 1` is out of range the set is returned as-is.
+    ///
+    /// This is the primitive step of the chopping advisor and of
+    /// `si-lint`'s merge-repair search: merging pieces only removes
+    /// predecessor edges from the static chopping graph and unions
+    /// read/write sets, so it can only remove critical cycles through the
+    /// merged program's predecessor edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this set.
+    pub fn merge_adjacent_pieces(&self, program: ProgramId, k: usize) -> ProgramSet {
+        let mut out = ProgramSet { programs: Vec::new(), object_names: self.object_names.clone() };
+        for (pi, prog) in self.programs.iter().enumerate() {
+            let mut pieces = Vec::new();
+            let mut j = 0;
+            while j < prog.pieces.len() {
+                if ProgramId(pi) == program && j == k && j + 1 < prog.pieces.len() {
+                    let (first, second) = (&prog.pieces[j], &prog.pieces[j + 1]);
+                    let mut reads: Vec<Obj> =
+                        first.reads.iter().chain(&second.reads).copied().collect();
+                    let mut writes: Vec<Obj> =
+                        first.writes.iter().chain(&second.writes).copied().collect();
+                    reads.sort_unstable();
+                    reads.dedup();
+                    writes.sort_unstable();
+                    writes.dedup();
+                    pieces.push(Piece {
+                        label: format!("{} + {}", first.label, second.label),
+                        reads,
+                        writes,
+                    });
+                    j += 2;
+                } else {
+                    pieces.push(prog.pieces[j].clone());
+                    j += 1;
+                }
+            }
+            out.programs.push(Program { name: prog.name.clone(), pieces });
+        }
+        out
+    }
+
+    /// Returns the set with every program duplicated `instances` times
+    /// (copy `k` of program `P` named `P#k`), modelling that many
+    /// concurrent run-time instances of each program. Object interning is
+    /// preserved, so [`Obj`] values agree between the original and the
+    /// replica.
+    ///
+    /// The §6 static dependency graph draws one vertex per program, which
+    /// hides dangerous structures formed by two instances of the *same*
+    /// program; replication makes them visible to the analyses (see
+    /// `StaticDepGraph::from_programs_with_instances` in `si-robustness`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    pub fn replicated(&self, instances: usize) -> ProgramSet {
+        assert!(instances >= 1, "need at least one instance per program");
+        let mut out = ProgramSet { programs: Vec::new(), object_names: self.object_names.clone() };
+        for k in 0..instances {
+            for prog in &self.programs {
+                out.programs.push(Program {
+                    name: format!("{}#{k}", prog.name),
+                    pieces: prog.pieces.clone(),
+                });
+            }
+        }
+        out
+    }
+
     /// Merges every program into a single-piece program (the unchopped
     /// application): the piece's read/write sets are the unions over the
     /// program's pieces. Used by the robustness analyses of §6, which work
@@ -250,6 +324,26 @@ mod tests {
         let piece = ps.add_piece(p, "piece", [y, x, y], [x, x]);
         assert_eq!(ps.reads(piece), &[x, y]);
         assert_eq!(ps.writes(piece), &[x]);
+    }
+
+    #[test]
+    fn replicated_duplicates_programs() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let p = ps.add_program("transfer");
+        ps.add_piece(p, "a", [x], [x]);
+        ps.add_piece(p, "b", [y], [y]);
+        let twice = ps.replicated(2);
+        assert_eq!(twice.program_count(), 2);
+        assert_eq!(twice.piece_count(), 4);
+        assert_eq!(twice.program_name(ProgramId(0)), "transfer#0");
+        assert_eq!(twice.program_name(ProgramId(1)), "transfer#1");
+        // Interning preserved: the replica resolves the same Obj values.
+        assert_eq!(twice.object_name(x), Some("x"));
+        let piece = PieceId { program: ProgramId(1), piece: 1 };
+        assert_eq!(twice.reads(piece), &[y]);
+        assert_eq!(twice.writes(piece), &[y]);
     }
 
     #[test]

@@ -55,5 +55,8 @@ mod static_graph;
 
 pub use dynamic::{in_psi_not_si, in_si_not_ser, shape_psi_not_si, shape_si_not_ser};
 pub use report::{DangerousStructure, RobustnessReport};
-pub use ser_robust::{check_ser_robustness, check_ser_robustness_refined, check_si_robustness};
+pub use ser_robust::{
+    check_ser_robustness, check_ser_robustness_refined, check_ser_robustness_refined_split,
+    check_si_robustness, enumerate_dangerous_structures, enumerate_dangerous_structures_split,
+};
 pub use static_graph::StaticDepGraph;

@@ -4,6 +4,8 @@ use core::fmt;
 
 use si_relations::TxId;
 
+use crate::static_graph::StaticDepGraph;
+
 /// A dangerous structure found in a static dependency graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DangerousStructure {
@@ -30,6 +32,51 @@ pub enum DangerousStructure {
         /// The vertices of the composed-relation cycle.
         nodes: Vec<TxId>,
     },
+}
+
+impl DangerousStructure {
+    /// Renders the witness with a caller-supplied vertex namer, so
+    /// user-facing reports show program names instead of bare `TxId`
+    /// indices. `si-lint`'s diagnostic renderer routes through this (and
+    /// additionally annotates each edge with the conflicting object).
+    pub fn describe_with(&self, name: &dyn Fn(TxId) -> String) -> String {
+        match self {
+            DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path } => {
+                let mut out = format!(
+                    "dangerous structure {} -RW-> {} -RW-> {}",
+                    name(*a),
+                    name(*b),
+                    name(*c)
+                );
+                if closing_path.is_empty() {
+                    out.push_str(" (closing the write-skew cycle immediately)");
+                } else {
+                    out.push_str("; closing path ");
+                    for (i, v) in closing_path.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" -> ");
+                        }
+                        out.push_str(&name(*v));
+                    }
+                }
+                out
+            }
+            DangerousStructure::SeparatedAntiDependencyCycle { nodes } => {
+                let mut out = String::from("long-fork-shaped cycle through");
+                for n in nodes {
+                    out.push(' ');
+                    out.push_str(&name(*n));
+                }
+                out
+            }
+        }
+    }
+
+    /// [`describe_with`](DangerousStructure::describe_with) using the
+    /// program names of the static dependency graph the witness came from.
+    pub fn describe(&self, graph: &StaticDepGraph) -> String {
+        self.describe_with(&|v| graph.name(v).to_owned())
+    }
 }
 
 impl fmt::Display for DangerousStructure {
@@ -70,6 +117,15 @@ impl RobustnessReport {
     pub fn not_robust(witness: DangerousStructure) -> Self {
         RobustnessReport { robust: false, witness: Some(witness) }
     }
+
+    /// Renders the verdict with program names resolved from `graph`
+    /// (instead of the `Display` impl's bare `TxId` indices).
+    pub fn describe(&self, graph: &StaticDepGraph) -> String {
+        match &self.witness {
+            None => "robust".to_owned(),
+            Some(w) => format!("NOT robust: {}", w.describe(graph)),
+        }
+    }
 }
 
 impl fmt::Display for RobustnessReport {
@@ -96,5 +152,28 @@ mod tests {
         assert!(w.to_string().contains("T0 -RW-> T1 -RW-> T0"));
         assert_eq!(RobustnessReport::robust().to_string(), "robust");
         assert!(RobustnessReport::not_robust(w).to_string().contains("NOT robust"));
+    }
+
+    #[test]
+    fn describe_resolves_names() {
+        use si_chopping::ProgramSet;
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("withdraw1");
+        ps.add_piece(w1, "p", [x, y], [x]);
+        let w2 = ps.add_program("withdraw2");
+        ps.add_piece(w2, "p", [x, y], [y]);
+        let graph = StaticDepGraph::from_programs(&ps);
+        let report = crate::check_ser_robustness(&graph);
+        let text = report.describe(&graph);
+        assert!(text.contains("withdraw1") && text.contains("withdraw2"), "{text}");
+        assert!(!text.contains("T0"), "no bare indices: {text}");
+        assert_eq!(RobustnessReport::robust().describe(&graph), "robust");
+
+        let cycle =
+            DangerousStructure::SeparatedAntiDependencyCycle { nodes: vec![TxId(0), TxId(1)] };
+        let text = cycle.describe(&graph);
+        assert!(text.contains("withdraw1") && text.contains("withdraw2"), "{text}");
     }
 }

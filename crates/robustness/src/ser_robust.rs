@@ -1,10 +1,66 @@
 //! The two static robustness checks (§6.1 and §6.2).
 
 use si_chopping::{ConflictKind, SearchBudgetExceeded};
-use si_relations::{path_between, CycleVisit, EnumerationEnd, TxId};
+use si_relations::{path_between, CycleVisit, EnumerationEnd, Relation, TxId};
 
 use crate::report::{DangerousStructure, RobustnessReport};
 use crate::static_graph::StaticDepGraph;
+
+/// Enumerates the §6.1 dangerous structures `a -RW→ b -RW→ c` (both edges
+/// drawn from `vulnerable`) closed by a path `c →* a` in `all`, in
+/// deterministic `(a, b, c)` index order, stopping after `cap` structures
+/// (`cap = 0` means "first only", matching the check functions).
+fn dangerous_structures(
+    vulnerable: &Relation,
+    all: &Relation,
+    cap: usize,
+) -> Vec<DangerousStructure> {
+    let cap = cap.max(1);
+    let closure = all.reflexive_transitive_closure();
+    let n = all.universe();
+    let mut out = Vec::new();
+    for ai in 0..n {
+        let a = TxId::from_index(ai);
+        for b in vulnerable.successors(a).iter() {
+            for c in vulnerable.successors(b).iter() {
+                if closure.contains(c, a) {
+                    let closing_path = if c == a {
+                        Vec::new()
+                    } else {
+                        path_between(all, c, a).expect("closure said c reaches a")
+                    };
+                    out.push(DangerousStructure::AdjacentAntiDependencies {
+                        a,
+                        b,
+                        c,
+                        closing_path,
+                    });
+                    if out.len() >= cap {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every §6.1 dangerous structure of `graph` (up to `cap`), in
+/// deterministic vertex order. With `refined`, only *vulnerable*
+/// anti-dependencies (RW edges between write-disjoint programs, Fekete et
+/// al.'s criterion) may form the adjacent pair — the same edges
+/// [`check_ser_robustness_refined`] considers.
+///
+/// The diagnostic front-ends use this to report *all* offending program
+/// pairs, not just the first one the boolean check happens to hit.
+pub fn enumerate_dangerous_structures(
+    graph: &StaticDepGraph,
+    refined: bool,
+    cap: usize,
+) -> Vec<DangerousStructure> {
+    let vulnerable = if refined { graph.rw().difference(graph.ww()) } else { graph.rw().clone() };
+    dangerous_structures(&vulnerable, &graph.all(), cap)
+}
 
 /// §6.1 — robustness against SI towards serializability.
 ///
@@ -19,28 +75,10 @@ use crate::static_graph::StaticDepGraph;
 /// transactions); `a = c` is allowed — that is exactly write skew between
 /// two transactions.
 pub fn check_ser_robustness(graph: &StaticDepGraph) -> RobustnessReport {
-    let rw = graph.rw();
-    let all = graph.all();
-    let closure = all.reflexive_transitive_closure();
-    let n = graph.program_count();
-    for ai in 0..n {
-        let a = TxId::from_index(ai);
-        for b in rw.successors(a).iter() {
-            for c in rw.successors(b).iter() {
-                if closure.contains(c, a) {
-                    let closing_path = if c == a {
-                        Vec::new()
-                    } else {
-                        path_between(&all, c, a).expect("closure said c reaches a")
-                    };
-                    return RobustnessReport::not_robust(
-                        DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path },
-                    );
-                }
-            }
-        }
+    match enumerate_dangerous_structures(graph, false, 1).into_iter().next() {
+        Some(witness) => RobustnessReport::not_robust(witness),
+        None => RobustnessReport::robust(),
     }
-    RobustnessReport::robust()
 }
 
 /// §6.1 with the *vulnerability refinement* of Fekete et al. (the paper's
@@ -57,28 +95,63 @@ pub fn check_ser_robustness(graph: &StaticDepGraph) -> RobustnessReport {
 /// programs a common written object), and TPC-C-style mixes even when
 /// analysed with duplicated program instances.
 pub fn check_ser_robustness_refined(graph: &StaticDepGraph) -> RobustnessReport {
-    let vulnerable = graph.rw().difference(graph.ww());
-    let all = graph.all();
-    let closure = all.reflexive_transitive_closure();
-    let n = graph.program_count();
-    for ai in 0..n {
-        let a = TxId::from_index(ai);
-        for b in vulnerable.successors(a).iter() {
-            for c in vulnerable.successors(b).iter() {
-                if closure.contains(c, a) {
-                    let closing_path = if c == a {
-                        Vec::new()
-                    } else {
-                        path_between(&all, c, a).expect("closure said c reaches a")
-                    };
-                    return RobustnessReport::not_robust(
-                        DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path },
-                    );
-                }
-            }
-        }
+    match enumerate_dangerous_structures(graph, true, 1).into_iter().next() {
+        Some(witness) => RobustnessReport::not_robust(witness),
+        None => RobustnessReport::robust(),
     }
-    RobustnessReport::robust()
+}
+
+/// The refinement of [`check_ser_robustness_refined`], split into a *may*
+/// graph and a *must* graph for analyses over derived (rather than
+/// hand-declared) read/write sets.
+///
+/// When read/write sets are conservatively over-approximated — as by
+/// `si-lint`'s IR lowering, where a write under a conditional or to a
+/// statically unknown array index *may* happen but is not guaranteed —
+/// discounting an anti-dependency because the over-approximated write sets
+/// intersect would be unsound: at run time the writes might not both
+/// happen, first-committer-wins never fires, and the structure is
+/// reachable after all. This variant therefore takes the vulnerability
+/// subtraction from `must`, whose WW edges are justified by *guaranteed*
+/// writes, while edges and closure come from `may`:
+/// `vulnerable = RW(may) ∖ WW(must)`.
+///
+/// With `may` and `must` identical (hand-declared exact sets) this is
+/// exactly [`check_ser_robustness_refined`].
+///
+/// # Panics
+///
+/// Panics if the two graphs have different vertex counts.
+pub fn check_ser_robustness_refined_split(
+    may: &StaticDepGraph,
+    must: &StaticDepGraph,
+) -> RobustnessReport {
+    assert_eq!(
+        may.program_count(),
+        must.program_count(),
+        "may/must graphs must describe the same programs"
+    );
+    let vulnerable = may.rw().difference(must.ww());
+    match dangerous_structures(&vulnerable, &may.all(), 1).into_iter().next() {
+        Some(witness) => RobustnessReport::not_robust(witness),
+        None => RobustnessReport::robust(),
+    }
+}
+
+/// Like [`enumerate_dangerous_structures`], but with the may/must split of
+/// [`check_ser_robustness_refined_split`].
+pub fn enumerate_dangerous_structures_split(
+    may: &StaticDepGraph,
+    must: &StaticDepGraph,
+    cap: usize,
+) -> Vec<DangerousStructure> {
+    assert_eq!(
+        may.program_count(),
+        must.program_count(),
+        "may/must graphs must describe the same programs"
+    );
+    let vulnerable = may.rw().difference(must.ww());
+    dangerous_structures(&vulnerable, &may.all(), cap)
 }
 
 /// §6.2 — robustness against parallel SI towards SI.
@@ -282,5 +355,73 @@ mod tests {
                 assert_eq!(closing_path.last(), Some(a));
             }
         }
+    }
+
+    #[test]
+    fn enumeration_finds_every_structure() {
+        // SmallBank-shaped app: the enumeration must find the single
+        // refined-vulnerable structure and nothing else (here all write
+        // sets are pairwise disjoint, so plain and refined coincide).
+        let mut ps = ProgramSet::new();
+        let chk = ps.object("checking");
+        let sav = ps.object("savings");
+        let bal = ps.add_program("balance");
+        ps.add_piece(bal, "read both", [chk, sav], []);
+        let ts = ps.add_program("transact_savings");
+        ps.add_piece(ts, "rmw savings", [sav], [sav]);
+        let wc = ps.add_program("write_check");
+        ps.add_piece(wc, "read both, debit checking", [chk, sav], [chk]);
+        let g = StaticDepGraph::from_programs(&ps);
+        let refined = enumerate_dangerous_structures(&g, true, 16);
+        assert_eq!(refined.len(), 1, "{refined:?}");
+        let DangerousStructure::AdjacentAntiDependencies { a, b, c, .. } = &refined[0] else {
+            panic!("wrong shape");
+        };
+        assert_eq!((a.index(), b.index(), c.index()), (0, 2, 1)); // bal → wc → ts
+        let plain = enumerate_dangerous_structures(&g, false, 16);
+        assert!(plain.len() >= refined.len());
+        // The cap is honoured.
+        assert_eq!(enumerate_dangerous_structures(&g, false, 1).len(), 1);
+    }
+
+    #[test]
+    fn split_refined_matches_unified_when_exact() {
+        let g = write_skew_app();
+        let unified = check_ser_robustness_refined(&g);
+        let split = check_ser_robustness_refined_split(&g, &g);
+        assert_eq!(unified.robust, split.robust);
+        assert_eq!(unified.witness, split.witness);
+    }
+
+    #[test]
+    fn split_refined_is_sound_for_may_writes() {
+        // Two write-skew programs whose writes *may* overlap on a guard
+        // object (e.g. both conditionally write `total`), but where neither
+        // write is guaranteed. The unified refined check on the may-sets
+        // would wrongly certify robustness; the split check keeps the
+        // vulnerability because the must-graph has no WW edge.
+        let mut may = ProgramSet::new();
+        let x = may.object("x");
+        let y = may.object("y");
+        let total = may.object("total");
+        let w1 = may.add_program("w1");
+        may.add_piece(w1, "p", [x, y, total], [x, total]);
+        let w2 = may.add_program("w2");
+        may.add_piece(w2, "p", [x, y, total], [y, total]);
+        let mut must = ProgramSet::new();
+        let mx = must.object("x");
+        let my = must.object("y");
+        let _ = must.object("total");
+        let m1 = must.add_program("w1");
+        must.add_piece(m1, "p", [mx, my], [mx]);
+        let m2 = must.add_program("w2");
+        must.add_piece(m2, "p", [mx, my], [my]);
+        let gmay = StaticDepGraph::from_programs(&may);
+        let gmust = StaticDepGraph::from_programs(&must);
+        assert!(check_ser_robustness_refined(&gmay).robust, "may-only analysis is fooled");
+        assert!(
+            !check_ser_robustness_refined_split(&gmay, &gmust).robust,
+            "split analysis must keep the vulnerability"
+        );
     }
 }

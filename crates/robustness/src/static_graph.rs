@@ -76,31 +76,7 @@ impl StaticDepGraph {
     /// Panics if `instances` is zero.
     pub fn from_programs_with_instances(programs: &ProgramSet, instances: usize) -> Self {
         assert!(instances >= 1, "need at least one instance per program");
-        let whole = programs.unchopped();
-        let mut duplicated = ProgramSet::new();
-        // Re-intern the object names in index order so Obj values agree.
-        let mut i = 0;
-        while let Some(name) = whole.object_name(si_model::Obj::from_index(i)) {
-            duplicated.object(name);
-            i += 1;
-        }
-        for k in 0..instances {
-            for prog in whole.programs() {
-                let name = format!("{}#{k}", whole.program_name(prog));
-                let p = duplicated.add_program(&name);
-                for piece in (0..whole.pieces_of(prog))
-                    .map(|j| si_chopping::PieceId { program: prog, piece: j })
-                {
-                    duplicated.add_piece(
-                        p,
-                        whole.piece_label(piece),
-                        whole.reads(piece).iter().copied(),
-                        whole.writes(piece).iter().copied(),
-                    );
-                }
-            }
-        }
-        StaticDepGraph::from_programs(&duplicated)
+        StaticDepGraph::from_programs(&programs.replicated(instances))
     }
 
     /// Number of programs (vertices).

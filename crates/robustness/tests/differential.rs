@@ -1,0 +1,105 @@
+//! Differential properties of the robustness analyses: instance
+//! replication against the plain per-program graph, and the refined
+//! (Fekete) check against the plain one.
+//!
+//! The interesting asymmetry: for the **refined** check, the verdict is
+//! *identical* at every instance count — a vulnerable anti-dependency
+//! between two copies of one program is impossible (an RW edge between
+//! copies of `P` requires `reads(P) ∩ writes(P) ≠ ∅`, which forces the
+//! copies to write-conflict, and the refinement subtracts write-conflicting
+//! pairs), and every cross-copy edge projects onto the base graph. For the
+//! **plain** check only *monotonicity* holds: replication adds RW
+//! self-pairs (e.g. any read-modify-write program), so `k ≥ 2` can flag
+//! applications the `k = 1` graph certifies — see
+//! `plain_equality_fails_at_two_instances` for the canonical
+//! counterexample.
+
+use proptest::prelude::*;
+use si_chopping::ProgramSet;
+use si_robustness::{
+    check_ser_robustness, check_ser_robustness_refined, check_ser_robustness_refined_split,
+    StaticDepGraph,
+};
+
+const OBJECTS: usize = 4;
+
+/// A random application: 1–4 single-piece programs over 4 objects, with
+/// read and write sets drawn as bitmasks.
+fn arb_program_set() -> impl Strategy<Value = ProgramSet> {
+    proptest::collection::vec((0u8..16, 0u8..16), 1..5).prop_map(|specs| {
+        let mut ps = ProgramSet::new();
+        let objs: Vec<_> = (0..OBJECTS).map(|i| ps.object(&format!("o{i}"))).collect();
+        for (i, (reads, writes)) in specs.into_iter().enumerate() {
+            let p = ps.add_program(&format!("p{i}"));
+            let pick = |mask: u8| {
+                objs.iter().enumerate().filter(move |(j, _)| mask & (1 << j) != 0).map(|(_, &o)| o)
+            };
+            ps.add_piece(p, "body", pick(reads), pick(writes));
+        }
+        ps
+    })
+}
+
+proptest! {
+    /// The refined verdict is invariant under instance replication.
+    #[test]
+    fn refined_verdict_is_instance_invariant(ps in arb_program_set(), k in 2usize..4) {
+        let base = check_ser_robustness_refined(&StaticDepGraph::from_programs(&ps));
+        let repl =
+            check_ser_robustness_refined(&StaticDepGraph::from_programs_with_instances(&ps, k));
+        prop_assert_eq!(base.robust, repl.robust);
+    }
+
+    /// The plain verdict is monotone in the instance count: a structure
+    /// visible at `k = 1` embeds into every replication.
+    #[test]
+    fn plain_verdict_is_monotone_in_instances(ps in arb_program_set(), k in 2usize..4) {
+        let base = check_ser_robustness(&StaticDepGraph::from_programs(&ps));
+        let repl = check_ser_robustness(&StaticDepGraph::from_programs_with_instances(&ps, k));
+        if !base.robust {
+            prop_assert!(!repl.robust, "a k=1 dangerous structure must survive replication");
+        }
+    }
+
+    /// The refinement only ever *removes* findings: it never reports
+    /// non-robust where the plain Theorem 19 check reports robust.
+    #[test]
+    fn refined_never_flags_where_plain_certifies(ps in arb_program_set(), k in 1usize..3) {
+        let graph = StaticDepGraph::from_programs_with_instances(&ps, k);
+        let plain = check_ser_robustness(&graph);
+        let refined = check_ser_robustness_refined(&graph);
+        if plain.robust {
+            prop_assert!(refined.robust, "refinement must accept whatever the plain check does");
+        }
+    }
+
+    /// With identical may/must graphs the split refined check is the
+    /// unified refined check, witness included.
+    #[test]
+    fn split_equals_unified_on_exact_sets(ps in arb_program_set(), k in 1usize..3) {
+        let graph = StaticDepGraph::from_programs_with_instances(&ps, k);
+        let unified = check_ser_robustness_refined(&graph);
+        let split = check_ser_robustness_refined_split(&graph, &graph);
+        prop_assert_eq!(unified.robust, split.robust);
+        prop_assert_eq!(unified.witness, split.witness);
+    }
+}
+
+/// Why the *plain* check has no instance-invariance property: a single
+/// read-modify-write program is vacuously robust in the one-vertex graph
+/// (no self edges), but two instances anti-depend on each other both ways
+/// and close the write-skew cycle. The refinement restores invariance by
+/// discounting the pair (the copies also write-conflict, so
+/// first-committer-wins serialises them).
+#[test]
+fn plain_equality_fails_at_two_instances() {
+    let mut ps = ProgramSet::new();
+    let x = ps.object("x");
+    let p = ps.add_program("increment");
+    ps.add_piece(p, "x := x + 1", [x], [x]);
+
+    assert!(check_ser_robustness(&StaticDepGraph::from_programs(&ps)).robust);
+    let dup = StaticDepGraph::from_programs_with_instances(&ps, 2);
+    assert!(!check_ser_robustness(&dup).robust, "plain check flags the rmw copy pair");
+    assert!(check_ser_robustness_refined(&dup).robust, "refined check discounts it");
+}

@@ -1,0 +1,173 @@
+//! `si-lint` front-end: lint the built-in workloads (or a chosen subset)
+//! and print text or JSON reports.
+//!
+//! ```text
+//! cargo run --example si_lint                      # all targets, text
+//! cargo run --example si_lint -- --json            # all targets, JSON
+//! cargo run --example si_lint -- smallbank fig5    # chosen targets
+//! cargo run --example si_lint -- --list            # list target names
+//! ```
+//!
+//! The JSON output is deterministic and is diffed against
+//! `tests/golden/si_lint_all.json` in CI — regenerate that file with
+//! `cargo run --example si_lint -- --json > tests/golden/si_lint_all.json`
+//! after an intentional behaviour change.
+//!
+//! Exits non-zero when any linted target has an error-severity finding
+//! *that the built-in expectation does not allow* — this binary is a
+//! demonstration, and SmallBank (for example) is *supposed* to be flagged.
+
+use analysing_si::chopping::ProgramSet;
+use analysing_si::lint::{
+    lint_app_with_metrics, lint_program_set_with_metrics, IrApp, LintOptions, LintReport, Stmt,
+};
+use analysing_si::telemetry::MetricsRegistry;
+use analysing_si::workloads::{bank, fork, smallbank, tpcc_lite};
+
+/// A built-in lint target: a name and the program set (or IR) behind it.
+struct Target {
+    name: &'static str,
+    about: &'static str,
+    kind: TargetKind,
+}
+
+enum TargetKind {
+    Sets(ProgramSet),
+    Ir(IrApp),
+}
+
+/// The guarded-withdrawal write skew of Figure 2(d), written in the IR:
+/// parameterised accounts, a conditional debit — the derived sets flag it
+/// even though every write sits behind a branch.
+fn write_skew_ir() -> IrApp {
+    let mut app = IrApp::new();
+    let acct1 = app.scalar("acct1");
+    let acct2 = app.scalar("acct2");
+    let w1 = app.program("withdraw1");
+    app.piece(
+        w1,
+        "if acct1+acct2 > 100 { acct1 -= 100 }",
+        vec![Stmt::branch(
+            vec![acct1.clone(), acct2.clone()],
+            vec![Stmt::write(acct1.clone())],
+            vec![],
+        )],
+    );
+    let w2 = app.program("withdraw2");
+    app.piece(
+        w2,
+        "if acct1+acct2 > 100 { acct2 -= 100 }",
+        vec![Stmt::branch(
+            vec![acct1.clone(), acct2.clone()],
+            vec![Stmt::write(acct2.clone())],
+            vec![],
+        )],
+    );
+    app
+}
+
+fn targets() -> Vec<Target> {
+    vec![
+        Target {
+            name: "smallbank",
+            about: "the canonical non-robust OLTP mix (must emit SI001)",
+            kind: TargetKind::Sets(smallbank::program_set(1)),
+        },
+        Target {
+            name: "tpcc-lite",
+            about: "TPC-C-like mix, known SER-robust under SI",
+            kind: TargetKind::Sets(tpcc_lite::program_set(2, 2)),
+        },
+        Target {
+            name: "write-skew",
+            about: "guarded withdrawals in the IR (conditional writes, derived sets)",
+            kind: TargetKind::Ir(write_skew_ir()),
+        },
+        Target {
+            name: "fig5",
+            about: "banking chopping of Figure 5 (incorrect under SI)",
+            kind: TargetKind::Sets(bank::program_set_figure5()),
+        },
+        Target {
+            name: "fig6",
+            about: "banking chopping of Figure 6 (correct everywhere)",
+            kind: TargetKind::Sets(bank::program_set_figure6()),
+        },
+        Target {
+            name: "fig11",
+            about: "chopping correct under SI but not SER",
+            kind: TargetKind::Sets(fork::program_set_figure11()),
+        },
+        Target {
+            name: "fig12",
+            about: "the long fork: PSI-only chopping, not PSI-robust",
+            kind: TargetKind::Sets(fork::program_set_figure12()),
+        },
+    ]
+}
+
+/// Targets whose error findings are expected (the linter doing its job on
+/// a knowingly broken application).
+fn errors_expected(name: &str) -> bool {
+    matches!(name, "smallbank" | "write-skew" | "fig5" | "fig11" | "fig12")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let list = args.iter().any(|a| a == "--list");
+    let chosen: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    let all = targets();
+    if list {
+        for t in &all {
+            println!("{:<12} {}", t.name, t.about);
+        }
+        return;
+    }
+    for name in &chosen {
+        if !all.iter().any(|t| t.name == *name) {
+            eprintln!("unknown target {name:?}; try --list");
+            std::process::exit(2);
+        }
+    }
+
+    let metrics = MetricsRegistry::new();
+    let opts = LintOptions::default();
+    let mut reports: Vec<LintReport> = Vec::new();
+    for t in &all {
+        if !chosen.is_empty() && !chosen.contains(&t.name) {
+            continue;
+        }
+        let report = match &t.kind {
+            TargetKind::Sets(ps) => lint_program_set_with_metrics(t.name, ps, &opts, &metrics),
+            TargetKind::Ir(app) => lint_app_with_metrics(t.name, app, &opts, &metrics),
+        };
+        reports.push(report);
+    }
+
+    let mut unexpected = 0;
+    if json {
+        println!("{}", analysing_si::lint::diag::reports_to_json(&reports));
+    } else {
+        for r in &reports {
+            print!("{}", r.render_text());
+            println!();
+        }
+        let snap = metrics.snapshot();
+        println!("── metrics ──");
+        for key in ["lint.runs", "lint.diagnostics", "lint.repairs_proposed"] {
+            println!("  {key}: {}", snap.counter(key));
+        }
+    }
+    for r in &reports {
+        if !r.is_clean() && !errors_expected(&r.target) {
+            eprintln!("unexpected errors in target {:?}", r.target);
+            unexpected += 1;
+        }
+    }
+    if unexpected > 0 {
+        std::process::exit(1);
+    }
+}

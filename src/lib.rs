@@ -19,6 +19,7 @@
 //! | [`robustness`] | robustness against SI and against PSI | §6 |
 //! | [`mvcc`] | SI / SER / PSI engines, deterministic scheduler, recorder | §1 |
 //! | [`workloads`] | runnable scenarios for every figure + random mixes | — |
+//! | [`lint`] | program-level static analyzer: IR with derived read/write sets, diagnostics SI001–SI007, verified repairs | §5–§6 applied |
 //! | [`relations`] | the underlying relation/graph algebra | — |
 //! | [`telemetry`] | structured event sinks, metrics registries, span timing | — |
 //!
@@ -91,6 +92,13 @@ pub mod workloads {
     pub use si_workloads::*;
 }
 
+/// The program-level static analyzer: IR with derived read/write sets,
+/// stable diagnostics SI001–SI007, verified repair suggestions
+/// (`si-lint`).
+pub mod lint {
+    pub use si_lint::*;
+}
+
 /// Structured tracing, metrics and span timing (`si-telemetry`).
 pub mod telemetry {
     pub use si_telemetry::*;
@@ -107,6 +115,7 @@ pub mod prelude {
     };
     pub use si_depgraph::{extract, DepGraphBuilder, DependencyGraph};
     pub use si_execution::{AbstractExecution, SpecModel};
+    pub use si_lint::{lint_app, lint_program_set, DiagCode, IrApp, LintOptions, LintReport};
     pub use si_model::{History, HistoryBuilder, Obj, Op, Transaction, Value};
     pub use si_mvcc::{
         Engine, PsiEngine, Scheduler, SchedulerConfig, Script, SerEngine, SiEngine, SsiEngine,

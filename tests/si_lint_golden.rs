@@ -1,0 +1,105 @@
+//! Golden-output regression tests for `si-lint`.
+//!
+//! Each target's text and JSON renderings are compared byte-for-byte
+//! against committed files under `tests/golden/`. The point is *stability*:
+//! diagnostic codes, witness renderings and repair descriptions are part
+//! of the tool's interface (suppression lists, CI diffs), so an
+//! unintentional change must fail loudly.
+//!
+//! After an intentional change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test si_lint_golden
+//! cargo run --example si_lint -- --json > tests/golden/si_lint_all.json
+//! ```
+
+use analysing_si::chopping::ProgramSet;
+use analysing_si::lint::{
+    lint_program_set, reports_from_json, reports_to_json, LintOptions, LintReport,
+};
+use analysing_si::workloads::{bank, smallbank};
+
+/// A hand-built write-skew pair: the two guarded withdrawals of
+/// Figure 2(d) with exact (declared) read/write sets.
+fn write_skew_pair() -> ProgramSet {
+    let mut ps = ProgramSet::new();
+    let a1 = ps.object("acct1");
+    let a2 = ps.object("acct2");
+    let w1 = ps.add_program("withdraw1");
+    ps.add_piece(w1, "if acct1+acct2 > 100 { acct1 -= 100 }", [a1, a2], [a1]);
+    let w2 = ps.add_program("withdraw2");
+    ps.add_piece(w2, "if acct1+acct2 > 100 { acct2 -= 100 }", [a1, a2], [a2]);
+    ps
+}
+
+fn golden_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(file)
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// file when `UPDATE_GOLDEN` is set.
+fn assert_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "output for {file} changed; rerun with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+fn lint(target: &str, ps: &ProgramSet) -> LintReport {
+    lint_program_set(target, ps, &LintOptions::default())
+}
+
+fn check_target(name: &str, report: &LintReport) {
+    assert_golden(&format!("{name}.txt"), &report.render_text());
+    let json = reports_to_json(std::slice::from_ref(report));
+    assert_golden(&format!("{name}.json"), &json);
+    // The JSON must round-trip through the vendored serde exactly.
+    let back = reports_from_json(&json).expect("golden JSON parses");
+    assert_eq!(back.as_slice(), std::slice::from_ref(report));
+}
+
+#[test]
+fn smallbank_golden() {
+    let report = lint("smallbank", &smallbank::program_set(1));
+    // Interface guarantees, independent of the exact golden bytes.
+    assert!(report.diagnostics.iter().any(|d| d.code.as_str() == "SI001"));
+    let text = report.render_text();
+    assert!(text.contains("balance -RW-> write_check"), "{text}");
+    check_target("smallbank", &report);
+}
+
+#[test]
+fn banking_chopping_golden() {
+    let report = lint("fig5", &bank::program_set_figure5());
+    assert!(report.diagnostics.iter().any(|d| d.code.as_str() == "SI002"));
+    check_target("fig5", &report);
+}
+
+#[test]
+fn write_skew_golden() {
+    let report = lint("write-skew", &write_skew_pair());
+    assert!(report.diagnostics.iter().any(|d| d.code.as_str() == "SI001"));
+    check_target("write-skew", &report);
+}
+
+/// The committed all-targets JSON (the CI diff target produced by
+/// `cargo run --example si_lint -- --json`) stays parseable and its codes
+/// stay within the stable set.
+#[test]
+fn all_targets_json_is_valid() {
+    let json = std::fs::read_to_string(golden_path("si_lint_all.json"))
+        .expect("tests/golden/si_lint_all.json is committed");
+    let reports = reports_from_json(&json).expect("committed JSON parses");
+    assert!(reports.len() >= 5, "the CLI lints all built-in targets");
+    let targets: Vec<&str> = reports.iter().map(|r| r.target.as_str()).collect();
+    assert!(targets.contains(&"smallbank") && targets.contains(&"tpcc-lite"), "{targets:?}");
+    // Re-serialising reproduces the committed bytes (determinism).
+    assert_eq!(format!("{}\n", reports_to_json(&reports)), json);
+}
