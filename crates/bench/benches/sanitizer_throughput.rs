@@ -1,0 +1,147 @@
+//! Sanitizer exploration throughput: interleavings checked per second
+//! and sleep-set prune ratio on the SmallBank-flavoured conflict kernel.
+//!
+//! Each measured iteration re-runs a full exhaustive sleep-set DFS over
+//! `scripts::smallbank_mini` against one engine — schedule re-execution,
+//! all four oracles (axioms, graph membership, online monitor, race
+//! detector) per completed interleaving. That makes the number an honest
+//! end-to-end "schedules certified per second", not a scheduler-only
+//! figure.
+//!
+//! A measured run (release build, or `--measure`) rewrites
+//! `BENCH_sanitizer.json` at the repository root; see EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serde::Serialize;
+use si_sanitizer::{sanitize, scripts, EngineSpec, SanitizeConfig, SanitizeReport};
+
+/// Mirrors the vendored criterion harness's mode selection so the sized
+/// inputs shrink in smoke runs (`cargo test` executes these mains too).
+fn smoke_mode() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--measure") {
+        return false;
+    }
+    if args.iter().any(|a| a == "--test") {
+        return true;
+    }
+    cfg!(debug_assertions)
+}
+
+fn engines(smoke: bool) -> Vec<EngineSpec> {
+    if smoke {
+        // Debug-build trees for SSI/PSI are large; smoke runs keep the
+        // cheap engines only.
+        vec![EngineSpec::Si, EngineSpec::Ser]
+    } else {
+        vec![EngineSpec::Si, EngineSpec::Ser, EngineSpec::Ssi, EngineSpec::Psi { replicas: 2 }]
+    }
+}
+
+fn explore(spec: &EngineSpec) -> SanitizeReport {
+    let config = SanitizeConfig {
+        max_interleavings: 2_000_000,
+        stop_at_first_failure: false,
+        ..SanitizeConfig::default()
+    };
+    sanitize(spec, &scripts::smallbank_mini(), &config)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let mut group = c.benchmark_group("sanitizer_throughput");
+    group.sample_size(10);
+    for spec in engines(smoke) {
+        let interleavings = explore(&spec).explored;
+        group.throughput(Throughput::Elements(interleavings));
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive/smallbank_mini", spec.name()),
+            &spec,
+            |b, spec| b.iter(|| explore(spec).explored),
+        );
+    }
+    group.finish();
+
+    if !smoke {
+        record_json();
+    }
+}
+
+#[derive(Serialize)]
+struct SanitizerBenchRow {
+    engine: &'static str,
+    workload: &'static str,
+    interleavings: u64,
+    pruned: u64,
+    prune_ratio: f64,
+    interleavings_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct SanitizerBench {
+    bench: &'static str,
+    note: &'static str,
+    results: Vec<SanitizerBenchRow>,
+}
+
+fn record_json() {
+    let mut results = Vec::new();
+    for spec in engines(false) {
+        // Best of 3 full explorations.
+        let mut best_secs = f64::INFINITY;
+        let mut report = explore(&spec);
+        for _ in 0..3 {
+            let start = Instant::now();
+            report = explore(&spec);
+            best_secs = best_secs.min(start.elapsed().as_secs_f64());
+        }
+        assert!(report.is_clean(), "{} diverged during benchmarking", spec.name());
+        let total = report.explored + report.pruned;
+        results.push(SanitizerBenchRow {
+            engine: spec.name(),
+            workload: "smallbank_mini",
+            interleavings: report.explored,
+            pruned: report.pruned,
+            prune_ratio: if total > 0 { report.pruned as f64 / total as f64 } else { 0.0 },
+            interleavings_per_sec: report.explored as f64 / best_secs,
+        });
+    }
+    let report = SanitizerBench {
+        bench: "sanitizer_throughput",
+        note: "exhaustive sleep-set DFS over the smallbank_mini conflict kernel, \
+               all oracles (axioms, graph class, monitor, race detector) per \
+               interleaving; best of 3 full explorations",
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sanitizer.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("sanitizer_throughput: could not write {path}: {e}");
+            } else {
+                println!("sanitizer_throughput: wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("sanitizer_throughput: serialization failed: {e}"),
+    }
+}
+
+fn configured() -> Criterion {
+    // 1-vCPU container: skip plot generation and keep windows short so the
+    // whole suite reruns in minutes; pass your own --warm-up-time /
+    // --measurement-time to override.
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench
+}
+criterion_main!(benches);

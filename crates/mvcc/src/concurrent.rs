@@ -1,23 +1,130 @@
-//! Concurrent stress harness: many OS threads hammering one engine.
+//! Concurrent stress harness: many OS threads hammering one SI protocol
+//! instance through *per-component* locks.
 //!
 //! The deterministic [`Scheduler`](crate::Scheduler) is the primary
 //! validation tool; this module complements it with a *real-concurrency*
-//! smoke test — threads interleave nondeterministically through a
-//! `parking_lot` mutex, and the run is validated after the fact exactly
-//! like a scheduled run. It exists to catch engine bugs that only
-//! manifest under operation orders a seeded scheduler is unlikely to
-//! produce, and failure injection (threads abort transactions at random).
+//! smoke test — threads interleave nondeterministically and the run is
+//! validated after the fact exactly like a scheduled run. Earlier
+//! revisions wrapped a whole [`SiEngine`](crate::SiEngine) in one coarse
+//! `parking_lot::Mutex`, which serialised every operation and hid exactly
+//! the interleavings the harness exists to exercise. The protocol is now
+//! decomposed into independently synchronised components:
+//!
+//! * the multi-version **store** behind a [`RwLock`] — snapshot reads
+//!   take the shared lock and run concurrently; only commit-time
+//!   validation + install takes the exclusive lock;
+//! * the **commit counter** as an [`AtomicU64`] — `begin` snapshots it
+//!   with a single acquire load, no lock at all. The counter is published
+//!   (release store) only *after* every write of the commit has been
+//!   installed under the store's write lock, so a snapshot `s` always
+//!   refers to fully installed versions `1..=s`;
+//! * the per-transaction **in-flight state** (snapshot, write buffer) is
+//!   owned by the executing thread — it is private by construction, not
+//!   by locking;
+//! * the **recorder** behind its own `Mutex`, touched only at commit
+//!   boundaries.
+//!
+//! First-committer-wins stays atomic because validation and install
+//! happen under one exclusive store lock; everything else genuinely
+//! overlaps. The same decomposition is what the `si-sanitizer` crate
+//! explores deterministically — probe events emitted here carry enough
+//! content (session, sequence numbers) for its vector-clock race
+//! detector to audit a real-concurrency run after the fact.
 
-use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use si_model::{Obj, Op, Value};
 
-use crate::engine::Engine;
+use crate::probe::{EngineProbe, ProbeEvent};
 use crate::recorder::{CommittedTx, Recorder, RunResult};
-use crate::si_engine::SiEngine;
+use crate::store::MultiVersionStore;
 
-/// Runs `threads` OS threads against a shared [`SiEngine`], each
+/// The lock-partitioned shared state of the concurrent SI protocol.
+#[derive(Debug)]
+struct SharedSi {
+    store: RwLock<MultiVersionStore>,
+    /// Highest fully installed commit sequence number. Published with
+    /// release ordering after the installs it covers; `begin` reads it
+    /// with acquire ordering.
+    commit_counter: AtomicU64,
+    probe: EngineProbe,
+}
+
+/// A thread-owned in-flight transaction: no synchronisation needed until
+/// it reaches for shared state.
+#[derive(Debug)]
+struct InFlight {
+    session: usize,
+    snapshot: u64,
+    writes: BTreeMap<Obj, Value>,
+}
+
+impl SharedSi {
+    fn new(object_count: usize, probe: EngineProbe) -> Self {
+        SharedSi {
+            store: RwLock::new(MultiVersionStore::new(object_count)),
+            commit_counter: AtomicU64::new(0),
+            probe,
+        }
+    }
+
+    /// Takes a snapshot: a single atomic load, no lock.
+    fn begin(&self, session: usize) -> InFlight {
+        let snapshot = self.commit_counter.load(Ordering::Acquire);
+        self.probe.emit(|| ProbeEvent::SnapshotPrefix { session, upto: snapshot });
+        InFlight { session, snapshot, writes: BTreeMap::new() }
+    }
+
+    /// Snapshot read under the *shared* store lock; concurrent readers
+    /// never block each other.
+    fn read(&self, tx: &InFlight, obj: Obj) -> Value {
+        if let Some(&v) = tx.writes.get(&obj) {
+            return v;
+        }
+        let version = self.store.read().read_at(obj, tx.snapshot);
+        let session = tx.session;
+        self.probe.emit(|| ProbeEvent::VersionObserved { session, obj, seq: version.commit_seq });
+        version.value
+    }
+
+    /// First-committer-wins validation and install, atomic under the
+    /// exclusive store lock. Returns the commit sequence number, or the
+    /// first conflicting object.
+    fn commit(&self, tx: InFlight) -> Result<u64, Obj> {
+        let session = tx.session;
+        let mut store = self.store.write();
+        for &obj in tx.writes.keys() {
+            if store.latest_seq(obj) > tx.snapshot {
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
+                return Err(obj);
+            }
+        }
+        let seq = self.commit_counter.load(Ordering::Relaxed) + 1;
+        for (&obj, &value) in &tx.writes {
+            store.install(obj, value, seq);
+            self.probe.emit(|| ProbeEvent::VersionInstalled { session, obj, seq });
+        }
+        // Publish only after every install, still under the write lock:
+        // a lock-free `begin` that observes `seq` must find all of its
+        // versions in place.
+        self.commit_counter.store(seq, Ordering::Release);
+        self.probe.emit(|| ProbeEvent::Committed { session, seq });
+        Ok(seq)
+    }
+
+    /// Abandons an in-flight transaction; its buffered writes simply
+    /// drop.
+    fn abort(&self, tx: InFlight) {
+        let session = tx.session;
+        self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
+    }
+}
+
+/// Runs `threads` OS threads against shared SI protocol state, each
 /// performing `txs_per_thread` read-modify-write transactions on random
 /// objects (each thread is one session). A fraction of transactions is
 /// deliberately abandoned mid-flight (failure injection); aborted commits
@@ -35,13 +142,28 @@ pub fn stress_si_engine(
     txs_per_thread: usize,
     seed: u64,
 ) -> RunResult {
+    stress_si_engine_probed(object_count, threads, txs_per_thread, seed, EngineProbe::disabled())
+}
+
+/// [`stress_si_engine`] with a probe attached: every snapshot, version
+/// observation, install, commit, and discarded attempt is reported to the
+/// sink, linearised by the component lock under which it happened. The
+/// `si-sanitizer` race detector consumes this to audit real-concurrency
+/// runs.
+pub fn stress_si_engine_probed(
+    object_count: usize,
+    threads: usize,
+    txs_per_thread: usize,
+    seed: u64,
+    probe: EngineProbe,
+) -> RunResult {
     assert!(object_count > 0, "need at least one object");
-    let engine = Mutex::new(SiEngine::new(object_count));
+    let shared = SharedSi::new(object_count, probe);
     let recorder = Mutex::new(Recorder::new());
 
     crossbeam::scope(|scope| {
         for thread_id in 0..threads {
-            let engine = &engine;
+            let shared = &shared;
             let recorder = &recorder;
             scope.spawn(move |_| {
                 let mut rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0x9e37));
@@ -50,27 +172,25 @@ pub fn stress_si_engine(
                     let obj = Obj::from_index(rng.gen_range(0..object_count));
                     let inject_abort = rng.gen_ratio(1, 10);
 
-                    // Keep the lock per operation, not per transaction, so
-                    // threads genuinely interleave inside transactions.
-                    let token = engine.lock().begin(thread_id);
-                    let read = engine.lock().read(token, obj);
+                    let mut tx = shared.begin(thread_id);
+                    let read = shared.read(&tx, obj);
                     let written = Value(read.0 + 1);
-                    engine.lock().write(token, obj, written);
+                    tx.writes.insert(obj, written);
                     if inject_abort {
-                        engine.lock().abort(token);
+                        shared.abort(tx);
                         continue; // does not count towards `done`
                     }
-                    let outcome = engine.lock().commit(token);
-                    match outcome {
-                        Ok(info) => {
+                    let snapshot = tx.snapshot;
+                    match shared.commit(tx) {
+                        Ok(seq) => {
                             let mut rec = recorder.lock();
                             rec.stats.committed += 1;
                             rec.stats.ops_executed += 2;
                             rec.record(CommittedTx {
                                 session: thread_id,
                                 ops: vec![Op::Read(obj, read), Op::Write(obj, written)],
-                                seq: info.seq,
-                                visible: info.visible,
+                                seq,
+                                visible: (1..=snapshot).collect(),
                             });
                             done += 1;
                         }
@@ -91,7 +211,9 @@ pub fn stress_si_engine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::VecProbe;
     use si_execution::SpecModel;
+    use std::sync::Arc;
 
     #[test]
     fn concurrent_run_is_a_legal_si_execution() {
@@ -119,5 +241,26 @@ mod tests {
         }
         let total: u64 = finals.iter().map(|v| v.0).sum();
         assert_eq!(total, result.stats.committed);
+    }
+
+    #[test]
+    fn probed_run_reports_every_commit() {
+        let sink = Arc::new(VecProbe::new());
+        let probe = EngineProbe::new(sink.clone());
+        let result = stress_si_engine_probed(2, 2, 10, 42, probe);
+        let events = sink.drain();
+        let commits =
+            events.iter().filter(|e| matches!(e, ProbeEvent::Committed { .. })).count() as u64;
+        assert_eq!(commits, result.stats.committed);
+        // Installs are published before the commit counter: every
+        // Committed { seq } is preceded in the log by its installs.
+        for (i, e) in events.iter().enumerate() {
+            if let ProbeEvent::Committed { seq, .. } = e {
+                let installed = events[..i]
+                    .iter()
+                    .any(|p| matches!(p, ProbeEvent::VersionInstalled { seq: s, .. } if s == seq));
+                assert!(installed, "commit {seq} published before its installs");
+            }
+        }
     }
 }

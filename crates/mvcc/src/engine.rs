@@ -5,10 +5,26 @@ use core::fmt;
 use si_model::{Obj, Value};
 use si_telemetry::{AbortCause, Telemetry};
 
+use crate::probe::EngineProbe;
+
 /// Handle to an in-flight transaction. Obtained from [`Engine::begin`] and
 /// consumed by [`Engine::commit`] / [`Engine::abort`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxToken(pub(crate) usize);
+
+impl TxToken {
+    /// Creates a token from a raw slot index. Engines outside this crate
+    /// (e.g. the sanitizer's seeded mutants) need this to implement
+    /// [`Engine::begin`]; clients should treat tokens as opaque.
+    pub fn from_raw(slot: usize) -> Self {
+        TxToken(slot)
+    }
+
+    /// The raw slot index this token wraps.
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
 
 /// Why a commit was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,11 +133,28 @@ pub trait Engine {
         let _ = telemetry;
     }
 
+    /// Attaches a shared-state access probe. Instrumented engines then
+    /// report snapshot acquisition, observed and installed versions, and
+    /// commit/discard fences through it (see [`crate::probe`]); the
+    /// default implementation ignores the handle, and the disabled
+    /// default probe costs one branch per access.
+    fn set_probe(&mut self, probe: EngineProbe) {
+        let _ = probe;
+    }
+
     /// Performs one step of background work (e.g. replicating one commit
     /// between PSI replicas); returns `true` if anything happened. The
     /// scheduler invokes this with configurable probability, so the
     /// *absence* of background steps models replication lag.
     fn background_step(&mut self) -> bool {
+        false
+    }
+
+    /// Whether [`Engine::background_step`] currently has work to do.
+    /// Systematic explorers use this to schedule background steps as
+    /// first-class actors without probing blindly; the default (no
+    /// background machinery) is `false`.
+    fn background_pending(&self) -> bool {
         false
     }
 }

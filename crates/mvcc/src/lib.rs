@@ -64,6 +64,7 @@
 
 mod concurrent;
 mod engine;
+pub mod probe;
 mod psi_engine;
 mod recorder;
 mod scheduler;
@@ -73,8 +74,9 @@ mod si_engine;
 mod ssi_engine;
 mod store;
 
-pub use concurrent::stress_si_engine;
+pub use concurrent::{stress_si_engine, stress_si_engine_probed};
 pub use engine::{AbortReason, CommitInfo, Engine, TxToken};
+pub use probe::{EngineProbe, ProbeEvent, ProbeSink, VecProbe};
 pub use psi_engine::PsiEngine;
 pub use recorder::{CommittedTx, Recorder, RunResult, RunStats};
 pub use scheduler::{Scheduler, SchedulerConfig, Workload};

@@ -7,6 +7,7 @@ use si_model::{Obj, Value};
 use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
+use crate::probe::{EngineProbe, ProbeEvent};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
@@ -47,6 +48,7 @@ pub struct PsiEngine {
     replicas: Vec<BTreeSet<u64>>,
     committed: Vec<CommittedMeta>,
     telemetry: Telemetry,
+    probe: EngineProbe,
 }
 
 impl PsiEngine {
@@ -65,6 +67,7 @@ impl PsiEngine {
             replicas: vec![BTreeSet::new(); replica_count],
             committed: Vec::new(),
             telemetry: Telemetry::disabled(),
+            probe: EngineProbe::disabled(),
         }
     }
 
@@ -112,6 +115,10 @@ impl Engine for PsiEngine {
     fn begin(&mut self, session: usize) -> TxToken {
         let replica = self.replica_of(session);
         self.telemetry.emit(|| Event::TxBegin { session });
+        self.probe.emit(|| ProbeEvent::SnapshotSet {
+            session,
+            visible: self.replicas[replica].iter().copied().collect(),
+        });
         self.active.push(ActiveTx {
             session,
             snapshot: self.replicas[replica].clone(),
@@ -127,8 +134,11 @@ impl Engine for PsiEngine {
         if let Some(&v) = t.writes.get(&obj) {
             return v;
         }
+        let session = t.session;
         let snapshot = &t.snapshot;
-        self.store.read_visible(obj, |seq| snapshot.contains(&seq)).value
+        let version = self.store.read_visible(obj, |seq| snapshot.contains(&seq));
+        self.probe.emit(|| ProbeEvent::VersionObserved { session, obj, seq: version.commit_seq });
+        version.value
     }
 
     fn write(&mut self, tx: TxToken, obj: Obj, value: Value) {
@@ -151,6 +161,7 @@ impl Engine for PsiEngine {
                         cause: AbortCause::WwConflict,
                         obj: Some(obj.0),
                     });
+                    self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
                     return Err(AbortReason::WriteConflict(obj));
                 }
             }
@@ -159,6 +170,7 @@ impl Engine for PsiEngine {
         let seq = self.commit_counter;
         for (&obj, &value) in &writes {
             self.store.install(obj, value, seq);
+            self.probe.emit(|| ProbeEvent::VersionInstalled { session, obj, seq });
         }
         let origin = self.replica_of(session);
         self.committed.push(CommittedMeta { visible: snapshot.clone(), origin });
@@ -167,6 +179,7 @@ impl Engine for PsiEngine {
         self.replicas[origin].insert(seq);
         self.active[tx.0].finished = true;
         self.telemetry.emit(|| Event::TxCommit { session, seq, ops: writes.len() });
+        self.probe.emit(|| ProbeEvent::Committed { session, seq });
         Ok(CommitInfo { seq, visible: snapshot.into_iter().collect() })
     }
 
@@ -175,6 +188,7 @@ impl Engine for PsiEngine {
         t.finished = true;
         let session = t.session;
         self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
+        self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
     }
 
     fn name(&self) -> &'static str {
@@ -183,6 +197,16 @@ impl Engine for PsiEngine {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn set_probe(&mut self, probe: EngineProbe) {
+        self.probe = probe;
+    }
+
+    /// Whether any committed transaction still awaits replication to some
+    /// replica (i.e. whether [`Engine::background_step`] would do work).
+    fn background_pending(&self) -> bool {
+        !self.fully_replicated()
     }
 
     /// Replicates the oldest applicable commit to the first replica

@@ -63,6 +63,10 @@ pub struct RunResult {
 #[derive(Debug, Default)]
 pub struct Recorder {
     committed: Vec<CommittedTx>,
+    /// Highest commit seq recorded per session: sessions are sequential
+    /// clients, so their commits must arrive in increasing seq order even
+    /// when *different* sessions' records interleave arbitrarily.
+    session_high_water: Vec<u64>,
     pub(crate) stats: RunStats,
     pub(crate) metrics: MetricsReport,
 }
@@ -74,8 +78,33 @@ impl Recorder {
     }
 
     /// Records a committed transaction.
+    ///
+    /// Records from *different* sessions may arrive in any global order
+    /// ([`Recorder::finish`] sorts by commit seq), but within one session
+    /// they must be monotonically increasing — a session is a sequential
+    /// client, and an out-of-order record would silently corrupt the SO
+    /// relation of the reconstructed history.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `tx.ops` being empty, a commit seq of 0, or a seq not
+    /// strictly above the session's previous record.
     pub fn record(&mut self, tx: CommittedTx) {
         assert!(!tx.ops.is_empty(), "committed transactions must have operations");
+        assert!(tx.seq >= 1, "commit sequence numbers are 1-based");
+        if tx.session >= self.session_high_water.len() {
+            self.session_high_water.resize(tx.session + 1, 0);
+        }
+        let last = &mut self.session_high_water[tx.session];
+        assert!(
+            tx.seq > *last,
+            "session {} recorded commit seq {} after already recording seq {}: \
+             per-session records must be monotonic",
+            tx.session,
+            tx.seq,
+            last,
+        );
+        *last = tx.seq;
         self.committed.push(tx);
     }
 
@@ -196,6 +225,58 @@ mod tests {
         });
         let result = r.finish(&[Value(0)], 5);
         assert_eq!(result.history.session_count(), 1);
+    }
+
+    #[test]
+    fn interleaved_sessions_round_trip_through_check_si() {
+        // Global arrival order is jumbled across sessions — only the
+        // per-session order is monotonic, as with concurrent threads
+        // racing to the recorder lock. The rebuilt execution must still
+        // be a legal SI execution with correct session order.
+        let mut r = Recorder::new();
+        // Session 1 commits second but reaches the recorder first.
+        r.record(CommittedTx {
+            session: 1,
+            ops: vec![Op::read(Obj(0), 1), Op::write(Obj(1), 2)],
+            seq: 2,
+            visible: vec![1],
+        });
+        r.record(CommittedTx {
+            session: 0,
+            ops: vec![Op::write(Obj(0), 1)],
+            seq: 1,
+            visible: vec![],
+        });
+        r.record(CommittedTx {
+            session: 0,
+            ops: vec![Op::read(Obj(1), 2), Op::write(Obj(0), 3)],
+            seq: 3,
+            visible: vec![1, 2],
+        });
+        let result = r.finish(&[Value(0), Value(0)], 2);
+        assert_eq!(result.history.tx_count(), 4);
+        assert_eq!(result.history.session_count(), 2);
+        assert!(SpecModel::Si.check(&result.execution).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn out_of_order_session_records_panic() {
+        let mut r = Recorder::new();
+        r.record(CommittedTx {
+            session: 0,
+            ops: vec![Op::write(Obj(0), 1)],
+            seq: 2,
+            visible: vec![],
+        });
+        // Same session delivering an older commit afterwards: timestamp
+        // regression, must be refused loudly.
+        r.record(CommittedTx {
+            session: 0,
+            ops: vec![Op::write(Obj(0), 2)],
+            seq: 1,
+            visible: vec![],
+        });
     }
 
     #[test]

@@ -7,6 +7,7 @@ use si_model::{Obj, Value};
 use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
+use crate::probe::{EngineProbe, ProbeEvent};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
@@ -33,6 +34,7 @@ pub struct SerEngine {
     commit_counter: u64,
     active: Vec<ActiveTx>,
     telemetry: Telemetry,
+    probe: EngineProbe,
 }
 
 impl SerEngine {
@@ -43,6 +45,7 @@ impl SerEngine {
             commit_counter: 0,
             active: Vec::new(),
             telemetry: Telemetry::disabled(),
+            probe: EngineProbe::disabled(),
         }
     }
 
@@ -74,6 +77,7 @@ impl Engine for SerEngine {
 
     fn begin(&mut self, session: usize) -> TxToken {
         self.telemetry.emit(|| Event::TxBegin { session });
+        self.probe.emit(|| ProbeEvent::SnapshotPrefix { session, upto: self.commit_counter });
         self.active.push(ActiveTx {
             session,
             snapshot: self.commit_counter,
@@ -85,15 +89,17 @@ impl Engine for SerEngine {
     }
 
     fn read(&mut self, tx: TxToken, obj: Obj) -> Value {
-        let snapshot = {
+        let (session, snapshot) = {
             let t = self.tx(tx);
             if let Some(&v) = t.writes.get(&obj) {
                 return v;
             }
             t.reads.insert(obj);
-            t.snapshot
+            (t.session, t.snapshot)
         };
-        self.store.read_at(obj, snapshot).value
+        let version = self.store.read_at(obj, snapshot);
+        self.probe.emit(|| ProbeEvent::VersionObserved { session, obj, seq: version.commit_seq });
+        version.value
     }
 
     fn write(&mut self, tx: TxToken, obj: Obj, value: Value) {
@@ -113,6 +119,7 @@ impl Engine for SerEngine {
                     cause: AbortCause::RwConflict,
                     obj: Some(obj.0),
                 });
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
                 return Err(AbortReason::ReadConflict(obj));
             }
         }
@@ -124,6 +131,7 @@ impl Engine for SerEngine {
                     cause: AbortCause::WwConflict,
                     obj: Some(obj.0),
                 });
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
                 return Err(AbortReason::WriteConflict(obj));
             }
         }
@@ -131,9 +139,11 @@ impl Engine for SerEngine {
         let seq = self.commit_counter;
         for (&obj, &value) in &writes {
             self.store.install(obj, value, seq);
+            self.probe.emit(|| ProbeEvent::VersionInstalled { session, obj, seq });
         }
         self.active[tx.0].finished = true;
         self.telemetry.emit(|| Event::TxCommit { session, seq, ops: writes.len() });
+        self.probe.emit(|| ProbeEvent::Committed { session, seq });
         // With full validation, everything that committed before us is
         // indistinguishable from having been in our snapshot: report the
         // whole prefix so the recorded execution satisfies TOTALVIS.
@@ -145,6 +155,7 @@ impl Engine for SerEngine {
         t.finished = true;
         let session = t.session;
         self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
+        self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
     }
 
     fn name(&self) -> &'static str {
@@ -153,6 +164,10 @@ impl Engine for SerEngine {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn set_probe(&mut self, probe: EngineProbe) {
+        self.probe = probe;
     }
 }
 

@@ -6,6 +6,7 @@ use si_model::{Obj, Value};
 use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
+use crate::probe::{EngineProbe, ProbeEvent};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
@@ -37,6 +38,7 @@ pub struct SiEngine {
     active: Vec<ActiveTx>,
     session_high_water: Vec<u64>,
     telemetry: Telemetry,
+    probe: EngineProbe,
 }
 
 impl SiEngine {
@@ -48,6 +50,7 @@ impl SiEngine {
             active: Vec::new(),
             session_high_water: Vec::new(),
             telemetry: Telemetry::disabled(),
+            probe: EngineProbe::disabled(),
         }
     }
 
@@ -87,19 +90,22 @@ impl Engine for SiEngine {
         // this automatic.
         debug_assert!(snapshot >= self.session_high_water[session]);
         self.telemetry.emit(|| Event::TxBegin { session });
+        self.probe.emit(|| ProbeEvent::SnapshotPrefix { session, upto: snapshot });
         self.active.push(ActiveTx { session, snapshot, writes: BTreeMap::new(), finished: false });
         TxToken(self.active.len() - 1)
     }
 
     fn read(&mut self, tx: TxToken, obj: Obj) -> Value {
-        let snapshot = {
+        let (session, snapshot) = {
             let t = self.tx(tx);
             if let Some(&v) = t.writes.get(&obj) {
                 return v;
             }
-            t.snapshot
+            (t.session, t.snapshot)
         };
-        self.store.read_at(obj, snapshot).value
+        let version = self.store.read_at(obj, snapshot);
+        self.probe.emit(|| ProbeEvent::VersionObserved { session, obj, seq: version.commit_seq });
+        version.value
     }
 
     fn write(&mut self, tx: TxToken, obj: Obj, value: Value) {
@@ -121,6 +127,7 @@ impl Engine for SiEngine {
                     cause: AbortCause::WwConflict,
                     obj: Some(obj.0),
                 });
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
                 return Err(AbortReason::WriteConflict(obj));
             }
         }
@@ -128,9 +135,11 @@ impl Engine for SiEngine {
         let seq = self.commit_counter;
         for (&obj, &value) in &writes {
             self.store.install(obj, value, seq);
+            self.probe.emit(|| ProbeEvent::VersionInstalled { session, obj, seq });
         }
         self.active[token.0].finished = true;
         self.telemetry.emit(|| Event::TxCommit { session, seq, ops: writes.len() });
+        self.probe.emit(|| ProbeEvent::Committed { session, seq });
         Ok(CommitInfo { seq, visible: (1..=snapshot).collect() })
     }
 
@@ -139,6 +148,7 @@ impl Engine for SiEngine {
         t.finished = true;
         let session = t.session;
         self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
+        self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
     }
 
     fn name(&self) -> &'static str {
@@ -147,6 +157,10 @@ impl Engine for SiEngine {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn set_probe(&mut self, probe: EngineProbe) {
+        self.probe = probe;
     }
 }
 

@@ -18,6 +18,7 @@ use si_model::{Obj, Value};
 use si_telemetry::{AbortCause, Event, Telemetry};
 
 use crate::engine::{AbortReason, CommitInfo, Engine, TxToken};
+use crate::probe::{EngineProbe, ProbeEvent};
 use crate::store::MultiVersionStore;
 
 #[derive(Debug)]
@@ -63,6 +64,7 @@ pub struct SsiEngine {
     /// active ones.
     committed: Vec<CommittedInfo>,
     telemetry: Telemetry,
+    probe: EngineProbe,
 }
 
 impl SsiEngine {
@@ -74,6 +76,7 @@ impl SsiEngine {
             active: Vec::new(),
             committed: Vec::new(),
             telemetry: Telemetry::disabled(),
+            probe: EngineProbe::disabled(),
         }
     }
 
@@ -104,6 +107,7 @@ impl Engine for SsiEngine {
 
     fn begin(&mut self, session: usize) -> TxToken {
         self.telemetry.emit(|| Event::TxBegin { session });
+        self.probe.emit(|| ProbeEvent::SnapshotPrefix { session, upto: self.commit_counter });
         self.active.push(ActiveTx {
             session,
             snapshot: self.commit_counter,
@@ -117,13 +121,13 @@ impl Engine for SsiEngine {
     }
 
     fn read(&mut self, tx: TxToken, obj: Obj) -> Value {
-        let snapshot = {
+        let (session, snapshot) = {
             let t = self.tx(tx);
             if let Some(&v) = t.writes.get(&obj) {
                 return v;
             }
             t.reads.insert(obj);
-            t.snapshot
+            (t.session, t.snapshot)
         };
         // Reading an object that a concurrent *committed* transaction
         // overwrote gives this transaction an outbound anti-dependency and
@@ -138,7 +142,9 @@ impl Engine for SsiEngine {
             // reader to be aborted at commit by also setting in-flag
             // pessimistically. (Classic SSI aborts on the reader side.)
         }
-        self.store.read_at(obj, snapshot).value
+        let version = self.store.read_at(obj, snapshot);
+        self.probe.emit(|| ProbeEvent::VersionObserved { session, obj, seq: version.commit_seq });
+        version.value
     }
 
     fn write(&mut self, tx: TxToken, obj: Obj, value: Value) {
@@ -166,6 +172,7 @@ impl Engine for SsiEngine {
                     cause: AbortCause::WwConflict,
                     obj: Some(obj.0),
                 });
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
                 return Err(AbortReason::WriteConflict(obj));
             }
         }
@@ -209,6 +216,7 @@ impl Engine for SsiEngine {
                     cause: AbortCause::RwConflict,
                     obj: Some(witness.0),
                 });
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
                 return Err(AbortReason::ReadConflict(witness));
             }
         }
@@ -247,6 +255,7 @@ impl Engine for SsiEngine {
                 cause: AbortCause::RwConflict,
                 obj: Some(witness.0),
             });
+            self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
             return Err(AbortReason::ReadConflict(witness));
         }
 
@@ -255,6 +264,7 @@ impl Engine for SsiEngine {
         let seq = self.commit_counter;
         for (&obj, &value) in &self.active[token.0].writes.clone() {
             self.store.install(obj, value, seq);
+            self.probe.emit(|| ProbeEvent::VersionInstalled { session, obj, seq });
         }
         for (ci, c_in, c_out) in committed_updates {
             self.committed[ci].in_conflict |= c_in;
@@ -268,6 +278,7 @@ impl Engine for SsiEngine {
         self.committed.push(CommittedInfo { seq, reads, writes, in_conflict, out_conflict });
         self.active[token.0].finished = true;
         self.telemetry.emit(|| Event::TxCommit { session, seq, ops: write_count });
+        self.probe.emit(|| ProbeEvent::Committed { session, seq });
         Ok(CommitInfo { seq, visible: (1..=snapshot).collect() })
     }
 
@@ -276,6 +287,7 @@ impl Engine for SsiEngine {
         t.finished = true;
         let session = t.session;
         self.telemetry.emit(|| Event::TxAbort { session, cause: AbortCause::Explicit, obj: None });
+        self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
     }
 
     fn name(&self) -> &'static str {
@@ -284,6 +296,10 @@ impl Engine for SsiEngine {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn set_probe(&mut self, probe: EngineProbe) {
+        self.probe = probe;
     }
 }
 

@@ -1,0 +1,114 @@
+//! The independence relation driving sleep-set pruning.
+//!
+//! Two enabled steps are *independent* when executing them in either
+//! order from any state reaches the same state (Godefroid's classical
+//! definition). The explorer only needs a sound under-approximation:
+//! declaring a dependent pair independent would unsoundly prune real
+//! interleavings, while the converse merely costs exploration time. The
+//! matrix below is therefore conservative about everything that touches
+//! the commit counter or the version store's committed tail:
+//!
+//! * steps of the **same actor** are always dependent (program order);
+//! * `Begin` vs `Commit`/`Background` — a begin reads the commit counter
+//!   (or replica state) that a commit/replication step advances;
+//! * `Commit` vs `Commit` — both bump the counter, and either may change
+//!   the other's validation outcome;
+//! * `Read(x)` vs `Commit` — dependent iff the commit installs `x`;
+//! * `Write(x)` vs `Commit` — only surfaced for SSI, whose commit-time
+//!   validation reads other in-flight write *and read* buffers, so it is
+//!   dependent iff the committer read or wrote `x`;
+//! * `Commit`/`Background` vs `Background` — replication consumes commits
+//!   and mutates replica state.
+//!
+//! Everything else commutes: two reads never conflict, buffered writes of
+//! non-SSI engines are private (they never surface as steps at all), and
+//! a `Begin` commutes with reads and with other begins because snapshot
+//! acquisition only *reads* the counter.
+
+use crate::runner::{EnabledStep, StepSummary};
+
+/// Whether two enabled steps must be explored in both orders.
+pub fn dependent(a: &EnabledStep, b: &EnabledStep) -> bool {
+    if a.actor == b.actor {
+        return true;
+    }
+    use StepSummary::{Background, Begin, Commit, Read, Write};
+    match (&a.summary, &b.summary) {
+        (Commit { .. }, Commit { .. }) => true,
+        (Begin, Commit { .. }) | (Commit { .. }, Begin) => true,
+        (Begin, Background) | (Background, Begin) => true,
+        (Commit { .. }, Background) | (Background, Commit { .. }) => true,
+        (Background, Background) => true, // distinct actors can't both be Background
+        (Read(x), Commit { writes, .. }) | (Commit { writes, .. }, Read(x)) => writes.contains(x),
+        (Write(x), Commit { reads, writes }) | (Commit { reads, writes }, Write(x)) => {
+            reads.contains(x) || writes.contains(x)
+        }
+        (Begin, Begin | Read(_) | Write(_)) | (Read(_) | Write(_), Begin) => false,
+        (Read(_) | Write(_), Read(_) | Write(_)) => false,
+        (Read(_) | Write(_), Background) | (Background, Read(_) | Write(_)) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Actor;
+    use si_model::Obj;
+
+    fn step(actor: Actor, summary: StepSummary) -> EnabledStep {
+        EnabledStep { actor, summary }
+    }
+
+    #[test]
+    fn same_actor_is_always_dependent() {
+        let a = step(Actor::Session(0), StepSummary::Read(Obj(0)));
+        let b = step(Actor::Session(0), StepSummary::Read(Obj(1)));
+        assert!(dependent(&a, &b));
+    }
+
+    #[test]
+    fn reads_commute_with_disjoint_commits() {
+        let read = step(Actor::Session(0), StepSummary::Read(Obj(0)));
+        let commit = step(
+            Actor::Session(1),
+            StepSummary::Commit { reads: vec![Obj(0)], writes: vec![Obj(1)] },
+        );
+        assert!(!dependent(&read, &commit));
+        let clashing =
+            step(Actor::Session(1), StepSummary::Commit { reads: vec![], writes: vec![Obj(0)] });
+        assert!(dependent(&read, &clashing));
+    }
+
+    #[test]
+    fn commits_conflict_with_commits_and_begins() {
+        let c1 = step(Actor::Session(0), StepSummary::Commit { reads: vec![], writes: vec![] });
+        let c2 = step(Actor::Session(1), StepSummary::Commit { reads: vec![], writes: vec![] });
+        let begin = step(Actor::Session(2), StepSummary::Begin);
+        assert!(dependent(&c1, &c2));
+        assert!(dependent(&c1, &begin));
+    }
+
+    #[test]
+    fn ssi_write_depends_on_reader_commit() {
+        let write = step(Actor::Session(0), StepSummary::Write(Obj(3)));
+        let reader_commit =
+            step(Actor::Session(1), StepSummary::Commit { reads: vec![Obj(3)], writes: vec![] });
+        let disjoint_commit = step(
+            Actor::Session(1),
+            StepSummary::Commit { reads: vec![Obj(4)], writes: vec![Obj(5)] },
+        );
+        assert!(dependent(&write, &reader_commit));
+        assert!(!dependent(&write, &disjoint_commit));
+    }
+
+    #[test]
+    fn reads_commute_with_reads_and_background() {
+        let r1 = step(Actor::Session(0), StepSummary::Read(Obj(0)));
+        let r2 = step(Actor::Session(1), StepSummary::Read(Obj(0)));
+        let bg = step(Actor::Background, StepSummary::Background);
+        assert!(!dependent(&r1, &r2));
+        assert!(!dependent(&r1, &bg));
+        let begin = step(Actor::Session(2), StepSummary::Begin);
+        assert!(dependent(&begin, &bg));
+    }
+}

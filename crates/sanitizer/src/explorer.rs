@@ -1,0 +1,364 @@
+//! Systematic and randomised interleaving exploration.
+//!
+//! The explorer enumerates schedules of a workload against an engine and
+//! feeds every completed run through the oracle stack
+//! ([`crate::check_artifacts`]). Two modes:
+//!
+//! * [`ExploreMode::Exhaustive`] — depth-first search over the schedule
+//!   tree with **sleep-set pruning** (Godefroid). After a step `t` is
+//!   fully explored at a node, `t` enters the sleep set of the node's
+//!   remaining children and stays asleep until a *dependent* step (per
+//!   [`crate::dependent`]) executes; branches whose every enabled step is
+//!   asleep are provably redundant — some sibling already covers a
+//!   Mazurkiewicz-equivalent schedule — and are pruned without
+//!   re-execution. Sleep sets never prune a *distinguishable*
+//!   interleaving, so exhaustive mode genuinely certifies a workload.
+//! * [`ExploreMode::Random`] — seeded uniform random walks, for
+//!   workloads whose tree outgrows the budget.
+//!
+//! Engines cannot be checkpointed (they are live `Box<dyn Engine>`
+//! state machines), so the DFS re-executes each prefix from scratch —
+//! O(depth) engine steps per node, entirely acceptable at the bundled
+//! script sizes and honest about what a deployment replay would do.
+//!
+//! Every failing interleaving is shrunk with ddmin
+//! ([`crate::minimize`]) and packaged as a [`ReplayScript`]; exploration
+//! telemetry streams through [`Event::ExplorationProgress`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use si_mvcc::Workload;
+use si_telemetry::{Event, Telemetry};
+
+use crate::dependence::dependent;
+use crate::oracle::{check_artifacts, Failure};
+use crate::replay::ReplayScript;
+use crate::runner::{Actor, EnabledStep, Runner};
+use crate::shrink::minimize;
+use crate::spec::EngineSpec;
+
+/// How to walk the schedule tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Sleep-set DFS over every distinguishable interleaving.
+    Exhaustive,
+    /// `walks` seeded uniform random schedules.
+    Random {
+        /// Number of random schedules to run.
+        walks: u64,
+        /// RNG seed (each walk derives its own stream).
+        seed: u64,
+    },
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct SanitizeConfig {
+    /// Walk strategy.
+    pub mode: ExploreMode,
+    /// Retry budget per script (conflict aborts resubmit the script).
+    pub max_retries: u32,
+    /// Hard cap on completed interleavings; exhaustive runs that hit it
+    /// report [`SanitizeReport::budget_exhausted`].
+    pub max_interleavings: u64,
+    /// Stop at the first failing interleaving instead of cataloguing
+    /// all of them.
+    pub stop_at_first_failure: bool,
+    /// Minimise failing schedules with ddmin before reporting.
+    pub shrink: bool,
+    /// Telemetry for [`Event::ExplorationProgress`] streaming.
+    pub telemetry: Telemetry,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        SanitizeConfig {
+            mode: ExploreMode::Exhaustive,
+            max_retries: 4,
+            max_interleavings: 100_000,
+            stop_at_first_failure: true,
+            shrink: true,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// One failing interleaving, minimised and packaged for replay.
+#[derive(Debug)]
+pub struct FailureCase {
+    /// Every oracle rejection of the (minimised) run.
+    pub failures: Vec<Failure>,
+    /// The minimised repro.
+    pub replay: ReplayScript,
+    /// Decision count of the originally-found failing schedule.
+    pub found_decisions: usize,
+    /// ddmin replays spent minimising it (0 when shrinking is off).
+    pub shrink_steps: u64,
+}
+
+/// The outcome of sanitizing one workload against one engine.
+#[derive(Debug)]
+pub struct SanitizeReport {
+    /// Display name of the engine.
+    pub engine: &'static str,
+    /// Completed interleavings actually executed and checked.
+    pub explored: u64,
+    /// Branches cut by sleep-set pruning (exhaustive mode).
+    pub pruned: u64,
+    /// Races seen across all explored interleavings.
+    pub races: u64,
+    /// Total ddmin replays across all failures.
+    pub shrink_steps: u64,
+    /// Whether the interleaving budget ran out before the tree did.
+    pub budget_exhausted: bool,
+    /// Failing interleavings, in discovery order.
+    pub failures: Vec<FailureCase>,
+}
+
+impl SanitizeReport {
+    /// Whether every explored interleaving passed every oracle.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Explores `workload` against `spec` per `config`.
+pub fn sanitize(spec: &EngineSpec, workload: &Workload, config: &SanitizeConfig) -> SanitizeReport {
+    let mut explorer = Explorer {
+        spec,
+        workload,
+        config,
+        report: SanitizeReport {
+            engine: spec.name(),
+            explored: 0,
+            pruned: 0,
+            races: 0,
+            shrink_steps: 0,
+            budget_exhausted: false,
+            failures: Vec::new(),
+        },
+    };
+    match config.mode {
+        ExploreMode::Exhaustive => {
+            let mut prefix = Vec::new();
+            explorer.dfs(&mut prefix, Vec::new());
+        }
+        ExploreMode::Random { walks, seed } => explorer.random(walks, seed),
+    }
+    let report = explorer.report;
+    config.telemetry.emit(|| Event::ExplorationProgress {
+        explored: report.explored,
+        pruned: report.pruned,
+        races: report.races,
+        shrink_steps: report.shrink_steps,
+    });
+    report
+}
+
+struct Explorer<'a> {
+    spec: &'a EngineSpec,
+    workload: &'a Workload,
+    config: &'a SanitizeConfig,
+    report: SanitizeReport,
+}
+
+impl Explorer<'_> {
+    fn done(&self) -> bool {
+        self.report.budget_exhausted
+            || (self.config.stop_at_first_failure && !self.report.failures.is_empty())
+    }
+
+    fn rebuild(&self, prefix: &[Actor]) -> Runner {
+        let mut runner = Runner::new(self.spec, self.workload, self.config.max_retries);
+        for &actor in prefix {
+            runner.step(actor);
+        }
+        runner
+    }
+
+    fn dfs(&mut self, prefix: &mut Vec<Actor>, sleep: Vec<EnabledStep>) {
+        if self.done() {
+            return;
+        }
+        let runner = self.rebuild(prefix);
+        let enabled = runner.enabled();
+        if enabled.is_empty() {
+            self.check_complete(runner);
+            return;
+        }
+        let explorable: Vec<EnabledStep> =
+            enabled.iter().filter(|s| !sleep.iter().any(|z| z.actor == s.actor)).cloned().collect();
+        if explorable.is_empty() {
+            // Every enabled step is asleep: a sibling subtree already
+            // covers an equivalent schedule of this whole branch.
+            self.report.pruned += 1;
+            return;
+        }
+        drop(runner);
+        // The working sleep set: inherited sleepers plus siblings already
+        // explored at this node.
+        let mut asleep = sleep;
+        for step in explorable {
+            let child_sleep: Vec<EnabledStep> =
+                asleep.iter().filter(|z| !dependent(z, &step)).cloned().collect();
+            prefix.push(step.actor);
+            self.dfs(prefix, child_sleep);
+            prefix.pop();
+            if self.done() {
+                return;
+            }
+            asleep.push(step);
+        }
+    }
+
+    fn random(&mut self, walks: u64, seed: u64) {
+        for walk in 0..walks {
+            if self.done() {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ (walk.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut runner = Runner::new(self.spec, self.workload, self.config.max_retries);
+            loop {
+                let enabled = runner.enabled();
+                if enabled.is_empty() {
+                    break;
+                }
+                let pick = enabled[rng.gen_range(0..enabled.len())].actor;
+                runner.step(pick);
+            }
+            self.check_complete(runner);
+        }
+    }
+
+    /// Checks one completed run, shrinking and recording any failure.
+    fn check_complete(&mut self, runner: Runner) {
+        self.report.explored += 1;
+        if self.report.explored >= self.config.max_interleavings {
+            self.report.budget_exhausted = true;
+        }
+        if self.report.explored.is_multiple_of(4096) {
+            let (explored, pruned, races, shrink_steps) = (
+                self.report.explored,
+                self.report.pruned,
+                self.report.races,
+                self.report.shrink_steps,
+            );
+            self.config.telemetry.emit(|| Event::ExplorationProgress {
+                explored,
+                pruned,
+                races,
+                shrink_steps,
+            });
+        }
+        let artifacts = runner.finish();
+        let failures = check_artifacts(self.spec, &artifacts);
+        if failures.is_empty() {
+            return;
+        }
+        self.report.races += failures.iter().filter(|f| f.is_race()).count() as u64;
+        let found_decisions = artifacts.decisions.len();
+        let (decisions, failures, shrink_steps) = if self.config.shrink {
+            let spec = self.spec;
+            let shrunk = minimize(
+                spec,
+                self.workload,
+                self.config.max_retries,
+                &artifacts.decisions,
+                |run| !check_artifacts(spec, run).is_empty(),
+            );
+            let minimized_failures = check_artifacts(spec, &shrunk.artifacts);
+            // Store the fully repaired trace of the minimal run so the
+            // replay is byte-identical without relying on repair rules.
+            (shrunk.artifacts.decisions, minimized_failures, shrunk.steps)
+        } else {
+            (artifacts.decisions, failures, 0)
+        };
+        self.report.shrink_steps += shrink_steps;
+        self.report.failures.push(FailureCase {
+            failures,
+            replay: ReplayScript::new(
+                self.spec.clone(),
+                self.workload,
+                self.config.max_retries,
+                decisions,
+            ),
+            found_decisions,
+            shrink_steps,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::Obj;
+    use si_mvcc::Script;
+
+    fn lost_update() -> Workload {
+        let x = Obj(0);
+        let inc = Script::new().read(x).write_computed(x, [0], 1);
+        Workload::new(1).session([inc.clone()]).session([inc])
+    }
+
+    #[test]
+    fn exhaustive_si_lost_update_is_clean() {
+        let report = sanitize(&EngineSpec::Si, &lost_update(), &SanitizeConfig::default());
+        assert!(report.is_clean(), "{:?}", report.failures);
+        assert!(report.explored >= 2, "at least serial + conflicting orders");
+        assert!(!report.budget_exhausted);
+    }
+
+    #[test]
+    fn sleep_sets_prune_but_miss_nothing() {
+        // Two independent sessions on distinct objects: most
+        // interleavings are equivalent, so pruning must bite.
+        let w = Workload::new(2)
+            .session([Script::new().read(Obj(0)).write_const(Obj(0), 1)])
+            .session([Script::new().read(Obj(1)).write_const(Obj(1), 1)]);
+        let pruned_cfg = SanitizeConfig::default();
+        let report = sanitize(&EngineSpec::Si, &w, &pruned_cfg);
+        assert!(report.is_clean());
+        assert!(report.pruned > 0, "independent sessions must trigger pruning");
+    }
+
+    #[test]
+    fn exhaustive_catches_drop_fcw_mutant() {
+        let report =
+            sanitize(&EngineSpec::MutantDropFcw, &lost_update(), &SanitizeConfig::default());
+        assert!(!report.is_clean(), "the mutant admits a lost update");
+        let case = &report.failures[0];
+        assert!(case.failures.iter().any(Failure::is_race));
+        // The minimised repro still fails when replayed.
+        let replayed = case.replay.replay();
+        assert!(!check_artifacts(&EngineSpec::MutantDropFcw, &replayed).is_empty());
+    }
+
+    #[test]
+    fn random_mode_is_seed_deterministic() {
+        let cfg = SanitizeConfig {
+            mode: ExploreMode::Random { walks: 16, seed: 0xDECAF },
+            stop_at_first_failure: false,
+            shrink: false,
+            ..SanitizeConfig::default()
+        };
+        let a = sanitize(&EngineSpec::MutantDropFcw, &lost_update(), &cfg);
+        let b = sanitize(&EngineSpec::MutantDropFcw, &lost_update(), &cfg);
+        assert_eq!(a.explored, b.explored);
+        assert_eq!(a.failures.len(), b.failures.len());
+        for (fa, fb) in a.failures.iter().zip(&b.failures) {
+            assert_eq!(fa.replay, fb.replay);
+        }
+    }
+
+    #[test]
+    fn budget_caps_exploration() {
+        let cfg = SanitizeConfig {
+            max_interleavings: 3,
+            stop_at_first_failure: false,
+            ..SanitizeConfig::default()
+        };
+        let report = sanitize(&EngineSpec::Si, &lost_update(), &cfg);
+        assert!(report.budget_exhausted);
+        assert_eq!(report.explored, 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Bundled conflict workloads: the paper's anomaly zoo at exploration
+//! scale.
+//!
+//! Each workload stages one classical anomaly pattern (§2 of the paper)
+//! in at most three transactions over at most two objects — small enough
+//! for the sleep-set DFS to certify exhaustively, adversarial enough
+//! that every engine's conflict machinery is on the critical path. The
+//! test-suite's clean-run theorem quantifies over exactly this set: the
+//! unmutated engines must pass every oracle on **every** interleaving of
+//! **every** bundled workload.
+
+use si_model::Obj;
+use si_mvcc::{Script, Workload};
+
+/// Lost update: two sessions increment the same counter. SI's
+/// first-committer-wins must serialise the increments; dropping it loses
+/// one.
+pub fn lost_update() -> Workload {
+    let x = Obj(0);
+    let inc = Script::new().read(x).write_computed(x, [0], 1);
+    Workload::new(1).session([inc.clone()]).session([inc])
+}
+
+/// Write skew: two guarded withdrawals against a shared invariant
+/// (`x + y ≥ 100`). SI admits the anomaly (both read, write disjointly);
+/// SER/SSI must refuse one withdrawal.
+pub fn write_skew() -> Workload {
+    let (x, y) = (Obj(0), Obj(1));
+    let withdraw = |target: Obj, reg: usize| {
+        Script::new().read(x).read(y).end_if_sum_below([0, 1], 100).write_computed(
+            target,
+            [reg],
+            -100,
+        )
+    };
+    Workload::new(2)
+        .initial(x, 60)
+        .initial(y, 60)
+        .session([withdraw(x, 0)])
+        .session([withdraw(y, 1)])
+}
+
+/// Long fork: two independent writers and one reader. PSI admits
+/// diverging observation orders across *two* readers; with a single
+/// reader every engine must still present a causally sound snapshot.
+pub fn long_fork() -> Workload {
+    let (x, y) = (Obj(0), Obj(1));
+    Workload::new(2)
+        .session([Script::new().write_const(x, 1)])
+        .session([Script::new().write_const(y, 1)])
+        .session([Script::new().read(x).read(y)])
+}
+
+/// Read skew (inconsistent read): a writer updates two objects together;
+/// a reader must never see one half of the update.
+pub fn read_skew() -> Workload {
+    let (x, y) = (Obj(0), Obj(1));
+    Workload::new(2)
+        .session([Script::new().write_const(x, 1).write_const(y, 1)])
+        .session([Script::new().read(x).read(y)])
+}
+
+/// Session chain: one session increments twice, a second session reads.
+/// Exercises session order (strong-session SI) — the lagged-snapshot
+/// mutant fails here even serially.
+pub fn session_chain() -> Workload {
+    let x = Obj(0);
+    let inc = Script::new().read(x).write_computed(x, [0], 1);
+    Workload::new(1).session([inc.clone(), inc]).session([Script::new().read(x)])
+}
+
+/// A SmallBank-flavoured kernel at exploration scale: checking and
+/// savings accounts, a guarded payment racing a session that deposits
+/// and then writes a check — reads and writes overlap across all three
+/// transactions. Two sessions keep the schedule tree tractable even for
+/// SSI, whose in-flight write buffers are themselves yield points.
+pub fn smallbank_mini() -> Workload {
+    let (checking, savings) = (Obj(0), Obj(1));
+    Workload::new(2)
+        .initial(checking, 50)
+        .initial(savings, 100)
+        // send_payment: move 10 out of checking (guarded).
+        .session([Script::new().read(checking).end_if_sum_below([0], 10).write_computed(
+            checking,
+            [0],
+            -10,
+        )])
+        // balance + deposit_checking, then write_check against savings.
+        .session([
+            Script::new().read(checking).read(savings).write_computed(checking, [0], 5),
+            Script::new().read(savings).write_computed(savings, [0], -20),
+        ])
+}
+
+/// Every bundled workload, with a stable name for reports.
+pub fn bundled() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("lost_update", lost_update()),
+        ("write_skew", write_skew()),
+        ("long_fork", long_fork()),
+        ("read_skew", read_skew()),
+        ("session_chain", session_chain()),
+        ("smallbank_mini", smallbank_mini()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_workloads_stay_small() {
+        for (name, w) in bundled() {
+            let txs: usize = w.session_scripts().map(<[Script]>::len).sum();
+            assert!(txs <= 3, "{name} has {txs} transactions, exploration wants ≤ 3");
+            assert!(w.session_count() <= 3, "{name} has too many sessions");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Delta-debugging schedule minimisation.
+//!
+//! A failing interleaving found by the explorer can easily be dozens of
+//! decisions long; almost all of them are irrelevant. [`minimize`] runs
+//! classical ddmin (Zeller & Hildebrandt) over the *decision trace*:
+//! candidate sublists are replayed through
+//! [`run_advisory`](crate::run_advisory), whose repair rule (skip
+//! decisions whose actor is not enabled, then finish with the first
+//! enabled actor) makes every sublist a valid complete schedule — the
+//! shrinker never has to reason about enabledness itself.
+//!
+//! The predicate is "the oracle stack still rejects the run", so the
+//! minimised trace provably reproduces *a* failure (typically the same
+//! one; the final [`ReplayScript`](crate::ReplayScript) stores the fully
+//! repaired trace of the minimised run, making replays byte-identical).
+
+use crate::runner::{run_advisory, Actor, RunArtifacts};
+use crate::spec::EngineSpec;
+use si_mvcc::Workload;
+
+/// The outcome of a minimisation.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimal failing decision list (advisory form).
+    pub decisions: Vec<Actor>,
+    /// Artifacts of the minimal run.
+    pub artifacts: RunArtifacts,
+    /// How many candidate replays the search spent.
+    pub steps: u64,
+}
+
+/// ddmin over `decisions`, preserving `fails(replay(candidate))`.
+///
+/// `decisions` itself must fail (callers pass the trace of a failing
+/// run); the result is 1-minimal with respect to chunk removal.
+pub fn minimize(
+    spec: &EngineSpec,
+    workload: &Workload,
+    max_retries: u32,
+    decisions: &[Actor],
+    fails: impl Fn(&RunArtifacts) -> bool,
+) -> Shrunk {
+    let mut steps = 0u64;
+    let mut current: Vec<Actor> = decisions.to_vec();
+    let mut artifacts = run_advisory(spec, workload, max_retries, &current);
+    debug_assert!(fails(&artifacts), "minimize called with a passing trace");
+
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Try deleting current[start..end].
+            let candidate: Vec<Actor> =
+                current[..start].iter().chain(&current[end..]).copied().collect();
+            steps += 1;
+            let run = run_advisory(spec, workload, max_retries, &candidate);
+            if fails(&run) {
+                current = candidate;
+                artifacts = run;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the sweep at the same position (the list
+                // shifted left under us).
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+
+    // Final polish: drop single decisions until 1-minimal.
+    let mut i = 0;
+    while i < current.len() {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        steps += 1;
+        let run = run_advisory(spec, workload, max_retries, &candidate);
+        if fails(&run) {
+            current = candidate;
+            artifacts = run;
+        } else {
+            i += 1;
+        }
+    }
+
+    Shrunk { decisions: current, artifacts, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::check_artifacts;
+    use si_model::Obj;
+    use si_mvcc::Script;
+
+    #[test]
+    fn shrinks_lost_update_schedule_to_its_core() {
+        let x = Obj(0);
+        let inc = Script::new().read(x).write_computed(x, [0], 1);
+        let w = Workload::new(1).session([inc.clone()]).session([inc]);
+        let spec = EngineSpec::MutantDropFcw;
+        // A deliberately padded failing schedule.
+        let bloated = vec![
+            Actor::Session(0),
+            Actor::Session(0), // reads under the empty snapshot
+            Actor::Session(1),
+            Actor::Session(1), // ditto
+            Actor::Session(0),
+            Actor::Session(0),
+            Actor::Session(1),
+            Actor::Session(1),
+            Actor::Session(0),
+            Actor::Session(1),
+        ];
+        let fails = |a: &RunArtifacts| !check_artifacts(&spec, a).is_empty();
+        let full = run_advisory(&spec, &w, 4, &bloated);
+        assert!(fails(&full));
+        let shrunk = minimize(&spec, &w, 4, &bloated, fails);
+        assert!(fails(&shrunk.artifacts));
+        // The essence is "session 1 begins before session 0 commits"; the
+        // advisory repair supplies everything else, so very few explicit
+        // decisions remain.
+        assert!(
+            shrunk.decisions.len() <= 3,
+            "expected a near-empty advisory trace, got {:?}",
+            shrunk.decisions
+        );
+        assert!(shrunk.steps > 0);
+    }
+
+    #[test]
+    fn replaying_minimized_trace_is_deterministic() {
+        let x = Obj(0);
+        let inc = Script::new().read(x).write_computed(x, [0], 1);
+        let w = Workload::new(1).session([inc.clone()]).session([inc]);
+        let spec = EngineSpec::MutantDropFcw;
+        let fails = |a: &RunArtifacts| !check_artifacts(&spec, a).is_empty();
+        let seed = vec![Actor::Session(0), Actor::Session(1), Actor::Session(0), Actor::Session(1)];
+        let shrunk = minimize(&spec, &w, 4, &seed, fails);
+        let again = run_advisory(&spec, &w, 4, &shrunk.decisions);
+        assert_eq!(again.result.history, shrunk.artifacts.result.history);
+        assert_eq!(again.events, shrunk.artifacts.events);
+        assert_eq!(again.decisions, shrunk.artifacts.decisions);
+    }
+}

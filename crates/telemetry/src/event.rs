@@ -126,6 +126,18 @@ pub enum Event {
         /// Whether the node budget ran out before a verdict.
         exhausted: bool,
     },
+    /// Progress of the sanitizer's interleaving explorer: cumulative
+    /// counters emitted periodically (and once at the end of a run).
+    ExplorationProgress {
+        /// Complete interleavings executed and checked so far.
+        explored: u64,
+        /// Schedules skipped by sleep-set pruning.
+        pruned: u64,
+        /// Happens-before races detected so far.
+        races: u64,
+        /// Delta-debugging replays spent minimising failures so far.
+        shrink_steps: u64,
+    },
 }
 
 #[cfg(test)]

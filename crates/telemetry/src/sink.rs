@@ -85,6 +85,7 @@ pub struct CountingSink {
     verdicts: AtomicU64,
     verdicts_ok: AtomicU64,
     solver_iterations: AtomicU64,
+    exploration_progress: AtomicU64,
 }
 
 impl CountingSink {
@@ -152,6 +153,11 @@ impl CountingSink {
     pub fn solver_iterations(&self) -> u64 {
         self.solver_iterations.load(Ordering::Relaxed)
     }
+
+    /// `ExplorationProgress` events seen.
+    pub fn exploration_progress(&self) -> u64 {
+        self.exploration_progress.load(Ordering::Relaxed)
+    }
 }
 
 impl TelemetrySink for CountingSink {
@@ -178,6 +184,7 @@ impl TelemetrySink for CountingSink {
                 &self.verdicts
             }
             Event::SolverIteration { .. } => &self.solver_iterations,
+            Event::ExplorationProgress { .. } => &self.exploration_progress,
         }
         .fetch_add(1, Ordering::Relaxed);
     }

@@ -20,6 +20,7 @@
 //! | [`mvcc`] | SI / SER / PSI engines, deterministic scheduler, recorder | §1 |
 //! | [`workloads`] | runnable scenarios for every figure + random mixes | — |
 //! | [`lint`] | program-level static analyzer: IR with derived read/write sets, diagnostics SI001–SI007, verified repairs | §5–§6 applied |
+//! | [`sanitizer`] | controlled-scheduler engine sanitizer: exhaustive interleaving exploration, race detection, differential oracles, replayable repros | §2–§4 applied |
 //! | [`relations`] | the underlying relation/graph algebra | — |
 //! | [`telemetry`] | structured event sinks, metrics registries, span timing | — |
 //!
@@ -104,6 +105,14 @@ pub mod telemetry {
     pub use si_telemetry::*;
 }
 
+/// The controlled-scheduler sanitizer: systematic interleaving
+/// exploration with sleep-set pruning, vector-clock race detection,
+/// axiom-differential oracles, ddmin shrinking and replayable failure
+/// scripts (`si-sanitizer`).
+pub mod sanitizer {
+    pub use si_sanitizer::*;
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use si_chopping::{advise_chopping, analyse_chopping, Criterion, ProgramSet};
@@ -123,5 +132,8 @@ pub mod prelude {
     };
     pub use si_relations::{Relation, TxId, TxSet};
     pub use si_robustness::{check_ser_robustness, check_si_robustness, StaticDepGraph};
+    pub use si_sanitizer::{
+        sanitize, EngineSpec, ExploreMode, ReplayScript, SanitizeConfig, SanitizeReport,
+    };
     pub use si_telemetry::{CountingSink, JsonlSink, MetricsReport, Telemetry};
 }
