@@ -1,11 +1,35 @@
-//! Engine throughput and abort behaviour: SI vs. the serializable OCC
-//! baseline vs. PSI, on a contended random mix — the operational backdrop
-//! of the paper's "SI trades anomalies for performance" premise.
+//! Engine throughput, abort behaviour, and multi-core scaling.
 //!
-//! Before measuring, prints the commits/aborts table across engines.
+//! Three sections:
+//!
+//! * the commits/aborts table across SI/SSI/SER/PSI on a contended Zipf
+//!   mix (printed before measuring) — the operational backdrop of the
+//!   paper's "SI trades anomalies for performance" premise;
+//! * deterministic scheduler throughput for each engine (criterion
+//!   groups), now including the lock-striped `SI-sharded` engine, whose
+//!   single-threaded overhead versus plain SI is the price of its
+//!   striping;
+//! * the concurrent scaling grid: the real-thread stress harness runs
+//!   the single-lock baseline and the sharded engine on identical
+//!   workloads across thread counts × contention levels.
+//!
+//! A measured run (release build, or `--measure`) rewrites
+//! `BENCH_engine.json` at the repository root with the scaling grid:
+//! committed-transaction throughput for both back-ends, the
+//! sharded-over-single-lock speedup, and the sharded store's GC
+//! counters; see EXPERIMENTS.md. The timed window is each back-end's
+//! concurrent phase — which for the baseline includes its in-hot-path
+//! recording (global recorder mutex + eager visible-set materialisation),
+//! and for the sharded engine ends when the workers join (its recording
+//! is a thread-local buffer merged after the join). That asymmetry is
+//! the optimisation under test, not an artefact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use si_mvcc::{Engine, PsiEngine, Scheduler, SchedulerConfig, SerEngine, SiEngine, SsiEngine};
+use serde::Serialize;
+use si_mvcc::{
+    stress, Engine, GcStats, PsiEngine, Scheduler, SchedulerConfig, SerEngine, ShardedSiEngine,
+    SiEngine, SsiEngine, StressConfig, StressEngine,
+};
 use si_workloads::random::{random_mix, RandomMix};
 
 fn mix(objects: usize) -> RandomMix {
@@ -18,6 +42,19 @@ fn mix(objects: usize) -> RandomMix {
         zipf_s: 0.9,
         seed: 2024,
     }
+}
+
+/// Mirrors the vendored criterion harness's mode selection so the sized
+/// inputs shrink in smoke runs (`cargo test` executes these mains too).
+fn smoke_mode() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--measure") {
+        return false;
+    }
+    if args.iter().any(|a| a == "--test") {
+        return true;
+    }
+    cfg!(debug_assertions)
 }
 
 fn run_once(make: impl Fn() -> Box<dyn Engine>, objects: usize, bg: f64) -> si_mvcc::RunStats {
@@ -33,22 +70,23 @@ fn run_once(make: impl Fn() -> Box<dyn Engine>, objects: usize, bg: f64) -> si_m
 
 fn print_abort_table() {
     println!("\n── engine behaviour on a contended Zipf mix (8 sessions × 25 txs) ──");
-    println!("{:8} {:>9} {:>9} {:>12}", "engine", "commits", "aborts", "ops executed");
+    println!("{:10} {:>9} {:>9} {:>12}", "engine", "commits", "aborts", "ops executed");
     for (name, stats) in [
         ("SI", run_once(|| Box::new(SiEngine::new(16)), 16, 0.0)),
+        ("SI-sharded", run_once(|| Box::new(ShardedSiEngine::new(16)), 16, 0.0)),
         ("SSI", run_once(|| Box::new(SsiEngine::new(16)), 16, 0.0)),
         ("SER", run_once(|| Box::new(SerEngine::new(16)), 16, 0.0)),
         ("PSI", run_once(|| Box::new(PsiEngine::new(16, 3)), 16, 0.3)),
     ] {
         println!(
-            "{:8} {:>9} {:>9} {:>12}",
+            "{:10} {:>9} {:>9} {:>12}",
             name, stats.committed, stats.aborted, stats.ops_executed
         );
     }
     println!();
 }
 
-fn bench(c: &mut Criterion) {
+fn bench_scheduler(c: &mut Criterion) {
     print_abort_table();
 
     let mut group = c.benchmark_group("engine_throughput");
@@ -61,6 +99,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = Scheduler::new(SchedulerConfig { seed: 7, ..Default::default() });
                 s.run(&mut SiEngine::new(objects), w).stats.committed
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("si-sharded", objects), &w, |b, w| {
+            b.iter(|| {
+                let mut s = Scheduler::new(SchedulerConfig { seed: 7, ..Default::default() });
+                s.run(&mut ShardedSiEngine::new(objects), w).stats.committed
             })
         });
         group.bench_with_input(BenchmarkId::new("ssi", objects), &w, |b, w| {
@@ -89,6 +133,137 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fixed total committed-transaction budget for the scaling grid, split
+/// evenly across threads so every cell does the same amount of work.
+const GRID_TOTAL_TXS: usize = 4000;
+
+fn grid_config(contention: &str, threads: usize, total_txs: usize, seed: u64) -> StressConfig {
+    let per_thread = total_txs.div_ceil(threads);
+    match contention {
+        "low" => StressConfig::low_contention(threads, per_thread, seed),
+        "high" => StressConfig::high_contention(threads, per_thread, seed),
+        other => panic!("unknown contention level {other}"),
+    }
+}
+
+/// Best-of-`reps` committed-transactions-per-second for one cell.
+fn best_tps(config: &StressConfig, engine: StressEngine, reps: usize) -> (f64, GcStats) {
+    let mut best = 0.0f64;
+    let mut gc = GcStats::default();
+    for rep in 0..reps.max(1) {
+        let mut c = *config;
+        c.seed ^= (rep as u64) << 32;
+        let out = stress(&c, engine);
+        if out.throughput_tps > best {
+            best = out.throughput_tps;
+            gc = out.gc;
+        }
+    }
+    (best, gc)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Criterion coverage of the stress harness itself: one small cell per
+    // back-end, so regressions in the concurrent path show up in the
+    // ordinary criterion report too. The full grid runs once afterwards
+    // and is written to BENCH_engine.json.
+    let threads = if smoke_mode() { 2 } else { 4 };
+    let total = if smoke_mode() { 100 } else { 1000 };
+    let config = grid_config("low", threads, total, 0xC0FFEE);
+    let mut group = c.benchmark_group("stress_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function(BenchmarkId::new("single-lock", threads), |b| {
+        b.iter(|| stress(&config, StressEngine::SingleLock).result.stats.committed)
+    });
+    group.bench_function(BenchmarkId::new("sharded", threads), |b| {
+        b.iter(|| {
+            stress(&config, StressEngine::Sharded { shards: 8, gc_interval: 128 })
+                .result
+                .stats
+                .committed
+        })
+    });
+    group.finish();
+
+    if !smoke_mode() {
+        record_json();
+    }
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    contention: &'static str,
+    threads: usize,
+    total_txs: usize,
+    single_lock_tps: f64,
+    sharded_tps: f64,
+    speedup: f64,
+    gc_passes: u64,
+    gc_pruned: u64,
+}
+
+#[derive(Serialize)]
+struct EngineBench {
+    bench: &'static str,
+    engine: &'static str,
+    baseline: &'static str,
+    shards: usize,
+    gc_interval: u64,
+    note: &'static str,
+    results: Vec<ScalingRow>,
+}
+
+fn record_json() {
+    let mut results = Vec::new();
+    for contention in ["low", "high"] {
+        for threads in [1usize, 2, 4, 8] {
+            let config = grid_config(contention, threads, GRID_TOTAL_TXS, 0x51AB);
+            let (single_lock_tps, _) = best_tps(&config, StressEngine::SingleLock, 3);
+            let (sharded_tps, gc) =
+                best_tps(&config, StressEngine::Sharded { shards: 8, gc_interval: 128 }, 3);
+            results.push(ScalingRow {
+                contention,
+                threads,
+                total_txs: GRID_TOTAL_TXS,
+                single_lock_tps,
+                sharded_tps,
+                speedup: sharded_tps / single_lock_tps,
+                gc_passes: gc.passes,
+                gc_pruned: gc.pruned,
+            });
+            println!(
+                "stress grid: {contention}/{threads}t  single-lock {single_lock_tps:>10.0} tps  \
+                 sharded {sharded_tps:>10.0} tps  ({:.2}x)",
+                sharded_tps / single_lock_tps
+            );
+        }
+    }
+    let report = EngineBench {
+        bench: "engine_scaling",
+        engine: "SI-sharded (lock-striped store, epoch GC)",
+        baseline: "single global RwLock + recorder mutex in the commit hot path",
+        shards: 8,
+        gc_interval: 128,
+        note: "committed transactions per second over the concurrent phase, \
+               best of 3 repetitions per cell; fixed total commit budget \
+               split across threads; every run is recorded and validated \
+               after the timed window",
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("engine_throughput: could not write {path}: {e}");
+            } else {
+                println!("engine_throughput: wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("engine_throughput: serialization failed: {e}"),
+    }
+}
+
 fn configured() -> Criterion {
     // 1-vCPU container: skip plot generation and keep windows short so the
     // whole suite reruns in minutes; pass your own --warm-up-time /
@@ -103,6 +278,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench
+    targets = bench_scheduler, bench_scaling
 }
 criterion_main!(benches);

@@ -1,38 +1,41 @@
 //! Concurrent stress harness: many OS threads hammering one SI protocol
-//! instance through *per-component* locks.
+//! instance, with a measured single-lock baseline and a sharded fast
+//! path.
 //!
 //! The deterministic [`Scheduler`](crate::Scheduler) is the primary
-//! validation tool; this module complements it with a *real-concurrency*
-//! smoke test — threads interleave nondeterministically and the run is
-//! validated after the fact exactly like a scheduled run. Earlier
-//! revisions wrapped a whole [`SiEngine`](crate::SiEngine) in one coarse
-//! `parking_lot::Mutex`, which serialised every operation and hid exactly
-//! the interleavings the harness exists to exercise. The protocol is now
-//! decomposed into independently synchronised components:
+//! validation tool; this module complements it with *real-concurrency*
+//! runs — threads interleave nondeterministically and the run is
+//! validated after the fact exactly like a scheduled run (the paper's
+//! soundness theorems are what license checking post hoc instead of
+//! serialising the engine). Two protocol back-ends share one workload
+//! driver:
 //!
-//! * the multi-version **store** behind a [`RwLock`] — snapshot reads
-//!   take the shared lock and run concurrently; only commit-time
-//!   validation + install takes the exclusive lock;
-//! * the **commit counter** as an [`AtomicU64`] — `begin` snapshots it
-//!   with a single acquire load, no lock at all. The counter is published
-//!   (release store) only *after* every write of the commit has been
-//!   installed under the store's write lock, so a snapshot `s` always
-//!   refers to fully installed versions `1..=s`;
-//! * the per-transaction **in-flight state** (snapshot, write buffer) is
-//!   owned by the executing thread — it is private by construction, not
-//!   by locking;
-//! * the **recorder** behind its own `Mutex`, touched only at commit
-//!   boundaries.
+//! * [`StressEngine::SingleLock`] — the retained baseline: the whole
+//!   [`MultiVersionStore`] behind one [`RwLock`] (reads shared, commit
+//!   exclusive), the commit counter as an acquire/release [`AtomicU64`],
+//!   and every commit record appended under one recorder `Mutex`,
+//!   including the eager materialisation of the snapshot's visible set.
+//!   This is deliberately yesterday's code path, kept so speedups are
+//!   *measured against it*, not asserted.
+//! * [`StressEngine::Sharded`] — the lock-striped
+//!   [`ShardedStore`]: per-shard `RwLock`s, ascending-order multi-shard
+//!   commit locking, watermark publication and epoch GC (see
+//!   [`crate::shard`]). Commit records go to *thread-local* buffers and
+//!   are merged into one [`Recorder`] after the threads join — the
+//!   recorder mutex and the `O(snapshot)` visible-set materialisation
+//!   leave the commit hot path entirely. Per-session commit-seq
+//!   monotonicity is still enforced: the merge replays each thread's
+//!   buffer in order through [`Recorder::record`], which panics on any
+//!   regression.
 //!
-//! First-committer-wins stays atomic because validation and install
-//! happen under one exclusive store lock; everything else genuinely
-//! overlaps. The same decomposition is what the `si-sanitizer` crate
-//! explores deterministically — probe events emitted here carry enough
-//! content (session, sequence numbers) for its vector-clock race
-//! detector to audit a real-concurrency run after the fact.
+//! [`stress`] runs a configurable workload (threads × contention ×
+//! read/write mix) against either back-end and reports the validated
+//! [`RunResult`] plus wall-clock throughput of the execution phase, so
+//! the `engine_throughput` bench can emit honest scaling curves.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -41,9 +44,103 @@ use si_model::{Obj, Op, Value};
 
 use crate::probe::{EngineProbe, ProbeEvent};
 use crate::recorder::{CommittedTx, Recorder, RunResult};
+use crate::shard::{GcStats, ShardedStore, ShardedStoreConfig};
 use crate::store::MultiVersionStore;
 
-/// The lock-partitioned shared state of the concurrent SI protocol.
+/// Workload shape for [`stress`]: how many threads, how much work, how
+/// skewed the object accesses, how write-heavy the transactions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressConfig {
+    /// Objects in the store.
+    pub object_count: usize,
+    /// OS threads; each thread is one session.
+    pub threads: usize,
+    /// Transactions each thread must *commit* (aborts are retried).
+    pub txs_per_thread: usize,
+    /// Read-modify-write steps per transaction.
+    pub ops_per_tx: usize,
+    /// Probability that a step writes back `value + 1` after reading.
+    pub write_ratio: f64,
+    /// Probability that a step targets the hot set instead of the whole
+    /// object space (0.0 = uniform).
+    pub hot_ratio: f64,
+    /// Size of the hot set (objects `0..hot_objects`).
+    pub hot_objects: usize,
+    /// Probability a transaction is abandoned mid-flight (failure
+    /// injection; abandoned attempts do not count towards the quota).
+    pub abort_ratio: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl StressConfig {
+    /// Low contention: uniform access over a wide object space, so
+    /// first-committer-wins conflicts are rare and parallelism is real.
+    pub fn low_contention(threads: usize, txs_per_thread: usize, seed: u64) -> Self {
+        StressConfig {
+            object_count: 1024,
+            threads,
+            txs_per_thread,
+            ops_per_tx: 4,
+            write_ratio: 0.5,
+            hot_ratio: 0.0,
+            hot_objects: 0,
+            abort_ratio: 0.02,
+            seed,
+        }
+    }
+
+    /// High contention: most steps hit a four-object hot set, so commit
+    /// validation conflicts (and retries) dominate.
+    pub fn high_contention(threads: usize, txs_per_thread: usize, seed: u64) -> Self {
+        StressConfig {
+            object_count: 64,
+            threads,
+            txs_per_thread,
+            ops_per_tx: 4,
+            write_ratio: 0.5,
+            hot_ratio: 0.8,
+            hot_objects: 4,
+            abort_ratio: 0.02,
+            seed,
+        }
+    }
+}
+
+/// Which protocol back-end [`stress`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressEngine {
+    /// One global `RwLock<MultiVersionStore>` plus a recorder mutex on
+    /// the commit path: the measured baseline.
+    SingleLock,
+    /// The lock-striped [`ShardedStore`] with thread-local commit
+    /// buffers.
+    Sharded {
+        /// Lock stripes.
+        shards: usize,
+        /// Installs per shard between GC passes (0 disables GC).
+        gc_interval: u64,
+    },
+}
+
+/// A finished stress run: the validated result plus the measured
+/// execution phase.
+#[derive(Debug, Clone)]
+pub struct StressOutcome {
+    /// The recorded run (history, ground-truth execution, counters),
+    /// built *after* the timed window.
+    pub result: RunResult,
+    /// Wall-clock duration of the execution phase (thread spawn to
+    /// join); excludes post-run merging and validation.
+    pub elapsed: Duration,
+    /// Committed transactions per second of the execution phase.
+    pub throughput_tps: f64,
+    /// Garbage-collection counters (zero for the single-lock baseline,
+    /// which never prunes).
+    pub gc: GcStats,
+}
+
+/// The lock-partitioned shared state of the single-lock baseline.
 #[derive(Debug)]
 struct SharedSi {
     store: RwLock<MultiVersionStore>,
@@ -63,6 +160,15 @@ struct InFlight {
     writes: BTreeMap<Obj, Value>,
 }
 
+/// The protocol surface the workload driver needs; implemented by both
+/// back-ends so one `worker` exercises either.
+trait StressProtocol: Sync {
+    fn begin(&self, session: usize) -> InFlight;
+    fn read(&self, tx: &InFlight, obj: Obj) -> Value;
+    fn commit(&self, tx: InFlight) -> Result<u64, Obj>;
+    fn abort(&self, tx: InFlight);
+}
+
 impl SharedSi {
     fn new(object_count: usize, probe: EngineProbe) -> Self {
         SharedSi {
@@ -71,7 +177,9 @@ impl SharedSi {
             probe,
         }
     }
+}
 
+impl StressProtocol for SharedSi {
     /// Takes a snapshot: a single atomic load, no lock.
     fn begin(&self, session: usize) -> InFlight {
         let snapshot = self.commit_counter.load(Ordering::Acquire);
@@ -124,14 +232,267 @@ impl SharedSi {
     }
 }
 
-/// Runs `threads` OS threads against shared SI protocol state, each
+/// The sharded back-end: protocol state is the [`ShardedStore`] itself;
+/// commit locking, publication and GC all live in [`crate::shard`].
+#[derive(Debug)]
+struct ShardedSi {
+    store: ShardedStore,
+    probe: EngineProbe,
+}
+
+impl StressProtocol for ShardedSi {
+    fn begin(&self, session: usize) -> InFlight {
+        let snapshot = self.store.begin_snapshot(session);
+        self.probe.emit(|| ProbeEvent::SnapshotPrefix { session, upto: snapshot });
+        InFlight { session, snapshot, writes: BTreeMap::new() }
+    }
+
+    fn read(&self, tx: &InFlight, obj: Obj) -> Value {
+        if let Some(&v) = tx.writes.get(&obj) {
+            return v;
+        }
+        let version = self.store.read_at(obj, tx.snapshot);
+        let session = tx.session;
+        self.probe.emit(|| ProbeEvent::VersionObserved { session, obj, seq: version.commit_seq });
+        version.value
+    }
+
+    fn commit(&self, tx: InFlight) -> Result<u64, Obj> {
+        let session = tx.session;
+        match self.store.commit(session, tx.snapshot, &tx.writes, &self.probe) {
+            Ok(seq) => {
+                self.probe.emit(|| ProbeEvent::Committed { session, seq });
+                Ok(seq)
+            }
+            Err(obj) => {
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
+                Err(obj)
+            }
+        }
+    }
+
+    fn abort(&self, tx: InFlight) {
+        self.store.end_snapshot(tx.session);
+        let session = tx.session;
+        self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
+    }
+}
+
+/// Where a worker sends its commit records: the baseline locks the
+/// global recorder *inside* the hot path (including the eager visible-set
+/// materialisation — yesterday's cost model); the sharded path buffers
+/// locally.
+trait CommitLog {
+    fn on_commit(&mut self, session: usize, ops: Vec<Op>, seq: u64, snapshot: u64);
+    fn on_abort(&mut self);
+}
+
+struct GlobalLog<'a> {
+    recorder: &'a Mutex<Recorder>,
+}
+
+impl CommitLog for GlobalLog<'_> {
+    fn on_commit(&mut self, session: usize, ops: Vec<Op>, seq: u64, snapshot: u64) {
+        let mut rec = self.recorder.lock();
+        rec.stats.committed += 1;
+        rec.stats.ops_executed += ops.len() as u64;
+        rec.record(CommittedTx { session, ops, seq, visible: (1..=snapshot).collect() });
+    }
+
+    fn on_abort(&mut self) {
+        self.recorder.lock().stats.aborted += 1;
+    }
+}
+
+/// One buffered commit; the visible set is materialised only at merge
+/// time, after the run.
+struct LocalCommit {
+    ops: Vec<Op>,
+    seq: u64,
+    snapshot: u64,
+}
+
+#[derive(Default)]
+struct LocalLog {
+    commits: Vec<LocalCommit>,
+    aborted: u64,
+    ops_executed: u64,
+}
+
+impl CommitLog for LocalLog {
+    fn on_commit(&mut self, _session: usize, ops: Vec<Op>, seq: u64, snapshot: u64) {
+        self.ops_executed += ops.len() as u64;
+        self.commits.push(LocalCommit { ops, seq, snapshot });
+    }
+
+    fn on_abort(&mut self) {
+        self.aborted += 1;
+    }
+}
+
+fn pick_object(rng: &mut StdRng, cfg: &StressConfig) -> Obj {
+    let hot = cfg.hot_objects.min(cfg.object_count);
+    if hot > 0 && cfg.hot_ratio > 0.0 && rng.gen_bool(cfg.hot_ratio) {
+        Obj::from_index(rng.gen_range(0..hot))
+    } else {
+        Obj::from_index(rng.gen_range(0..cfg.object_count))
+    }
+}
+
+/// One thread's workload loop: seeded read-modify-write transactions
+/// with failure injection; FCW-refused commits are retried until the
+/// quota is met.
+fn worker<P: StressProtocol, L: CommitLog>(
+    shared: &P,
+    log: &mut L,
+    cfg: &StressConfig,
+    thread_id: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (thread_id as u64).wrapping_mul(0x9e37));
+    let mut done = 0;
+    while done < cfg.txs_per_thread {
+        let inject_abort = cfg.abort_ratio > 0.0 && rng.gen_bool(cfg.abort_ratio);
+        let mut tx = shared.begin(thread_id);
+        let mut ops = Vec::with_capacity(cfg.ops_per_tx * 2);
+        for _ in 0..cfg.ops_per_tx {
+            let obj = pick_object(&mut rng, cfg);
+            let read = shared.read(&tx, obj);
+            ops.push(Op::Read(obj, read));
+            if cfg.write_ratio > 0.0 && rng.gen_bool(cfg.write_ratio) {
+                let written = Value(read.0 + 1);
+                tx.writes.insert(obj, written);
+                ops.push(Op::Write(obj, written));
+            }
+        }
+        if inject_abort {
+            shared.abort(tx);
+            continue; // does not count towards `done`
+        }
+        let snapshot = tx.snapshot;
+        match shared.commit(tx) {
+            Ok(seq) => {
+                log.on_commit(thread_id, ops, seq, snapshot);
+                done += 1;
+            }
+            Err(_) => log.on_abort(),
+        }
+    }
+}
+
+fn outcome(result: RunResult, elapsed: Duration, gc: GcStats) -> StressOutcome {
+    let secs = elapsed.as_secs_f64();
+    let throughput_tps =
+        if secs > 0.0 { result.stats.committed as f64 / secs } else { f64::INFINITY };
+    StressOutcome { result, elapsed, throughput_tps, gc }
+}
+
+/// Runs the configured workload against the chosen back-end and returns
+/// the validated result plus execution-phase timing. See [`StressConfig`]
+/// and [`StressEngine`].
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (zero objects, threads, quota or
+/// steps) or a worker thread panics.
+pub fn stress(config: &StressConfig, engine: StressEngine) -> StressOutcome {
+    stress_probed(config, engine, EngineProbe::disabled())
+}
+
+/// [`stress`] with a probe attached: every snapshot, version
+/// observation, shard-lock acquisition, install, GC prune, commit, and
+/// discarded attempt is reported to the sink. Events from different
+/// threads are linearised by the sink, not by a global protocol lock, so
+/// consume them with order-insensitive analyses (counting, per-session
+/// projections) — the deterministic sanitizer is the tool for
+/// order-sensitive auditing.
+pub fn stress_probed(
+    config: &StressConfig,
+    engine: StressEngine,
+    probe: EngineProbe,
+) -> StressOutcome {
+    assert!(config.object_count > 0, "need at least one object");
+    assert!(config.threads > 0, "need at least one thread");
+    assert!(config.txs_per_thread > 0, "need a per-thread commit quota");
+    assert!(config.ops_per_tx > 0, "transactions need at least one step");
+    let initial_values = vec![Value::INITIAL; config.object_count];
+
+    match engine {
+        StressEngine::SingleLock => {
+            let shared = SharedSi::new(config.object_count, probe);
+            let recorder = Mutex::new(Recorder::new());
+            let start = Instant::now();
+            crossbeam::scope(|scope| {
+                for thread_id in 0..config.threads {
+                    let shared = &shared;
+                    let recorder = &recorder;
+                    scope.spawn(move |_| {
+                        let mut log = GlobalLog { recorder };
+                        worker(shared, &mut log, config, thread_id);
+                    });
+                }
+            })
+            .expect("stress thread panicked");
+            let elapsed = start.elapsed();
+            let result = recorder.into_inner().finish(&initial_values, config.threads);
+            outcome(result, elapsed, GcStats::default())
+        }
+        StressEngine::Sharded { shards, gc_interval } => {
+            let store = ShardedStore::new(
+                config.object_count,
+                ShardedStoreConfig { shards, gc_interval, sessions: config.threads },
+            );
+            let shared = ShardedSi { store, probe };
+            let logs: Mutex<Vec<(usize, LocalLog)>> = Mutex::new(Vec::new());
+            let start = Instant::now();
+            crossbeam::scope(|scope| {
+                for thread_id in 0..config.threads {
+                    let shared = &shared;
+                    let logs = &logs;
+                    scope.spawn(move |_| {
+                        let mut log = LocalLog::default();
+                        worker(shared, &mut log, config, thread_id);
+                        // One push per thread lifetime, not per commit.
+                        logs.lock().push((thread_id, log));
+                    });
+                }
+            })
+            .expect("stress thread panicked");
+            let elapsed = start.elapsed();
+
+            // Post-run merge: visible sets are materialised here, and
+            // Recorder::record re-asserts per-session monotonicity while
+            // replaying each thread's buffer in order.
+            let mut logs = logs.into_inner();
+            logs.sort_by_key(|&(thread_id, _)| thread_id);
+            let mut recorder = Recorder::new();
+            for (thread_id, log) in logs {
+                recorder.stats.aborted += log.aborted;
+                recorder.stats.ops_executed += log.ops_executed;
+                for c in log.commits {
+                    recorder.stats.committed += 1;
+                    recorder.record(CommittedTx {
+                        session: thread_id,
+                        ops: c.ops,
+                        seq: c.seq,
+                        visible: (1..=c.snapshot).collect(),
+                    });
+                }
+            }
+            let result = recorder.finish(&initial_values, config.threads);
+            outcome(result, elapsed, shared.store.gc_stats())
+        }
+    }
+}
+
+/// Runs `threads` OS threads against the single-lock baseline, each
 /// performing `txs_per_thread` read-modify-write transactions on random
 /// objects (each thread is one session). A fraction of transactions is
 /// deliberately abandoned mid-flight (failure injection); aborted commits
 /// are retried indefinitely.
 ///
 /// Returns the recorded run, validated by the caller (tests assert the
-/// result is a legal SI execution).
+/// result is a legal SI execution). For configurable thread counts,
+/// contention and back-ends, use [`stress`].
 ///
 /// # Panics
 ///
@@ -145,11 +506,8 @@ pub fn stress_si_engine(
     stress_si_engine_probed(object_count, threads, txs_per_thread, seed, EngineProbe::disabled())
 }
 
-/// [`stress_si_engine`] with a probe attached: every snapshot, version
-/// observation, install, commit, and discarded attempt is reported to the
-/// sink, linearised by the component lock under which it happened. The
-/// `si-sanitizer` race detector consumes this to audit real-concurrency
-/// runs.
+/// [`stress_si_engine`] with a probe attached; see [`stress_probed`] for
+/// the trace's ordering caveats.
 pub fn stress_si_engine_probed(
     object_count: usize,
     threads: usize,
@@ -157,55 +515,18 @@ pub fn stress_si_engine_probed(
     seed: u64,
     probe: EngineProbe,
 ) -> RunResult {
-    assert!(object_count > 0, "need at least one object");
-    let shared = SharedSi::new(object_count, probe);
-    let recorder = Mutex::new(Recorder::new());
-
-    crossbeam::scope(|scope| {
-        for thread_id in 0..threads {
-            let shared = &shared;
-            let recorder = &recorder;
-            scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (thread_id as u64).wrapping_mul(0x9e37));
-                let mut done = 0;
-                while done < txs_per_thread {
-                    let obj = Obj::from_index(rng.gen_range(0..object_count));
-                    let inject_abort = rng.gen_ratio(1, 10);
-
-                    let mut tx = shared.begin(thread_id);
-                    let read = shared.read(&tx, obj);
-                    let written = Value(read.0 + 1);
-                    tx.writes.insert(obj, written);
-                    if inject_abort {
-                        shared.abort(tx);
-                        continue; // does not count towards `done`
-                    }
-                    let snapshot = tx.snapshot;
-                    match shared.commit(tx) {
-                        Ok(seq) => {
-                            let mut rec = recorder.lock();
-                            rec.stats.committed += 1;
-                            rec.stats.ops_executed += 2;
-                            rec.record(CommittedTx {
-                                session: thread_id,
-                                ops: vec![Op::Read(obj, read), Op::Write(obj, written)],
-                                seq,
-                                visible: (1..=snapshot).collect(),
-                            });
-                            done += 1;
-                        }
-                        Err(_) => {
-                            recorder.lock().stats.aborted += 1;
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("stress thread panicked");
-
-    let initial_values = vec![Value::INITIAL; object_count];
-    recorder.into_inner().finish(&initial_values, threads)
+    let config = StressConfig {
+        object_count,
+        threads,
+        txs_per_thread,
+        ops_per_tx: 1,
+        write_ratio: 1.0,
+        hot_ratio: 0.0,
+        hot_objects: 0,
+        abort_ratio: 0.1,
+        seed,
+    };
+    stress_probed(&config, StressEngine::SingleLock, probe).result
 }
 
 #[cfg(test)]
@@ -262,5 +583,83 @@ mod tests {
                 assert!(installed, "commit {seq} published before its installs");
             }
         }
+    }
+
+    #[test]
+    fn sharded_stress_run_is_a_legal_si_execution() {
+        let config = StressConfig {
+            object_count: 8,
+            threads: 4,
+            txs_per_thread: 25,
+            ops_per_tx: 2,
+            write_ratio: 0.7,
+            hot_ratio: 0.5,
+            hot_objects: 2,
+            abort_ratio: 0.05,
+            seed: 0xBEEF,
+        };
+        let out = stress(&config, StressEngine::Sharded { shards: 4, gc_interval: 8 });
+        assert_eq!(out.result.stats.committed, 100);
+        assert!(SpecModel::Si.check(&out.result.execution).is_ok());
+    }
+
+    #[test]
+    fn sharded_counters_never_lose_updates() {
+        // Single-step increment transactions on a sharded store: the sum
+        // of final values must equal the committed count, i.e. FCW held
+        // across shards and threads.
+        let config = StressConfig {
+            object_count: 4,
+            threads: 4,
+            txs_per_thread: 25,
+            ops_per_tx: 1,
+            write_ratio: 1.0,
+            hot_ratio: 0.0,
+            hot_objects: 0,
+            abort_ratio: 0.1,
+            seed: 99,
+        };
+        let out = stress(&config, StressEngine::Sharded { shards: 2, gc_interval: 16 });
+        let history = &out.result.history;
+        let mut finals = [Value::INITIAL; 4];
+        for i in 1..history.tx_count() {
+            let t = history.transaction(si_relations::TxId::from_index(i));
+            for op in t.ops() {
+                if op.is_write() {
+                    finals[op.obj().index()] = op.value();
+                }
+            }
+        }
+        let total: u64 = finals.iter().map(|v| v.0).sum();
+        assert_eq!(total, out.result.stats.committed);
+    }
+
+    #[test]
+    fn sharded_stress_exercises_gc() {
+        let config = StressConfig {
+            object_count: 4,
+            threads: 2,
+            txs_per_thread: 50,
+            ops_per_tx: 1,
+            write_ratio: 1.0,
+            hot_ratio: 0.0,
+            hot_objects: 0,
+            abort_ratio: 0.0,
+            seed: 1,
+        };
+        let out = stress(&config, StressEngine::Sharded { shards: 2, gc_interval: 4 });
+        assert!(out.gc.passes > 0, "GC never fired under stress");
+        assert!(SpecModel::Si.check(&out.result.execution).is_ok());
+    }
+
+    #[test]
+    fn both_backends_meet_the_same_quota() {
+        let config = StressConfig::high_contention(3, 15, 0xD0_0D);
+        let single = stress(&config, StressEngine::SingleLock);
+        let sharded = stress(&config, StressEngine::Sharded { shards: 4, gc_interval: 32 });
+        assert_eq!(single.result.stats.committed, 45);
+        assert_eq!(sharded.result.stats.committed, 45);
+        assert!(SpecModel::Si.check(&single.result.execution).is_ok());
+        assert!(SpecModel::Si.check(&sharded.result.execution).is_ok());
     }
 }

@@ -20,7 +20,13 @@
 //! * [`SsiEngine`] — serializable SI (Cahill et al.): the SI protocol plus
 //!   runtime prevention of the Theorem 19 dangerous structure (a pivot
 //!   with adjacent inbound and outbound anti-dependencies), so every
-//!   committed run is serializable while retaining SI's reads.
+//!   committed run is serializable while retaining SI's reads;
+//! * [`ShardedSiEngine`] — the same SI protocol over the lock-striped
+//!   [`ShardedStore`] (per-shard `RwLock`s, ascending-order multi-shard
+//!   commit locking, watermark publication, epoch GC). Driven by the
+//!   scheduler it is deterministic and byte-identical to [`SiEngine`];
+//!   the [`stress`] harness runs the same store genuinely parallel and
+//!   validates the run post hoc.
 //!
 //! Every engine reports ground truth on commit: its commit sequence
 //! number and the set of transactions visible to its snapshot. The
@@ -70,11 +76,16 @@ mod recorder;
 mod scheduler;
 mod script;
 mod ser_engine;
+pub mod shard;
+mod sharded_engine;
 mod si_engine;
 mod ssi_engine;
 mod store;
 
-pub use concurrent::{stress_si_engine, stress_si_engine_probed};
+pub use concurrent::{
+    stress, stress_probed, stress_si_engine, stress_si_engine_probed, StressConfig, StressEngine,
+    StressOutcome,
+};
 pub use engine::{AbortReason, CommitInfo, Engine, TxToken};
 pub use probe::{EngineProbe, ProbeEvent, ProbeSink, VecProbe};
 pub use psi_engine::PsiEngine;
@@ -82,6 +93,8 @@ pub use recorder::{CommittedTx, Recorder, RunResult, RunStats};
 pub use scheduler::{Scheduler, SchedulerConfig, Workload};
 pub use script::{Script, ScriptOp};
 pub use ser_engine::SerEngine;
+pub use shard::{GcStats, ShardedStore, ShardedStoreConfig, SnapshotRegistry};
+pub use sharded_engine::ShardedSiEngine;
 pub use si_engine::SiEngine;
 pub use ssi_engine::SsiEngine;
 pub use store::{MultiVersionStore, Version};

@@ -19,6 +19,22 @@
 //!   an `SO;RW` cycle, and the detector reports a
 //!   [`StaleRead`](crate::RaceKind): a version ordered before the read by
 //!   happens-before was skipped.
+//! * [`Mutation::ShardFcwSkip`] — the sharded commit path with one
+//!   shard's first-committer-wins validation dropped: objects mapping to
+//!   the skipped stripe commit without conflict detection, losing
+//!   updates exactly like `DropFirstCommitterWins` but only on a slice
+//!   of the object space.
+//! * [`Mutation::ShardLockOrderScramble`] — the sharded commit path
+//!   acquiring its shard locks in *descending* order. Values stay
+//!   correct (the run is serial under the explorer), but the reported
+//!   [`ShardLocksAcquired`](si_mvcc::ProbeEvent) order breaks the
+//!   deadlock-freedom discipline and the detector flags a
+//!   [`ShardLockOrder`](crate::RaceKind) hazard.
+//!
+//! The sharded mutants re-enact the sharded protocol's *observable*
+//! surface (per-shard validation coverage, reported lock order) over the
+//! plain store — which is the point: the sanitizer judges engines by
+//! their traces and recorded runs, not their lock graphs.
 
 use std::collections::BTreeMap;
 
@@ -36,6 +52,19 @@ pub enum Mutation {
     SnapshotLag {
         /// The lag, in commits.
         lag: u64,
+    },
+    /// Sharded commit whose first-committer-wins validation skips every
+    /// object on one stripe (`index % shards == skip`).
+    ShardFcwSkip {
+        /// Stripe count of the simulated sharded store.
+        shards: usize,
+        /// The stripe whose validation is dropped.
+        skip: usize,
+    },
+    /// Sharded commit acquiring its shard locks in descending order.
+    ShardLockOrderScramble {
+        /// Stripe count of the simulated sharded store.
+        shards: usize,
     },
 }
 
@@ -101,7 +130,7 @@ impl Engine for MutantSiEngine {
     fn begin(&mut self, session: usize) -> TxToken {
         let snapshot = match self.mutation {
             Mutation::SnapshotLag { lag } => self.commit_counter.saturating_sub(lag),
-            Mutation::DropFirstCommitterWins => self.commit_counter,
+            _ => self.commit_counter,
         };
         self.probe.emit(|| ProbeEvent::SnapshotPrefix { session, upto: snapshot });
         self.active.push(MutantTx { session, snapshot, writes: BTreeMap::new(), finished: false });
@@ -130,13 +159,33 @@ impl Engine for MutantSiEngine {
             let t = self.tx(tx);
             (t.session, t.snapshot, t.writes.clone())
         };
-        if self.mutation != Mutation::DropFirstCommitterWins {
-            for &obj in writes.keys() {
-                if self.store.latest_seq(obj) > snapshot {
-                    self.active[tx.raw()].finished = true;
-                    self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
-                    return Err(AbortReason::WriteConflict(obj));
+        // The sharded mutants report the lock order the sharded commit
+        // path would have used — ascending is the contract, descending is
+        // the scramble defect.
+        if !writes.is_empty() {
+            match self.mutation {
+                Mutation::ShardFcwSkip { shards, .. } => {
+                    let order = shard_order(&writes, shards);
+                    self.probe.emit(|| ProbeEvent::ShardLocksAcquired { session, shards: order });
                 }
+                Mutation::ShardLockOrderScramble { shards } => {
+                    let mut order = shard_order(&writes, shards);
+                    order.reverse();
+                    self.probe.emit(|| ProbeEvent::ShardLocksAcquired { session, shards: order });
+                }
+                _ => {}
+            }
+        }
+        let validated = |obj: Obj| match self.mutation {
+            Mutation::DropFirstCommitterWins => false,
+            Mutation::ShardFcwSkip { shards, skip } => obj.index() % shards != skip,
+            _ => true,
+        };
+        for &obj in writes.keys() {
+            if validated(obj) && self.store.latest_seq(obj) > snapshot {
+                self.active[tx.raw()].finished = true;
+                self.probe.emit(|| ProbeEvent::AttemptDiscarded { session });
+                return Err(AbortReason::WriteConflict(obj));
             }
         }
         self.commit_counter += 1;
@@ -161,12 +210,22 @@ impl Engine for MutantSiEngine {
         match self.mutation {
             Mutation::DropFirstCommitterWins => "SI-mutant-drop-fcw",
             Mutation::SnapshotLag { .. } => "SI-mutant-snapshot-lag",
+            Mutation::ShardFcwSkip { .. } => "SI-mutant-shard-fcw-skip",
+            Mutation::ShardLockOrderScramble { .. } => "SI-mutant-shard-lock-order",
         }
     }
 
     fn set_probe(&mut self, probe: EngineProbe) {
         self.probe = probe;
     }
+}
+
+/// The ascending stripe set of a write set under `index % shards`
+/// partitioning — what a correct sharded commit would lock, in order.
+fn shard_order(writes: &BTreeMap<Obj, Value>, shards: usize) -> Vec<usize> {
+    let set: std::collections::BTreeSet<usize> =
+        writes.keys().map(|obj| obj.index() % shards).collect();
+    set.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -201,6 +260,53 @@ mod tests {
         // breaking strong-session SI.
         let t2 = e.begin(0);
         assert_eq!(e.read(t2, x), Value(0));
+    }
+
+    #[test]
+    fn shard_fcw_skip_loses_updates_on_the_skipped_stripe_only() {
+        // Objects 0 and 2 map to stripe 0 (skipped), object 1 to stripe 1.
+        let mut e = MutantSiEngine::new(2, Mutation::ShardFcwSkip { shards: 2, skip: 0 });
+        let x = Obj(0);
+        let t1 = e.begin(0);
+        let t2 = e.begin(1);
+        let v1 = e.read(t1, x);
+        let v2 = e.read(t2, x);
+        e.write(t1, x, Value(v1.0 + 1));
+        e.write(t2, x, Value(v2.0 + 1));
+        assert!(e.commit(t1).is_ok());
+        // Stripe 0's validation is gone: the conflicting commit slips
+        // through and t1's increment is lost.
+        assert!(e.commit(t2).is_ok());
+        assert_eq!(e.store.read_at(x, u64::MAX).value, Value(1));
+
+        // The untouched stripe still enforces first-committer-wins.
+        let y = Obj(1);
+        let t3 = e.begin(0);
+        let t4 = e.begin(1);
+        e.write(t3, y, Value(1));
+        e.write(t4, y, Value(2));
+        assert!(e.commit(t3).is_ok());
+        assert_eq!(e.commit(t4), Err(AbortReason::WriteConflict(y)));
+    }
+
+    #[test]
+    fn lock_order_scramble_reports_descending_shards() {
+        let probe = std::sync::Arc::new(si_mvcc::VecProbe::new());
+        let mut e = MutantSiEngine::new(4, Mutation::ShardLockOrderScramble { shards: 2 });
+        e.set_probe(EngineProbe::new(probe.clone()));
+        let t = e.begin(0);
+        e.write(t, Obj(0), Value(1));
+        e.write(t, Obj(1), Value(1));
+        assert!(e.commit(t).is_ok());
+        let orders: Vec<Vec<usize>> = probe
+            .drain()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                ProbeEvent::ShardLocksAcquired { shards, .. } => Some(shards),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(orders, vec![vec![1, 0]]);
     }
 
     #[test]

@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 use si_core::GraphClass;
 use si_execution::SpecModel;
 use si_model::Obj;
-use si_mvcc::{Engine, PsiEngine, Script, ScriptOp, SerEngine, SiEngine, SsiEngine, Workload};
+use si_mvcc::{
+    Engine, PsiEngine, Script, ScriptOp, SerEngine, ShardedSiEngine, ShardedStoreConfig, SiEngine,
+    SsiEngine, Workload,
+};
 
 use crate::mutant::{MutantSiEngine, Mutation};
 
@@ -29,6 +32,13 @@ pub enum EngineSpec {
         /// Number of replicas (sessions are pinned round-robin).
         replicas: usize,
     },
+    /// [`ShardedSiEngine`]: SI over the lock-striped store with epoch GC.
+    ShardedSi {
+        /// Stripe count of the store.
+        shards: usize,
+        /// Installs per shard between GC passes (`0` = never).
+        gc_interval: u64,
+    },
     /// Seeded mutant: SI without first-committer-wins (admits lost
     /// updates).
     MutantDropFcw,
@@ -37,6 +47,21 @@ pub enum EngineSpec {
     MutantSnapshotLag {
         /// How many commits the snapshot lags behind the counter.
         lag: u64,
+    },
+    /// Seeded mutant: the sharded commit path with one stripe's
+    /// first-committer-wins validation skipped (admits lost updates on
+    /// that stripe).
+    MutantShardFcwSkip {
+        /// Stripe count of the simulated sharded store.
+        shards: usize,
+        /// The stripe whose validation is dropped.
+        skip: usize,
+    },
+    /// Seeded mutant: the sharded commit path acquiring shard locks in
+    /// descending order (a deadlock hazard the lock-order audit flags).
+    MutantShardLockOrder {
+        /// Stripe count of the simulated sharded store.
+        shards: usize,
     },
 }
 
@@ -62,12 +87,25 @@ impl EngineSpec {
             EngineSpec::Ser => Box::new(SerEngine::new(object_count)),
             EngineSpec::Ssi => Box::new(SsiEngine::new(object_count)),
             EngineSpec::Psi { replicas } => Box::new(PsiEngine::new(object_count, replicas)),
+            EngineSpec::ShardedSi { shards, gc_interval } => {
+                Box::new(ShardedSiEngine::with_config(
+                    object_count,
+                    ShardedStoreConfig { shards, gc_interval, ..ShardedStoreConfig::default() },
+                ))
+            }
             EngineSpec::MutantDropFcw => {
                 Box::new(MutantSiEngine::new(object_count, Mutation::DropFirstCommitterWins))
             }
             EngineSpec::MutantSnapshotLag { lag } => {
                 Box::new(MutantSiEngine::new(object_count, Mutation::SnapshotLag { lag }))
             }
+            EngineSpec::MutantShardFcwSkip { shards, skip } => {
+                Box::new(MutantSiEngine::new(object_count, Mutation::ShardFcwSkip { shards, skip }))
+            }
+            EngineSpec::MutantShardLockOrder { shards } => Box::new(MutantSiEngine::new(
+                object_count,
+                Mutation::ShardLockOrderScramble { shards },
+            )),
         }
     }
 
@@ -75,7 +113,12 @@ impl EngineSpec {
     /// is precisely what the sanitizer must catch them failing.
     pub fn expectation(&self) -> Expectation {
         match self {
-            EngineSpec::Si | EngineSpec::MutantDropFcw | EngineSpec::MutantSnapshotLag { .. } => {
+            EngineSpec::Si
+            | EngineSpec::ShardedSi { .. }
+            | EngineSpec::MutantDropFcw
+            | EngineSpec::MutantSnapshotLag { .. }
+            | EngineSpec::MutantShardFcwSkip { .. }
+            | EngineSpec::MutantShardLockOrder { .. } => {
                 Expectation { axioms: SpecModel::Si, graph: GraphClass::Si, monitor: SpecModel::Si }
             }
             EngineSpec::Ser => Expectation {
@@ -115,8 +158,11 @@ impl EngineSpec {
             EngineSpec::Ser => "SER",
             EngineSpec::Ssi => "SSI",
             EngineSpec::Psi { .. } => "PSI",
+            EngineSpec::ShardedSi { .. } => "SI-sharded",
             EngineSpec::MutantDropFcw => "SI-mutant-drop-fcw",
             EngineSpec::MutantSnapshotLag { .. } => "SI-mutant-snapshot-lag",
+            EngineSpec::MutantShardFcwSkip { .. } => "SI-mutant-shard-fcw-skip",
+            EngineSpec::MutantShardLockOrder { .. } => "SI-mutant-shard-lock-order",
         }
     }
 }
@@ -274,8 +320,11 @@ mod tests {
             EngineSpec::Ser,
             EngineSpec::Ssi,
             EngineSpec::Psi { replicas: 2 },
+            EngineSpec::ShardedSi { shards: 2, gc_interval: 1 },
             EngineSpec::MutantDropFcw,
             EngineSpec::MutantSnapshotLag { lag: 1 },
+            EngineSpec::MutantShardFcwSkip { shards: 2, skip: 0 },
+            EngineSpec::MutantShardLockOrder { shards: 2 },
         ] {
             let json = serde_json::to_string(&spec).unwrap();
             let back: EngineSpec = serde_json::from_str(&json).unwrap();
@@ -291,5 +340,21 @@ mod tests {
             EngineSpec::MutantSnapshotLag { lag: 1 }.expectation(),
             EngineSpec::Si.expectation()
         );
+        assert_eq!(
+            EngineSpec::MutantShardFcwSkip { shards: 2, skip: 0 }.expectation(),
+            EngineSpec::Si.expectation()
+        );
+        assert_eq!(
+            EngineSpec::MutantShardLockOrder { shards: 2 }.expectation(),
+            EngineSpec::Si.expectation()
+        );
+    }
+
+    #[test]
+    fn sharded_engine_spec_matches_the_reference_si_contract() {
+        let spec = EngineSpec::ShardedSi { shards: 4, gc_interval: 1 };
+        assert_eq!(spec.expectation(), EngineSpec::Si.expectation());
+        assert!(spec.writes_are_local());
+        assert_eq!(spec.name(), "SI-sharded");
     }
 }

@@ -26,11 +26,22 @@ use analysing_si::sanitizer::{
 };
 
 fn engines() -> Vec<EngineSpec> {
-    vec![EngineSpec::Si, EngineSpec::Ser, EngineSpec::Ssi, EngineSpec::Psi { replicas: 2 }]
+    vec![
+        EngineSpec::Si,
+        EngineSpec::Ser,
+        EngineSpec::Ssi,
+        EngineSpec::Psi { replicas: 2 },
+        EngineSpec::ShardedSi { shards: 2, gc_interval: 1 },
+    ]
 }
 
 fn mutants() -> Vec<EngineSpec> {
-    vec![EngineSpec::MutantDropFcw, EngineSpec::MutantSnapshotLag { lag: 1 }]
+    vec![
+        EngineSpec::MutantDropFcw,
+        EngineSpec::MutantSnapshotLag { lag: 1 },
+        EngineSpec::MutantShardFcwSkip { shards: 2, skip: 0 },
+        EngineSpec::MutantShardLockOrder { shards: 2 },
+    ]
 }
 
 fn print_report(name: &str, report: &SanitizeReport) {

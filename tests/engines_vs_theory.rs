@@ -8,7 +8,8 @@ use analysing_si::analysis::{check_psi, check_ser, check_si, classify_graph};
 use analysing_si::depgraph::extract;
 use analysing_si::execution::SpecModel;
 use analysing_si::mvcc::{
-    stress_si_engine, Engine, PsiEngine, Scheduler, SchedulerConfig, SerEngine, SiEngine, SsiEngine,
+    stress_si_engine, Engine, PsiEngine, Scheduler, SchedulerConfig, SerEngine, ShardedSiEngine,
+    SiEngine, SsiEngine,
 };
 use analysing_si::workloads::random::{random_mix, RandomMix};
 use analysing_si::workloads::{bank, counter, fork};
@@ -40,6 +41,23 @@ fn si_engine_stays_in_graph_si() {
             let w = random_mix(&mix);
             let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
             let run = s.run(&mut SiEngine::new(mix.objects), &w);
+            assert!(SpecModel::Si.check(&run.execution).is_ok(), "axioms (seed {seed})");
+            let g = extract(&run.execution).unwrap();
+            assert!(check_si(&g).is_ok(), "graph class (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn sharded_si_engine_stays_in_graph_si() {
+    // The lock-striped engine makes exactly the same promises as the
+    // reference SI engine; `tests/sharded_differential.rs` additionally
+    // proves run-for-run byte identity.
+    for seed in 0..15 {
+        for (mix, _) in mixes(seed) {
+            let w = random_mix(&mix);
+            let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+            let run = s.run(&mut ShardedSiEngine::new(mix.objects), &w);
             assert!(SpecModel::Si.check(&run.execution).is_ok(), "axioms (seed {seed})");
             let g = extract(&run.execution).unwrap();
             assert!(check_si(&g).is_ok(), "graph class (seed {seed})");
@@ -204,4 +222,5 @@ fn engine_names() {
     assert_eq!(SiEngine::new(1).name(), "SI");
     assert_eq!(SerEngine::new(1).name(), "SER");
     assert_eq!(PsiEngine::new(1, 2).name(), "PSI");
+    assert_eq!(ShardedSiEngine::new(1).name(), "SI-sharded");
 }

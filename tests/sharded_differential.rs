@@ -1,0 +1,115 @@
+//! Differential validation of the lock-striped engine.
+//!
+//! Two obligations, one per execution regime:
+//!
+//! * **Deterministic** — driven by the [`Scheduler`], the sharded engine
+//!   must be *observationally identical* to the reference [`SiEngine`]:
+//!   the recorded history serialises to byte-identical JSON and the run
+//!   counters match, for every seed, workload shape, stripe count and GC
+//!   interval. Striping and epoch GC are pure synchronisation changes;
+//!   any visible divergence is a bug.
+//! * **Concurrent** — under the real multi-threaded stress harness the
+//!   interleaving is no longer deterministic, so there is no reference
+//!   run to compare against. Instead every recorded run must satisfy the
+//!   paper's ground truth: the Definition 4 axiom instantiation of SI
+//!   and membership in `GraphSI` (Theorem 9).
+
+use analysing_si::analysis::check_si;
+use analysing_si::depgraph::extract;
+use analysing_si::execution::SpecModel;
+use analysing_si::mvcc::{
+    stress, Scheduler, SchedulerConfig, ShardedSiEngine, ShardedStoreConfig, SiEngine,
+    StressConfig, StressEngine,
+};
+use analysing_si::workloads::random::{random_mix, RandomMix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte-identity: the sharded recorder output equals the unsharded
+    /// one under the deterministic scheduler, for any striping.
+    #[test]
+    fn sharded_runs_are_byte_identical_to_unsharded(
+        seed in 0u64..500,
+        sessions in 2usize..5,
+        txs in 2usize..6,
+        objects in 2usize..9,
+        read_pct in 0u32..80,
+        shards in 1usize..6,
+        gc_interval in 0u64..3,
+    ) {
+        let read_ratio = f64::from(read_pct) / 100.0;
+        let mix = RandomMix { seed, sessions, txs_per_session: txs, objects, read_ratio, ..Default::default() };
+        let w = random_mix(&mix);
+
+        let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        let reference = s.run(&mut SiEngine::new(objects), &w);
+
+        let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        let mut sharded = ShardedSiEngine::with_config(
+            objects,
+            ShardedStoreConfig { shards, gc_interval, ..Default::default() },
+        );
+        let run = s.run(&mut sharded, &w);
+
+        prop_assert_eq!(
+            serde_json::to_string(&run.history).unwrap(),
+            serde_json::to_string(&reference.history).unwrap(),
+            "recorder output diverged (shards={}, gc_interval={})", shards, gc_interval
+        );
+        prop_assert_eq!(run.stats, reference.stats);
+    }
+
+    /// Ground truth: concurrent sharded runs are legal SI executions.
+    #[test]
+    fn concurrent_sharded_runs_satisfy_si_axioms_and_graph(
+        seed in 0u64..200,
+        threads in 2usize..5,
+        shards in 1usize..5,
+        hot in any::<bool>(),
+    ) {
+        let config = if hot {
+            StressConfig::high_contention(threads, 12, seed)
+        } else {
+            StressConfig::low_contention(threads, 12, seed)
+        };
+        let outcome = stress(&config, StressEngine::Sharded { shards, gc_interval: 16 });
+        prop_assert!(
+            SpecModel::Si.check(&outcome.result.execution).is_ok(),
+            "axioms failed (seed={}, threads={}, shards={})", seed, threads, shards
+        );
+        let g = extract(&outcome.result.execution).unwrap();
+        prop_assert!(
+            check_si(&g).is_ok(),
+            "left GraphSI (seed={}, threads={}, shards={})", seed, threads, shards
+        );
+    }
+}
+
+/// The GC-on-every-install configuration is the most adversarial: the
+/// store prunes as eagerly as the live-snapshot floor allows while the
+/// scheduler holds snapshots open. Identity must still hold.
+#[test]
+fn eager_gc_does_not_change_observable_behaviour() {
+    for seed in 0..40 {
+        let mix =
+            RandomMix { seed, sessions: 3, txs_per_session: 6, objects: 4, ..Default::default() };
+        let w = random_mix(&mix);
+        let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        let reference = s.run(&mut SiEngine::new(4), &w);
+
+        let mut s = Scheduler::new(SchedulerConfig { seed, ..Default::default() });
+        let mut sharded = ShardedSiEngine::with_config(
+            4,
+            ShardedStoreConfig { shards: 3, gc_interval: 1, ..Default::default() },
+        );
+        let run = s.run(&mut sharded, &w);
+        assert_eq!(
+            serde_json::to_string(&run.history).unwrap(),
+            serde_json::to_string(&reference.history).unwrap(),
+            "seed {seed}"
+        );
+        assert!(sharded.gc_stats().passes > 0 || run.stats.committed == 0, "GC never ran");
+    }
+}
