@@ -1,0 +1,157 @@
+//! Shared encoding of history membership as per-object choice points.
+//!
+//! Theorems 8/9/21 reduce `history ∈ HistX` to a search over `WR`/`WW`
+//! extensions: for every object, a `WR(x)` witness per external read
+//! (any *other* transaction whose final write to `x` produced the value
+//! read) and a total `WW(x)` order over the writers. Both the exact
+//! backtracking enumerator ([`crate::history_membership`]) and the CDCL
+//! solver (`si-solve`) search exactly this space, so the derivation of
+//! the choice points — including the encode-time rejections that need no
+//! search at all — lives here, once.
+
+use std::collections::HashMap;
+
+use si_model::{History, Obj, Op, TxId, Value};
+
+/// The choice points of one object: its writers (whose permutations are
+/// the `WW(x)` candidates) and its external readers with their candidate
+/// `WR(x)` witnesses.
+#[derive(Debug, Clone)]
+pub struct ObjChoices {
+    /// The object.
+    pub obj: Obj,
+    /// Every transaction writing `obj`, including the init transaction.
+    pub writers: Vec<TxId>,
+    /// `(reader, candidate writers)` for each external read of `obj`.
+    /// Candidate lists are non-empty (an empty list rejects the whole
+    /// history at encode time) and never contain the reader itself.
+    pub readers: Vec<(TxId, Vec<TxId>)>,
+}
+
+/// Derives the per-object choice points of `history`, or `None` when the
+/// history is trivially outside *every* graph class — an internal-
+/// consistency (INT) violation, or an external read no other
+/// transaction's final write can justify. Both rejections are
+/// independent of the `WR`/`WW` choices, so no extension can succeed.
+pub fn choice_points(history: &History) -> Option<Vec<ObjChoices>> {
+    if history.check_int().is_err() {
+        return None;
+    }
+    // One pass over the raw operations builds, per object, the writer
+    // list, a final-write-value index and the external-read list — the
+    // per-object-times-per-transaction scans would be quadratic on big
+    // histories (and on the init transaction, which writes every object).
+    #[derive(Default)]
+    struct Slot {
+        writers: Vec<TxId>,
+        by_value: HashMap<Value, Vec<TxId>>,
+        reads: Vec<(TxId, Value)>,
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    // stamp/pos dedup object touches within one transaction in O(1):
+    // `stamp[x] == id` means `x` already has an entry for this
+    // transaction, at `tx_objs[pos[x]]`.
+    let mut stamp: Vec<u32> = Vec::new();
+    let mut pos: Vec<u32> = Vec::new();
+    // Per distinct object of the current transaction: the external read
+    // (first op is a read) and the last written value, if any.
+    let mut tx_objs: Vec<(Obj, Option<Value>, Option<Value>)> = Vec::new();
+    for (id, t) in history.transactions() {
+        tx_objs.clear();
+        for op in t.ops() {
+            let xi = op.obj().index();
+            if xi >= stamp.len() {
+                stamp.resize(xi + 1, u32::MAX);
+                pos.resize(xi + 1, 0);
+            }
+            if stamp[xi] != id.0 {
+                stamp[xi] = id.0;
+                pos[xi] = tx_objs.len() as u32;
+                let ext = match op {
+                    Op::Read(_, n) => Some(*n),
+                    Op::Write(..) => None,
+                };
+                tx_objs.push((op.obj(), ext, None));
+            }
+            if op.is_write() {
+                tx_objs[pos[xi] as usize].2 = Some(op.value());
+            }
+        }
+        for &(x, ext_read, final_write) in &tx_objs {
+            if slots.len() <= x.index() {
+                slots.resize_with(x.index() + 1, Slot::default);
+            }
+            let slot = &mut slots[x.index()];
+            if let Some(v) = final_write {
+                slot.writers.push(id);
+                slot.by_value.entry(v).or_default().push(id);
+            }
+            if let Some(v) = ext_read {
+                slot.reads.push((id, v));
+            }
+        }
+    }
+    // Transactions arrive in ascending id order, so every per-slot list
+    // is already ascending — matching the scan-based derivation exactly.
+    let mut choices = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.writers.is_empty() && slot.reads.is_empty() {
+            continue;
+        }
+        let mut readers = Vec::with_capacity(slot.reads.len());
+        for &(id, v) in &slot.reads {
+            let candidates: Vec<TxId> = match slot.by_value.get(&v) {
+                Some(ws) => ws.iter().copied().filter(|&w| w != id).collect(),
+                None => Vec::new(),
+            };
+            if candidates.is_empty() {
+                return None;
+            }
+            readers.push((id, candidates));
+        }
+        choices.push(ObjChoices {
+            obj: Obj::from_index(i),
+            writers: slot.writers.clone(),
+            readers,
+        });
+    }
+    Some(choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    #[test]
+    fn derives_candidates_and_rejects_unjustifiable_reads() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let (s1, s2, s3) = (b.session(), b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(x, 1)]);
+        b.push_tx(s3, [Op::read(x, 1)]);
+        let h = b.build();
+        let choices = choice_points(&h).unwrap();
+        assert_eq!(choices.len(), 1);
+        // Init plus the two writers of 1.
+        assert_eq!(choices[0].writers.len(), 3);
+        let (_, candidates) = &choices[0].readers[0];
+        assert_eq!(candidates.len(), 2, "both writers of 1 are candidates");
+
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::read(x, 42)]);
+        assert!(choice_points(&b.build()).is_none());
+    }
+
+    #[test]
+    fn int_violation_rejects_at_encode_time() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        b.push_tx(s, [Op::write(x, 1), Op::read(x, 9)]);
+        assert!(choice_points(&b.build()).is_none());
+    }
+}

@@ -23,6 +23,7 @@ use si_model::{History, Obj, TxId};
 use si_relations::{ClassKind, DepEdgeKind, IncrementalClass};
 use si_telemetry::{Event, Telemetry};
 
+use crate::encoding::{choice_points, ObjChoices};
 use crate::membership::GraphClass;
 
 fn class_kind(class: GraphClass) -> ClassKind {
@@ -41,7 +42,10 @@ const PROGRESS_INTERVAL: u64 = 65_536;
 /// Node budget for the backtracking search.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchBudget {
-    /// Maximum number of candidate (partial) assignments explored.
+    /// Maximum number of candidate (partial) assignments explored. Every
+    /// search step pays — entering an object's choice point *and* each
+    /// step of its `WW` permutation enumeration — so the budget bounds
+    /// actual work even on objects with factorially many orders.
     pub max_nodes: u64,
 }
 
@@ -51,13 +55,28 @@ impl Default for SearchBudget {
     }
 }
 
-/// The budget ran out before the search space was exhausted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SearchExhausted;
+/// The budget ran out before the search space was exhausted. Carries the
+/// partial search statistics accumulated up to that point, so callers can
+/// report how far the search got (and pick a bigger budget, or hand the
+/// history to the CDCL solver, `si-solve`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchExhausted {
+    /// Candidate (partial) assignments explored before the budget died.
+    pub nodes_expanded: u64,
+    /// Deepest choice point reached (0-based index into the per-object
+    /// assignment order; one past the last object when only the final
+    /// class check remained).
+    pub depth_reached: usize,
+}
 
 impl fmt::Display for SearchExhausted {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dependency-graph search budget exhausted before a verdict")
+        write!(
+            f,
+            "dependency-graph search budget exhausted before a verdict \
+             ({} nodes expanded, depth {} reached)",
+            self.nodes_expanded, self.depth_reached
+        )
     }
 }
 
@@ -143,33 +162,12 @@ pub(crate) fn history_witness_for_class_traced(
     budget: &SearchBudget,
     telemetry: &Telemetry,
 ) -> Result<Option<DependencyGraph>, SearchExhausted> {
-    if history.check_int().is_err() {
-        // INT is independent of WR/WW: no extension can be in any class.
+    // Derive the per-object choice points; encode-time rejection (INT
+    // violation or an unjustifiable read) is independent of WR/WW, so no
+    // extension can be in any class.
+    let Some(choices) = choice_points(history) else {
         return Ok(None);
-    }
-
-    // Build the per-object choice points.
-    let objects = history.objects();
-    let mut choices: Vec<ObjChoices> = Vec::new();
-    for &x in &objects {
-        let writers: Vec<TxId> = history.write_txs(x).iter().collect();
-        let mut readers = Vec::new();
-        for (id, t) in history.transactions() {
-            if let Some(v) = t.external_read(x) {
-                let candidates: Vec<TxId> = writers
-                    .iter()
-                    .copied()
-                    .filter(|&w| w != id && history.transaction(w).final_write(x) == Some(v))
-                    .collect();
-                if candidates.is_empty() {
-                    // Some read can never be justified: reject outright.
-                    return Ok(None);
-                }
-                readers.push((id, candidates));
-            }
-        }
-        choices.push(ObjChoices { obj: x, writers, readers });
-    }
+    };
 
     // The incremental characteristic relation of the partial assignment:
     // session order is fixed up front; each object's WR/WW/RW edges are
@@ -189,6 +187,7 @@ pub(crate) fn history_witness_for_class_traced(
         nodes_left: budget.max_nodes,
         max_nodes: budget.max_nodes,
         backtracks: 0,
+        deepest: 0,
         telemetry,
         inc,
     };
@@ -200,13 +199,6 @@ pub(crate) fn history_witness_for_class_traced(
     result
 }
 
-struct ObjChoices {
-    obj: Obj,
-    writers: Vec<TxId>,
-    /// `(reader, candidate writers)` for each external read.
-    readers: Vec<(TxId, Vec<TxId>)>,
-}
-
 struct Search<'a> {
     history: &'a History,
     class: GraphClass,
@@ -216,6 +208,8 @@ struct Search<'a> {
     /// Dead ends: partial assignments found doomed, plus complete
     /// assignments failing the final class check.
     backtracks: u64,
+    /// Deepest choice point reached, for exhaustion reporting.
+    deepest: usize,
     telemetry: &'a Telemetry,
     /// The class's characteristic relation over the partial assignment,
     /// maintained incrementally: SO is fed once up front, each object's
@@ -231,9 +225,13 @@ impl Search<'_> {
         builder: &mut DepGraphBuilder,
     ) -> Result<Option<DependencyGraph>, SearchExhausted> {
         if self.nodes_left == 0 {
-            return Err(SearchExhausted);
+            return Err(SearchExhausted {
+                nodes_expanded: self.max_nodes,
+                depth_reached: self.deepest,
+            });
         }
         self.nodes_left -= 1;
+        self.deepest = self.deepest.max(at);
         let explored = self.max_nodes - self.nodes_left;
         if explored.is_multiple_of(PROGRESS_INTERVAL) {
             let backtracks = self.backtracks;
@@ -308,6 +306,19 @@ impl Search<'_> {
         builder: &mut DepGraphBuilder,
         at: usize,
     ) -> Result<Option<DependencyGraph>, SearchExhausted> {
+        // Charge every permutation step, not just complete assignments:
+        // an object with many writers has factorially many orders, and a
+        // budget that only metered per-object entries would let a single
+        // choice point burn unbounded time (the permutation prefixes and
+        // the incremental feeds at their leaves) while "exhausting"
+        // nothing.
+        if self.nodes_left == 0 {
+            return Err(SearchExhausted {
+                nodes_expanded: self.max_nodes,
+                depth_reached: self.deepest,
+            });
+        }
+        self.nodes_left -= 1;
         if fixed == writers.len() {
             builder.ww_order(obj, writers.iter().copied());
             // Prune: feed this object's now-complete WR/WW/RW edges into
@@ -462,10 +473,22 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_reported() {
+    fn budget_exhaustion_reported_with_partial_stats() {
         let h = long_fork();
         let tiny = SearchBudget { max_nodes: 1 };
-        assert_eq!(history_membership(SpecModel::Si, &h, &tiny), Err(SearchExhausted));
+        let err = history_membership(SpecModel::Si, &h, &tiny).unwrap_err();
+        assert_eq!(err.nodes_expanded, 1);
+        // One node in: the search had just entered the first object.
+        assert_eq!(err.depth_reached, 0);
+        assert!(err.to_string().contains("1 nodes expanded"), "{err}");
+
+        // A budget big enough to descend but not to finish reports the
+        // depth the search actually reached.
+        let h = write_skew();
+        let small = SearchBudget { max_nodes: 4 };
+        let err = history_membership(SpecModel::Si, &h, &small).unwrap_err();
+        assert_eq!(err.nodes_expanded, 4);
+        assert_eq!(err.depth_reached, 1, "{err:?}");
     }
 
     #[test]

@@ -74,6 +74,7 @@
 
 mod anomaly;
 mod construct;
+pub mod encoding;
 mod explain;
 mod history_check;
 mod membership;
@@ -83,6 +84,7 @@ mod solve;
 
 pub use anomaly::{classify_graph, classify_history, Classification};
 pub use construct::{execution_from_graph, execution_from_graph_iterative, NotInGraphSi};
+pub use encoding::{choice_points, ObjChoices};
 pub use explain::{explain_si_violation, ExplainedCycle, ExplainedEdge};
 pub use history_check::{
     history_membership, history_membership_traced, history_witness, history_witness_traced,

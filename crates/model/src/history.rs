@@ -4,7 +4,7 @@ use core::fmt;
 
 use si_relations::{Relation, TxId, TxSet};
 
-use crate::{IntViolation, Obj, Transaction};
+use crate::{IntViolation, Obj, Op, Transaction};
 
 /// A session identifier (dense index into a history's session list).
 #[derive(
@@ -234,15 +234,10 @@ impl History {
 
     /// All distinct objects touched by any transaction, in ascending order.
     pub fn objects(&self) -> Vec<Obj> {
-        let mut objs: Vec<Obj> = Vec::new();
-        for t in &self.transactions {
-            for x in t.objects() {
-                if !objs.contains(&x) {
-                    objs.push(x);
-                }
-            }
-        }
+        let mut objs: Vec<Obj> =
+            self.transactions.iter().flat_map(|t| t.ops().iter().map(Op::obj)).collect();
         objs.sort_unstable();
+        objs.dedup();
         objs
     }
 

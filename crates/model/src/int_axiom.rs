@@ -43,6 +43,17 @@ impl std::error::Error for IntViolation {}
 ///
 /// Returns the first violation in program order.
 pub(crate) fn check_ops_int(ops: &[Op]) -> Result<(), IntViolation> {
+    // Typical transactions touch a handful of objects, where a linear
+    // scan beats hashing; wide transactions (the init transaction writes
+    // every object) need the map to stay out of quadratic territory.
+    if ops.len() <= 16 {
+        check_ops_int_scan(ops)
+    } else {
+        check_ops_int_indexed(ops)
+    }
+}
+
+fn check_ops_int_scan(ops: &[Op]) -> Result<(), IntViolation> {
     // last_op[x] = (index, value) of the last operation on x seen so far.
     let mut last_op: Vec<(Obj, usize, Value)> = Vec::new();
     for (i, op) in ops.iter().enumerate() {
@@ -63,6 +74,27 @@ pub(crate) fn check_ops_int(ops: &[Op]) -> Result<(), IntViolation> {
             Some(slot) => *slot = (x, i, op.value()),
             None => last_op.push((x, i, op.value())),
         }
+    }
+    Ok(())
+}
+
+fn check_ops_int_indexed(ops: &[Op]) -> Result<(), IntViolation> {
+    let mut last_op: std::collections::HashMap<Obj, (usize, Value)> =
+        std::collections::HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        let x = op.obj();
+        if let (Op::Read(_, actual), Some(&(prev_index, expected))) = (op, last_op.get(&x)) {
+            if *actual != expected {
+                return Err(IntViolation {
+                    read_index: i,
+                    prev_index,
+                    obj: x,
+                    expected,
+                    actual: *actual,
+                });
+            }
+        }
+        last_op.insert(x, (i, op.value()));
     }
     Ok(())
 }

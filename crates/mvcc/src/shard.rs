@@ -25,7 +25,12 @@
 //!   sequence order, completed sequences enter a pending set and the
 //!   `published` watermark advances to the longest contiguous prefix —
 //!   exactly the largest `s` for which "all of `1..=s` is in place"
-//!   holds.
+//!   holds. A committer does not *return* until the watermark covers
+//!   its own sequence: otherwise the session's next begin could take a
+//!   snapshot below its own commit and miss its own writes (a
+//!   read-your-writes violation `si-solve` caught in stress
+//!   recordings — the watermark lags whenever an earlier-allocated
+//!   sequence is still installing).
 //! * **epoch GC** — every `gc_interval` installs into a shard, the shard
 //!   prunes versions no live snapshot can reach. The floor is
 //!   `min(published, oldest registered snapshot)`; for each object the
@@ -389,6 +394,15 @@ impl ShardedStore {
 
         drop(guards);
         self.publish(seq);
+        // Session visibility: don't report the commit until the
+        // watermark covers it, so the session's next `begin` (a single
+        // watermark load) observes this transaction's writes. Only
+        // committers holding *smaller* sequences can delay publication,
+        // and they never wait on larger ones, so the wait is bounded
+        // and deadlock-free.
+        while self.published.load(Ordering::SeqCst) < seq {
+            std::thread::yield_now();
+        }
         Ok(seq)
     }
 

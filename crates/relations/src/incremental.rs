@@ -26,9 +26,17 @@
 //! oracle (`tests/differential.rs`) and the faster choice for one-shot
 //! checks of small graphs; see `si-core`'s membership crossover.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use crate::{Relation, TxId};
+
+/// The "no provenance" tag: edges inserted through the untagged API carry
+/// this sentinel and are omitted from [`IncrementalClass::violation_sources`].
+///
+/// Tags are opaque `u32`s chosen by the caller — a CDCL theory propagator
+/// uses trail indices, so a cycle witness maps straight back to the set of
+/// assignments that produced it.
+pub const NO_TAG: u32 = u32::MAX;
 
 /// Maintenance-effort counters for an incremental structure, exposed so
 /// telemetry can report how much work edge insertion actually did.
@@ -84,7 +92,10 @@ pub struct IncrementalDag {
     ord: Vec<u32>,
     out: Vec<Vec<u32>>,
     inn: Vec<Vec<u32>>,
-    edges: HashSet<(u32, u32)>,
+    /// Edge set with provenance: up to two caller tags per edge (composed
+    /// characteristic edges have two source dependency edges). First
+    /// insertion wins; duplicates do not overwrite tags.
+    edges: HashMap<(u32, u32), [u32; 2]>,
     /// Insertion log (append-only between undos) backing `mark`/`undo_to`.
     log: Vec<(u32, u32)>,
     epoch: u64,
@@ -101,7 +112,7 @@ impl IncrementalDag {
             ord: (0..n as u32).collect(),
             out: vec![Vec::new(); n],
             inn: vec![Vec::new(); n],
-            edges: HashSet::new(),
+            edges: HashMap::new(),
             log: Vec::new(),
             epoch: 0,
             fwd_stamp: vec![0; n],
@@ -123,7 +134,28 @@ impl IncrementalDag {
 
     /// Whether edge `(a, b)` is present.
     pub fn contains(&self, a: TxId, b: TxId) -> bool {
-        self.edges.contains(&(a.0, b.0))
+        self.edges.contains_key(&(a.0, b.0))
+    }
+
+    /// The provenance tags recorded for edge `(a, b)`, if present.
+    /// Untagged insertions report `[NO_TAG, NO_TAG]`.
+    pub fn edge_tags(&self, a: TxId, b: TxId) -> Option<[u32; 2]> {
+        self.edges.get(&(a.0, b.0)).copied()
+    }
+
+    /// Pushes the non-[`NO_TAG`] provenance tags of every edge joining
+    /// consecutive vertices of `path` (the witness-path convention: the
+    /// closing edge is implicit and not collected).
+    pub fn collect_path_tags(&self, path: &[TxId], out: &mut Vec<u32>) {
+        for pair in path.windows(2) {
+            if let Some(tags) = self.edges.get(&(pair[0].0, pair[1].0)) {
+                for &t in tags {
+                    if t != NO_TAG {
+                        out.push(t);
+                    }
+                }
+            }
+        }
     }
 
     /// Cumulative maintenance counters.
@@ -193,23 +225,40 @@ impl IncrementalDag {
     ///
     /// Panics if `a` or `b` lie outside the universe.
     pub fn add_edge(&mut self, a: TxId, b: TxId) -> Result<bool, Vec<TxId>> {
+        self.add_edge_tagged(a, b, [NO_TAG, NO_TAG])
+    }
+
+    /// [`IncrementalDag::add_edge`] with provenance: `tags` is recorded
+    /// with the edge (first insertion wins; a duplicate leaves the
+    /// original tags in place) and surfaces via
+    /// [`IncrementalDag::edge_tags`] /
+    /// [`IncrementalDag::collect_path_tags`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IncrementalDag::add_edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` lie outside the universe.
+    pub fn add_edge_tagged(&mut self, a: TxId, b: TxId, tags: [u32; 2]) -> Result<bool, Vec<TxId>> {
         let n = self.ord.len();
         assert!(a.index() < n && b.index() < n, "edge outside universe");
         if a == b {
             return Err(vec![a]);
         }
-        if self.edges.contains(&(a.0, b.0)) {
+        if self.edges.contains_key(&(a.0, b.0)) {
             return Ok(false);
         }
         if self.ord[a.index()] <= self.ord[b.index()] {
-            self.insert_raw(a.0, b.0);
+            self.insert_raw(a.0, b.0, tags);
             return Ok(true);
         }
         // Affected region: ords in [ord[b], ord[a]]. A path b ⇝ a, if one
         // exists, lies entirely inside it (ord increases along edges).
         let (fwd, bwd) = self.discover(a.0, b.0)?;
         self.reorder(fwd, bwd);
-        self.insert_raw(a.0, b.0);
+        self.insert_raw(a.0, b.0, tags);
         Ok(true)
     }
 
@@ -258,14 +307,14 @@ impl IncrementalDag {
     /// tests and oracle comparisons).
     pub fn to_relation(&self) -> Relation {
         let mut rel = Relation::new(self.ord.len());
-        for &(a, b) in &self.edges {
+        for &(a, b) in self.edges.keys() {
             rel.insert(TxId(a), TxId(b));
         }
         rel
     }
 
-    fn insert_raw(&mut self, a: u32, b: u32) {
-        self.edges.insert((a, b));
+    fn insert_raw(&mut self, a: u32, b: u32, tags: [u32; 2]) {
+        self.edges.insert((a, b), tags);
         self.out[a as usize].push(b);
         self.inn[b as usize].push(a);
         self.log.push((a, b));
@@ -358,7 +407,7 @@ impl IncrementalDag {
             seen[o as usize] = true;
         }
         // …and a topological order of the current edges.
-        for &(a, b) in &self.edges {
+        for &(a, b) in self.edges.keys() {
             assert!(self.ord[a as usize] < self.ord[b as usize], "ord violates edge ({a}, {b})");
         }
     }
@@ -435,17 +484,20 @@ pub struct IncrementalClass {
     /// Ser/Si/Pc: the composed characteristic relation. Psi: the plain
     /// dependency relation `D` (anti-dependencies live in `rw_edges`).
     dag: IncrementalDag,
-    /// Per vertex `b`: sources `a` of recorded left-composable edges
+    /// Per vertex `b`: `(source, tag)` of recorded left-composable edges
     /// `(a, b)` (Si: dependencies; Pc: `SO ∪ WR`). Unused for Ser/Psi.
-    left_in: Vec<Vec<u32>>,
-    /// Per vertex `b`: targets `c` of recorded anti-dependencies
+    left_in: Vec<Vec<(u32, u32)>>,
+    /// Per vertex `b`: `(target, tag)` of recorded anti-dependencies
     /// `(b, c)`. Unused for Ser/Psi.
-    rw_out: Vec<Vec<u32>>,
-    /// Psi only: all recorded anti-dependency edges.
-    rw_edges: Vec<(u32, u32)>,
+    rw_out: Vec<Vec<(u32, u32)>>,
+    /// Psi only: all recorded anti-dependency edges with their tags.
+    rw_edges: Vec<(u32, u32, u32)>,
     /// Index-maintenance log backing `mark`/`undo_to`.
     ops: Vec<IndexOp>,
     violation: Option<Vec<TxId>>,
+    /// Provenance tags of the edges on the violation witness (deduped,
+    /// [`NO_TAG`] omitted); empty when untagged edges formed the cycle.
+    violation_tags: Vec<u32>,
     /// Scratch for Psi reachability sweeps.
     epoch: u64,
     fwd_stamp: Vec<u64>,
@@ -466,6 +518,7 @@ impl IncrementalClass {
             rw_edges: Vec::new(),
             ops: Vec::new(),
             violation: None,
+            violation_tags: Vec::new(),
             epoch: 0,
             fwd_stamp: vec![0; n],
             bwd_stamp: vec![0; n],
@@ -510,6 +563,19 @@ impl IncrementalClass {
     /// reported.
     pub fn violation(&self) -> Option<&[TxId]> {
         self.violation.as_deref()
+    }
+
+    /// The provenance tags of the dependency edges whose insertion built
+    /// the recorded violation witness — the tags passed to
+    /// [`IncrementalClass::add_tagged`] for every source edge on the
+    /// cycle (including both sources of composed `D ; RW?` edges),
+    /// deduplicated, [`NO_TAG`] omitted. Empty when there is no
+    /// violation, or when only untagged edges formed it.
+    ///
+    /// A CDCL propagator tags edges with trail indices, making this
+    /// exactly the conflict's reason set.
+    pub fn violation_sources(&self) -> &[u32] {
+        &self.violation_tags
     }
 
     /// Number of edges currently maintained (composed edges for
@@ -557,6 +623,7 @@ impl IncrementalClass {
         }
         if !mark.violated {
             self.violation = None;
+            self.violation_tags.clear();
         }
     }
 
@@ -568,73 +635,96 @@ impl IncrementalClass {
     ///
     /// Panics if `a` or `b` lie outside the universe.
     pub fn add(&mut self, kind: DepEdgeKind, a: TxId, b: TxId) -> bool {
+        self.add_tagged(kind, a, b, NO_TAG)
+    }
+
+    /// [`IncrementalClass::add`] with provenance: `tag` travels with the
+    /// edge (and with every composed edge it participates in) so a later
+    /// violation can name its source edges via
+    /// [`IncrementalClass::violation_sources`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` lie outside the universe.
+    pub fn add_tagged(&mut self, kind: DepEdgeKind, a: TxId, b: TxId, tag: u32) -> bool {
         if self.violation.is_some() {
             return false;
         }
         match (self.kind, kind) {
             // SER: every edge is a characteristic edge.
             (ClassKind::Ser, _) => {
-                Self::insert_composed(&mut self.dag, &mut self.violation, a, b);
+                self.insert_composed(a, b, [tag, NO_TAG]);
             }
             // SI: D ; RW?. PC: (SO ∪ WR) ; RW? ∪ WW — WW joins directly,
             // without composing into RW.
             (ClassKind::Si, DepEdgeKind::So | DepEdgeKind::Wr | DepEdgeKind::Ww)
             | (ClassKind::Pc, DepEdgeKind::So | DepEdgeKind::Wr) => {
-                self.left_in[b.index()].push(a.0);
+                self.left_in[b.index()].push((a.0, tag));
                 self.ops.push(IndexOp::LeftIn(b.0));
-                Self::insert_composed(&mut self.dag, &mut self.violation, a, b);
+                self.insert_composed(a, b, [tag, NO_TAG]);
                 let mut i = 0;
                 while self.violation.is_none() && i < self.rw_out[b.index()].len() {
-                    let c = TxId(self.rw_out[b.index()][i]);
-                    Self::insert_composed(&mut self.dag, &mut self.violation, a, c);
+                    let (c, rw_tag) = self.rw_out[b.index()][i];
+                    self.insert_composed(a, TxId(c), [tag, rw_tag]);
                     i += 1;
                 }
             }
             (ClassKind::Pc, DepEdgeKind::Ww) => {
-                Self::insert_composed(&mut self.dag, &mut self.violation, a, b);
+                self.insert_composed(a, b, [tag, NO_TAG]);
             }
             // SI/PC anti-dependency (a, b): not a characteristic edge by
             // itself; composes with every recorded left edge into a.
             (ClassKind::Si | ClassKind::Pc, DepEdgeKind::Rw) => {
-                self.rw_out[a.index()].push(b.0);
+                self.rw_out[a.index()].push((b.0, tag));
                 self.ops.push(IndexOp::RwOut(a.0));
                 let mut i = 0;
                 while self.violation.is_none() && i < self.left_in[a.index()].len() {
-                    let p = TxId(self.left_in[a.index()][i]);
-                    Self::insert_composed(&mut self.dag, &mut self.violation, p, b);
+                    let (p, dep_tag) = self.left_in[a.index()][i];
+                    self.insert_composed(TxId(p), b, [dep_tag, tag]);
                     i += 1;
                 }
             }
             (ClassKind::Psi, DepEdgeKind::So | DepEdgeKind::Wr | DepEdgeKind::Ww) => {
-                self.psi_add_dep(a, b);
+                self.psi_add_dep(a, b, tag);
             }
             (ClassKind::Psi, DepEdgeKind::Rw) => {
-                self.psi_add_rw(a, b);
+                self.psi_add_rw(a, b, tag);
             }
         }
         self.violation.is_none()
     }
 
-    fn insert_composed(
-        dag: &mut IncrementalDag,
-        violation: &mut Option<Vec<TxId>>,
-        a: TxId,
-        b: TxId,
-    ) {
-        if violation.is_none() {
-            if let Err(cycle) = dag.add_edge(a, b) {
-                *violation = Some(cycle);
+    fn insert_composed(&mut self, a: TxId, b: TxId, tags: [u32; 2]) {
+        if self.violation.is_none() {
+            if let Err(cycle) = self.dag.add_edge_tagged(a, b, tags) {
+                self.record_violation(cycle, tags);
             }
         }
+    }
+
+    /// Records a violation witness plus its reason set: the tags of every
+    /// edge along the witness path, and `closing` for the rejected edge
+    /// itself (witness paths leave the closing edge implicit).
+    fn record_violation(&mut self, cycle: Vec<TxId>, closing: [u32; 2]) {
+        self.violation_tags.clear();
+        self.dag.collect_path_tags(&cycle, &mut self.violation_tags);
+        for t in closing {
+            if t != NO_TAG {
+                self.violation_tags.push(t);
+            }
+        }
+        self.violation_tags.sort_unstable();
+        self.violation_tags.dedup();
+        self.violation = Some(cycle);
     }
 
     /// Psi dependency edge: keep `D` acyclic, then look for a *new*
     /// dependency path `t ⇝ s` for some recorded anti-dependency
     /// `(s, t)` — every new path passes through the fresh edge `(a, b)`,
     /// so `t` must reach `a` and `b` must reach `s`.
-    fn psi_add_dep(&mut self, a: TxId, b: TxId) {
-        match self.dag.add_edge(a, b) {
-            Err(cycle) => self.violation = Some(cycle),
+    fn psi_add_dep(&mut self, a: TxId, b: TxId, tag: u32) {
+        match self.dag.add_edge_tagged(a, b, [tag, NO_TAG]) {
+            Err(cycle) => self.record_violation(cycle, [tag, NO_TAG]),
             Ok(false) => {}
             Ok(true) => {
                 if self.rw_edges.is_empty() {
@@ -671,7 +761,7 @@ impl IncrementalClass {
                 // An anti-dependency (s, t) with s a descendant and t an
                 // ancestor closes t ⇝ a → b ⇝ s → t.
                 for i in 0..self.rw_edges.len() {
-                    let (s, t) = self.rw_edges[i];
+                    let (s, t, rw_tag) = self.rw_edges[i];
                     if self.fwd_stamp[s as usize] == epoch && self.bwd_stamp[t as usize] == epoch {
                         let mut cycle = Vec::new();
                         // t ⇝ a along bwd_parent links.
@@ -691,7 +781,9 @@ impl IncrementalClass {
                         tail.push(b);
                         tail.reverse();
                         cycle.extend(tail);
-                        self.violation = Some(cycle);
+                        // The cycle's dependency edges are all in the dag;
+                        // the closing edge is the anti-dependency (s, t).
+                        self.record_violation(cycle, [rw_tag, NO_TAG]);
                         return;
                     }
                 }
@@ -702,13 +794,13 @@ impl IncrementalClass {
     /// Psi anti-dependency edge `(s, t)`: violates iff a dependency path
     /// `t ⇝ s` already exists (a self anti-dependency needs a `D` cycle,
     /// which the dag check covers when it forms).
-    fn psi_add_rw(&mut self, s: TxId, t: TxId) {
-        self.rw_edges.push((s.0, t.0));
+    fn psi_add_rw(&mut self, s: TxId, t: TxId, tag: u32) {
+        self.rw_edges.push((s.0, t.0, tag));
         self.ops.push(IndexOp::RwEdge);
         if s != t {
             if let Some(path) = self.dag.path_between(t, s) {
                 // t ⇝ s closed by the anti-dependency (s, t).
-                self.violation = Some(path);
+                self.record_violation(path, [tag, NO_TAG]);
             }
         }
     }
@@ -876,6 +968,53 @@ mod tests {
         c.add(DepEdgeKind::So, t(1), t(2));
         assert!(!c.add(DepEdgeKind::So, t(2), t(3)));
         assert!(c.violation().is_some());
+    }
+
+    #[test]
+    fn edge_tags_recorded_and_first_insertion_wins() {
+        let mut dag = IncrementalDag::new(3);
+        assert_eq!(dag.add_edge_tagged(t(0), t(1), [7, NO_TAG]), Ok(true));
+        assert_eq!(dag.edge_tags(t(0), t(1)), Some([7, NO_TAG]));
+        // Duplicate insertion keeps the original provenance.
+        assert_eq!(dag.add_edge_tagged(t(0), t(1), [9, 9]), Ok(false));
+        assert_eq!(dag.edge_tags(t(0), t(1)), Some([7, NO_TAG]));
+        // Untagged API records NO_TAG, invisible to path collection.
+        dag.add_edge(t(1), t(2)).unwrap();
+        let mut tags = Vec::new();
+        dag.collect_path_tags(&[t(0), t(1), t(2)], &mut tags);
+        assert_eq!(tags, vec![7]);
+    }
+
+    #[test]
+    fn violation_sources_name_composed_edge_provenance() {
+        // Si: WW (0,1) tag 10; RW (1,0) tag 20 composes to (0,0) — a
+        // self-loop whose reasons are both source edges.
+        let mut c = IncrementalClass::new(ClassKind::Si, 2);
+        assert!(c.add_tagged(DepEdgeKind::Ww, t(0), t(1), 10));
+        assert!(!c.add_tagged(DepEdgeKind::Rw, t(1), t(0), 20));
+        assert_eq!(c.violation_sources(), &[10, 20]);
+        // Undo past the violation clears the reason set.
+        let mark = IncrementalClass::new(ClassKind::Si, 2).mark();
+        c.undo_to(mark);
+        assert!(c.violation_sources().is_empty());
+    }
+
+    #[test]
+    fn violation_sources_cover_psi_path_witnesses() {
+        // Psi, path completes after the anti-dependency: RW (3,1) tag 1,
+        // then D edges tags 2, 3 close t ⇝ s.
+        let mut c = IncrementalClass::new(ClassKind::Psi, 4);
+        c.add_tagged(DepEdgeKind::Rw, t(3), t(1), 1);
+        c.add_tagged(DepEdgeKind::So, t(1), t(2), 2);
+        assert!(!c.add_tagged(DepEdgeKind::So, t(2), t(3), 3));
+        assert_eq!(c.violation_sources(), &[1, 2, 3]);
+
+        // Psi, anti-dependency first direction: D path then RW close.
+        let mut c = IncrementalClass::new(ClassKind::Psi, 4);
+        c.add_tagged(DepEdgeKind::So, t(1), t(2), 5);
+        c.add_tagged(DepEdgeKind::So, t(2), t(3), 6);
+        assert!(!c.add_tagged(DepEdgeKind::Rw, t(3), t(1), 7));
+        assert_eq!(c.violation_sources(), &[5, 6, 7]);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod txset;
 
 pub use incremental::{
     ClassKind, ClassMark, DagMark, DepEdgeKind, IncrementalClass, IncrementalDag, IncrementalStats,
+    NO_TAG,
 };
 pub use multigraph::{CycleVisit, EdgeRef, EnumerationEnd, LabelledCycle, MultiGraph};
 pub use paths::{path_between, reachable_from};

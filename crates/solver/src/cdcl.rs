@@ -1,0 +1,770 @@
+//! The conflict-driven search loop over the multi-valued encoding.
+//!
+//! This is a CDCL engine specialised to history membership: there is no
+//! clause database to start from — *every* constraint beyond the variable
+//! domains lives in the theory propagator — and every learned nogood is
+//! the 1UIP resolution of a theory cycle or of previously learned
+//! nogoods.
+//!
+//! * **Variables** are multi-valued ([`VarKind`]): a `Wr` variable ranges
+//!   over a read's candidate writers, a `Pair` variable over the two
+//!   orders of a segment pair.
+//! * **Nogoods**, not clauses: a nogood is a set of `(var, value)`
+//!   literals that cannot all hold. When every literal but one is
+//!   satisfied, the remaining value is *eliminated* from its domain;
+//!   a domain collapsing to one value assigns it, a wipeout conflicts.
+//! * **Assignments feed the theory**: each trail entry pushes the reduced
+//!   dependency edges it implies (tagged with the trail index) into the
+//!   incremental acyclicity monitor; a cycle comes back as a set of trail
+//!   indices — exactly the reason set conflict analysis starts from.
+//! * **Backjumping** undoes trail, domain eliminations, dangling-reader
+//!   registrations and theory edges to the checkpoint of the target
+//!   level, then asserts the learned nogood by eliminating the UIP value.
+//!
+//! Decision order is natural (first unassigned, in encoding order —
+//! segments are sorted by first writer, which approximates commit order)
+//! until the first conflict, then VSIDS; phases are saved so restarts
+//! keep progress. Restarts are geometric.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use si_model::TxId;
+use si_relations::{ClassKind, DepEdgeKind};
+use si_telemetry::{Event, Telemetry};
+
+use crate::encode::{Encoding, VarKind};
+use crate::theory::{Theory, TheoryConflict, TheoryMark, NO_REASON};
+use crate::{SolveBudget, SolverStats};
+
+const UNSET: i32 = -1;
+const NO_POS: u32 = u32::MAX;
+const ACT_DECAY: f64 = 0.95;
+const ACT_RESCALE: f64 = 1e100;
+const RESTART_BASE: u64 = 256;
+const PROGRESS_DECISIONS: u64 = 4096;
+const PROGRESS_CONFLICTS: u64 = 256;
+
+/// Why the current partial assignment cannot extend.
+enum Conflict {
+    /// The theory found a dependency cycle.
+    Theory(TheoryConflict),
+    /// Every literal of this nogood is satisfied.
+    Nogood(u32),
+    /// Every value of this (unassigned) variable was eliminated.
+    Wipeout(u32),
+}
+
+/// How a trail entry came to be.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// A branching decision.
+    Decision,
+    /// The domain collapsed to a single value; the reason expands to the
+    /// eliminating nogoods of every other value.
+    Collapse,
+}
+
+/// Snapshot taken when a decision level opens, restored on backjump.
+#[derive(Clone, Copy)]
+struct LevelMark {
+    trail: usize,
+    elim: usize,
+    dangle: usize,
+    theory: TheoryMark,
+}
+
+/// A VSIDS queue entry: max-heap on activity, then `WR` variables before
+/// `Pair` variables, ties to the lower variable index (the natural,
+/// encoding order). Deciding all read witnesses before any segment order
+/// keeps the conflicts a wrong witness causes at *shallow* levels, so a
+/// backjump undoes a few read choices instead of thousands of phase-saved
+/// segment orientations. Entries are lazy — a variable may have stale
+/// duplicates, skipped at pop time if it is already assigned. Because
+/// activity only ever increases (bumps touch trail variables, which are
+/// re-enqueued on unassignment), a live entry never loses to a stale one.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    act: f64,
+    wr: bool,
+    var: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.act
+            .total_cmp(&other.act)
+            .then_with(|| self.wr.cmp(&other.wr))
+            .then_with(|| other.var.cmp(&self.var))
+    }
+}
+
+/// Terminal result of the search.
+pub(crate) enum SearchOutcome {
+    /// A satisfying assignment, indexed like `Encoding::vars`.
+    Sat(Vec<u32>),
+    /// No assignment exists.
+    Unsat {
+        /// Witness cycle of the final theory conflict, if the final
+        /// conflict was a theory conflict.
+        cycle: Option<Vec<TxId>>,
+        /// Human-readable rendering of the final conflict's reason set.
+        core: Vec<String>,
+    },
+}
+
+pub(crate) struct Engine<'a> {
+    enc: &'a Encoding,
+    theory: Theory,
+
+    // Domains.
+    alive: Vec<Vec<bool>>,
+    alive_count: Vec<u32>,
+    /// Per value: the nogood that eliminated it (valid while eliminated).
+    elim_reason: Vec<Vec<u32>>,
+    elim_log: Vec<(u32, u32)>,
+
+    // Trail.
+    assign: Vec<i32>,
+    trail: Vec<(u32, u32)>,
+    trail_reason: Vec<Reason>,
+    trail_level: Vec<u32>,
+    var_pos: Vec<u32>,
+    qhead: usize,
+    levels: Vec<LevelMark>,
+
+    /// Dynamically resolved readers of a segment's last version, per
+    /// object and segment: `(reader, trail index of the WR assignment)`.
+    dangling: Vec<Vec<Vec<(TxId, u32)>>>,
+    dangle_log: Vec<(u32, u32)>,
+
+    // Learned nogoods.
+    nogoods: Vec<Vec<(u32, u32)>>,
+    watches: Vec<Vec<u32>>,
+
+    // Heuristics.
+    activity: Vec<f64>,
+    act_inc: f64,
+    phase: Vec<u32>,
+    queue: BinaryHeap<HeapEntry>,
+    seen: Vec<bool>,
+
+    pub(crate) stats: SolverStats,
+}
+
+enum Scan {
+    /// Some literal is false: the nogood cannot fire here.
+    Dormant,
+    /// All literals satisfied.
+    AllTrue,
+    /// All but this undetermined literal satisfied: eliminate it.
+    Unit(u32, u32),
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(enc: &'a Encoding, kind: ClassKind, tx_count: usize) -> Self {
+        let nv = enc.vars.len();
+        let alive: Vec<Vec<bool>> = enc.vars.iter().map(|v| vec![true; v.domain_size()]).collect();
+        let alive_count = enc.vars.iter().map(|v| v.domain_size() as u32).collect();
+        let elim_reason = enc.vars.iter().map(|v| vec![0u32; v.domain_size()]).collect();
+        let dangling = enc.objects.iter().map(|oe| vec![Vec::new(); oe.segments.len()]).collect();
+        // Initial phases. `Pair` variables default to value 0 — segment
+        // `a` (earlier first writer) first, which tracks commit order on
+        // realistic histories. For a `Wr` variable the best first guess
+        // is the *latest* candidate writer preceding the reader: under
+        // any snapshot-based execution the version read is the newest one
+        // visible, and transaction ids correlate with commit order.
+        let phase: Vec<u32> = enc
+            .vars
+            .iter()
+            .map(|v| match v {
+                VarKind::Pair { .. } => 0,
+                VarKind::Wr { reader, candidates, .. } => candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| **w < *reader)
+                    .max_by_key(|(_, w)| **w)
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(0),
+            })
+            .collect();
+        let queue: BinaryHeap<HeapEntry> = enc
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| HeapEntry {
+                act: 0.0,
+                wr: matches!(v, VarKind::Wr { .. }),
+                var: i as u32,
+            })
+            .collect();
+        Engine {
+            enc,
+            theory: Theory::new(kind, tx_count),
+            alive,
+            alive_count,
+            elim_reason,
+            elim_log: Vec::new(),
+            assign: vec![UNSET; nv],
+            trail: Vec::new(),
+            trail_reason: Vec::new(),
+            trail_level: Vec::new(),
+            var_pos: vec![NO_POS; nv],
+            qhead: 0,
+            levels: Vec::new(),
+            dangling,
+            dangle_log: Vec::new(),
+            nogoods: Vec::new(),
+            watches: vec![Vec::new(); nv],
+            activity: vec![0.0; nv],
+            act_inc: 1.0,
+            phase,
+            queue,
+            seen: vec![false; nv],
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Runs the search. `Err(())` means the budget ran out; the caller
+    /// reads partial statistics out of `self.stats`.
+    pub(crate) fn run(
+        &mut self,
+        budget: &SolveBudget,
+        telemetry: &Telemetry,
+    ) -> Result<SearchOutcome, ()> {
+        if let Err(c) = self.feed_static() {
+            self.finish_stats(telemetry);
+            let core = self.render_reasons(&c.reasons);
+            return Ok(SearchOutcome::Unsat { cycle: Some(c.cycle), core });
+        }
+
+        let mut next_restart = RESTART_BASE;
+        let mut restart_step = RESTART_BASE;
+        let mut pending: Option<Conflict> = None;
+        let mut last_progress = (0u64, 0u64);
+
+        loop {
+            let conflict = match pending.take() {
+                Some(c) => Some(c),
+                None => self.propagate(),
+            };
+            match conflict {
+                Some(c) => {
+                    self.stats.conflicts += 1;
+                    if self.stats.conflicts >= budget.max_conflicts {
+                        self.finish_stats(telemetry);
+                        return Err(());
+                    }
+                    match self.analyze(&c) {
+                        None => {
+                            self.finish_stats(telemetry);
+                            let core = self.render_conflict(&c);
+                            let cycle = match c {
+                                Conflict::Theory(tc) => Some(tc.cycle),
+                                _ => None,
+                            };
+                            return Ok(SearchOutcome::Unsat { cycle, core });
+                        }
+                        Some((lits, uip, back)) => {
+                            self.backjump(back);
+                            pending = self.learn(lits, uip).err();
+                        }
+                    }
+                }
+                None => {
+                    if self.stats.conflicts >= next_restart && !self.levels.is_empty() {
+                        restart_step = restart_step.saturating_mul(2);
+                        next_restart = self.stats.conflicts + restart_step;
+                        self.stats.restarts += 1;
+                        self.backjump(0);
+                        continue;
+                    }
+                    if !self.decide() {
+                        self.finish_stats(telemetry);
+                        let model = self.assign.iter().map(|&v| v as u32).collect();
+                        return Ok(SearchOutcome::Sat(model));
+                    }
+                    if self.stats.decisions >= budget.max_decisions {
+                        self.finish_stats(telemetry);
+                        return Err(());
+                    }
+                }
+            }
+            if telemetry.is_enabled()
+                && (self.stats.decisions - last_progress.0 >= PROGRESS_DECISIONS
+                    || self.stats.conflicts - last_progress.1 >= PROGRESS_CONFLICTS)
+            {
+                last_progress = (self.stats.decisions, self.stats.conflicts);
+                self.emit_progress(telemetry);
+            }
+        }
+    }
+
+    fn finish_stats(&mut self, telemetry: &Telemetry) {
+        self.stats.theory_edges = self.theory.edges_fed;
+        self.stats.learned = self.nogoods.len() as u64;
+        self.emit_progress(telemetry);
+    }
+
+    fn emit_progress(&self, telemetry: &Telemetry) {
+        telemetry.emit(|| Event::CdclProgress {
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+            conflicts: self.stats.conflicts,
+            learned: self.nogoods.len() as u64,
+            restarts: self.stats.restarts,
+        });
+    }
+
+    /// Feeds every level-0 edge: session order, forced reads, segment
+    /// chains (plus pinned-init cross edges) and statically known
+    /// anti-dependencies.
+    fn feed_static(&mut self) -> Result<(), TheoryConflict> {
+        let enc = self.enc;
+        let none = [NO_REASON, NO_REASON];
+        for &(a, b) in &enc.so_edges {
+            self.feed(DepEdgeKind::So, a, b, none)?;
+        }
+        for oe in &enc.objects {
+            for &(w, r) in &oe.forced_wr {
+                self.feed(DepEdgeKind::Wr, w, r, none)?;
+            }
+            for &(a, b) in &oe.static_ww {
+                self.feed(DepEdgeKind::Ww, a, b, none)?;
+            }
+            for &(r, t) in &oe.static_rw {
+                self.feed(DepEdgeKind::Rw, r, t, none)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn feed(
+        &mut self,
+        kind: DepEdgeKind,
+        a: TxId,
+        b: TxId,
+        reasons: [u32; 2],
+    ) -> Result<(), TheoryConflict> {
+        match self.theory.feed(kind, a, b, reasons) {
+            None => Ok(()),
+            Some(c) => Err(c),
+        }
+    }
+
+    fn assign(&mut self, var: u32, val: u32, reason: Reason) {
+        debug_assert_eq!(self.assign[var as usize], UNSET);
+        self.assign[var as usize] = val as i32;
+        self.var_pos[var as usize] = self.trail.len() as u32;
+        self.trail.push((var, val));
+        self.trail_reason.push(reason);
+        self.trail_level.push(self.levels.len() as u32);
+        self.phase[var as usize] = val;
+    }
+
+    /// Removes `val` from `var`'s domain because of nogood `ng`.
+    fn eliminate(&mut self, var: u32, val: u32, ng: u32) -> Result<(), Conflict> {
+        if !self.alive[var as usize][val as usize] {
+            return Ok(());
+        }
+        self.alive[var as usize][val as usize] = false;
+        self.alive_count[var as usize] -= 1;
+        self.elim_reason[var as usize][val as usize] = ng;
+        self.elim_log.push((var, val));
+        debug_assert_eq!(self.assign[var as usize], UNSET);
+        match self.alive_count[var as usize] {
+            0 => Err(Conflict::Wipeout(var)),
+            1 => {
+                let only = self.alive[var as usize]
+                    .iter()
+                    .position(|&a| a)
+                    .expect("count says one value is alive") as u32;
+                self.assign(var, only, Reason::Collapse);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Drains the trail queue: each new assignment feeds its implied
+    /// dependency edges, then fires unit propagation over the learned
+    /// nogoods that watch the variable.
+    fn propagate(&mut self) -> Option<Conflict> {
+        while self.qhead < self.trail.len() {
+            let (var, val) = self.trail[self.qhead];
+            let tidx = self.qhead as u32;
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            if let Err(c) = self.feed_assignment(var, val, tidx) {
+                return Some(Conflict::Theory(c));
+            }
+            let mut wi = 0;
+            while wi < self.watches[var as usize].len() {
+                let ng = self.watches[var as usize][wi];
+                wi += 1;
+                match self.scan_nogood(ng) {
+                    Scan::Dormant => {}
+                    Scan::AllTrue => return Some(Conflict::Nogood(ng)),
+                    Scan::Unit(v, a) => {
+                        if let Err(c) = self.eliminate(v, a, ng) {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn scan_nogood(&self, ng: u32) -> Scan {
+        let mut unit: Option<(u32, u32)> = None;
+        for &(v, a) in &self.nogoods[ng as usize] {
+            let s = self.assign[v as usize];
+            if s == a as i32 {
+                continue; // satisfied literal
+            }
+            if s != UNSET || !self.alive[v as usize][a as usize] {
+                return Scan::Dormant; // falsified literal
+            }
+            if unit.is_some() {
+                return Scan::Dormant; // two open literals: nothing to do
+            }
+            unit = Some((v, a));
+        }
+        match unit {
+            None => Scan::AllTrue,
+            Some((v, a)) => Scan::Unit(v, a),
+        }
+    }
+
+    /// Pushes the reduced dependency edges implied by `var := val`.
+    fn feed_assignment(&mut self, var: u32, val: u32, tidx: u32) -> Result<(), TheoryConflict> {
+        let enc = self.enc;
+        match &enc.vars[var as usize] {
+            VarKind::Wr { obj, reader, candidates } => {
+                let (obj, reader) = (*obj, *reader);
+                let w = candidates[val as usize];
+                self.feed(DepEdgeKind::Wr, w, reader, [tidx, NO_REASON])?;
+                let oe = &enc.objects[obj as usize];
+                let (s, p) = oe.pos[&w];
+                if let Some(t) = oe.first_from(s, p as usize + 1, reader) {
+                    // The overwriter is within the writer's own segment.
+                    self.feed(DepEdgeKind::Rw, reader, t, [tidx, NO_REASON])?;
+                } else if Some(s) == oe.init_seg {
+                    // Every other segment statically follows init.
+                    for si in 0..oe.segments.len() as u32 {
+                        if si == s {
+                            continue;
+                        }
+                        if let Some(t) = oe.first_from(si, 0, reader) {
+                            self.feed(DepEdgeKind::Rw, reader, t, [tidx, NO_REASON])?;
+                        }
+                    }
+                } else {
+                    // The reader read the segment's last version: its
+                    // overwriter is the head of whichever segment is
+                    // ordered next. Catch up on already-ordered pairs and
+                    // register for future ones.
+                    self.dangling[obj as usize][s as usize].push((reader, tidx));
+                    self.dangle_log.push((obj, s));
+                    for pi in 0..oe.pairs_of_seg[s as usize].len() {
+                        let (other, pvar) = oe.pairs_of_seg[s as usize][pi];
+                        let pval = self.assign[pvar as usize];
+                        if pval == UNSET {
+                            continue;
+                        }
+                        let s_first = match enc.vars[pvar as usize] {
+                            VarKind::Pair { a, .. } => (a == s) == (pval == 0),
+                            VarKind::Wr { .. } => unreachable!("pairs_of_seg holds Pair vars"),
+                        };
+                        if s_first {
+                            let ptidx = self.var_pos[pvar as usize];
+                            if let Some(t) = oe.first_from(other, 0, reader) {
+                                self.feed(DepEdgeKind::Rw, reader, t, [tidx, ptidx])?;
+                            }
+                        }
+                    }
+                }
+            }
+            VarKind::Pair { obj, a, b } => {
+                let (obj, a, b) = (*obj, *a, *b);
+                let (first, second) = if val == 0 { (a, b) } else { (b, a) };
+                let oe = &enc.objects[obj as usize];
+                let last_first = *oe.segments[first as usize].last().expect("segments non-empty");
+                let head_second = oe.segments[second as usize][0];
+                self.feed(DepEdgeKind::Ww, last_first, head_second, [tidx, NO_REASON])?;
+                // Readers of `first`'s last version are overwritten by
+                // `second`'s head.
+                for di in 0..oe.static_dangling[first as usize].len() {
+                    let r = oe.static_dangling[first as usize][di];
+                    if let Some(t) = oe.first_from(second, 0, r) {
+                        self.feed(DepEdgeKind::Rw, r, t, [tidx, NO_REASON])?;
+                    }
+                }
+                for di in 0..self.dangling[obj as usize][first as usize].len() {
+                    let (r, rtidx) = self.dangling[obj as usize][first as usize][di];
+                    if let Some(t) = oe.first_from(second, 0, r) {
+                        self.feed(DepEdgeKind::Rw, r, t, [tidx, rtidx])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks the next decision, or returns `false` when every variable is
+    /// assigned (a model).
+    fn enqueue(&mut self, var: u32) {
+        self.queue.push(HeapEntry {
+            act: self.activity[var as usize],
+            wr: matches!(self.enc.vars[var as usize], VarKind::Wr { .. }),
+            var,
+        });
+    }
+
+    fn decide(&mut self) -> bool {
+        let var = loop {
+            match self.queue.pop() {
+                None => return false, // every variable assigned: a model
+                Some(e) if self.assign[e.var as usize] == UNSET => break e.var,
+                Some(_) => {} // stale entry
+            }
+        };
+        let saved = self.phase[var as usize];
+        let val = if self.alive[var as usize][saved as usize] {
+            saved
+        } else {
+            self.alive[var as usize]
+                .iter()
+                .position(|&a| a)
+                .expect("unassigned variables keep at least two live values") as u32
+        };
+        self.levels.push(LevelMark {
+            trail: self.trail.len(),
+            elim: self.elim_log.len(),
+            dangle: self.dangle_log.len(),
+            theory: self.theory.mark(),
+        });
+        self.stats.decisions += 1;
+        self.assign(var, val, Reason::Decision);
+        true
+    }
+
+    /// 1UIP conflict analysis. Returns the learned nogood split into
+    /// `(lower-level literals, UIP literal, backjump level)`, or `None`
+    /// when the conflict is independent of any decision — UNSAT.
+    #[allow(clippy::type_complexity)]
+    fn analyze(&mut self, conflict: &Conflict) -> Option<(Vec<(u32, u32)>, (u32, u32), usize)> {
+        let level = self.levels.len();
+        if level == 0 {
+            return None;
+        }
+
+        let mut counter = 0usize;
+        let mut learnt: Vec<(u32, u32)> = Vec::new();
+        let mut marked: Vec<u32> = Vec::new();
+
+        macro_rules! mark_trail_idx {
+            ($idx:expr) => {{
+                let idx = $idx as usize;
+                let (v, a) = self.trail[idx];
+                let lvl = self.trail_level[idx] as usize;
+                // Level-0 facts hold in every branch; omitting them is
+                // what keeps learned nogoods short.
+                if !self.seen[v as usize] && lvl > 0 {
+                    self.seen[v as usize] = true;
+                    marked.push(v);
+                    if lvl == level {
+                        counter += 1;
+                    } else {
+                        learnt.push((v, a));
+                    }
+                }
+            }};
+        }
+        macro_rules! mark_conflict {
+            ($c:expr) => {
+                match $c {
+                    Conflict::Theory(tc) => {
+                        for &idx in &tc.reasons {
+                            mark_trail_idx!(idx);
+                        }
+                    }
+                    Conflict::Nogood(ng) => {
+                        for li in 0..self.nogoods[*ng as usize].len() {
+                            let (v, _) = self.nogoods[*ng as usize][li];
+                            mark_trail_idx!(self.var_pos[v as usize]);
+                        }
+                    }
+                    Conflict::Wipeout(wv) => {
+                        let dom = self.enc.vars[*wv as usize].domain_size();
+                        for val in 0..dom {
+                            let ng = self.elim_reason[*wv as usize][val] as usize;
+                            for li in 0..self.nogoods[ng].len() {
+                                let (v, _) = self.nogoods[ng][li];
+                                if v != *wv {
+                                    mark_trail_idx!(self.var_pos[v as usize]);
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        mark_conflict!(conflict);
+        debug_assert!(counter > 0, "conflicts always involve the current level");
+
+        let mut i = self.trail.len();
+        let uip = loop {
+            i -= 1;
+            let (v, a) = self.trail[i];
+            if !self.seen[v as usize] {
+                continue;
+            }
+            if counter == 1 {
+                break (v, a);
+            }
+            // Resolve this literal away through its reason.
+            self.seen[v as usize] = false;
+            counter -= 1;
+            match self.trail_reason[i] {
+                Reason::Decision => {
+                    unreachable!("a decision below other current-level literals")
+                }
+                Reason::Collapse => {
+                    let dom = self.enc.vars[v as usize].domain_size();
+                    for val in 0..dom as u32 {
+                        if val == a {
+                            continue;
+                        }
+                        debug_assert!(!self.alive[v as usize][val as usize]);
+                        let ng = self.elim_reason[v as usize][val as usize] as usize;
+                        for li in 0..self.nogoods[ng].len() {
+                            let (v2, _) = self.nogoods[ng][li];
+                            if v2 != v {
+                                mark_trail_idx!(self.var_pos[v2 as usize]);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        // Bump and clear the marks (the persistent buffer must come back
+        // clean).
+        for &v in &marked {
+            self.seen[v as usize] = false;
+            self.activity[v as usize] += self.act_inc;
+        }
+        self.act_inc /= ACT_DECAY;
+        if self.act_inc > ACT_RESCALE {
+            for act in &mut self.activity {
+                *act /= ACT_RESCALE;
+            }
+            self.act_inc /= ACT_RESCALE;
+            // Stale priorities now overshoot; rebuild from scratch.
+            self.queue.clear();
+            for v in 0..self.enc.vars.len() as u32 {
+                if self.assign[v as usize] == UNSET {
+                    self.enqueue(v);
+                }
+            }
+        }
+
+        let back = learnt
+            .iter()
+            .map(|&(v, _)| self.trail_level[self.var_pos[v as usize] as usize] as usize)
+            .max()
+            .unwrap_or(0);
+        Some((learnt, uip, back))
+    }
+
+    /// Restores the engine to the end of `level`.
+    fn backjump(&mut self, level: usize) {
+        debug_assert!(level < self.levels.len());
+        let target = self.levels[level];
+        self.levels.truncate(level);
+        while self.trail.len() > target.trail {
+            let (v, _) = self.trail.pop().expect("trail length checked");
+            self.trail_reason.pop();
+            self.trail_level.pop();
+            self.assign[v as usize] = UNSET;
+            self.var_pos[v as usize] = NO_POS;
+            self.enqueue(v);
+        }
+        self.qhead = self.trail.len();
+        while self.elim_log.len() > target.elim {
+            let (v, a) = self.elim_log.pop().expect("elim log length checked");
+            self.alive[v as usize][a as usize] = true;
+            self.alive_count[v as usize] += 1;
+        }
+        while self.dangle_log.len() > target.dangle {
+            let (o, s) = self.dangle_log.pop().expect("dangle log length checked");
+            self.dangling[o as usize][s as usize].pop();
+        }
+        self.theory.undo_to(target.theory);
+    }
+
+    /// Installs the learned nogood and asserts it by eliminating the UIP
+    /// value at the backjump level.
+    fn learn(&mut self, mut lits: Vec<(u32, u32)>, uip: (u32, u32)) -> Result<(), Conflict> {
+        lits.push(uip);
+        let ng = self.nogoods.len() as u32;
+        for &(v, _) in &lits {
+            self.watches[v as usize].push(ng);
+        }
+        self.nogoods.push(lits);
+        self.eliminate(uip.0, uip.1, ng)
+    }
+
+    fn describe_lit(&self, v: u32, a: u32) -> String {
+        match &self.enc.vars[v as usize] {
+            VarKind::Wr { obj, reader, candidates } => {
+                let x = self.enc.objects[*obj as usize].obj.0;
+                format!("WR(x{x}): T{} reads T{}", reader.0, candidates[a as usize].0)
+            }
+            VarKind::Pair { obj, a: sa, b: sb } => {
+                let x = self.enc.objects[*obj as usize].obj.0;
+                let (f, s) = if a == 0 { (sa, sb) } else { (sb, sa) };
+                format!("WW(x{x}): segment {f} before segment {s}")
+            }
+        }
+    }
+
+    fn render_reasons(&self, reasons: &[u32]) -> Vec<String> {
+        reasons
+            .iter()
+            .map(|&idx| {
+                let (v, a) = self.trail[idx as usize];
+                self.describe_lit(v, a)
+            })
+            .collect()
+    }
+
+    fn render_conflict(&self, conflict: &Conflict) -> Vec<String> {
+        match conflict {
+            Conflict::Theory(tc) => self.render_reasons(&tc.reasons),
+            Conflict::Nogood(ng) => {
+                self.nogoods[*ng as usize].iter().map(|&(v, a)| self.describe_lit(v, a)).collect()
+            }
+            Conflict::Wipeout(v) => {
+                let dom = self.enc.vars[*v as usize].domain_size();
+                (0..dom as u32)
+                    .map(|a| format!("cannot have {}", self.describe_lit(*v, a)))
+                    .collect()
+            }
+        }
+    }
+}

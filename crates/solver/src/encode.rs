@@ -1,0 +1,412 @@
+//! Encoding of history membership as a multi-valued constraint problem.
+//!
+//! The search space of Theorems 8/9/21 — a `WR(x)` witness per external
+//! read, a total `WW(x)` order per object — is first *reduced* before any
+//! variable is created:
+//!
+//! * **Forced reads.** A read with a single candidate writer is not a
+//!   choice; its `WR` edge is a level-0 fact.
+//! * **Forced adjacency (segments).** If a forced reader `r` of writer
+//!   `w` itself writes `x` (a read-modify-write), then in *every* legal
+//!   `WW(x)` order `r` sits immediately after `w`: any writer `w'`
+//!   strictly between them yields `WW(w', r)` and `RW(r, w')`, a
+//!   two-edge cycle whose composition is rejected by GraphSER (plain
+//!   cycle), GraphSI (`WW ; RW` self-loop) and GraphPSI (`RW` against a
+//!   direct dependency path) alike. Chaining these adjacencies collapses
+//!   the writers of `x` into *segments* — internally ordered runs — so a
+//!   fully chained object contributes no ordering variable at all. Two
+//!   distinct read-modify-writes of the same version can never both be
+//!   adjacent: a lost update, rejected at encode time.
+//! * **Pinned init.** The init transaction writes the initial version,
+//!   so its segment is ordered first without a variable.
+//!
+//! What remains becomes variables: a [`VarKind::Wr`] per multi-candidate
+//! read (domain = candidate writers) and a [`VarKind::Pair`] per
+//! unordered pair of non-init segments (domain = the two orders).
+//! Pairwise order variables need no transitivity clauses: an ordering
+//! 3-cycle among segments closes a dependency cycle that the theory
+//! propagator rejects, and an acyclic tournament is a total order.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use si_core::choice_points;
+use si_model::{History, Obj, TxId};
+
+/// Why the encoder rejected the history before any search. Every variant
+/// is conclusive for all three solver modes (SI, SER, PSI): the history
+/// is outside the class regardless of any `WR`/`WW` choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EncodeReject {
+    /// Internal consistency (INT) fails; no extension is in any class.
+    IntViolation,
+    /// Some external read can never be justified by any writer's final
+    /// write.
+    UnjustifiableRead,
+    /// Two distinct read-modify-write transactions read the same version
+    /// (`writer`'s write to `obj`) — a lost update: both must be
+    /// `WW`-adjacent after `writer`, which is impossible.
+    LostUpdate {
+        /// Raw id of the contended object.
+        obj: u32,
+        /// Raw id of the writer both transactions read.
+        writer: u32,
+    },
+    /// The forced read-modify-write adjacencies of `obj` are cyclic, so
+    /// no total `WW` order satisfies them.
+    AdjacencyCycle {
+        /// Raw id of the object.
+        obj: u32,
+    },
+}
+
+impl core::fmt::Display for EncodeReject {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EncodeReject::IntViolation => write!(f, "internal consistency (INT) violation"),
+            EncodeReject::UnjustifiableRead => {
+                write!(f, "a read no writer's final write justifies")
+            }
+            EncodeReject::LostUpdate { obj, writer } => {
+                write!(f, "lost update on object {obj}: two read-modify-writes of T{writer}")
+            }
+            EncodeReject::AdjacencyCycle { obj } => {
+                write!(f, "cyclic read-modify-write adjacencies on object {obj}")
+            }
+        }
+    }
+}
+
+/// One decision variable.
+#[derive(Debug, Clone)]
+pub(crate) enum VarKind {
+    /// The `WR(x)` witness for `reader`'s external read of the object:
+    /// domain = indices into `candidates`.
+    Wr {
+        /// Index into [`Encoding::objects`].
+        obj: u32,
+        /// The reading transaction.
+        reader: TxId,
+        /// The candidate writers (≥ 2).
+        candidates: Vec<TxId>,
+    },
+    /// The relative `WW(x)` order of segments `a` and `b`: value 0 means
+    /// `a` entirely before `b`, value 1 the reverse.
+    Pair {
+        /// Index into [`Encoding::objects`].
+        obj: u32,
+        /// First segment index.
+        a: u32,
+        /// Second segment index.
+        b: u32,
+    },
+}
+
+impl VarKind {
+    pub(crate) fn domain_size(&self) -> usize {
+        match self {
+            VarKind::Wr { candidates, .. } => candidates.len(),
+            VarKind::Pair { .. } => 2,
+        }
+    }
+}
+
+/// Per-object encoding state: segments plus the static (level-0) edges.
+#[derive(Debug)]
+pub(crate) struct ObjEnc {
+    pub obj: Obj,
+    /// Chain-ordered writers per segment.
+    pub segments: Vec<Vec<TxId>>,
+    /// Index of the segment containing the init transaction, pinned
+    /// first.
+    pub init_seg: Option<u32>,
+    /// `(segment, position)` of every writer.
+    pub pos: HashMap<TxId, (u32, u32)>,
+    /// Forced `WR` edges `(writer, reader)`.
+    pub forced_wr: Vec<(TxId, TxId)>,
+    /// Static `WW` edges: within-segment chains plus init-segment →
+    /// other-segment cross edges.
+    pub static_ww: Vec<(TxId, TxId)>,
+    /// Static `RW` edges (forced readers whose first overwriter is
+    /// statically known).
+    pub static_rw: Vec<(TxId, TxId)>,
+    /// Forced readers whose overwriters depend on the segment order,
+    /// per segment of the read writer.
+    pub static_dangling: Vec<Vec<TxId>>,
+    /// Pair variables touching each segment: `(other_segment, var_id)`.
+    pub pairs_of_seg: Vec<Vec<(u32, u32)>>,
+}
+
+impl ObjEnc {
+    /// First writer of `segments[seg]` starting at `from` that is not
+    /// `skip` — the reduced-`RW` target.
+    pub(crate) fn first_from(&self, seg: u32, from: usize, skip: TxId) -> Option<TxId> {
+        self.segments[seg as usize][from..].iter().copied().find(|&w| w != skip)
+    }
+}
+
+/// The complete encoding of one history.
+#[derive(Debug)]
+pub(crate) struct Encoding {
+    pub objects: Vec<ObjEnc>,
+    pub vars: Vec<VarKind>,
+    /// Adjacent-only session-order pairs (cycle-equivalent to the full
+    /// transitive `SO`, and linear instead of quadratic in session
+    /// length).
+    pub so_edges: Vec<(TxId, TxId)>,
+    pub n_wr_vars: usize,
+    pub n_pair_vars: usize,
+    pub n_segments: usize,
+    pub forced_reads: usize,
+}
+
+/// Builds the encoding, or rejects the history outright.
+pub(crate) fn encode(history: &History) -> Result<Encoding, EncodeReject> {
+    if history.check_int().is_err() {
+        return Err(EncodeReject::IntViolation);
+    }
+    let Some(choices) = choice_points(history) else {
+        return Err(EncodeReject::UnjustifiableRead);
+    };
+
+    let mut objects: Vec<ObjEnc> = Vec::with_capacity(choices.len());
+    let mut vars: Vec<VarKind> = Vec::new();
+    let mut n_wr_vars = 0;
+    let mut n_pair_vars = 0;
+    let mut n_segments = 0;
+    let mut forced_reads = 0;
+    let init = history.init_tx();
+
+    for oc in &choices {
+        let obj_idx = objects.len() as u32;
+
+        // Forced reads and forced read-modify-write adjacency links.
+        let mut forced_wr: Vec<(TxId, TxId)> = Vec::new();
+        let mut next: HashMap<TxId, TxId> = HashMap::new();
+        for (r, cands) in &oc.readers {
+            if cands.len() == 1 {
+                let w = cands[0];
+                forced_wr.push((w, *r));
+                forced_reads += 1;
+                if history.transaction(*r).writes_to(oc.obj) {
+                    if let Some(&prior) = next.get(&w) {
+                        if prior != *r {
+                            return Err(EncodeReject::LostUpdate { obj: oc.obj.0, writer: w.0 });
+                        }
+                    } else {
+                        next.insert(w, *r);
+                    }
+                }
+            } else {
+                vars.push(VarKind::Wr { obj: obj_idx, reader: *r, candidates: cands.clone() });
+                n_wr_vars += 1;
+            }
+        }
+
+        // Collapse writers into chain segments. `next` is functional and
+        // injective (a forced reader has one candidate; a version has at
+        // most one adjacent read-modify-write), so its graph is a union
+        // of disjoint paths and cycles; cycles reject the history.
+        let mut is_linked: HashMap<TxId, bool> = HashMap::new();
+        for &r in next.values() {
+            is_linked.insert(r, true);
+        }
+        let mut segments: Vec<Vec<TxId>> = Vec::new();
+        let mut covered = 0usize;
+        for &w in &oc.writers {
+            if is_linked.get(&w).copied().unwrap_or(false) {
+                continue; // interior of some chain
+            }
+            let mut chain = vec![w];
+            let mut cur = w;
+            while let Some(&n) = next.get(&cur) {
+                chain.push(n);
+                cur = n;
+            }
+            covered += chain.len();
+            segments.push(chain);
+        }
+        if covered != oc.writers.len() {
+            return Err(EncodeReject::AdjacencyCycle { obj: oc.obj.0 });
+        }
+        // Deterministic segment order: by first writer id. (The init
+        // segment keeps whatever index it lands on; it is pinned first
+        // by static edges, not by position.)
+        segments.sort_by_key(|c| c[0]);
+
+        let init_seg =
+            init.and_then(|i| segments.iter().position(|c| c.contains(&i)).map(|p| p as u32));
+        let mut pos: HashMap<TxId, (u32, u32)> = HashMap::new();
+        for (si, chain) in segments.iter().enumerate() {
+            for (pi, &w) in chain.iter().enumerate() {
+                pos.insert(w, (si as u32, pi as u32));
+            }
+        }
+
+        // Static WW: within-segment chains, plus the pinned init segment
+        // before every other segment.
+        let mut static_ww: Vec<(TxId, TxId)> = Vec::new();
+        for chain in &segments {
+            for pair in chain.windows(2) {
+                static_ww.push((pair[0], pair[1]));
+            }
+        }
+        if let Some(is) = init_seg {
+            let last_init = *segments[is as usize].last().expect("segments are non-empty");
+            for (si, chain) in segments.iter().enumerate() {
+                if si as u32 != is {
+                    static_ww.push((last_init, chain[0]));
+                }
+            }
+        }
+
+        // Static RW for forced readers: the first overwriter is the next
+        // writer in the segment; a reader of the segment's last version
+        // dangles (its overwriter is the head of whichever segment comes
+        // next), except off the init segment, where every other segment
+        // is statically later.
+        let mut static_rw: Vec<(TxId, TxId)> = Vec::new();
+        let mut static_dangling: Vec<Vec<TxId>> = vec![Vec::new(); segments.len()];
+        {
+            let oe_segments = &segments; // borrow for first_from-equivalent lookups
+            let first_from = |seg: usize, from: usize, skip: TxId| -> Option<TxId> {
+                oe_segments[seg][from..].iter().copied().find(|&w| w != skip)
+            };
+            for &(w, r) in &forced_wr {
+                let (s, p) = pos[&w];
+                if let Some(t) = first_from(s as usize, p as usize + 1, r) {
+                    static_rw.push((r, t));
+                } else if Some(s) == init_seg {
+                    for (si, _) in segments.iter().enumerate() {
+                        if si as u32 != s {
+                            if let Some(t) = first_from(si, 0, r) {
+                                static_rw.push((r, t));
+                            }
+                        }
+                    }
+                } else {
+                    static_dangling[s as usize].push(r);
+                }
+            }
+        }
+
+        // Pair variables over non-init segments.
+        let mut pairs_of_seg: Vec<Vec<(u32, u32)>> = vec![Vec::new(); segments.len()];
+        for i in 0..segments.len() {
+            if Some(i as u32) == init_seg {
+                continue;
+            }
+            for j in i + 1..segments.len() {
+                if Some(j as u32) == init_seg {
+                    continue;
+                }
+                let var_id = vars.len() as u32;
+                vars.push(VarKind::Pair { obj: obj_idx, a: i as u32, b: j as u32 });
+                n_pair_vars += 1;
+                pairs_of_seg[i].push((j as u32, var_id));
+                pairs_of_seg[j].push((i as u32, var_id));
+            }
+        }
+
+        n_segments += segments.len();
+        objects.push(ObjEnc {
+            obj: oc.obj,
+            segments,
+            init_seg,
+            pos,
+            forced_wr,
+            static_ww,
+            static_rw,
+            static_dangling,
+            pairs_of_seg,
+        });
+    }
+
+    let mut so_edges = Vec::new();
+    for (_, txs) in history.sessions() {
+        for pair in txs.windows(2) {
+            so_edges.push((pair[0], pair[1]));
+        }
+    }
+
+    Ok(Encoding { objects, vars, so_edges, n_wr_vars, n_pair_vars, n_segments, forced_reads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    #[test]
+    fn rmw_chains_collapse_to_one_segment() {
+        // A counter: T1 reads 0 writes 1, T2 reads 1 writes 2, … — all
+        // reads forced, all writers one chain with init at its head.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("ctr");
+        let s = b.session();
+        for i in 0..5u64 {
+            b.push_tx(s, [Op::read(x, i), Op::write(x, i + 1)]);
+        }
+        let h = b.build();
+        let enc = encode(&h).unwrap();
+        assert_eq!(enc.vars.len(), 0, "fully forced: no variables at all");
+        assert_eq!(enc.objects[0].segments.len(), 1);
+        assert_eq!(enc.objects[0].segments[0].len(), 6, "init plus five increments");
+        assert_eq!(enc.forced_reads, 5);
+    }
+
+    #[test]
+    fn lost_update_rejected_at_encode_time() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("acct");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(x, 0), Op::write(x, 50)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::write(x, 25)]);
+        let h = b.build();
+        assert!(matches!(encode(&h), Err(EncodeReject::LostUpdate { .. })));
+    }
+
+    #[test]
+    fn blind_writes_become_pair_variables() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(x, 2)]);
+        let h = b.build();
+        let enc = encode(&h).unwrap();
+        // Segments: {init}, {T1}, {T2}; init pinned, one pair variable.
+        assert_eq!(enc.n_pair_vars, 1);
+        assert_eq!(enc.n_wr_vars, 0);
+    }
+
+    #[test]
+    fn ambiguous_values_become_wr_variables() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let (s1, s2, s3) = (b.session(), b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(x, 1)]);
+        b.push_tx(s3, [Op::read(x, 1)]);
+        let h = b.build();
+        let enc = encode(&h).unwrap();
+        assert_eq!(enc.n_wr_vars, 1);
+        match &enc.vars.iter().find(|v| matches!(v, VarKind::Wr { .. })).unwrap() {
+            VarKind::Wr { candidates, .. } => assert_eq!(candidates.len(), 2),
+            VarKind::Pair { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn session_order_is_adjacent_only() {
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let s = b.session();
+        for i in 0..4u64 {
+            b.push_tx(s, [Op::write(x, i + 10)]);
+        }
+        let h = b.build();
+        let enc = encode(&h).unwrap();
+        assert_eq!(enc.so_edges.len(), 3, "n-1 adjacent pairs, not n(n-1)/2");
+    }
+}

@@ -1,0 +1,187 @@
+//! Machine-readable membership reports over all three classes — the
+//! payload behind the `checker` example's `--format json`, shared with
+//! the golden tests so the CLI surface stays byte-stable.
+//!
+//! Two engines answer the same question: the backtracking enumerator of
+//! `si-core` (exact, budget-bounded nodes) and this crate's CDCL solver.
+//! Either way a [`CheckReport`] carries one [`ClassReport`] per class in
+//! the fixed order SER, SI, PSI, with budget exhaustion surfaced as its
+//! own verdict plus the partial effort counters.
+
+use serde::Serialize;
+use si_core::{history_membership, SearchBudget};
+use si_execution::SpecModel;
+use si_model::History;
+use si_telemetry::Telemetry;
+
+use crate::{solve_traced, SolveBudget, SolveOutcome, SolverMode, SolverStats};
+
+/// A three-way membership verdict: decided in, decided out, or the
+/// engine's budget died first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CheckVerdict {
+    /// The history is in the class.
+    Member,
+    /// The history is not in the class.
+    NonMember,
+    /// The budget ran out before a verdict.
+    Exhausted,
+}
+
+/// One class's answer, with whatever evidence the engine produces.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassReport {
+    /// The class checked.
+    pub mode: SolverMode,
+    /// The three-way verdict.
+    pub verdict: CheckVerdict,
+    /// Solver engine: certificate (witness on member, proof on
+    /// non-member). `null` for the enumerator and on exhaustion.
+    pub outcome: Option<SolveOutcome>,
+    /// Solver engine: encoding shape and search effort (also populated
+    /// on exhaustion — the surfaced partial statistics).
+    pub stats: Option<SolverStats>,
+    /// Enumerator engine, on exhaustion: nodes expanded before the
+    /// budget died.
+    pub nodes_expanded: Option<u64>,
+    /// Enumerator engine, on exhaustion: deepest choice point reached.
+    pub depth_reached: Option<usize>,
+}
+
+/// The full per-history report: engine, size, per-class answers.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckReport {
+    /// `"enumerator"` or `"si-solve"`.
+    pub engine: &'static str,
+    /// Transactions in the history (including init).
+    pub txs: usize,
+    /// SER, SI, PSI — in that order.
+    pub classes: Vec<ClassReport>,
+}
+
+/// The classes every report covers, in report order.
+const MODES: [SolverMode; 3] = [SolverMode::Ser, SolverMode::Si, SolverMode::Psi];
+
+/// Checks `history` against all three classes with the `si-core`
+/// backtracking enumerator under `budget`.
+pub fn enumerator_report(history: &History, budget: &SearchBudget) -> CheckReport {
+    let classes = MODES
+        .iter()
+        .map(|&mode| {
+            let spec = match mode {
+                SolverMode::Ser => SpecModel::Ser,
+                SolverMode::Si => SpecModel::Si,
+                SolverMode::Psi => SpecModel::Psi,
+            };
+            match history_membership(spec, history, budget) {
+                Ok(member) => ClassReport {
+                    mode,
+                    verdict: if member { CheckVerdict::Member } else { CheckVerdict::NonMember },
+                    outcome: None,
+                    stats: None,
+                    nodes_expanded: None,
+                    depth_reached: None,
+                },
+                Err(e) => ClassReport {
+                    mode,
+                    verdict: CheckVerdict::Exhausted,
+                    outcome: None,
+                    stats: None,
+                    nodes_expanded: Some(e.nodes_expanded),
+                    depth_reached: Some(e.depth_reached),
+                },
+            }
+        })
+        .collect();
+    CheckReport { engine: "enumerator", txs: history.tx_count(), classes }
+}
+
+/// Checks `history` against all three classes with the CDCL solver under
+/// `budget`, keeping each verdict's certificate.
+pub fn solver_report(history: &History, budget: SolveBudget) -> CheckReport {
+    let classes = MODES
+        .iter()
+        .map(|&mode| match solve_traced(history, mode, budget, &Telemetry::disabled()) {
+            Ok(r) => ClassReport {
+                mode,
+                verdict: if r.outcome.is_member() {
+                    CheckVerdict::Member
+                } else {
+                    CheckVerdict::NonMember
+                },
+                outcome: Some(r.outcome),
+                stats: Some(r.stats),
+                nodes_expanded: None,
+                depth_reached: None,
+            },
+            Err(e) => ClassReport {
+                mode,
+                verdict: CheckVerdict::Exhausted,
+                outcome: None,
+                stats: Some(e.stats),
+                nodes_expanded: None,
+                depth_reached: None,
+            },
+        })
+        .collect();
+    CheckReport { engine: "si-solve", txs: history.tx_count(), classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_model::{HistoryBuilder, Op};
+
+    fn write_skew() -> History {
+        let mut b = HistoryBuilder::new();
+        let (x, y) = (b.object("x"), b.object("y"));
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+        b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+        b.build()
+    }
+
+    #[test]
+    fn both_engines_agree_on_write_skew() {
+        let h = write_skew();
+        let enumerated = enumerator_report(&h, &SearchBudget::default());
+        let solved = solver_report(&h, SolveBudget::default());
+        assert_eq!(enumerated.engine, "enumerator");
+        assert_eq!(solved.engine, "si-solve");
+        for (a, b) in enumerated.classes.iter().zip(&solved.classes) {
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.verdict, b.verdict, "{:?}", a.mode);
+        }
+        let verdicts: Vec<CheckVerdict> = solved.classes.iter().map(|c| c.verdict).collect();
+        assert_eq!(verdicts, [CheckVerdict::NonMember, CheckVerdict::Member, CheckVerdict::Member]);
+    }
+
+    #[test]
+    fn exhaustion_is_a_verdict_with_partial_stats() {
+        // Two blind writes leave one version-order variable, so a
+        // one-decision budget dies before the verdict in every class.
+        let mut b = HistoryBuilder::new();
+        let x = b.object("x");
+        let (s1, s2) = (b.session(), b.session());
+        b.push_tx(s1, [Op::write(x, 1)]);
+        b.push_tx(s2, [Op::write(x, 2)]);
+        let h = b.build();
+
+        let solved = solver_report(&h, SolveBudget { max_conflicts: u64::MAX, max_decisions: 1 });
+        for row in &solved.classes {
+            assert_eq!(row.verdict, CheckVerdict::Exhausted, "{:?}", row.mode);
+            let stats = row.stats.expect("partial stats surfaced");
+            assert_eq!(stats.decisions, 1);
+            assert!(row.outcome.is_none());
+        }
+
+        let enumerated = enumerator_report(&h, &SearchBudget { max_nodes: 1 });
+        let row = enumerated
+            .classes
+            .iter()
+            .find(|c| c.verdict == CheckVerdict::Exhausted)
+            .expect("a one-node budget exhausts");
+        assert_eq!(row.nodes_expanded, Some(1));
+        assert!(row.depth_reached.is_some());
+    }
+}

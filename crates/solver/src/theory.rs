@@ -1,0 +1,96 @@
+//! The lazy theory propagator: incremental acyclicity of the class's
+//! characteristic relation over the *reduced* dependency edges.
+//!
+//! Each fed edge carries a *feed id* tag into the underlying
+//! [`IncrementalClass`]; the feed table maps the id back to the (up to
+//! two) trail assignments that produced the edge — an edge induced by a
+//! `WR` choice *and* a segment-pair order depends on both. When an
+//! insertion closes a cycle, [`IncrementalClass::violation_sources`]
+//! returns the feed ids along the witness, and the propagator resolves
+//! them into the exact set of trail assignments implicated: the conflict
+//! reason the CDCL loop learns from. Level-0 (static) edges carry no
+//! trail reason and vanish from conflicts, which is what makes learned
+//! nogoods short.
+//!
+//! Backtracking is checkpoint-based: the solver takes a [`TheoryMark`]
+//! per decision level and undoes to it on backjump, riding the LIFO
+//! mark/undo discipline of [`IncrementalClass`].
+
+use si_model::TxId;
+use si_relations::{ClassKind, ClassMark, DepEdgeKind, IncrementalClass};
+
+/// "No trail reason" sentinel in feed entries (static edges).
+pub(crate) const NO_REASON: u32 = u32::MAX;
+
+/// A conflict raised by the theory: the implicated trail assignments and
+/// the witness cycle.
+#[derive(Debug)]
+pub(crate) struct TheoryConflict {
+    /// Trail indices of the assignments whose edges lie on the cycle,
+    /// sorted and deduplicated. Empty means the static (level-0)
+    /// structure is already inconsistent.
+    pub reasons: Vec<u32>,
+    /// The witness cycle (closing edge implicit).
+    pub cycle: Vec<TxId>,
+}
+
+/// Checkpoint pairing the class mark with the feed-table length.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TheoryMark {
+    class: ClassMark,
+    feeds: usize,
+}
+
+#[derive(Debug)]
+pub(crate) struct Theory {
+    class: IncrementalClass,
+    /// Feed id → up to two trail indices ([`NO_REASON`] = unused slot).
+    feeds: Vec<[u32; 2]>,
+    /// Total edges fed (including duplicates the class ignored).
+    pub edges_fed: u64,
+}
+
+impl Theory {
+    pub(crate) fn new(kind: ClassKind, n: usize) -> Self {
+        Theory { class: IncrementalClass::new(kind, n), feeds: Vec::new(), edges_fed: 0 }
+    }
+
+    pub(crate) fn mark(&self) -> TheoryMark {
+        TheoryMark { class: self.class.mark(), feeds: self.feeds.len() }
+    }
+
+    pub(crate) fn undo_to(&mut self, mark: TheoryMark) {
+        self.class.undo_to(mark.class);
+        self.feeds.truncate(mark.feeds);
+    }
+
+    /// Feeds one labelled dependency edge whose existence follows from
+    /// the trail assignments in `reasons`. Returns the conflict if the
+    /// edge closes a cycle of the characteristic relation.
+    pub(crate) fn feed(
+        &mut self,
+        kind: DepEdgeKind,
+        a: TxId,
+        b: TxId,
+        reasons: [u32; 2],
+    ) -> Option<TheoryConflict> {
+        let id = self.feeds.len() as u32;
+        self.feeds.push(reasons);
+        self.edges_fed += 1;
+        if self.class.add_tagged(kind, a, b, id) {
+            return None;
+        }
+        let mut trail_reasons = Vec::new();
+        for &fid in self.class.violation_sources() {
+            for &t in &self.feeds[fid as usize] {
+                if t != NO_REASON {
+                    trail_reasons.push(t);
+                }
+            }
+        }
+        trail_reasons.sort_unstable();
+        trail_reasons.dedup();
+        let cycle = self.class.violation().expect("add_tagged returned false").to_vec();
+        Some(TheoryConflict { reasons: trail_reasons, cycle })
+    }
+}

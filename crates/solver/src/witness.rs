@@ -1,0 +1,113 @@
+//! Certificates: a concrete abstract execution on SAT, a refutation
+//! summary on UNSAT.
+//!
+//! The SAT witness is stored as raw `u32` ids so it serialises without
+//! dragging model types into the JSON surface; [`SolveWitness::to_graph`]
+//! rebuilds a checkable [`DependencyGraph`] from it (quadratic in history
+//! size — meant for small histories and spot checks, not for the
+//! 10^5-transaction fast path, which is certified by the incremental
+//! theory itself).
+
+use serde::Serialize;
+
+use si_depgraph::{DepGraphBuilder, DepGraphError, DependencyGraph};
+use si_model::{History, Obj, TxId};
+
+use crate::encode::{Encoding, VarKind};
+use crate::EncodeReject;
+
+/// A satisfying abstract execution: one `WR` witness per external read
+/// and a total `WW` order per object.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolveWitness {
+    /// `(object, writer, reader)` triples, covering forced and chosen
+    /// reads alike.
+    pub wr: Vec<(u32, u32, u32)>,
+    /// `(object, version order)` pairs; the order lists every writer of
+    /// the object, init first when present.
+    pub ww: Vec<(u32, Vec<u32>)>,
+}
+
+impl SolveWitness {
+    /// Assembles the witness from a model of the encoding.
+    ///
+    /// Segment order is recovered from the pair variables by tournament
+    /// score: an acyclic tournament is transitive, so within one object
+    /// every segment has a distinct number of wins and sorting by wins
+    /// *is* the topological order. The pinned init segment outranks all.
+    pub(crate) fn from_assignment(enc: &Encoding, model: &[u32]) -> Self {
+        let mut wr = Vec::new();
+        let mut wins: Vec<Vec<u32>> =
+            enc.objects.iter().map(|oe| vec![0; oe.segments.len()]).collect();
+
+        for oe in &enc.objects {
+            let obj = oe.obj.0;
+            for &(w, r) in &oe.forced_wr {
+                wr.push((obj, w.0, r.0));
+            }
+        }
+        for (vi, var) in enc.vars.iter().enumerate() {
+            match var {
+                VarKind::Wr { obj, reader, candidates } => {
+                    let w = candidates[model[vi] as usize];
+                    wr.push((enc.objects[*obj as usize].obj.0, w.0, reader.0));
+                }
+                VarKind::Pair { obj, a, b } => {
+                    let earlier = if model[vi] == 0 { *a } else { *b };
+                    wins[*obj as usize][earlier as usize] += 1;
+                }
+            }
+        }
+
+        let mut ww = Vec::new();
+        for (oi, oe) in enc.objects.iter().enumerate() {
+            if let Some(is) = oe.init_seg {
+                // Strictly above the best possible non-init score.
+                wins[oi][is as usize] = oe.segments.len() as u32;
+            }
+            let mut order: Vec<u32> = (0..oe.segments.len() as u32).collect();
+            order.sort_by_key(|&s| std::cmp::Reverse(wins[oi][s as usize]));
+            let mut writers = Vec::new();
+            for s in order {
+                writers.extend(oe.segments[s as usize].iter().map(|w| w.0));
+            }
+            ww.push((oe.obj.0, writers));
+        }
+        ww.sort_by_key(|&(obj, _)| obj);
+        wr.sort_unstable();
+        SolveWitness { wr, ww }
+    }
+
+    /// Rebuilds a full dependency graph from the witness for independent
+    /// checking against `history`.
+    pub fn to_graph(&self, history: &History) -> Result<DependencyGraph, DepGraphError> {
+        let mut b = DepGraphBuilder::new(history.clone());
+        for &(obj, w, r) in &self.wr {
+            b.wr(Obj(obj), TxId(w), TxId(r));
+        }
+        for (obj, order) in &self.ww {
+            b.ww_order(Obj(*obj), order.iter().map(|&w| TxId(w)));
+        }
+        b.build()
+    }
+}
+
+/// Why no abstract execution exists.
+#[derive(Debug, Clone, Serialize)]
+pub struct UnsatProof {
+    /// Set when the encoder rejected the history before any search (the
+    /// rejection is conclusive for every mode).
+    pub reject: Option<EncodeReject>,
+    /// Witness cycle of the final theory conflict (transaction ids), when
+    /// the contradiction surfaced as a dependency cycle.
+    pub cycle: Option<Vec<u32>>,
+    /// Human-readable reason set of the final, decision-free conflict —
+    /// the choices whose joint impossibility closed the search.
+    pub core: Vec<String>,
+}
+
+impl UnsatProof {
+    pub(crate) fn rejected(reject: EncodeReject) -> Self {
+        UnsatProof { reject: Some(reject), cycle: None, core: Vec::new() }
+    }
+}

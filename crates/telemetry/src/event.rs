@@ -126,6 +126,22 @@ pub enum Event {
         /// Whether the node budget ran out before a verdict.
         exhausted: bool,
     },
+    /// Progress of the CDCL history-membership solver (`si-solve`):
+    /// cumulative counters emitted periodically and once at the end of a
+    /// solve (complementing [`Event::SolverIteration`], which the
+    /// backtracking enumerator emits).
+    CdclProgress {
+        /// Decisions made (branches on an unassigned variable).
+        decisions: u64,
+        /// Assignments derived by unit propagation on learned nogoods.
+        propagations: u64,
+        /// Conflicts hit (theory cycles plus falsified nogoods).
+        conflicts: u64,
+        /// Nogoods learned from conflict analysis.
+        learned: u64,
+        /// Search restarts.
+        restarts: u64,
+    },
     /// The sharded store's epoch GC pruned versions no live snapshot
     /// can reach (emitted by the sharded SI engine at the commit that
     /// triggered the pass).

@@ -85,6 +85,7 @@ pub struct CountingSink {
     verdicts: AtomicU64,
     verdicts_ok: AtomicU64,
     solver_iterations: AtomicU64,
+    cdcl_progress: AtomicU64,
     exploration_progress: AtomicU64,
     gc_passes: AtomicU64,
     gc_pruned: AtomicU64,
@@ -156,6 +157,11 @@ impl CountingSink {
         self.solver_iterations.load(Ordering::Relaxed)
     }
 
+    /// `CdclProgress` events seen.
+    pub fn cdcl_progress(&self) -> u64 {
+        self.cdcl_progress.load(Ordering::Relaxed)
+    }
+
     /// `ExplorationProgress` events seen.
     pub fn exploration_progress(&self) -> u64 {
         self.exploration_progress.load(Ordering::Relaxed)
@@ -196,6 +202,7 @@ impl TelemetrySink for CountingSink {
                 &self.verdicts
             }
             Event::SolverIteration { .. } => &self.solver_iterations,
+            Event::CdclProgress { .. } => &self.cdcl_progress,
             Event::ExplorationProgress { .. } => &self.exploration_progress,
             Event::GcPass { pruned, .. } => {
                 self.gc_pruned.fetch_add(*pruned, Ordering::Relaxed);

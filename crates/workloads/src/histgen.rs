@@ -1,0 +1,338 @@
+//! dbcop-style random history generation for black-box checking.
+//!
+//! Unlike the engine-driven workloads in this crate, which produce
+//! *executions* by actually running an MVCC engine, this module
+//! fabricates [`History`] values directly by simulating a sequential
+//! snapshot-isolated multi-version store: each transaction takes a
+//! snapshot no older than its session's last commit, reads the latest
+//! visible version and commits immediately, retrying with a fresh
+//! snapshot on a first-committer-wins conflict. Every generated history
+//! is therefore a member of HistSI *by construction* — including genuine
+//! write skew from stale snapshots — which makes it a calibrated SAT
+//! input for membership checkers at any size.
+//!
+//! Knobs cover session/transaction/operation counts, the object universe
+//! with Zipfian skew, the read/blind-write mix, and *value duplication*
+//! (re-issuing an existing version's value so reads have several
+//! candidate writers and the checker faces real `WR` choice).
+//!
+//! [`Anomaly`] injection appends a small cluster on fresh objects and
+//! sessions, flipping membership to a precisely known verdict per class:
+//! a lost update (outside every class), write skew (outside SER only) or
+//! a long fork (outside SI and SER, inside PSI).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::Serialize;
+use si_model::{History, HistoryBuilder, Op};
+
+/// A seeded anomaly cluster appended to the random body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Anomaly {
+    /// Two read-modify-writes of the same version: outside SI, SER and
+    /// PSI alike.
+    LostUpdate,
+    /// Disjoint writes under overlapping reads: inside SI and PSI,
+    /// outside SER.
+    WriteSkew,
+    /// Two readers observing two independent writes in opposite orders:
+    /// inside PSI, outside SI and SER.
+    LongFork,
+}
+
+/// Parameters of the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct HistGen {
+    /// Number of client sessions.
+    pub sessions: usize,
+    /// Transactions per session.
+    pub txs_per_session: usize,
+    /// Operations per transaction.
+    pub ops_per_tx: usize,
+    /// Size of the object universe.
+    pub objects: usize,
+    /// Probability that an operation is a plain read; the rest write.
+    pub read_ratio: f64,
+    /// Probability that a write is blind (not read-modify-write).
+    pub blind_write_ratio: f64,
+    /// Probability that a write re-issues an existing version's value,
+    /// creating reads with several candidate writers.
+    pub duplicate_ratio: f64,
+    /// Zipf exponent for object selection (0 disables skew).
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional anomaly cluster appended on fresh objects.
+    pub inject: Option<Anomaly>,
+}
+
+impl Default for HistGen {
+    fn default() -> Self {
+        HistGen {
+            sessions: 4,
+            txs_per_session: 12,
+            ops_per_tx: 4,
+            objects: 16,
+            read_ratio: 0.5,
+            blind_write_ratio: 0.2,
+            duplicate_ratio: 0.0,
+            zipf_s: 0.8,
+            seed: 0,
+            inject: None,
+        }
+    }
+}
+
+/// One committed version during simulation.
+#[derive(Debug, Clone, Copy)]
+struct Version {
+    commit: u64,
+    value: u64,
+}
+
+/// Generates a history. Without injection the result is in HistSI (and
+/// HistPSI); with injection membership follows the [`Anomaly`]'s verdict.
+///
+/// # Panics
+///
+/// Panics if `objects` is zero or any ratio is outside `[0, 1]`.
+pub fn generate(cfg: &HistGen) -> History {
+    assert!(cfg.objects > 0, "need at least one object");
+    for (name, p) in [
+        ("read_ratio", cfg.read_ratio),
+        ("blind_write_ratio", cfg.blind_write_ratio),
+        ("duplicate_ratio", cfg.duplicate_ratio),
+    ] {
+        assert!((0.0..=1.0).contains(&p), "{name} must be a probability");
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = if cfg.zipf_s > 0.0 {
+        Some(Zipf::new(cfg.objects as u64, cfg.zipf_s).expect("valid Zipf parameters"))
+    } else {
+        None
+    };
+
+    let mut b = HistoryBuilder::new();
+    let objs = b.objects("k", cfg.objects);
+    let sessions: Vec<_> = (0..cfg.sessions).map(|_| b.session()).collect();
+
+    // Simulated store: per object, the committed versions in commit
+    // order, starting from the initial version.
+    let mut versions: Vec<Vec<Version>> = vec![vec![Version { commit: 0, value: 0 }]; cfg.objects];
+    let mut next_value: Vec<u64> = vec![0; cfg.objects];
+    let mut commit_counter: u64 = 0;
+    let mut last_commit: Vec<u64> = vec![0; cfg.sessions];
+    let mut remaining: Vec<usize> = vec![cfg.txs_per_session; cfg.sessions];
+    let mut open: Vec<usize> = (0..cfg.sessions).filter(|&s| remaining[s] > 0).collect();
+
+    let visible = |versions: &[Vec<Version>], obj: usize, snapshot: u64| -> u64 {
+        versions[obj]
+            .iter()
+            .rev()
+            .find(|v| v.commit <= snapshot)
+            .expect("the initial version is visible to every snapshot")
+            .value
+    };
+
+    while !open.is_empty() {
+        let si = rng.gen_range(0..open.len());
+        let s = open[si];
+
+        // Sketch the operations first: which objects, which kinds.
+        #[derive(Clone, Copy)]
+        enum Kind {
+            Read,
+            Rmw,
+            Blind,
+        }
+        let mut ops: Vec<(usize, Kind)> = Vec::with_capacity(cfg.ops_per_tx);
+        for _ in 0..cfg.ops_per_tx {
+            // Re-pick a few times to avoid touching an object twice in
+            // one transaction (keeps reads/final writes unambiguous).
+            let mut obj = None;
+            for _ in 0..4 {
+                let index = match &zipf {
+                    Some(z) => (z.sample(&mut rng) as usize).saturating_sub(1),
+                    None => rng.gen_range(0..cfg.objects),
+                }
+                .min(cfg.objects - 1);
+                if ops.iter().all(|&(o, _)| o != index) {
+                    obj = Some(index);
+                    break;
+                }
+            }
+            let Some(obj) = obj else { continue };
+            let kind = if rng.gen_bool(cfg.read_ratio) {
+                Kind::Read
+            } else if rng.gen_bool(cfg.blind_write_ratio) {
+                Kind::Blind
+            } else {
+                Kind::Rmw
+            };
+            ops.push((obj, kind));
+        }
+
+        // Take a snapshot no older than the session's last commit; on a
+        // first-committer-wins conflict retry at the current frontier,
+        // where no later writes can exist.
+        let mut snapshot = rng.gen_range(last_commit[s]..=commit_counter);
+        let conflicted = ops.iter().any(|&(o, k)| {
+            !matches!(k, Kind::Read)
+                && versions[o].last().expect("non-empty version list").commit > snapshot
+        });
+        if conflicted {
+            snapshot = commit_counter;
+        }
+
+        commit_counter += 1;
+        let mut tx_ops: Vec<Op> = Vec::with_capacity(ops.len() * 2);
+        for &(o, kind) in &ops {
+            let seen = visible(&versions, o, snapshot);
+            if matches!(kind, Kind::Read | Kind::Rmw) {
+                tx_ops.push(Op::read(objs[o], seen));
+            }
+            if !matches!(kind, Kind::Read) {
+                let value = if cfg.duplicate_ratio > 0.0
+                    && rng.gen_bool(cfg.duplicate_ratio)
+                    && !versions[o].is_empty()
+                {
+                    let pick = rng.gen_range(0..versions[o].len());
+                    versions[o][pick].value
+                } else {
+                    next_value[o] += 1;
+                    next_value[o]
+                };
+                tx_ops.push(Op::write(objs[o], value));
+                versions[o].push(Version { commit: commit_counter, value });
+            }
+        }
+        b.push_tx(sessions[s], tx_ops);
+        last_commit[s] = commit_counter;
+
+        remaining[s] -= 1;
+        if remaining[s] == 0 {
+            open.swap_remove(si);
+        }
+    }
+
+    if let Some(anomaly) = cfg.inject {
+        inject(&mut b, anomaly);
+    }
+    b.build()
+}
+
+/// Appends the anomaly cluster on fresh objects and sessions, so the
+/// cluster's verdict is the whole history's verdict.
+fn inject(b: &mut HistoryBuilder, anomaly: Anomaly) {
+    let f = b.object("anomaly_f");
+    let g = b.object("anomaly_g");
+    match anomaly {
+        Anomaly::LostUpdate => {
+            let (s1, s2) = (b.session(), b.session());
+            b.push_tx(s1, [Op::read(f, 0), Op::write(f, 1)]);
+            b.push_tx(s2, [Op::read(f, 0), Op::write(f, 2)]);
+        }
+        Anomaly::WriteSkew => {
+            let (s1, s2) = (b.session(), b.session());
+            b.push_tx(s1, [Op::read(f, 0), Op::read(g, 0), Op::write(f, 1)]);
+            b.push_tx(s2, [Op::read(f, 0), Op::read(g, 0), Op::write(g, 1)]);
+        }
+        Anomaly::LongFork => {
+            let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
+            b.push_tx(s1, [Op::write(f, 1)]);
+            b.push_tx(s2, [Op::write(g, 1)]);
+            b.push_tx(s3, [Op::read(f, 1), Op::read(g, 0)]);
+            b.push_tx(s4, [Op::read(f, 0), Op::read(g, 1)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = HistGen::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.tx_count(), b.tx_count());
+        let ops = |h: &History| h.transactions().map(|(_, t)| t.ops().to_vec()).collect::<Vec<_>>();
+        assert_eq!(ops(&a), ops(&b));
+    }
+
+    #[test]
+    fn histories_are_int_clean_and_justified() {
+        for seed in 0..10 {
+            let cfg = HistGen { seed, duplicate_ratio: 0.3, ..HistGen::default() };
+            let h = generate(&cfg);
+            assert!(h.check_int().is_ok(), "seed {seed}: INT violated");
+            assert!(
+                si_core::choice_points(&h).is_some(),
+                "seed {seed}: some read has no candidate writer"
+            );
+        }
+    }
+
+    #[test]
+    fn small_generated_histories_are_in_hist_si() {
+        // The enumerator independently confirms the by-construction SI
+        // membership on sizes it can handle.
+        use si_core::{history_membership, SearchBudget};
+        use si_execution::SpecModel;
+        for seed in 0..5 {
+            let cfg = HistGen {
+                sessions: 3,
+                txs_per_session: 3,
+                ops_per_tx: 2,
+                objects: 4,
+                seed,
+                ..HistGen::default()
+            };
+            let h = generate(&cfg);
+            let budget = SearchBudget { max_nodes: 2_000_000 };
+            let verdict = history_membership(SpecModel::Si, &h, &budget)
+                .expect("small instances fit the enumerator budget");
+            assert!(verdict, "seed {seed}: generated history left HistSI");
+        }
+    }
+
+    #[test]
+    fn injected_anomalies_flip_the_verdict() {
+        use si_core::{history_membership, SearchBudget};
+        use si_execution::SpecModel;
+        let base = HistGen {
+            sessions: 2,
+            txs_per_session: 2,
+            ops_per_tx: 2,
+            objects: 4,
+            ..HistGen::default()
+        };
+        let clean = generate(&base);
+        let lost = generate(&HistGen { inject: Some(Anomaly::LostUpdate), ..base });
+        assert!(lost.tx_count() > clean.tx_count());
+        let budget = SearchBudget { max_nodes: 2_000_000 };
+        let verdict = history_membership(SpecModel::Si, &lost, &budget)
+            .expect("small instances fit the enumerator budget");
+        assert!(!verdict, "lost update must leave HistSI");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic() {
+        let cfg = HistGen { zipf_s: 1.5, objects: 32, ..HistGen::default() };
+        let h = generate(&cfg);
+        // The hottest object should see well above the uniform share of
+        // operations.
+        let mut per_obj = vec![0usize; 32];
+        for (_, t) in h.transactions() {
+            for op in t.ops() {
+                per_obj[op.obj().index()] += 1;
+            }
+        }
+        let total: usize = per_obj.iter().sum();
+        let hottest = per_obj.iter().max().copied().unwrap_or(0);
+        assert!(hottest * 32 > total * 2, "no skew visible: {hottest}/{total}");
+    }
+}

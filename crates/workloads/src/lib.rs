@@ -14,6 +14,7 @@
 //! | [`coverage`] | workload ↔ program-set coverage (the Corollary 18 premise) | §5 |
 //! | [`counter`] | concurrent increments (lost update) | Figure 2(b) |
 //! | [`fork`] | independent writers + two-object readers (long fork) | Figures 2(c), 12 |
+//! | [`histgen`] | direct SI-legal history fabrication with anomaly injection | black-box checking benches |
 //! | [`random`] | seeded random mixes with Zipf-skewed object choice | scaling benches |
 //! | [`smallbank`] | the canonical SI-robustness case study | §6 analyses |
 //! | [`chopped`] | transfer chopped vs. unchopped | §5 motivation (M1) |
@@ -28,6 +29,7 @@ pub mod chopped;
 pub mod counter;
 pub mod coverage;
 pub mod fork;
+pub mod histgen;
 pub mod random;
 pub mod smallbank;
 pub mod tpcc_lite;

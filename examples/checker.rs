@@ -5,18 +5,41 @@
 //!
 //! ```text
 //! cargo run --example checker -- path/to/history.json
-//! cargo run --example checker -- --demo          # run on a built-in demo
-//! cargo run --example checker -- --emit-demo     # print the demo JSON
+//! cargo run --example checker -- --demo                  # built-in demo
+//! cargo run --example checker -- --emit-demo             # print the demo JSON
+//! cargo run --example checker -- --demo --format json    # machine-readable
+//! cargo run --example checker -- --demo --engine solver  # CDCL instead of enumerator
 //! ```
 //!
-//! The JSON schema is `si_model::History`'s serde form; `--emit-demo`
-//! prints a template to adapt.
+//! `--engine enumerator` (default) answers with the exact backtracking
+//! search of `si-core`; `--engine solver` dispatches to the CDCL engine
+//! of `si-solve`, which scales to histories the enumerator cannot touch
+//! and returns certificates (a witness execution on membership, a cycle
+//! or learned core on refutation). Either engine surfaces budget
+//! exhaustion as an explicit verdict with partial search statistics.
+//!
+//! The input JSON schema is `si_model::History`'s serde form;
+//! `--emit-demo` prints a template to adapt.
 
 use std::process::ExitCode;
 
 use analysing_si::analysis::{classify_history, history_witness, SearchBudget};
 use analysing_si::execution::SpecModel;
 use analysing_si::model::{History, HistoryBuilder, Op};
+use analysing_si::solver::report::{enumerator_report, solver_report, CheckReport};
+use analysing_si::solver::SolveBudget;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Enumerator,
+    Solver,
+}
 
 fn demo_history() -> History {
     let mut b = HistoryBuilder::new();
@@ -28,16 +51,49 @@ fn demo_history() -> History {
     b.build()
 }
 
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: checker [PATH | --demo | --emit-demo] \
+         [--format text|json] [--engine enumerator|solver]"
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let history: History = match args.first().map(String::as_str) {
-        Some("--emit-demo") => {
-            println!("{}", serde_json::to_string_pretty(&demo_history()).expect("demo serialises"));
-            return ExitCode::SUCCESS;
+    let mut format = Format::Text;
+    let mut engine = Engine::Enumerator;
+    let mut source: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage(),
+            },
+            "--engine" => match iter.next().as_deref() {
+                Some("enumerator") => engine = Engine::Enumerator,
+                Some("solver") => engine = Engine::Solver,
+                _ => return usage(),
+            },
+            "--emit-demo" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&demo_history()).expect("demo serialises")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--demo" => source = None,
+            path if !path.starts_with("--") => source = Some(path.to_string()),
+            _ => return usage(),
         }
-        Some("--demo") | None => demo_history(),
+    }
+
+    let history: History = match source {
+        None => demo_history(),
         Some(path) => {
-            let data = match std::fs::read_to_string(path) {
+            let data = match std::fs::read_to_string(&path) {
                 Ok(d) => d,
                 Err(e) => {
                     eprintln!("error: cannot read {path}: {e}");
@@ -58,6 +114,24 @@ fn main() -> ExitCode {
         eprintln!("error: malformed history: {e}");
         return ExitCode::FAILURE;
     }
+
+    match format {
+        Format::Json => {
+            // INT violations and unjustifiable reads flow through the
+            // engines (the solver names them in its proof), so the JSON
+            // report is produced unconditionally.
+            let report: CheckReport = match engine {
+                Engine::Enumerator => enumerator_report(&history, &SearchBudget::default()),
+                Engine::Solver => solver_report(&history, SolveBudget::default()),
+            };
+            println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+            ExitCode::SUCCESS
+        }
+        Format::Text => run_text(&history, engine),
+    }
+}
+
+fn run_text(history: &History, engine: Engine) -> ExitCode {
     if let Err((tx, v)) = history.check_int() {
         eprintln!("history violates INT in {tx}: {v}");
         eprintln!("verdict: allowed by no consistency model");
@@ -66,35 +140,53 @@ fn main() -> ExitCode {
 
     println!("checking history with {} transactions:\n{history}", history.tx_count());
 
-    let budget = SearchBudget::default();
-    match classify_history(&history, &budget) {
-        Ok(verdict) => {
-            println!("SER: {}", verdict.ser);
-            println!("SI:  {}", verdict.si);
-            println!("PSI: {}", verdict.psi);
-            println!("PC:  {}  (prefix consistency; SI without conflict detection)", verdict.pc);
-            println!("classification: {}", verdict.anomaly_label());
-            // Show the witnessing dependency graph for the weakest
-            // admitting model.
-            let witness_model = if verdict.ser {
-                Some(SpecModel::Ser)
-            } else if verdict.si {
-                Some(SpecModel::Si)
-            } else if verdict.psi {
-                Some(SpecModel::Psi)
-            } else {
-                None
-            };
-            if let Some(model) = witness_model {
-                if let Ok(Some(g)) = history_witness(model, &history, &budget) {
-                    println!("\nwitness dependency graph ({model}):\n{g}");
+    match engine {
+        Engine::Enumerator => {
+            let budget = SearchBudget::default();
+            match classify_history(history, &budget) {
+                Ok(verdict) => {
+                    println!("SER: {}", verdict.ser);
+                    println!("SI:  {}", verdict.si);
+                    println!("PSI: {}", verdict.psi);
+                    println!(
+                        "PC:  {}  (prefix consistency; SI without conflict detection)",
+                        verdict.pc
+                    );
+                    println!("classification: {}", verdict.anomaly_label());
+                    // Show the witnessing dependency graph for the weakest
+                    // admitting model.
+                    let witness_model = if verdict.ser {
+                        Some(SpecModel::Ser)
+                    } else if verdict.si {
+                        Some(SpecModel::Si)
+                    } else if verdict.psi {
+                        Some(SpecModel::Psi)
+                    } else {
+                        None
+                    };
+                    if let Some(model) = witness_model {
+                        if let Ok(Some(g)) = history_witness(model, history, &budget) {
+                            println!("\nwitness dependency graph ({model}):\n{g}");
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
                 }
             }
-            ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        Engine::Solver => {
+            let report = solver_report(history, SolveBudget::default());
+            for row in &report.classes {
+                let stats = row.stats.expect("solver rows carry stats");
+                println!(
+                    "{}: {:?}  ({} decisions, {} conflicts, {} theory edges)",
+                    row.mode, row.verdict, stats.decisions, stats.conflicts, stats.theory_edges
+                );
+            }
+            ExitCode::SUCCESS
         }
     }
 }

@@ -19,6 +19,7 @@
 //! | [`robustness`] | robustness against SI and against PSI | §6 |
 //! | [`mvcc`] | SI / SER / PSI engines, deterministic scheduler, recorder | §1 |
 //! | [`workloads`] | runnable scenarios for every figure + random mixes | — |
+//! | [`solver`] | CDCL membership solver for 10^5-tx histories: lazy acyclicity theory, learned nogoods, certificates | §4 at scale |
 //! | [`lint`] | program-level static analyzer: IR with derived read/write sets, diagnostics SI001–SI007, verified repairs | §5–§6 applied |
 //! | [`sanitizer`] | controlled-scheduler engine sanitizer: exhaustive interleaving exploration, race detection, differential oracles, replayable repros | §2–§4 applied |
 //! | [`relations`] | the underlying relation/graph algebra | — |
@@ -98,6 +99,12 @@ pub mod workloads {
 /// (`si-lint`).
 pub mod lint {
     pub use si_lint::*;
+}
+
+/// The CDCL membership solver: black-box history checking at scales the
+/// enumerator cannot reach, with certificates both ways (`si-solve`).
+pub mod solver {
+    pub use si_solve::*;
 }
 
 /// Structured tracing, metrics and span timing (`si-telemetry`).

@@ -1,0 +1,117 @@
+//! Golden-output regression tests for the `checker` example's
+//! `--format json` reports.
+//!
+//! The JSON report is a CLI interface (CI diffs it against the committed
+//! golden file), so its exact shape — field names, verdict spellings,
+//! certificate layout, statistics — must not drift unnoticed. The demo
+//! goldens are produced through the same `si_solve::report` functions the
+//! example calls, so `cargo run --example checker -- --demo --format json
+//! [--engine solver]` reproduces `tests/golden/checker_demo_*.json`
+//! byte-for-byte (plus a trailing newline).
+//!
+//! After an intentional change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test checker_golden
+//! ```
+
+use analysing_si::analysis::SearchBudget;
+use analysing_si::model::{History, HistoryBuilder, Op};
+use analysing_si::solver::report::{enumerator_report, solver_report};
+use analysing_si::solver::{CheckVerdict, SolveBudget};
+
+/// The `checker --demo` history: the write skew of Figure 2(d).
+fn demo_history() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(x, 0), Op::read(y, 0), Op::write(x, 1)]);
+    b.push_tx(s2, [Op::read(x, 0), Op::read(y, 0), Op::write(y, 1)]);
+    b.build()
+}
+
+/// The lost update of Figure 2(b): outside every class, rejected by the
+/// solver at encode time.
+fn lost_update_history() -> History {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::read(x, 0), Op::write(x, 1)]);
+    b.push_tx(s2, [Op::read(x, 0), Op::write(x, 2)]);
+    b.build()
+}
+
+fn golden_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(file)
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// file when `UPDATE_GOLDEN` is set.
+fn assert_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "output for {file} changed; rerun with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+/// Exactly what the example prints: pretty JSON plus `println!`'s newline.
+fn render(report: &analysing_si::solver::CheckReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialises") + "\n"
+}
+
+#[test]
+fn demo_solver_report_golden() {
+    let report = solver_report(&demo_history(), SolveBudget::default());
+    let verdicts: Vec<CheckVerdict> = report.classes.iter().map(|c| c.verdict).collect();
+    assert_eq!(
+        verdicts,
+        [CheckVerdict::NonMember, CheckVerdict::Member, CheckVerdict::Member],
+        "write skew is SI/PSI but not SER"
+    );
+    assert_golden("checker_demo_solver.json", &render(&report));
+}
+
+#[test]
+fn demo_enumerator_report_golden() {
+    let report = enumerator_report(&demo_history(), &SearchBudget::default());
+    let verdicts: Vec<CheckVerdict> = report.classes.iter().map(|c| c.verdict).collect();
+    assert_eq!(verdicts, [CheckVerdict::NonMember, CheckVerdict::Member, CheckVerdict::Member]);
+    assert_golden("checker_demo_enumerator.json", &render(&report));
+}
+
+#[test]
+fn lost_update_solver_report_golden() {
+    let report = solver_report(&lost_update_history(), SolveBudget::default());
+    for row in &report.classes {
+        assert_eq!(row.verdict, CheckVerdict::NonMember, "{:?}", row.mode);
+    }
+    assert_golden("checker_lost_update_solver.json", &render(&report));
+}
+
+/// Budget exhaustion is part of the JSON interface: the verdict plus the
+/// partial statistics both engines surface.
+#[test]
+fn exhausted_reports_golden() {
+    let mut b = HistoryBuilder::new();
+    let x = b.object("x");
+    let (s1, s2) = (b.session(), b.session());
+    b.push_tx(s1, [Op::write(x, 1)]);
+    b.push_tx(s2, [Op::write(x, 2)]);
+    let h = b.build();
+
+    let solved = solver_report(&h, SolveBudget { max_conflicts: u64::MAX, max_decisions: 1 });
+    assert!(solved.classes.iter().all(|c| c.verdict == CheckVerdict::Exhausted));
+    assert_golden("checker_exhausted_solver.json", &render(&solved));
+
+    let enumerated = enumerator_report(&h, &SearchBudget { max_nodes: 1 });
+    assert!(enumerated.classes.iter().any(|c| c.verdict == CheckVerdict::Exhausted));
+    assert_golden("checker_exhausted_enumerator.json", &render(&enumerated));
+}
