@@ -1,0 +1,599 @@
+//! The confirmation layer: run every compiled witness and report what
+//! actually happened.
+//!
+//! [`confirm_app`] / [`confirm_program_set`] re-lint the target with raw
+//! witnesses ([`crate::driver::LintOutcome`]), compile each diagnostic's
+//! witness ([`crate::witness`]) and *execute* it:
+//!
+//! * **flagged** verdicts replay the advisory schedule on the matching
+//!   live engine and hand the recorded history to the CDCL solver
+//!   (`si-solve`): the run counts as confirmed only if the history is
+//!   refuted at the diagnosed level *and* accepted at the level the
+//!   engine guarantees (so a bogus schedule cannot masquerade as an
+//!   anomaly);
+//! * **chopping** verdicts additionally splice the recorded history
+//!   (Corollary 18) before judging it;
+//! * **robust** verdicts are counter-validated: every pair of programs
+//!   (self-pairs included) is explored exhaustively under the engine and
+//!   judged at the claimed level, plus a seeded random sweep of the
+//!   whole application — all interleavings must come back members.
+//!
+//! Every row lands in a [`ConfirmationReport`] with one of four
+//! [`ConfirmOutcome`]s; [`ConfirmOutcome::Unconfirmed`] is the
+//! regression marker CI diffs for — a static verdict the runtime stack
+//! contradicted.
+
+use serde::{Deserialize, Serialize};
+use si_chopping::{splice_history, ProgramSet};
+use si_mvcc::{Script, Workload};
+use si_sanitizer::{explore_judged, EngineSpec, ExploreMode, RunArtifacts, SanitizeConfig};
+use si_solve::{solve, SolverMode};
+
+use crate::diag::DiagCode;
+use crate::driver::{lint_app_full, lint_program_set_full, LintOptions, LintOutcome};
+use crate::ir::{IrApp, IrProgramId, SessionLevel};
+use crate::witness::{
+    compile_witness, default_piece_script, default_program_script, ClaimLevel, CompiledWitness,
+    WitnessCheck,
+};
+
+/// Tuning knobs for one confirmation run.
+#[derive(Debug, Clone)]
+pub struct ConfirmOptions {
+    /// Interleaving cap per exhaustive exploration (robust rows).
+    pub explore_cap: u64,
+    /// Walk count for the seeded random sweeps.
+    pub random_walks: u64,
+    /// Seed for the random sweeps.
+    pub seed: u64,
+    /// Options for the static lint pass being confirmed.
+    pub lint: LintOptions,
+}
+
+impl Default for ConfirmOptions {
+    fn default() -> Self {
+        ConfirmOptions {
+            explore_cap: 60_000,
+            random_walks: 128,
+            seed: 0x5EED,
+            lint: LintOptions::default(),
+        }
+    }
+}
+
+/// How one confirmation row turned out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfirmOutcome {
+    /// The compiled witness reproduced the predicted anomaly: the
+    /// engine-recorded history is refuted at the diagnosed level.
+    Reproduced,
+    /// The (possibly spliced) history is refuted at the diagnosed level
+    /// while remaining a member at the weaker cross-check level.
+    RefutedAtLevel,
+    /// The robust verdict held: every explored interleaving's history
+    /// is a member at the claimed level.
+    RobustClean,
+    /// No executable witness (budget exhaustion, or a shape this
+    /// compiler cannot realise) — nothing was contradicted.
+    Inconclusive,
+    /// The runtime stack contradicted the static verdict. A regression.
+    Unconfirmed,
+}
+
+impl ConfirmOutcome {
+    /// The rendered name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConfirmOutcome::Reproduced => "reproduced",
+            ConfirmOutcome::RefutedAtLevel => "refuted-level",
+            ConfirmOutcome::RobustClean => "robust-clean",
+            ConfirmOutcome::Inconclusive => "inconclusive",
+            ConfirmOutcome::Unconfirmed => "UNCONFIRMED",
+        }
+    }
+}
+
+/// One confirmed (or contradicted) claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfirmRow {
+    /// The diagnostic code, or `None` for a summary-level robust claim.
+    pub code: Option<DiagCode>,
+    /// The claim being confirmed, in words.
+    pub claim: String,
+    /// What happened.
+    pub outcome: ConfirmOutcome,
+    /// Evidence: what ran, what was judged, and the verdicts.
+    pub detail: String,
+}
+
+/// The per-target confirmation matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfirmationReport {
+    /// The lint target.
+    pub target: String,
+    /// One row per diagnostic plus one per robust summary claim.
+    pub rows: Vec<ConfirmRow>,
+}
+
+impl ConfirmationReport {
+    /// Whether no row contradicts its static verdict.
+    pub fn is_confirmed(&self) -> bool {
+        self.rows.iter().all(|r| r.outcome != ConfirmOutcome::Unconfirmed)
+    }
+
+    /// Plain-text rendering of the matrix.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("confirm {} ({} rows)\n", self.target, self.rows.len());
+        for r in &self.rows {
+            let code = r.code.map(DiagCode::as_str).unwrap_or("--   ");
+            out.push_str(&format!(
+                "  {code} {:<14} {}\n      {}\n",
+                r.outcome.as_str(),
+                r.claim,
+                r.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Serialises confirmation reports to pretty JSON (golden format).
+pub fn confirms_to_json(reports: &[ConfirmationReport]) -> String {
+    serde_json::to_string_pretty(reports).expect("confirmation reports are plain data")
+}
+
+/// Parses confirmation reports back from JSON.
+///
+/// # Errors
+///
+/// Returns the underlying serde error on malformed input.
+pub fn confirms_from_json(json: &str) -> Result<Vec<ConfirmationReport>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Confirms an IR application: lint, compile every witness, run it.
+pub fn confirm_app(target: &str, app: &IrApp, opts: &ConfirmOptions) -> ConfirmationReport {
+    let lowered = app.approximate();
+    let outcome = lint_app_full(target, app, &opts.lint);
+    confirm(target, app, &lowered.may, &outcome, opts)
+}
+
+/// Confirms a set-declared application via its exact IR reconstruction
+/// ([`IrApp::from_program_set`]).
+pub fn confirm_program_set(
+    target: &str,
+    programs: &ProgramSet,
+    opts: &ConfirmOptions,
+) -> ConfirmationReport {
+    let app = IrApp::from_program_set(programs);
+    let outcome = lint_program_set_full(target, programs, &opts.lint);
+    confirm(target, &app, programs, &outcome, opts)
+}
+
+fn mode(level: ClaimLevel) -> SolverMode {
+    match level {
+        ClaimLevel::Ser => SolverMode::Ser,
+        ClaimLevel::Si => SolverMode::Si,
+        ClaimLevel::Psi => SolverMode::Psi,
+    }
+}
+
+/// The level the advisory's engine itself guarantees — the membership
+/// side of every reproduction check.
+fn engine_level(spec: &EngineSpec) -> ClaimLevel {
+    match spec {
+        EngineSpec::Ser | EngineSpec::Ssi => ClaimLevel::Ser,
+        EngineSpec::Psi { .. } => ClaimLevel::Psi,
+        _ => ClaimLevel::Si,
+    }
+}
+
+fn confirm(
+    target: &str,
+    app: &IrApp,
+    may: &ProgramSet,
+    outcome: &LintOutcome,
+    opts: &ConfirmOptions,
+) -> ConfirmationReport {
+    let mut rows = Vec::new();
+    for (diag, raw) in outcome.report.diagnostics.iter().zip(&outcome.raws) {
+        rows.push(match raw {
+            None => ConfirmRow {
+                code: Some(diag.code),
+                claim: "budget-limited verdict".to_owned(),
+                outcome: ConfirmOutcome::Inconclusive,
+                detail: "no witness to compile (search budget exhausted)".to_owned(),
+            },
+            Some(raw) => match compile_witness(app, may, &outcome.levels, diag.code, raw) {
+                Err(why) => ConfirmRow {
+                    code: Some(diag.code),
+                    claim: witness_claim(diag.code),
+                    outcome: ConfirmOutcome::Inconclusive,
+                    detail: format!("witness not realisable: {why}"),
+                },
+                Ok(cw) => run_witness(&cw, opts),
+            },
+        });
+    }
+    rows.extend(robust_rows(app, may, &outcome.levels, outcome, opts));
+    ConfirmationReport { target: target.to_owned(), rows }
+}
+
+fn witness_claim(code: DiagCode) -> String {
+    match code {
+        DiagCode::Si001 => "an SI execution is non-serializable".to_owned(),
+        DiagCode::Si002 => "a chopped SI execution splices to no SI execution".to_owned(),
+        DiagCode::Si003 => "a chopped SER execution splices to no SER execution".to_owned(),
+        DiagCode::Si004 => "the chopping only splices below SI".to_owned(),
+        DiagCode::Si005 => "a PSI execution is observably non-SI".to_owned(),
+        DiagCode::Si006 => "budget-limited verdict".to_owned(),
+        DiagCode::Si007 => "the discharged structure stays serializable".to_owned(),
+    }
+}
+
+/// Executes one compiled witness and judges the claim.
+fn run_witness(cw: &CompiledWitness, opts: &ConfirmOptions) -> ConfirmRow {
+    let claim = witness_claim(cw.code);
+    match cw.check {
+        WitnessCheck::HistoryRefutedAt(level) => {
+            let artifacts = cw.advisory.replay();
+            let history = &artifacts.result.history;
+            let refuted = !solve(history, mode(level)).outcome.is_member();
+            let own = engine_level(&cw.advisory.engine);
+            let member = solve(history, mode(own)).outcome.is_member();
+            let ok = refuted && member;
+            ConfirmRow {
+                code: Some(cw.code),
+                claim,
+                outcome: if !ok {
+                    ConfirmOutcome::Unconfirmed
+                } else if cw.code == DiagCode::Si001 {
+                    ConfirmOutcome::Reproduced
+                } else {
+                    ConfirmOutcome::RefutedAtLevel
+                },
+                detail: format!(
+                    "advisory run on {} [{}]: history {} {}, {} {}",
+                    cw.advisory.engine.name(),
+                    cw.sessions.join("; "),
+                    if refuted { "∉" } else { "∈" },
+                    level.as_str(),
+                    if member { "∈" } else { "∉" },
+                    own.as_str(),
+                ),
+            }
+        }
+        WitnessCheck::SpliceRefutedAt(refuted) => {
+            let artifacts = cw.advisory.replay();
+            let member_level = engine_level(&cw.advisory.engine);
+            let spliced = splice_history(&artifacts.result.history).history;
+            let is_refuted = !solve(&spliced, mode(refuted)).outcome.is_member();
+            let is_member =
+                solve(&artifacts.result.history, mode(member_level)).outcome.is_member();
+            let ok = is_refuted && is_member;
+            ConfirmRow {
+                code: Some(cw.code),
+                claim,
+                outcome: if !ok {
+                    ConfirmOutcome::Unconfirmed
+                } else if cw.code == DiagCode::Si002 {
+                    ConfirmOutcome::Reproduced
+                } else {
+                    ConfirmOutcome::RefutedAtLevel
+                },
+                detail: format!(
+                    "advisory run on {} [{}]: spliced history {} {}, piece-level history {} {}",
+                    cw.advisory.engine.name(),
+                    cw.sessions.join("; "),
+                    if is_refuted { "∉" } else { "∈" },
+                    refuted.as_str(),
+                    if is_member { "∈" } else { "∉" },
+                    member_level.as_str(),
+                ),
+            }
+        }
+        WitnessCheck::AllRunsMemberAt(level) => {
+            let workload = cw.advisory.workload.to_workload();
+            let (row_outcome, detail) = explore_clean(
+                &cw.advisory.engine,
+                &workload,
+                level,
+                false,
+                opts,
+                &format!("[{}]", cw.sessions.join("; ")),
+            );
+            ConfirmRow { code: Some(cw.code), claim, outcome: row_outcome, detail }
+        }
+    }
+}
+
+/// Explores `workload` on `spec` (exhaustively, or randomly when
+/// `random` is set) judging every history at `level`. Returns the row
+/// outcome and evidence string.
+fn explore_clean(
+    spec: &EngineSpec,
+    workload: &Workload,
+    level: ClaimLevel,
+    random: bool,
+    opts: &ConfirmOptions,
+    what: &str,
+) -> (ConfirmOutcome, String) {
+    let judge_splice = spec_judges_splice(workload);
+    let mut judge = |artifacts: &RunArtifacts| -> bool {
+        let history = &artifacts.result.history;
+        if judge_splice {
+            solve(&splice_history(history).history, mode(level)).outcome.is_member()
+        } else {
+            solve(history, mode(level)).outcome.is_member()
+        }
+    };
+    // Retry-free: a conflict abort ends the transaction instead of
+    // resubmitting it. Retries re-run the same script as a fresh
+    // transaction — no new anomaly shapes — while multiplying the
+    // exhaustive tree past any budget on conflicting pairs.
+    let config = SanitizeConfig {
+        mode: if random {
+            ExploreMode::Random { walks: opts.random_walks, seed: opts.seed }
+        } else {
+            ExploreMode::Exhaustive
+        },
+        max_retries: 0,
+        max_interleavings: opts.explore_cap,
+        ..SanitizeConfig::default()
+    };
+    let report = explore_judged(spec, workload, &config, &mut judge);
+    let judged = if judge_splice { "spliced history" } else { "history" };
+    let how = if random { "random sweep" } else { "exhaustive" };
+    if !report.is_clean() {
+        (
+            ConfirmOutcome::Unconfirmed,
+            format!(
+                "{how} on {} {what}: an interleaving's {judged} ∉ {} after {} runs",
+                spec.name(),
+                level.as_str(),
+                report.explored
+            ),
+        )
+    } else if report.budget_exhausted {
+        (
+            ConfirmOutcome::Inconclusive,
+            format!(
+                "{how} on {} {what}: {} runs all {judged} ∈ {}, but the {} cap cut the tree",
+                spec.name(),
+                report.explored,
+                level.as_str(),
+                opts.explore_cap
+            ),
+        )
+    } else {
+        (
+            ConfirmOutcome::RobustClean,
+            format!(
+                "{how} on {} {what}: {} runs ({} pruned), every {judged} ∈ {}",
+                spec.name(),
+                report.explored,
+                report.pruned,
+                level.as_str()
+            ),
+        )
+    }
+}
+
+/// A workload whose sessions carry multiple scripts is a chopped run:
+/// judge its splice, not the raw history (each session *is* one
+/// logical transaction cut into pieces).
+fn spec_judges_splice(workload: &Workload) -> bool {
+    workload.session_scripts().any(|s| s.len() > 1)
+}
+
+/// Counter-validation of the summary-level robust verdicts.
+fn robust_rows(
+    app: &IrApp,
+    may: &ProgramSet,
+    levels: &[SessionLevel],
+    outcome: &LintOutcome,
+    opts: &ConfirmOptions,
+) -> Vec<ConfirmRow> {
+    let summary = &outcome.report.summary;
+    let mut rows = Vec::new();
+    // Mixed-level apps: a SER-annotated session is modelled by SSI (the
+    // runtime promotion of the whole mix) — the engines have one global
+    // level, so the strongest annotated one drives the stress engine.
+    let base_engine =
+        if levels.contains(&SessionLevel::Ser) { EngineSpec::Ssi } else { EngineSpec::Si };
+    let n = may.program_count();
+    let whole_scripts: Vec<Script> = {
+        let mut counter = 0u64;
+        (0..n).map(|p| default_program_script(app, IrProgramId(p), &mut counter)).collect()
+    };
+
+    if summary.ser_robust_refined {
+        // Pairwise exhaustive (self-pairs included) …
+        let mut explored_total = 0u64;
+        let mut verdict = ConfirmOutcome::RobustClean;
+        let mut note = String::new();
+        'pairs: for p in 0..n {
+            for q in p..n {
+                if whole_scripts[p].is_empty() || whole_scripts[q].is_empty() {
+                    continue;
+                }
+                let w = Workload::new(may.object_count())
+                    .session([whole_scripts[p].clone()])
+                    .session([whole_scripts[q].clone()]);
+                let (o, d) = explore_clean(
+                    &base_engine,
+                    &w,
+                    ClaimLevel::Ser,
+                    false,
+                    opts,
+                    &format!(
+                        "[{} × {}]",
+                        may.program_name(si_chopping::ProgramId(p)),
+                        may.program_name(si_chopping::ProgramId(q))
+                    ),
+                );
+                explored_total += extract_runs(&d);
+                if o != ConfirmOutcome::RobustClean {
+                    verdict = o;
+                    note = d;
+                    break 'pairs;
+                }
+            }
+        }
+        // … plus a random sweep of the whole application.
+        if verdict == ConfirmOutcome::RobustClean {
+            let mut w = Workload::new(may.object_count());
+            for s in whole_scripts.iter().filter(|s| !s.is_empty()) {
+                w = w.session([s.clone()]);
+            }
+            let (o, d) =
+                explore_clean(&base_engine, &w, ClaimLevel::Ser, true, opts, "[all programs]");
+            verdict = o;
+            note = d;
+        }
+        rows.push(ConfirmRow {
+            code: None,
+            claim: "SER-robust under SI (refined)".to_owned(),
+            outcome: verdict,
+            detail: format!("pairwise exhaustive ({explored_total} runs) then {note}"),
+        });
+    }
+
+    if summary.psi_si_robust {
+        // A long fork needs two writers and two independent readers, so
+        // pairwise PSI exploration is vacuous — sweep the full mix on
+        // two replicas instead.
+        let mut w = Workload::new(may.object_count());
+        for s in whole_scripts.iter().filter(|s| !s.is_empty()) {
+            w = w.session([s.clone()]);
+        }
+        let (o, d) = explore_clean(
+            &EngineSpec::Psi { replicas: 2 },
+            &w,
+            ClaimLevel::Si,
+            true,
+            opts,
+            "[all programs]",
+        );
+        rows.push(ConfirmRow {
+            code: None,
+            claim: "robust against PSI towards SI".to_owned(),
+            outcome: o,
+            detail: d,
+        });
+    }
+
+    let chop_rows: [(&str, Option<bool>, EngineSpec, ClaimLevel); 3] = [
+        ("chopping spliceable under SI", summary.chop_si_correct, EngineSpec::Si, ClaimLevel::Si),
+        (
+            "chopping spliceable under SER",
+            summary.chop_ser_correct,
+            EngineSpec::Ser,
+            ClaimLevel::Ser,
+        ),
+        (
+            "chopping spliceable under PSI",
+            summary.chop_psi_correct,
+            EngineSpec::Psi { replicas: 2 },
+            ClaimLevel::Psi,
+        ),
+    ];
+    for (claim, correct, engine, level) in chop_rows {
+        if correct != Some(true) {
+            continue;
+        }
+        let mut counter = 0u64;
+        let mut w = Workload::new(may.object_count());
+        for p in may.programs() {
+            let scripts: Vec<Script> = (0..may.pieces_of(p))
+                .map(|k| default_piece_script(app, IrProgramId(p.0), k, &mut counter))
+                .filter(|s| !s.is_empty())
+                .collect();
+            if !scripts.is_empty() {
+                w = w.session(scripts);
+            }
+        }
+        let (o, d) = explore_clean(&engine, &w, level, true, opts, "[chopped, all programs]");
+        rows.push(ConfirmRow { code: None, claim: claim.to_owned(), outcome: o, detail: d });
+    }
+    rows
+}
+
+/// Pulls the run count back out of an evidence string ("… N runs …").
+fn extract_runs(detail: &str) -> u64 {
+    detail
+        .split_whitespace()
+        .zip(detail.split_whitespace().skip(1))
+        .find(|(_, b)| *b == "runs" || b.starts_with("runs"))
+        .and_then(|(a, _)| a.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_skew() -> ProgramSet {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("withdraw_x");
+        ps.add_piece(w1, "p", [x, y], [x]);
+        let w2 = ps.add_program("withdraw_y");
+        ps.add_piece(w2, "p", [x, y], [y]);
+        ps
+    }
+
+    #[test]
+    fn write_skew_si001_reproduces() {
+        let report = confirm_program_set("write-skew", &write_skew(), &ConfirmOptions::default());
+        let si001: Vec<_> =
+            report.rows.iter().filter(|r| r.code == Some(DiagCode::Si001)).collect();
+        assert!(!si001.is_empty(), "{report:#?}");
+        for row in si001 {
+            assert_eq!(row.outcome, ConfirmOutcome::Reproduced, "{row:#?}");
+        }
+        assert!(report.is_confirmed(), "{report:#?}");
+    }
+
+    #[test]
+    fn figure5_si002_reproduces_and_robust_rows_hold() {
+        let mut ps = ProgramSet::new();
+        let a1 = ps.object("acct1");
+        let a2 = ps.object("acct2");
+        let t = ps.add_program("transfer");
+        ps.add_piece(t, "debit", [a1], [a1]);
+        ps.add_piece(t, "credit", [a2], [a2]);
+        let l = ps.add_program("lookupAll");
+        ps.add_piece(l, "read1", [a1], []);
+        ps.add_piece(l, "read2", [a2], []);
+        let report = confirm_program_set("fig5", &ps, &ConfirmOptions::default());
+        let si002 = report.rows.iter().find(|r| r.code == Some(DiagCode::Si002)).unwrap();
+        assert_eq!(si002.outcome, ConfirmOutcome::Reproduced, "{si002:#?}");
+        assert!(report.is_confirmed(), "{report:#?}");
+    }
+
+    #[test]
+    fn figure12_long_fork_witnesses_confirm() {
+        let mut ps = ProgramSet::new();
+        let x = ps.object("x");
+        let y = ps.object("y");
+        let w1 = ps.add_program("write1");
+        ps.add_piece(w1, "x = post1", [], [x]);
+        let w2 = ps.add_program("write2");
+        ps.add_piece(w2, "y = post2", [], [y]);
+        let r1 = ps.add_program("read1");
+        ps.add_piece(r1, "a = y", [y], []);
+        ps.add_piece(r1, "b = x", [x], []);
+        let r2 = ps.add_program("read2");
+        ps.add_piece(r2, "a = x", [x], []);
+        ps.add_piece(r2, "b = y", [y], []);
+        let report = confirm_program_set("fig12", &ps, &ConfirmOptions::default());
+        for code in [DiagCode::Si002, DiagCode::Si004, DiagCode::Si005] {
+            let row = report.rows.iter().find(|r| r.code == Some(code)).unwrap();
+            assert_ne!(row.outcome, ConfirmOutcome::Unconfirmed, "{row:#?}");
+            assert_ne!(row.outcome, ConfirmOutcome::Inconclusive, "{row:#?}");
+        }
+        assert!(report.is_confirmed(), "{report:#?}");
+    }
+}

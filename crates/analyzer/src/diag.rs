@@ -62,6 +62,107 @@ impl DiagCode {
             DiagCode::Si007 => Severity::Info,
         }
     }
+
+    /// A long-form explanation of the code: the pattern it detects, the
+    /// theorem the detection rests on, and the repair strategy.
+    pub fn explain(self) -> &'static str {
+        match self {
+            DiagCode::Si001 => {
+                "SI001 — not SER-robust under SI (dangerous structure)\n\
+                \n\
+                Pattern:  two anti-dependency (RW) edges meeting in a pivot\n\
+                transaction, `a -RW-> b -RW-> c`, with a dependency path\n\
+                closing the cycle back from c to a, where both RW edges\n\
+                connect transactions that can run concurrently (write-\n\
+                disjoint, so first-committer-wins does not abort either).\n\
+                Theorem:  Theorem 19 (Fekete et al.'s criterion recast over\n\
+                the axiomatic SI characterisation): an SI history that is\n\
+                not serializable contains such a structure, so an\n\
+                application whose static dependency graph has none is\n\
+                SER-robust under SI. The refinement subtracts edges whose\n\
+                endpoints always conflict on a must-written object.\n\
+                Repair:   promote reads — make the pivot (or one vulnerable\n\
+                edge's reader) *write* the object it reads, materialising\n\
+                the conflict so FCW serialises the pair; or run the pivot\n\
+                at SER (see SI007 for the discharge this earns)."
+            }
+            DiagCode::Si002 => {
+                "SI002 — chopping not spliceable under SI (critical cycle)\n\
+                \n\
+                Pattern:  a cycle in the chopping graph mixing program-order\n\
+                successor edges with conflict edges that leaves and re-enters\n\
+                the same program through *different* pieces.\n\
+                Theorem:  Corollary 18: if every execution of the chopped\n\
+                application splices to an execution of the original one, the\n\
+                chopping is correct; Theorem 29 gives the graph-theoretic\n\
+                test. A critical cycle means some interleaving of pieces\n\
+                observes a state no unchopped execution produces.\n\
+                Repair:   merge the pieces on the cycle back into one\n\
+                transaction (the suggested merge is re-verified), or remove\n\
+                the conflicting access from one side."
+            }
+            DiagCode::Si003 => {
+                "SI003 — chopping spliceable under SI but not under SER\n\
+                \n\
+                Pattern:  the chopping passes the SI spliceability test but\n\
+                fails the stricter serializable one: a cycle becomes\n\
+                critical only when conflict edges may run under SER's\n\
+                tighter commit order.\n\
+                Theorem:  Theorems 29 vs 31: the spliceability criteria\n\
+                differ per level; a chopping can be safe exactly at SI.\n\
+                Repair:   none needed while the system runs SI — but\n\
+                migrating the store to SER would silently break the\n\
+                chopping; merge the flagged pieces first."
+            }
+            DiagCode::Si004 => {
+                "SI004 — chopping spliceable under PSI but not under SI\n\
+                \n\
+                Pattern:  the chopping passes the PSI spliceability test but\n\
+                fails the SI one.\n\
+                Theorem:  Theorems 29/31 instantiated at PSI vs SI: PSI's\n\
+                weaker guarantees admit fewer critical cycles (long forks\n\
+                are already allowed, so splicing demands less).\n\
+                Repair:   safe on a PSI store; on an SI store merge the\n\
+                flagged pieces or drop the chopping."
+            }
+            DiagCode::Si005 => {
+                "SI005 — not SI-robust against PSI (long-fork cycle)\n\
+                \n\
+                Pattern:  a dependency-graph cycle whose anti-dependency\n\
+                (RW) edges never coincide with a write-write or write-read\n\
+                conflict: under PSI two replicas can each commit one side\n\
+                of the fork and the cycle closes without any FCW abort.\n\
+                Theorem:  Theorem 22 (robustness against PSI): an\n\
+                application without such a cycle behaves identically on a\n\
+                PSI store and an SI store.\n\
+                Repair:   materialise a write-write conflict on some cycle\n\
+                edge (have both sides write a common object), or keep the\n\
+                application on a single-replica SI store."
+            }
+            DiagCode::Si006 => {
+                "SI006 — analysis budget exhausted\n\
+                \n\
+                Pattern:  the cycle search hit its node/edge budget before\n\
+                the robustness question was decided.\n\
+                Theorem:  none — this is an engineering bound, not a\n\
+                verdict. Treat the target as potentially non-robust.\n\
+                Repair:   raise `LintOptions::budget` or shrink the\n\
+                application model."
+            }
+            DiagCode::Si007 => {
+                "SI007 — constraint already materialised / pivot discharged\n\
+                \n\
+                Pattern:  a would-be dangerous structure whose pivot is\n\
+                declared to run at SER (session-level annotation), or whose\n\
+                conflicting pair already writes a common object.\n\
+                Theorem:  Theorem 19's side conditions: promoting the pivot\n\
+                to SER (or materialising the write-write conflict) removes\n\
+                the structure from every SI execution's dependency graph.\n\
+                Repair:   none — informational. The repair is already in\n\
+                place; this code records *why* the structure is harmless."
+            }
+        }
+    }
 }
 
 // Serialized as the bare code string (the derive macro has no rename

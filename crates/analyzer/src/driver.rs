@@ -17,15 +17,47 @@
 //! verdict. Diagnostics are ordered errors-first, then by code.
 
 use si_chopping::{analyse_chopping, ChoppingReport, Criterion, ProgramSet};
+use si_model::TxId;
 use si_robustness::{
-    check_ser_robustness, check_si_robustness, enumerate_dangerous_structures_split, StaticDepGraph,
+    check_ser_robustness, check_si_robustness, enumerate_dangerous_structures_split,
+    DangerousStructure, StaticDepGraph,
 };
 use si_telemetry::MetricsRegistry;
 
 use crate::diag::{DiagCode, Diagnostic, LintReport, Severity, Summary};
-use crate::ir::IrApp;
+use crate::ir::{IrApp, SessionLevel};
 use crate::render::{witness_from_chopping, witness_from_structure};
 use crate::repair::{search_merges, search_promotions};
+
+/// The machine-readable witness behind one diagnostic, before name
+/// rendering — what witness compilation (`crate::witness`) consumes.
+/// Budget exhaustion (SI006) carries no witness.
+#[derive(Debug, Clone)]
+pub enum RawWitness {
+    /// A Theorem 19/22 dangerous structure or long-fork cycle over the
+    /// whole-transaction static graph (SI001, SI005, SI007).
+    Structure(DangerousStructure),
+    /// A chopping-criterion report whose critical cycle indicts the
+    /// chopping (SI002, SI003, SI004).
+    Chop(ChoppingReport),
+}
+
+/// A [`LintReport`] plus the raw witness behind each diagnostic.
+///
+/// `raws` is index-aligned with `report.diagnostics` (same sort order);
+/// `raws[i]` is `None` exactly when diagnostic `i` has no compilable
+/// witness (SI006).
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// The rendered report, identical to what the non-`_full` entry
+    /// points return.
+    pub report: LintReport,
+    /// Raw witnesses, aligned with `report.diagnostics`.
+    pub raws: Vec<Option<RawWitness>>,
+    /// Per-program session levels the run was judged under (all
+    /// [`SessionLevel::Si`] for unannotated apps).
+    pub levels: Vec<SessionLevel>,
+}
 
 /// Tuning knobs for one lint run.
 #[derive(Debug, Clone)]
@@ -59,7 +91,18 @@ impl Default for LintOptions {
 
 /// Lints an application with hand-declared (exact) read/write sets.
 pub fn lint_program_set(target: &str, programs: &ProgramSet, opts: &LintOptions) -> LintReport {
-    lint_split(target, programs, programs, opts, None)
+    lint_program_set_full(target, programs, opts).report
+}
+
+/// [`lint_program_set`], also returning the raw witnesses
+/// ([`LintOutcome`]) that witness compilation consumes.
+pub fn lint_program_set_full(
+    target: &str,
+    programs: &ProgramSet,
+    opts: &LintOptions,
+) -> LintOutcome {
+    let levels = vec![SessionLevel::Si; programs.program_count()];
+    lint_split(target, programs, programs, &levels, opts, None)
 }
 
 /// [`lint_program_set`] with counters recorded into `metrics` (names
@@ -71,7 +114,8 @@ pub fn lint_program_set_with_metrics(
     opts: &LintOptions,
     metrics: &MetricsRegistry,
 ) -> LintReport {
-    lint_split(target, programs, programs, opts, Some(metrics))
+    let levels = vec![SessionLevel::Si; programs.program_count()];
+    lint_split(target, programs, programs, &levels, opts, Some(metrics)).report
 }
 
 /// Lints an IR application: lowers it with [`IrApp::approximate`] and
@@ -79,8 +123,13 @@ pub fn lint_program_set_with_metrics(
 /// subtracts guaranteed write-write conflicts — see the `ir` module docs
 /// for the soundness direction).
 pub fn lint_app(target: &str, app: &IrApp, opts: &LintOptions) -> LintReport {
+    lint_app_full(target, app, opts).report
+}
+
+/// [`lint_app`], also returning the raw witnesses ([`LintOutcome`]).
+pub fn lint_app_full(target: &str, app: &IrApp, opts: &LintOptions) -> LintOutcome {
     let lowered = app.approximate();
-    lint_split(target, &lowered.may, &lowered.must, opts, None)
+    lint_split(target, &lowered.may, &lowered.must, &lowered.levels, opts, None)
 }
 
 /// [`lint_app`] with metrics.
@@ -91,21 +140,23 @@ pub fn lint_app_with_metrics(
     metrics: &MetricsRegistry,
 ) -> LintReport {
     let lowered = app.approximate();
-    lint_split(target, &lowered.may, &lowered.must, opts, Some(metrics))
+    lint_split(target, &lowered.may, &lowered.must, &lowered.levels, opts, Some(metrics)).report
 }
 
 fn lint_split(
     target: &str,
     may: &ProgramSet,
     must: &ProgramSet,
+    levels: &[SessionLevel],
     opts: &LintOptions,
     metrics: Option<&MetricsRegistry>,
-) -> LintReport {
+) -> LintOutcome {
     assert!(opts.instances >= 1, "need at least one instance per program");
+    assert_eq!(levels.len(), may.program_count(), "one session level per program");
     if let Some(m) = metrics {
         m.counter("lint.runs").add(1);
     }
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut items: Vec<(Diagnostic, Option<RawWitness>)> = Vec::new();
 
     // Robustness graphs (whole transactions, optionally replicated).
     let (gmay, gmust, whole) = if opts.instances == 1 {
@@ -123,6 +174,19 @@ fn lint_split(
     let plain = check_ser_robustness(&gmay);
     let structures =
         enumerate_dangerous_structures_split(&gmay, &gmust, opts.max_diagnostics.max(1));
+    // Fekete's promotion discipline: a dangerous structure whose pivot
+    // (the transaction with both vulnerable edges) is annotated SER is
+    // already repaired — running the pivot serializable removes its
+    // incoming/outgoing anti-dependency vulnerability, which is exactly
+    // the promotion repair SI001 would propose.
+    let program_level = |v: TxId| levels[v.index() % may.program_count()];
+    let (discharged, structures): (Vec<_>, Vec<_>) =
+        structures.into_iter().partition(|s| match s {
+            DangerousStructure::AdjacentAntiDependencies { b, .. } => {
+                program_level(*b) == SessionLevel::Ser
+            }
+            DangerousStructure::SeparatedAntiDependencyCycle { .. } => false,
+        });
     let refined_robust = structures.is_empty();
 
     for s in &structures {
@@ -147,9 +211,21 @@ fn lint_split(
             m.counter("lint.repairs_proposed").add(d.repairs.len() as u64);
         }
         d.witness = Some(witness);
-        diagnostics.push(d);
+        items.push((d, Some(RawWitness::Structure(s.clone()))));
     }
-    if refined_robust && !plain.robust {
+    if !discharged.is_empty() {
+        let mut d = Diagnostic::new(
+            DiagCode::Si007,
+            format!(
+                "{} dangerous structure(s) discharged by session-level annotations: each \
+                 pivot is declared SER, so the promotion repair is already in place",
+                discharged.len()
+            ),
+        );
+        d.witness = Some(witness_from_structure(&discharged[0], &gmay, &whole));
+        items.push((d, Some(RawWitness::Structure(discharged[0].clone()))));
+    }
+    if refined_robust && !plain.robust && discharged.is_empty() {
         let mut d = Diagnostic::new(
             DiagCode::Si007,
             "the plain Theorem 19 analysis finds a dangerous structure, but its programs \
@@ -158,7 +234,8 @@ fn lint_split(
                 .to_owned(),
         );
         d.witness = plain.witness.as_ref().map(|w| witness_from_structure(w, &gmay, &whole));
-        diagnostics.push(d);
+        let raw = plain.witness.clone().map(RawWitness::Structure);
+        items.push((d, raw));
     }
 
     // §6.2: robustness against PSI towards SI.
@@ -172,16 +249,19 @@ fn lint_split(
                         .to_owned(),
                 );
                 d.witness = Some(witness_from_structure(w, &gmay, &whole));
-                diagnostics.push(d);
+                items.push((d, Some(RawWitness::Structure(w.clone()))));
             }
             report.robust
         }
         Err(_) => {
-            diagnostics.push(Diagnostic::new(
-                DiagCode::Si006,
-                "the PSI→SI robustness search exceeded its step budget; treat the \
-                 application as possibly not robust"
-                    .to_owned(),
+            items.push((
+                Diagnostic::new(
+                    DiagCode::Si006,
+                    "the PSI→SI robustness search exceeded its step budget; treat the \
+                     application as possibly not robust"
+                        .to_owned(),
+                ),
+                None,
             ));
             if let Some(m) = metrics {
                 m.counter("lint.budget_exceeded").add(1);
@@ -200,12 +280,15 @@ fn lint_split(
             match analyse_chopping(may, criterion, opts.step_budget) {
                 Ok(report) => Some(report),
                 Err(_) => {
-                    diagnostics.push(Diagnostic::new(
-                        DiagCode::Si006,
-                        format!(
-                            "the {criterion} chopping analysis exceeded its step budget; \
-                             treat the chopping as possibly incorrect"
+                    items.push((
+                        Diagnostic::new(
+                            DiagCode::Si006,
+                            format!(
+                                "the {criterion} chopping analysis exceeded its step budget; \
+                                 treat the chopping as possibly incorrect"
+                            ),
                         ),
+                        None,
                     ));
                     if let Some(m) = metrics {
                         m.counter("lint.budget_exceeded").add(1);
@@ -234,7 +317,7 @@ fn lint_split(
                 if let Some(m) = metrics {
                     m.counter("lint.repairs_proposed").add(d.repairs.len() as u64);
                 }
-                diagnostics.push(d);
+                items.push((d, Some(RawWitness::Chop(report.clone()))));
             }
         }
         if chop_si == Some(true) && chop_ser == Some(false) {
@@ -246,7 +329,8 @@ fn lint_split(
                     .to_owned(),
             );
             d.witness = ser_report.as_ref().and_then(|r| witness_from_chopping(r, may));
-            diagnostics.push(d);
+            let raw = ser_report.clone().map(RawWitness::Chop);
+            items.push((d, raw));
         }
         if chop_si == Some(false) && chop_psi == Some(true) {
             let mut d = Diagnostic::new(
@@ -256,13 +340,16 @@ fn lint_split(
                     .to_owned(),
             );
             d.witness = si_report.as_ref().and_then(|r| witness_from_chopping(r, may));
-            diagnostics.push(d);
+            let raw = si_report.clone().map(RawWitness::Chop);
+            items.push((d, raw));
         }
     }
 
     // Errors first, then warnings, then infos; stable within a class so
-    // discovery order (and hence code order) is preserved.
-    diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(&b.code)));
+    // discovery order (and hence code order) is preserved. Raw witnesses
+    // travel with their diagnostic to stay index-aligned.
+    items.sort_by(|a, b| b.0.severity.cmp(&a.0.severity).then(a.0.code.cmp(&b.0.code)));
+    let (diagnostics, raws): (Vec<Diagnostic>, Vec<Option<RawWitness>>) = items.into_iter().unzip();
 
     let count = |sev: Severity| diagnostics.iter().filter(|d| d.severity == sev).count();
     let summary = Summary {
@@ -287,7 +374,11 @@ fn lint_split(
         m.counter("lint.repairs_verified")
             .add(diagnostics.iter().flat_map(|d| &d.repairs).filter(|r| r.verified).count() as u64);
     }
-    LintReport { target: target.to_owned(), summary, diagnostics }
+    LintOutcome {
+        report: LintReport { target: target.to_owned(), summary, diagnostics },
+        raws,
+        levels: levels.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -459,6 +550,47 @@ mod tests {
         // is unconditional, hence a must-write.
         let d = report.diagnostics.iter().find(|d| d.code == DiagCode::Si001).unwrap();
         assert!(!d.repairs.is_empty());
+    }
+
+    #[test]
+    fn ser_annotated_pivot_discharges_the_structure() {
+        use crate::ir::{Access, FamilyId, SessionLevel};
+        // IR write skew; annotating ONE program SER discharges both
+        // dangerous structures (each 2-cycle's pivot can be either
+        // transaction, and the enumerator reports one pivot per
+        // structure) — here both structures pivot on a withdraw, so
+        // promoting both programs is needed; promoting just one leaves
+        // the structure pivoting on the other.
+        let mut app = IrApp::new();
+        let x = app.scalar("x");
+        let y = app.scalar("y");
+        let w1 = app.program("withdraw_x");
+        app.piece(w1, "p", vec![Stmt::read(x.clone()), Stmt::read(y.clone()), Stmt::write(x)]);
+        let w2 = app.program("withdraw_y");
+        app.piece(
+            w2,
+            "p",
+            vec![
+                Stmt::read(Access::Element(FamilyId(0), 0)),
+                Stmt::read(Access::Element(FamilyId(1), 0)),
+                Stmt::write(Access::Element(FamilyId(1), 0)),
+            ],
+        );
+        let flagged = lint_app_full("skew", &app, &LintOptions::default());
+        assert!(flagged.report.diagnostics.iter().any(|d| d.code == DiagCode::Si001));
+        assert_eq!(flagged.raws.len(), flagged.report.diagnostics.len());
+
+        let mut promoted = app.clone();
+        promoted.set_level(w1, SessionLevel::Ser);
+        promoted.set_level(w2, SessionLevel::Ser);
+        let clean = lint_app_full("skew-ser", &promoted, &LintOptions::default());
+        assert!(
+            clean.report.diagnostics.iter().all(|d| d.code != DiagCode::Si001),
+            "SER pivots must discharge every structure"
+        );
+        assert!(clean.report.diagnostics.iter().any(|d| d.code == DiagCode::Si007));
+        assert!(clean.report.summary.ser_robust_refined);
+        assert_eq!(clean.levels, vec![SessionLevel::Ser, SessionLevel::Ser]);
     }
 
     #[test]

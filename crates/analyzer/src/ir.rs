@@ -54,6 +54,37 @@ struct Family {
     size: usize,
 }
 
+/// The isolation level a program's sessions run under. Mixed-level apps
+/// annotate each program; the default is the store's baseline, SI.
+///
+/// The annotation feeds two consumers: the Fekete pivot-promotion
+/// discipline (a dangerous structure whose pivot runs under
+/// [`SessionLevel::Ser`] is discharged — promoting the pivot is exactly
+/// the repair SI001 proposes), and witness confirmation, which judges
+/// each compiled execution by the battery matching the session's level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SessionLevel {
+    /// Snapshot isolation (the baseline).
+    #[default]
+    Si,
+    /// Serializability — e.g. the program is wrapped in `SELECT … FOR
+    /// UPDATE` promotions or runs on an SER store.
+    Ser,
+    /// Parallel snapshot isolation — the program tolerates long forks.
+    Psi,
+}
+
+impl SessionLevel {
+    /// The rendered name (`"SI"`, `"SER"`, `"PSI"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionLevel::Si => "SI",
+            SessionLevel::Ser => "SER",
+            SessionLevel::Psi => "PSI",
+        }
+    }
+}
+
 /// An access path: which object(s) a statement may touch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Access {
@@ -128,6 +159,7 @@ struct IrPiece {
 struct IrProgram {
     name: String,
     pieces: Vec<IrPiece>,
+    level: SessionLevel,
 }
 
 /// A transactional application in IR form: families, programs, pieces.
@@ -153,6 +185,9 @@ pub struct Lowered {
     /// Same structure with only the *guaranteed* writes (sound for the
     /// WW-subtraction of the Fekete refinement).
     pub must: ProgramSet,
+    /// Per-program isolation-level annotations, indexed by program
+    /// declaration order (aligned with `may`'s program order).
+    pub levels: Vec<SessionLevel>,
 }
 
 impl IrApp {
@@ -186,8 +221,31 @@ impl IrApp {
 
     /// Adds an empty program; populate it with [`piece`](IrApp::piece).
     pub fn program(&mut self, name: &str) -> IrProgramId {
-        self.programs.push(IrProgram { name: name.to_owned(), pieces: Vec::new() });
+        self.programs.push(IrProgram {
+            name: name.to_owned(),
+            pieces: Vec::new(),
+            level: SessionLevel::Si,
+        });
         IrProgramId(self.programs.len() - 1)
+    }
+
+    /// Annotates `program` with the isolation level its sessions run
+    /// under (the default is [`SessionLevel::Si`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this app.
+    pub fn set_level(&mut self, program: IrProgramId, level: SessionLevel) {
+        self.programs[program.0].level = level;
+    }
+
+    /// The isolation level `program` is annotated with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this app.
+    pub fn level_of(&self, program: IrProgramId) -> SessionLevel {
+        self.programs[program.0].level
     }
 
     /// Appends a piece (one transaction of the chopped session) to
@@ -298,13 +356,181 @@ impl IrApp {
                 must.add_piece(up, &piece.label, reads, must_writes);
             }
         }
-        Lowered { may, must }
+        let levels = self.programs.iter().map(|p| p.level).collect();
+        Lowered { may, must, levels }
     }
 
     /// Convenience: the over-approximated (may) program set alone, for
     /// feeding the plain library analyses directly.
     pub fn program_set(&self) -> ProgramSet {
         self.approximate().may
+    }
+
+    /// Number of pieces of `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not from this app.
+    pub fn piece_count(&self, program: IrProgramId) -> usize {
+        self.programs[program.0].pieces.len()
+    }
+
+    /// The label of `program`'s `piece`-th piece.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program or piece index is out of range.
+    pub fn piece_label(&self, program: IrProgramId, piece: usize) -> &str {
+        &self.programs[program.0].pieces[piece].label
+    }
+
+    /// The first interned [`Obj`] of family `f` — families are interned
+    /// contiguously in declaration order, so element `i` is
+    /// `Obj::from_index(base + i)`.
+    fn family_base(&self, f: FamilyId) -> usize {
+        self.families[..f.0].iter().map(|fam| fam.size).sum()
+    }
+
+    /// Number of elements of family `f`.
+    pub fn family_size(&self, f: FamilyId) -> usize {
+        self.families[f.0].size
+    }
+
+    /// Maps an interned object back to its `(family, element index)`
+    /// coordinates; `None` if the index is outside every family.
+    pub fn object_family(&self, o: Obj) -> Option<(FamilyId, usize)> {
+        let mut base = 0;
+        for (fi, fam) in self.families.iter().enumerate() {
+            if o.index() < base + fam.size {
+                return Some((FamilyId(fi), o.index() - base));
+            }
+            base += fam.size;
+        }
+        None
+    }
+
+    /// The interned object for element `i` of family `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the family.
+    pub fn family_element(&self, f: FamilyId, i: usize) -> Obj {
+        assert!(i < self.families[f.0].size, "family index out of range");
+        Obj::from_index(self.family_base(f) + i)
+    }
+
+    /// The ordered concrete `(reads, writes)` a run of one piece
+    /// performs, with parameterised accesses instantiated:
+    ///
+    /// * `Element(f, i)` resolves to that object;
+    /// * `Param(f, _)` resolves to `bind(f)` (the concrete family index a
+    ///   witness picked, e.g. from a conflict object), else element 0;
+    /// * a `Range` *read* scans the whole family, a `Range` *write*
+    ///   resolves like a `Param` (one matching row is updated);
+    /// * a conditional's guard reads always run, and the branch
+    ///   containing writes is the one taken (a witness wants the
+    ///   dangerous writes to happen; ties go to the `then` branch).
+    ///
+    /// Duplicates are preserved in program order — script synthesis
+    /// dedups as it sees fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program or piece index is out of range.
+    pub fn witness_accesses(
+        &self,
+        program: IrProgramId,
+        piece: usize,
+        bind: &dyn Fn(FamilyId) -> Option<usize>,
+    ) -> (Vec<Obj>, Vec<Obj>) {
+        let one = |a: &Access| -> Obj {
+            let f = a.family();
+            let i = match a {
+                Access::Element(_, i) => *i,
+                Access::Param(..) | Access::Range(_) => {
+                    bind(f).unwrap_or(0).min(self.families[f.0].size - 1)
+                }
+            };
+            self.family_element(f, i)
+        };
+        fn has_writes(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Write(_) => true,
+                Stmt::Read(_) => false,
+                Stmt::If { then_branch, else_branch, .. } => {
+                    has_writes(then_branch) || has_writes(else_branch)
+                }
+            })
+        }
+        fn walk(
+            app: &IrApp,
+            stmts: &[Stmt],
+            one: &dyn Fn(&Access) -> Obj,
+            reads: &mut Vec<Obj>,
+            writes: &mut Vec<Obj>,
+        ) {
+            for s in stmts {
+                match s {
+                    Stmt::Read(a) => match a {
+                        Access::Range(f) => {
+                            let base = app.family_base(*f);
+                            reads.extend(
+                                (0..app.families[f.0].size).map(|i| Obj::from_index(base + i)),
+                            );
+                        }
+                        _ => reads.push(one(a)),
+                    },
+                    Stmt::Write(a) => writes.push(one(a)),
+                    Stmt::If { guard_reads, then_branch, else_branch } => {
+                        for a in guard_reads {
+                            reads.push(one(a));
+                        }
+                        let taken = if has_writes(then_branch) || !has_writes(else_branch) {
+                            then_branch
+                        } else {
+                            else_branch
+                        };
+                        walk(app, taken, one, reads, writes);
+                    }
+                }
+            }
+        }
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        walk(self, &self.programs[program.0].pieces[piece].body, &one, &mut reads, &mut writes);
+        (reads, writes)
+    }
+
+    /// Reconstructs an IR view of a hand-declared [`ProgramSet`]: every
+    /// interned object becomes a scalar family (same `Obj` interning),
+    /// and each piece's body reads then writes its exact sets in order.
+    /// This gives set-declared lint targets the same witness-compilation
+    /// path as IR targets — with no `Param`/`Range` shapes to
+    /// instantiate, the reconstruction is exact, not approximate.
+    pub fn from_program_set(ps: &ProgramSet) -> IrApp {
+        let mut app = IrApp::new();
+        for i in 0..ps.object_count() {
+            let name = ps.object_name(Obj::from_index(i)).expect("interned object");
+            app.family(name, 1);
+        }
+        for p in ps.programs() {
+            let prog = app.program(ps.program_name(p));
+            for k in 0..ps.pieces_of(p) {
+                let piece = si_chopping::PieceId { program: p, piece: k };
+                let body = ps
+                    .reads(piece)
+                    .iter()
+                    .map(|o| Stmt::read(Access::Element(FamilyId(o.index()), 0)))
+                    .chain(
+                        ps.writes(piece)
+                            .iter()
+                            .map(|o| Stmt::write(Access::Element(FamilyId(o.index()), 0))),
+                    )
+                    .collect();
+                app.piece(prog, ps.piece_label(piece), body);
+            }
+        }
+        app
     }
 }
 

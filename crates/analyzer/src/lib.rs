@@ -40,20 +40,28 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod confirm;
 pub mod diag;
 pub mod driver;
 pub mod ir;
 pub mod render;
 mod repair;
+pub mod witness;
 
+pub use confirm::{
+    confirm_app, confirm_program_set, confirms_from_json, confirms_to_json, ConfirmOptions,
+    ConfirmOutcome, ConfirmRow, ConfirmationReport,
+};
 pub use diag::{
     reports_from_json, reports_to_json, DiagCode, Diagnostic, LintReport, Repair, RepairAction,
     Severity, Summary, Witness, WitnessEdge,
 };
 pub use driver::{
-    lint_app, lint_app_with_metrics, lint_program_set, lint_program_set_with_metrics, LintOptions,
+    lint_app, lint_app_full, lint_app_with_metrics, lint_program_set, lint_program_set_full,
+    lint_program_set_with_metrics, LintOptions, LintOutcome, RawWitness,
 };
-pub use ir::{Access, FamilyId, IrApp, IrProgramId, Lowered, Stmt};
+pub use ir::{Access, FamilyId, IrApp, IrProgramId, Lowered, SessionLevel, Stmt};
+pub use witness::{compile_witness, ClaimLevel, CompiledWitness, WitnessCheck};
 
 #[cfg(test)]
 mod acceptance {

@@ -1,0 +1,644 @@
+//! si-witness: compile static verdicts into executable counterexamples.
+//!
+//! A lint diagnostic is a claim about *possible* executions: SI001 says
+//! some SI execution of the flagged programs is non-serializable, SI005
+//! says some PSI execution is observably non-SI, SI002–SI004 say chopped
+//! executions splice (or fail to splice) at particular levels. This
+//! module makes those claims executable. For every [`RawWitness`] the
+//! driver attaches to a diagnostic it produces a [`CompiledWitness`]:
+//!
+//! * concrete [`Script`]s instantiating the dangerous structure's
+//!   accesses on real objects — parameterised (`Param`/`Range`) accesses
+//!   are bound to the family element named by the witness's conflict
+//!   objects, conditional branches take the write-bearing arm (a witness
+//!   wants the dangerous writes to happen), and every write carries a
+//!   distinct constant so `WR` edges are value-forced;
+//! * a scheduler advisory (the sanitizer's [`ReplayScript`] form) that
+//!   steers the matching live engine into the anomalous interleaving;
+//! * a [`WitnessCheck`] stating what the recorded history must satisfy
+//!   for the diagnostic to count as *confirmed* — refuted by the solver
+//!   at the diagnosed level, or (for robust verdicts) accepted on every
+//!   explored interleaving.
+//!
+//! The schedules are derived from the witness structure, not searched
+//! for:
+//!
+//! * **SI001/SI007** (dangerous structure `a ─rw→ b ─rw→ c ⇝ a`): the
+//!   pivot `b` begins first (pinning its snapshot before anything
+//!   commits), the closing path `c … a` then runs serially, and `b`
+//!   finishes last. Both anti-dependencies land because `b`'s snapshot
+//!   predates `c`'s commit and `a`'s snapshot predates `b`'s commit;
+//!   the closing dependencies land because the path runs serially. The
+//!   structure's vulnerable edges are write-disjoint by construction,
+//!   so first-committer-wins does not abort the schedule.
+//! * **SI005** (long-fork cycle): the cycle is cut at its
+//!   anti-dependency edges into dependency segments; each segment runs
+//!   serially as one session on its own PSI replica with replication
+//!   suppressed, so in-segment dependencies are observed (same replica)
+//!   while cross-segment writes are invisible — the long fork realised.
+//! * **SI002/SI003/SI004** (critical chopping cycle): every piece of
+//!   every program on the cycle becomes its own transaction, executed
+//!   serially in a topological order of program order plus the cycle's
+//!   conflict edges (the cycle is closed by *reverse* program-order
+//!   edges, so that constraint graph is acyclic exactly when the
+//!   witness is realisable this way). Serial piece execution realises
+//!   each conflict edge, and splicing the recorded history exhibits the
+//!   fractured snapshot / write skew / long fork the criterion forbids.
+//!
+//! Compilation is deterministic: same app + same witness → byte-identical
+//! scripts and advisory (no randomness, no search).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use si_chopping::{conflict_object, ChopEdge, ConflictKind, PieceId, ProgramId, ProgramSet};
+use si_model::Obj;
+use si_mvcc::{Script, ScriptOp, Workload};
+use si_relations::TxId;
+use si_robustness::{DangerousStructure, StaticDepGraph};
+use si_sanitizer::{Actor, EngineSpec, ReplayScript};
+
+use crate::diag::DiagCode;
+use crate::driver::RawWitness;
+use crate::ir::{FamilyId, IrApp, IrProgramId, SessionLevel};
+
+/// A consistency level a confirmation claim is judged at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimLevel {
+    /// Serializability (`HistSER`, Theorem 8).
+    Ser,
+    /// Snapshot isolation (`HistSI`, Theorem 9).
+    Si,
+    /// Parallel snapshot isolation (`HistPSI`, Theorem 21).
+    Psi,
+}
+
+impl ClaimLevel {
+    /// The rendered name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClaimLevel::Ser => "SER",
+            ClaimLevel::Si => "SI",
+            ClaimLevel::Psi => "PSI",
+        }
+    }
+}
+
+/// What the confirmation run must establish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessCheck {
+    /// The advisory-steered run's recorded history must be refuted at
+    /// the level (the anomaly the diagnostic predicts is reproduced).
+    HistoryRefutedAt(ClaimLevel),
+    /// The spliced history (per-session pieces glued back into one
+    /// transaction, Corollary 18) must be refuted at the level, while
+    /// the *unspliced* piece-level history stays a member at the level
+    /// the engine itself guarantees — proving the run was a genuine
+    /// chopped execution whose splice exhibits the anomaly.
+    SpliceRefutedAt(ClaimLevel),
+    /// A robust verdict: every interleaving of the compiled scripts,
+    /// explored exhaustively, must yield a history accepted at the
+    /// level.
+    AllRunsMemberAt(ClaimLevel),
+}
+
+/// A static witness lowered to scripts, an advisory schedule and a
+/// confirmation claim.
+#[derive(Debug, Clone)]
+pub struct CompiledWitness {
+    /// The diagnostic this witness compiles.
+    pub code: DiagCode,
+    /// Engine, workload and scheduling decisions, in the sanitizer's
+    /// self-contained replay form. For [`WitnessCheck::AllRunsMemberAt`]
+    /// the decision list is empty — exploration owns the schedule.
+    pub advisory: ReplayScript,
+    /// What the run must establish.
+    pub check: WitnessCheck,
+    /// One label per workload session: the program (or `program[piece…]`
+    /// chain) it executes.
+    pub sessions: Vec<String>,
+    /// The conflict objects of the witness edges, by interned name —
+    /// exactly the objects parameterised accesses were bound to.
+    pub conflict_objects: Vec<String>,
+    /// Interned object names, indexed by [`Obj`] index, for rendering
+    /// the workload.
+    pub object_names: Vec<String>,
+}
+
+/// Compiles one diagnostic's raw witness. The `Err` explains why the
+/// witness shape cannot be realised by this compiler (e.g. a chopping
+/// constraint graph that is not serially schedulable, or a long-fork
+/// cycle that write-conflict detection collapses) — the confirmation
+/// layer reports such diagnostics as inconclusive rather than wrong.
+///
+/// # Errors
+///
+/// Returns the human-readable realisability obstruction.
+pub fn compile_witness(
+    app: &IrApp,
+    may: &ProgramSet,
+    levels: &[SessionLevel],
+    code: DiagCode,
+    raw: &RawWitness,
+) -> Result<CompiledWitness, String> {
+    match raw {
+        RawWitness::Structure(s) => match code {
+            DiagCode::Si001 => compile_structure(app, may, s, code, false),
+            DiagCode::Si007 => {
+                // Discharged/materialised structures are compiled as a
+                // robustness claim. A SER-annotated pivot is modelled by
+                // the SSI engine (runtime promotion of every session —
+                // the strongest reading of the repair); a materialised
+                // constraint keeps the SI engine, whose
+                // first-committer-wins on the shared object is the very
+                // mechanism the refinement credits.
+                let pivot_ser = match s {
+                    DangerousStructure::AdjacentAntiDependencies { b, .. } => {
+                        levels[b.index() % may.program_count()] == SessionLevel::Ser
+                    }
+                    DangerousStructure::SeparatedAntiDependencyCycle { .. } => false,
+                };
+                compile_structure(app, may, s, code, true).map(|mut w| {
+                    if pivot_ser {
+                        w.advisory.engine = EngineSpec::Ssi;
+                    }
+                    w
+                })
+            }
+            DiagCode::Si005 => compile_long_fork(app, may, s),
+            other => Err(format!("no structure witness compiler for {}", other.as_str())),
+        },
+        RawWitness::Chop(report) => compile_chop(app, may, code, report),
+    }
+}
+
+/// One concrete access stream for a script, pre-assembly.
+#[derive(Debug, Default, Clone)]
+struct AccessPlan {
+    reads: Vec<Obj>,
+    writes: Vec<Obj>,
+}
+
+/// Deterministic script assembly: deduped reads in first-seen order,
+/// then deduped writes (last write wins) with fresh constants from the
+/// shared counter.
+fn assemble(plan: &AccessPlan, counter: &mut u64) -> Script {
+    let mut script = Script::new();
+    let mut seen = BTreeSet::new();
+    for &o in &plan.reads {
+        if seen.insert(o) {
+            script = script.read(o);
+        }
+    }
+    let mut write_order: Vec<Obj> = Vec::new();
+    for &o in &plan.writes {
+        if !write_order.contains(&o) {
+            write_order.push(o);
+        }
+    }
+    for o in write_order {
+        *counter += 1;
+        script = script.write_const(o, *counter);
+    }
+    script
+}
+
+/// Scheduling steps one script takes on a writes-are-local engine:
+/// begin, one per external read, commit.
+fn steps_for(script: &Script) -> usize {
+    let mut written: BTreeSet<Obj> = BTreeSet::new();
+    let mut external = 0;
+    for op in script.ops() {
+        match op {
+            ScriptOp::Read(o) => {
+                if !written.contains(o) {
+                    external += 1;
+                }
+            }
+            ScriptOp::WriteConst(o, _) => {
+                written.insert(*o);
+            }
+            ScriptOp::WriteComputed { obj, .. } => {
+                written.insert(*obj);
+            }
+            ScriptOp::EndIfSumBelow { .. } => {}
+        }
+    }
+    1 + external + 1
+}
+
+/// The family-element binding for parameterised accesses: the first
+/// conflict object seen per family. Returns the per-family element index.
+fn binding_from_conflicts(app: &IrApp, conflicts: &[Obj]) -> BTreeMap<FamilyId, usize> {
+    let mut bind = BTreeMap::new();
+    for &o in conflicts {
+        if let Some((f, i)) = app.object_family(o) {
+            bind.entry(f).or_insert(i);
+        }
+    }
+    bind
+}
+
+/// The concrete access plan of one piece under `bind`.
+fn piece_plan(
+    app: &IrApp,
+    program: IrProgramId,
+    piece: usize,
+    bind: &BTreeMap<FamilyId, usize>,
+) -> AccessPlan {
+    let (reads, writes) = app.witness_accesses(program, piece, &|f| bind.get(&f).copied());
+    AccessPlan { reads, writes }
+}
+
+/// The whole-program access plan: pieces concatenated in order.
+fn program_plan(app: &IrApp, program: IrProgramId, bind: &BTreeMap<FamilyId, usize>) -> AccessPlan {
+    let mut plan = AccessPlan::default();
+    for k in 0..app.piece_count(program) {
+        let p = piece_plan(app, program, k, bind);
+        plan.reads.extend(p.reads);
+        plan.writes.extend(p.writes);
+    }
+    plan
+}
+
+/// Maps a whole-transaction static-graph vertex to its program.
+fn vertex_program(v: TxId, program_count: usize) -> IrProgramId {
+    IrProgramId(v.index() % program_count)
+}
+
+/// The conflict objects realising each consecutive edge of a vertex
+/// sequence over the whole-transaction (unchopped) program set, in edge
+/// order. Edges are looked up kind-by-kind in WR → WW → RW order,
+/// mirroring the renderer.
+fn structure_conflicts(whole: &ProgramSet, order: &[(TxId, TxId)]) -> Vec<Obj> {
+    let wp = |v: TxId| PieceId { program: ProgramId(v.index()), piece: 0 };
+    let mut out = Vec::new();
+    for &(u, v) in order {
+        for kind in [ConflictKind::Wr, ConflictKind::Ww, ConflictKind::Rw] {
+            if let Some(o) = conflict_object(whole, wp(u), wp(v), kind) {
+                out.push(o);
+            }
+        }
+    }
+    out
+}
+
+fn object_names(may: &ProgramSet) -> Vec<String> {
+    (0..may.object_count())
+        .map(|i| may.object_name(Obj::from_index(i)).unwrap_or("?").to_owned())
+        .collect()
+}
+
+/// SI001/SI007: pivot-first realisation of an adjacent dangerous
+/// structure (or, for a separated cycle reported by the plain check, a
+/// serial run of its nodes — enough for the robustness polarity).
+fn compile_structure(
+    app: &IrApp,
+    may: &ProgramSet,
+    s: &DangerousStructure,
+    code: DiagCode,
+    robust: bool,
+) -> Result<CompiledWitness, String> {
+    let whole = may.unchopped();
+    let program_count = may.program_count();
+    let (pivot, path) = match s {
+        DangerousStructure::AdjacentAntiDependencies { a, b, c, closing_path } => {
+            let path = if closing_path.is_empty() {
+                debug_assert_eq!(a, c);
+                vec![*a]
+            } else {
+                closing_path.clone()
+            };
+            (*b, path)
+        }
+        DangerousStructure::SeparatedAntiDependencyCycle { nodes } => {
+            let (&first, rest) =
+                nodes.split_first().ok_or_else(|| "empty witness cycle".to_owned())?;
+            (first, rest.to_vec())
+        }
+    };
+    if path.contains(&pivot) {
+        // Degenerate: this compiler schedules each program once.
+        return Err("the closing path revisits the pivot".to_owned());
+    }
+
+    // Conflict objects around the structure, for binding parameterised
+    // accesses: both anti-dependency edges plus every closing-path step.
+    let mut edges = vec![(path[path.len() - 1], pivot), (pivot, path[0])];
+    edges.extend(path.windows(2).map(|w| (w[0], w[1])));
+    let conflicts = structure_conflicts(&whole, &edges);
+    let bind = binding_from_conflicts(app, &conflicts);
+
+    let mut counter = 0u64;
+    let mut sessions = Vec::new();
+    let mut scripts = Vec::new();
+    for &v in std::iter::once(&pivot).chain(path.iter()) {
+        let p = vertex_program(v, program_count);
+        sessions.push(app.program_name(p).to_owned());
+        scripts.push(assemble(&program_plan(app, p, &bind), &mut counter));
+    }
+    if scripts.iter().any(Script::is_empty) {
+        // An empty session would renumber the workload.
+        return Err("a witness program has no concrete accesses".to_owned());
+    }
+
+    let mut workload = Workload::new(may.object_count());
+    for s in &scripts {
+        workload = workload.session([s.clone()]);
+    }
+
+    // Pivot begins (session 0, one step), the closing path runs serially
+    // (sessions 1..), the pivot finishes. Over-long actor runs are
+    // harmless: advisory replay skips decisions for disabled actors.
+    let mut decisions = vec![Actor::Session(0)];
+    for (i, s) in scripts.iter().enumerate().skip(1) {
+        decisions.extend(std::iter::repeat_n(Actor::Session(i), steps_for(s)));
+    }
+    decisions.extend(std::iter::repeat_n(Actor::Session(0), steps_for(&scripts[0]) - 1));
+
+    let check = if robust {
+        WitnessCheck::AllRunsMemberAt(ClaimLevel::Ser)
+    } else {
+        WitnessCheck::HistoryRefutedAt(ClaimLevel::Ser)
+    };
+    let decisions = if robust { Vec::new() } else { decisions };
+    Ok(CompiledWitness {
+        code,
+        advisory: ReplayScript::new(EngineSpec::Si, &workload, 4, decisions),
+        check,
+        sessions,
+        conflict_objects: named(&conflicts, may),
+        object_names: object_names(may),
+    })
+}
+
+/// SI005: segment the long-fork cycle at its anti-dependency edges and
+/// run each dependency segment serially on its own PSI replica.
+fn compile_long_fork(
+    app: &IrApp,
+    may: &ProgramSet,
+    s: &DangerousStructure,
+) -> Result<CompiledWitness, String> {
+    let nodes = match s {
+        DangerousStructure::SeparatedAntiDependencyCycle { nodes } => nodes.clone(),
+        DangerousStructure::AdjacentAntiDependencies { .. } => {
+            return Err("SI005 expects a separated anti-dependency cycle".to_owned());
+        }
+    };
+    let n = nodes.len();
+    if n < 2 {
+        return Err("the witness cycle has fewer than two transactions".to_owned());
+    }
+    let graph = StaticDepGraph::from_programs(may);
+    let program_count = may.program_count();
+    // An edge is a segment cut when it is *only* an anti-dependency:
+    // a WR/WW reading realises on one replica, so dependency edges keep
+    // their endpoints in one segment.
+    let is_cut: Vec<bool> = (0..n)
+        .map(|i| {
+            let (u, v) = (nodes[i], nodes[(i + 1) % n]);
+            graph.rw().contains(u, v) && !graph.wr().contains(u, v) && !graph.ww().contains(u, v)
+        })
+        .collect();
+    let cuts = is_cut.iter().filter(|&&c| c).count();
+    if cuts < 2 {
+        // A long fork needs at least two independent branches.
+        return Err("fewer than two pure anti-dependency edges in the cycle".to_owned());
+    }
+    // Rotate so a segment starts right after the last cut edge.
+    let start = (0..n)
+        .find(|&i| is_cut[(i + n - 1) % n])
+        .ok_or_else(|| "no cut edge to rotate the cycle to".to_owned())?;
+    let mut segments: Vec<Vec<TxId>> = vec![Vec::new()];
+    for k in 0..n {
+        let i = (start + k) % n;
+        segments.last_mut().unwrap().push(nodes[i]);
+        if is_cut[i] && k + 1 < n {
+            segments.push(Vec::new());
+        }
+    }
+
+    // Realisability: two transactions in *different* fork branches that
+    // both write one object cannot commit concurrently — PSI keeps
+    // first-committer-wins, so the branches end up causally ordered and
+    // the fork collapses. Theorem 22's syntactic criterion only inspects
+    // the cycle's own edges, so it can flag such cycles; they are sound
+    // warnings but not operationally reproducible, and the confirmation
+    // layer must say so instead of reporting a contradiction.
+    let whole = may.unchopped();
+    for (i, seg_a) in segments.iter().enumerate() {
+        for seg_b in segments.iter().skip(i + 1) {
+            for &u in seg_a {
+                for &v in seg_b {
+                    let (uu, vv) = (
+                        PieceId { program: ProgramId(u.index()), piece: 0 },
+                        PieceId { program: ProgramId(v.index()), piece: 0 },
+                    );
+                    if let Some(o) = conflict_object(&whole, uu, vv, ConflictKind::Ww) {
+                        let pu = vertex_program(u, program_count);
+                        let pv = vertex_program(v, program_count);
+                        return Err(format!(
+                            "{} and {} sit in different fork branches but both write {}: \
+                             PSI's write-conflict detection orders the branches causally, \
+                             so this long fork is not operationally realisable",
+                            app.program_name(pu),
+                            app.program_name(pv),
+                            may.object_name(o).unwrap_or("?"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Conflict objects over every cycle edge bind the parameters.
+    let edges: Vec<(TxId, TxId)> = (0..n).map(|i| (nodes[i], nodes[(i + 1) % n])).collect();
+    let conflicts = structure_conflicts(&whole, &edges);
+    let bind = binding_from_conflicts(app, &conflicts);
+
+    let mut counter = 0u64;
+    let mut sessions = Vec::new();
+    let mut workload = Workload::new(may.object_count());
+    let mut decisions = Vec::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let mut scripts = Vec::new();
+        let mut names = Vec::new();
+        for &v in seg {
+            let p = vertex_program(v, program_count);
+            names.push(app.program_name(p).to_owned());
+            scripts.push(assemble(&program_plan(app, p, &bind), &mut counter));
+        }
+        if scripts.iter().any(Script::is_empty) {
+            return Err("a witness program has no concrete accesses".to_owned());
+        }
+        for s in &scripts {
+            decisions.extend(std::iter::repeat_n(Actor::Session(i), steps_for(s)));
+        }
+        sessions.push(names.join(" → "));
+        workload = workload.session(scripts);
+    }
+
+    Ok(CompiledWitness {
+        code: DiagCode::Si005,
+        advisory: ReplayScript::new(
+            EngineSpec::Psi { replicas: segments.len() },
+            &workload,
+            4,
+            decisions,
+        ),
+        check: WitnessCheck::HistoryRefutedAt(ClaimLevel::Si),
+        sessions,
+        conflict_objects: named(&conflicts, may),
+        object_names: object_names(may),
+    })
+}
+
+/// SI002/SI003/SI004: serial piece realisation of a critical chopping
+/// cycle, judged on the spliced history.
+fn compile_chop(
+    app: &IrApp,
+    may: &ProgramSet,
+    code: DiagCode,
+    report: &si_chopping::ChoppingReport,
+) -> Result<CompiledWitness, String> {
+    let cycle =
+        report.witness.as_ref().ok_or_else(|| "chopping report has no witness cycle".to_owned())?;
+    // Programs on the cycle, in ProgramId order (session order).
+    let mut involved: Vec<ProgramId> = cycle
+        .nodes
+        .iter()
+        .map(|&v| report.nodes.piece(v).program)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    involved.sort();
+    let session_of = |p: ProgramId| involved.iter().position(|&q| q == p).expect("on cycle");
+
+    // Constraint edges: the cycle's conflict steps (piece u strictly
+    // before piece v — serial realisation produces WR/WW/RW alike) plus
+    // implicit program order. Reverse program-order (Predecessor) steps
+    // close the cycle on paper and impose nothing at run time.
+    let mut conflicts_obj = Vec::new();
+    let mut before: Vec<(PieceId, PieceId)> = Vec::new();
+    for (i, label) in cycle.labels.iter().enumerate() {
+        let u = report.nodes.piece(cycle.nodes[i]);
+        let v = report.nodes.piece(cycle.nodes[(i + 1) % cycle.nodes.len()]);
+        if let ChopEdge::Conflict(kind) = label {
+            before.push((u, v));
+            if let Some(o) = conflict_object(may, u, v, *kind) {
+                conflicts_obj.push(o);
+            }
+        }
+    }
+    let bind = binding_from_conflicts(app, &conflicts_obj);
+
+    // Units: every piece of every involved program.
+    let units: Vec<PieceId> = involved
+        .iter()
+        .flat_map(|&p| (0..may.pieces_of(p)).map(move |k| PieceId { program: p, piece: k }))
+        .collect();
+    let unit_index =
+        |pc: PieceId| units.iter().position(|&u| u == pc).expect("unit of involved program");
+
+    // Kahn's algorithm over program order + conflict edges, smallest
+    // unit index first — deterministic, and a leftover means the
+    // constraint graph is cyclic (not serially realisable).
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+    let mut indeg = vec![0usize; units.len()];
+    let add_edge = |from: usize, to: usize, succ: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>| {
+        if !succ[from].contains(&to) {
+            succ[from].push(to);
+            indeg[to] += 1;
+        }
+    };
+    for (i, u) in units.iter().enumerate() {
+        if u.piece + 1 < may.pieces_of(u.program) {
+            let next = unit_index(PieceId { program: u.program, piece: u.piece + 1 });
+            add_edge(i, next, &mut succ, &mut indeg);
+        }
+    }
+    for &(u, v) in &before {
+        add_edge(unit_index(u), unit_index(v), &mut succ, &mut indeg);
+    }
+    let mut order = Vec::with_capacity(units.len());
+    let mut ready: BTreeSet<usize> = (0..units.len()).filter(|&i| indeg[i] == 0).collect();
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(i);
+        for &j in &succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.insert(j);
+            }
+        }
+    }
+    if order.len() != units.len() {
+        // Constraint cycle: not realisable by serial pieces.
+        return Err("the chopping constraint graph admits no serial schedule".to_owned());
+    }
+
+    // One session per program, scripts = its pieces in order; empty
+    // pieces would desynchronise Workload's script numbering.
+    let mut counter = 0u64;
+    let mut piece_scripts: BTreeMap<PieceId, Script> = BTreeMap::new();
+    for &u in &units {
+        let prog = IrProgramId(u.program.0);
+        let script = assemble(&piece_plan(app, prog, u.piece, &bind), &mut counter);
+        if script.is_empty() {
+            return Err("a witness piece has no concrete accesses".to_owned());
+        }
+        piece_scripts.insert(u, script);
+    }
+    let mut workload = Workload::new(may.object_count());
+    let mut sessions = Vec::new();
+    for &p in &involved {
+        let scripts: Vec<Script> = (0..may.pieces_of(p))
+            .map(|k| piece_scripts[&PieceId { program: p, piece: k }].clone())
+            .collect();
+        sessions.push(format!("{}[{} pieces]", may.program_name(p), scripts.len()));
+        workload = workload.session(scripts);
+    }
+    let mut decisions = Vec::new();
+    for &i in &order {
+        let u = units[i];
+        let s = &piece_scripts[&u];
+        decisions.extend(std::iter::repeat_n(Actor::Session(session_of(u.program)), steps_for(s)));
+    }
+
+    let (engine, check) = match code {
+        DiagCode::Si002 => (EngineSpec::Si, WitnessCheck::SpliceRefutedAt(ClaimLevel::Si)),
+        DiagCode::Si003 => (EngineSpec::Ser, WitnessCheck::SpliceRefutedAt(ClaimLevel::Ser)),
+        DiagCode::Si004 => (EngineSpec::Si, WitnessCheck::SpliceRefutedAt(ClaimLevel::Si)),
+        other => return Err(format!("no chopping witness compiler for {}", other.as_str())),
+    };
+    Ok(CompiledWitness {
+        code,
+        advisory: ReplayScript::new(engine, &workload, 4, decisions),
+        check,
+        sessions,
+        conflict_objects: named(&conflicts_obj, may),
+        object_names: object_names(may),
+    })
+}
+
+/// A whole-program script with parameters bound to element 0 — the
+/// maximally-conflicting instantiation robust-verdict stress runs use.
+pub(crate) fn default_program_script(app: &IrApp, p: IrProgramId, counter: &mut u64) -> Script {
+    assemble(&program_plan(app, p, &BTreeMap::new()), counter)
+}
+
+/// One piece's script under the element-0 binding (chopped stress runs).
+pub(crate) fn default_piece_script(
+    app: &IrApp,
+    p: IrProgramId,
+    piece: usize,
+    counter: &mut u64,
+) -> Script {
+    assemble(&piece_plan(app, p, piece, &BTreeMap::new()), counter)
+}
+
+fn named(objs: &[Obj], may: &ProgramSet) -> Vec<String> {
+    let mut out: Vec<String> =
+        objs.iter().filter_map(|&o| may.object_name(o).map(str::to_owned)).collect();
+    out.dedup();
+    out
+}

@@ -89,6 +89,12 @@ impl ProgramSet {
         self.object_names.get(x.index()).map(String::as_str)
     }
 
+    /// Number of interned objects (the object universe size a workload
+    /// over this set must be built with).
+    pub fn object_count(&self) -> usize {
+        self.object_names.len()
+    }
+
     /// Adds an empty program; populate it with
     /// [`add_piece`](ProgramSet::add_piece).
     pub fn add_program(&mut self, name: &str) -> ProgramId {

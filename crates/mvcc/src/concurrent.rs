@@ -211,6 +211,19 @@ impl StressProtocol for SharedSi {
                 return Err(obj);
             }
         }
+        // The unsynchronised-looking `load + 1 … store` is sound, and
+        // deliberately NOT a `fetch_add`:
+        //
+        // * No lost increments: `commit_counter` is only ever stored
+        //   while holding the exclusive store lock (we are inside it),
+        //   so commit bodies — load, installs, store — are serialised
+        //   and each commit sees the previous one's value. The `Relaxed`
+        //   load is ordered by the lock's acquire barrier, which
+        //   happens-after the previous holder's release.
+        // * `fetch_add` up front would be a real bug, not a cleanup: it
+        //   publishes the new sequence number *before* the versions are
+        //   installed, so the lock-free `begin` below could take a
+        //   snapshot that includes `seq` yet miss its writes entirely.
         let seq = self.commit_counter.load(Ordering::Relaxed) + 1;
         for (&obj, &value) in &tx.writes {
             store.install(obj, value, seq);
@@ -581,6 +594,39 @@ mod tests {
                     .iter()
                     .any(|p| matches!(p, ProbeEvent::VersionInstalled { seq: s, .. } if s == seq));
                 assert!(installed, "commit {seq} published before its installs");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_sequence_is_dense_and_duplicate_free() {
+        // Regression for the commit-counter publication protocol: the
+        // `load(Relaxed) + 1 … store(Release)` pair in `SharedSi::commit`
+        // relies on the exclusive store lock for mutual exclusion. If
+        // that coupling ever broke (an unlocked fast path, or a
+        // `fetch_add` moved before the installs), concurrent committers
+        // would mint duplicate or gapped sequence numbers, or publish a
+        // sequence number whose versions are not yet installed.
+        let sink = Arc::new(VecProbe::new());
+        let probe = EngineProbe::new(sink.clone());
+        let result = stress_si_engine_probed(4, 8, 50, 0x5EC5, probe);
+        let events = sink.drain();
+        let mut seqs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                ProbeEvent::Committed { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        seqs.sort_unstable();
+        let expected: Vec<u64> = (1..=result.stats.committed).collect();
+        assert_eq!(seqs, expected, "commit sequence numbers must be exactly 1..=committed");
+        // Every installed version belongs to a committed transaction —
+        // no version was minted under a sequence number that never
+        // published.
+        for e in &events {
+            if let ProbeEvent::VersionInstalled { seq, .. } = e {
+                assert!(*seq >= 1 && *seq <= result.stats.committed, "orphaned install {seq}");
             }
         }
     }

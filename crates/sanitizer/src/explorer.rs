@@ -33,7 +33,7 @@ use si_telemetry::{Event, Telemetry};
 use crate::dependence::dependent;
 use crate::oracle::{check_artifacts, Failure};
 use crate::replay::ReplayScript;
-use crate::runner::{Actor, EnabledStep, Runner};
+use crate::runner::{Actor, EnabledStep, RunArtifacts, Runner};
 use crate::shrink::minimize;
 use crate::spec::EngineSpec;
 
@@ -153,6 +153,145 @@ pub fn sanitize(spec: &EngineSpec, workload: &Workload, config: &SanitizeConfig)
         shrink_steps: report.shrink_steps,
     });
     report
+}
+
+/// The outcome of a caller-judged exploration ([`explore_judged`]).
+#[derive(Debug)]
+pub struct JudgedExploration {
+    /// Completed interleavings executed and judged.
+    pub explored: u64,
+    /// Branches cut by sleep-set pruning (exhaustive mode).
+    pub pruned: u64,
+    /// Whether the interleaving budget ran out before the tree did.
+    pub budget_exhausted: bool,
+    /// The first interleaving the judge rejected, packaged for replay.
+    /// `None` means every explored interleaving was accepted.
+    pub rejected: Option<ReplayScript>,
+}
+
+impl JudgedExploration {
+    /// Whether the judge accepted every explored interleaving.
+    pub fn is_clean(&self) -> bool {
+        self.rejected.is_none()
+    }
+}
+
+/// Explores `workload` against `spec` like [`sanitize`], but judges each
+/// completed run with a caller-supplied predicate instead of the oracle
+/// stack: `judge` returns `true` to accept an interleaving and `false`
+/// to reject it, and the walk stops at the first rejection.
+///
+/// This is the library entry point behind witness confirmation
+/// (`si-lint`'s `--confirm`): a *robust* static verdict is
+/// counter-validated by judging every interleaving against the claimed
+/// consistency level, and a *search* for an anomalous schedule runs the
+/// same walk with the polarity flipped (reject = found). No shrinking is
+/// applied — the rejected schedule is returned exactly as explored, so
+/// repeated runs are byte-identical.
+pub fn explore_judged(
+    spec: &EngineSpec,
+    workload: &Workload,
+    config: &SanitizeConfig,
+    judge: &mut dyn FnMut(&RunArtifacts) -> bool,
+) -> JudgedExploration {
+    let mut explorer = JudgedExplorer {
+        spec,
+        workload,
+        config,
+        judge,
+        out: JudgedExploration { explored: 0, pruned: 0, budget_exhausted: false, rejected: None },
+    };
+    match config.mode {
+        ExploreMode::Exhaustive => {
+            let mut prefix = Vec::new();
+            explorer.dfs(&mut prefix, Vec::new());
+        }
+        ExploreMode::Random { walks, seed } => explorer.random(walks, seed),
+    }
+    explorer.out
+}
+
+struct JudgedExplorer<'a> {
+    spec: &'a EngineSpec,
+    workload: &'a Workload,
+    config: &'a SanitizeConfig,
+    judge: &'a mut dyn FnMut(&RunArtifacts) -> bool,
+    out: JudgedExploration,
+}
+
+impl JudgedExplorer<'_> {
+    fn done(&self) -> bool {
+        self.out.budget_exhausted || self.out.rejected.is_some()
+    }
+
+    fn dfs(&mut self, prefix: &mut Vec<Actor>, sleep: Vec<EnabledStep>) {
+        if self.done() {
+            return;
+        }
+        let mut runner = Runner::new(self.spec, self.workload, self.config.max_retries);
+        for &actor in prefix.iter() {
+            runner.step(actor);
+        }
+        let enabled = runner.enabled();
+        if enabled.is_empty() {
+            self.check_complete(runner);
+            return;
+        }
+        let explorable: Vec<EnabledStep> =
+            enabled.iter().filter(|s| !sleep.iter().any(|z| z.actor == s.actor)).cloned().collect();
+        if explorable.is_empty() {
+            self.out.pruned += 1;
+            return;
+        }
+        drop(runner);
+        let mut asleep = sleep;
+        for step in explorable {
+            let child_sleep: Vec<EnabledStep> =
+                asleep.iter().filter(|z| !dependent(z, &step)).cloned().collect();
+            prefix.push(step.actor);
+            self.dfs(prefix, child_sleep);
+            prefix.pop();
+            if self.done() {
+                return;
+            }
+            asleep.push(step);
+        }
+    }
+
+    fn random(&mut self, walks: u64, seed: u64) {
+        for walk in 0..walks {
+            if self.done() {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ (walk.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let mut runner = Runner::new(self.spec, self.workload, self.config.max_retries);
+            loop {
+                let enabled = runner.enabled();
+                if enabled.is_empty() {
+                    break;
+                }
+                let pick = enabled[rng.gen_range(0..enabled.len())].actor;
+                runner.step(pick);
+            }
+            self.check_complete(runner);
+        }
+    }
+
+    fn check_complete(&mut self, runner: Runner) {
+        self.out.explored += 1;
+        if self.out.explored >= self.config.max_interleavings {
+            self.out.budget_exhausted = true;
+        }
+        let artifacts = runner.finish();
+        if !(self.judge)(&artifacts) {
+            self.out.rejected = Some(ReplayScript::new(
+                self.spec.clone(),
+                self.workload,
+                self.config.max_retries,
+                artifacts.decisions,
+            ));
+        }
+    }
 }
 
 struct Explorer<'a> {
@@ -348,6 +487,41 @@ mod tests {
         for (fa, fb) in a.failures.iter().zip(&b.failures) {
             assert_eq!(fa.replay, fb.replay);
         }
+    }
+
+    #[test]
+    fn judged_exploration_accepts_and_rejects() {
+        // A judge that accepts everything certifies the workload clean.
+        let clean = explore_judged(
+            &EngineSpec::Si,
+            &lost_update(),
+            &SanitizeConfig::default(),
+            &mut |_| true,
+        );
+        assert!(clean.is_clean());
+        assert!(clean.explored >= 2);
+        // A judge that rejects everything stops at the first interleaving
+        // and hands back a deterministic, replayable schedule.
+        let mut judged = 0u64;
+        let found = explore_judged(
+            &EngineSpec::Si,
+            &lost_update(),
+            &SanitizeConfig::default(),
+            &mut |_| {
+                judged += 1;
+                false
+            },
+        );
+        assert_eq!(judged, 1, "stops at first rejection");
+        assert_eq!(found.explored, 1);
+        let replay = found.rejected.expect("rejection recorded");
+        let again = explore_judged(
+            &EngineSpec::Si,
+            &lost_update(),
+            &SanitizeConfig::default(),
+            &mut |_| false,
+        );
+        assert_eq!(again.rejected.expect("same rejection").to_json(), replay.to_json());
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod spec;
 mod vclock;
 
 pub use dependence::dependent;
-pub use explorer::{sanitize, ExploreMode, FailureCase, SanitizeConfig, SanitizeReport};
+pub use explorer::{
+    explore_judged, sanitize, ExploreMode, FailureCase, JudgedExploration, SanitizeConfig,
+    SanitizeReport,
+};
 pub use mutant::{MutantSiEngine, Mutation};
 pub use oracle::{check_artifacts, Failure};
 pub use replay::ReplayScript;

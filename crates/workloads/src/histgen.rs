@@ -36,6 +36,13 @@ pub enum Anomaly {
     /// Disjoint writes under overlapping reads: inside SI and PSI,
     /// outside SER.
     WriteSkew,
+    /// The range-predicate form of write skew: two sessions each read a
+    /// whole key range and write one *disjoint* member of it, so neither
+    /// sees the other's update to the range it predicated on. Same
+    /// verdict as [`Anomaly::WriteSkew`] (inside SI and PSI, outside
+    /// SER) but the dangerous structure spans a range read — the shape
+    /// `si-lint`'s parameterised `Range` accesses flag statically.
+    WriteSkewOnRange,
     /// Two readers observing two independent writes in opposite orders:
     /// inside PSI, outside SI and SER.
     LongFork,
@@ -239,6 +246,19 @@ fn inject(b: &mut HistoryBuilder, anomaly: Anomaly) {
             b.push_tx(s1, [Op::read(f, 0), Op::read(g, 0), Op::write(f, 1)]);
             b.push_tx(s2, [Op::read(f, 0), Op::read(g, 0), Op::write(g, 1)]);
         }
+        Anomaly::WriteSkewOnRange => {
+            // Each session scans the whole range off its snapshot, then
+            // updates one member the other session's write set misses.
+            let range = b.objects("anomaly_r", 4);
+            let (s1, s2) = (b.session(), b.session());
+            let scan = |extra: Op| {
+                let mut ops: Vec<Op> = range.iter().map(|&o| Op::read(o, 0)).collect();
+                ops.push(extra);
+                ops
+            };
+            b.push_tx(s1, scan(Op::write(range[0], 1)));
+            b.push_tx(s2, scan(Op::write(range[3], 1)));
+        }
         Anomaly::LongFork => {
             let (s1, s2, s3, s4) = (b.session(), b.session(), b.session(), b.session());
             b.push_tx(s1, [Op::write(f, 1)]);
@@ -317,6 +337,27 @@ mod tests {
         let verdict = history_membership(SpecModel::Si, &lost, &budget)
             .expect("small instances fit the enumerator budget");
         assert!(!verdict, "lost update must leave HistSI");
+    }
+
+    #[test]
+    fn range_write_skew_leaves_ser_but_stays_si() {
+        use si_core::{history_membership, SearchBudget};
+        use si_execution::SpecModel;
+        let base = HistGen {
+            sessions: 2,
+            txs_per_session: 2,
+            ops_per_tx: 2,
+            objects: 4,
+            ..HistGen::default()
+        };
+        let h = generate(&HistGen { inject: Some(Anomaly::WriteSkewOnRange), ..base });
+        let budget = SearchBudget { max_nodes: 2_000_000 };
+        let in_si = history_membership(SpecModel::Si, &h, &budget)
+            .expect("small instances fit the enumerator budget");
+        assert!(in_si, "range write skew is SI-allowed");
+        let in_ser = history_membership(SpecModel::Ser, &h, &budget)
+            .expect("small instances fit the enumerator budget");
+        assert!(!in_ser, "range write skew must leave SER");
     }
 
     #[test]

@@ -6,20 +6,34 @@
 //! cargo run --example si_lint -- --json            # all targets, JSON
 //! cargo run --example si_lint -- smallbank fig5    # chosen targets
 //! cargo run --example si_lint -- --list            # list target names
+//! cargo run --example si_lint -- --explain SI001   # what a code means
+//! cargo run --example si_lint -- --confirm         # run every witness
 //! ```
 //!
+//! `--confirm` compiles each diagnostic's witness into concrete scripts
+//! plus a scheduler advisory, replays it on the matching live MVCC
+//! engine, and judges the recorded history with the CDCL solver; robust
+//! verdicts are counter-validated by exhaustive exploration. The
+//! resulting matrix is printed as text (or JSON with `--json`, diffed
+//! against `tests/golden/si_lint_confirm.json` in CI).
+//!
 //! The JSON output is deterministic and is diffed against
-//! `tests/golden/si_lint_all.json` in CI — regenerate that file with
+//! `tests/golden/si_lint_all.json` in CI — regenerate the files with
 //! `cargo run --example si_lint -- --json > tests/golden/si_lint_all.json`
+//! and
+//! `cargo run --release --example si_lint -- --confirm --json > tests/golden/si_lint_confirm.json`
 //! after an intentional behaviour change.
 //!
 //! Exits non-zero when any linted target has an error-severity finding
 //! *that the built-in expectation does not allow* — this binary is a
-//! demonstration, and SmallBank (for example) is *supposed* to be flagged.
+//! demonstration, and SmallBank (for example) is *supposed* to be flagged
+//! — or when `--confirm` finds a row the runtime stack contradicts.
 
 use analysing_si::chopping::ProgramSet;
 use analysing_si::lint::{
-    lint_app_with_metrics, lint_program_set_with_metrics, IrApp, LintOptions, LintReport, Stmt,
+    confirm_app, confirm_program_set, confirms_to_json, lint_app_with_metrics,
+    lint_program_set_with_metrics, ConfirmOptions, ConfirmationReport, DiagCode, IrApp,
+    LintOptions, LintReport, SessionLevel, Stmt,
 };
 use analysing_si::telemetry::MetricsRegistry;
 use analysing_si::workloads::{bank, fork, smallbank, tpcc_lite};
@@ -66,6 +80,34 @@ fn write_skew_ir() -> IrApp {
     app
 }
 
+/// SmallBank with its pivot program (`write_check`) annotated to run at
+/// SER: the dangerous structure is discharged by the session-level
+/// annotation (SI007 instead of SI001) while the long fork remains.
+fn mixed_ssi_ir() -> IrApp {
+    let mut app = IrApp::from_program_set(&smallbank::program_set(1));
+    let pivot = (0..app.program_count())
+        .map(analysing_si::lint::IrProgramId)
+        .find(|&p| app.program_name(p) == "write_check")
+        .expect("smallbank has a write_check program");
+    app.set_level(pivot, SessionLevel::Ser);
+    app
+}
+
+/// Two writers whose constraint is already materialised: both write the
+/// shared `total` object, so first-committer-wins serialises them and
+/// the would-be dangerous structure cannot occur (SI007 only).
+fn materialised_set() -> ProgramSet {
+    let mut ps = ProgramSet::new();
+    let x = ps.object("x");
+    let y = ps.object("y");
+    let total = ps.object("total");
+    let w1 = ps.add_program("update_x");
+    ps.add_piece(w1, "x += d; total += d", [x, y, total], [x, total]);
+    let w2 = ps.add_program("update_y");
+    ps.add_piece(w2, "y += d; total += d", [x, y, total], [y, total]);
+    ps
+}
+
 fn targets() -> Vec<Target> {
     vec![
         Target {
@@ -103,6 +145,16 @@ fn targets() -> Vec<Target> {
             about: "the long fork: PSI-only chopping, not PSI-robust",
             kind: TargetKind::Sets(fork::program_set_figure12()),
         },
+        Target {
+            name: "mixed-ssi",
+            about: "smallbank with the pivot annotated SER (structure discharged)",
+            kind: TargetKind::Ir(mixed_ssi_ir()),
+        },
+        Target {
+            name: "materialised",
+            about: "write-write conflict already materialised (SI007 only)",
+            kind: TargetKind::Sets(materialised_set()),
+        },
     ]
 }
 
@@ -116,6 +168,30 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let list = args.iter().any(|a| a == "--list");
+    let confirm = args.iter().any(|a| a == "--confirm");
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(code) = args.get(pos + 1) else {
+            eprintln!("--explain needs a code, e.g. --explain SI001");
+            std::process::exit(2);
+        };
+        let known = [
+            DiagCode::Si001,
+            DiagCode::Si002,
+            DiagCode::Si003,
+            DiagCode::Si004,
+            DiagCode::Si005,
+            DiagCode::Si006,
+            DiagCode::Si007,
+        ];
+        match known.iter().find(|c| c.as_str().eq_ignore_ascii_case(code)) {
+            Some(c) => println!("{}", c.explain()),
+            None => {
+                eprintln!("unknown code {code:?}; codes are SI001..SI007");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let chosen: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
@@ -131,6 +207,34 @@ fn main() {
             eprintln!("unknown target {name:?}; try --list");
             std::process::exit(2);
         }
+    }
+
+    if confirm {
+        let opts = ConfirmOptions::default();
+        let mut confirms: Vec<ConfirmationReport> = Vec::new();
+        for t in &all {
+            if !chosen.is_empty() && !chosen.contains(&t.name) {
+                continue;
+            }
+            confirms.push(match &t.kind {
+                TargetKind::Sets(ps) => confirm_program_set(t.name, ps, &opts),
+                TargetKind::Ir(app) => confirm_app(t.name, app, &opts),
+            });
+        }
+        if json {
+            println!("{}", confirms_to_json(&confirms));
+        } else {
+            for c in &confirms {
+                print!("{}", c.render_text());
+                println!();
+            }
+        }
+        let contradicted = confirms.iter().filter(|c| !c.is_confirmed()).count();
+        if contradicted > 0 {
+            eprintln!("{contradicted} target(s) have UNCONFIRMED rows");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let metrics = MetricsRegistry::new();
